@@ -1,0 +1,93 @@
+//! Criterion benchmarks for whole client operations against an in-memory
+//! SSP (real crypto, zero-latency transport): the CPU cost floor of each
+//! Figure 8 operation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sharoes_bench::harness::{Bench, BenchOpts, BENCH_USER};
+use sharoes_core::{CryptoParams, CryptoPolicy, Scheme};
+use sharoes_fs::Mode;
+use std::hint::black_box;
+
+fn quick_opts() -> BenchOpts {
+    BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() }
+}
+
+fn bench_client_ops(c: &mut Criterion) {
+    let opts = quick_opts();
+    let bench = Bench::new(CryptoPolicy::Sharoes, Scheme::SharedCaps, &opts, 256);
+    let mut setup = bench.client(BENCH_USER, None);
+    setup.create("/bench/target", Mode::from_octal(0o644)).unwrap();
+    setup.write_file("/bench/target", &vec![0xAB; 4096]).unwrap();
+
+    let mut group = c.benchmark_group("client_sharoes");
+
+    group.bench_function("getattr_cold", |b| {
+        b.iter_batched(
+            || bench.client(BENCH_USER, None),
+            |mut client| {
+                client.getattr(black_box("/bench/target")).unwrap();
+                client
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut warm = bench.client(BENCH_USER, None);
+    warm.getattr("/bench/target").unwrap();
+    group.bench_function("getattr_warm", |b| {
+        b.iter(|| warm.getattr(black_box("/bench/target")).unwrap())
+    });
+
+    group.bench_function("read_4k_cold", |b| {
+        b.iter_batched(
+            || bench.client(BENCH_USER, None),
+            |mut client| {
+                client.read(black_box("/bench/target")).unwrap();
+                client
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut counter = 0u64;
+    let mut writer = bench.client(BENCH_USER, None);
+    group.bench_function("create_empty_file", |b| {
+        b.iter(|| {
+            counter += 1;
+            writer
+                .create(&format!("/bench/c{counter}"), Mode::from_octal(0o644))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("write_close_4k", |b| {
+        b.iter(|| writer.write_file(black_box("/bench/target"), &vec![0xCD; 4096]).unwrap())
+    });
+
+    group.finish();
+}
+
+fn bench_policy_getattr(c: &mut Criterion) {
+    let opts = quick_opts();
+    let mut group = c.benchmark_group("getattr_by_policy");
+    for policy in [CryptoPolicy::NoEncMdD, CryptoPolicy::Sharoes, CryptoPolicy::PubOpt, CryptoPolicy::Public] {
+        let scheme = if policy == CryptoPolicy::Sharoes { Scheme::SharedCaps } else { Scheme::PerUser };
+        let bench = Bench::new(policy, scheme, &opts, 32);
+        let mut setup = bench.client(BENCH_USER, None);
+        setup.create("/bench/f", Mode::from_octal(0o644)).unwrap();
+        group.bench_function(policy.name(), |b| {
+            b.iter_batched(
+                || bench.client(BENCH_USER, None),
+                |mut client| {
+                    client.getattr(black_box("/bench/f")).unwrap();
+                    client
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_client_ops, bench_policy_getattr);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for the cryptographic substrate: the raw
+//! symmetric-vs-asymmetric gap every Sharoes design decision leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sharoes_crypto::{
+    Aes128, EsignPrivateKey, HmacDrbg, RsaPrivateKey, Sha256, SymKey,
+};
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_seed_u64(1);
+    let key = SymKey::random(&mut rng);
+    let aes = Aes128::new(&[7u8; 16]);
+
+    let mut group = c.benchmark_group("aes128");
+    group.bench_function("block_encrypt", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(black_box(&mut block));
+        })
+    });
+    for size in [600usize, 4096, 1 << 20] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("ctr_seal_{size}"), |b| {
+            b.iter(|| key.seal(&mut rng, black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0x55u8; 1 << 20];
+    let mut group = c.benchmark_group("hash");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_1MB", |b| b.iter(|| Sha256::digest(black_box(&data))));
+    group.finish();
+
+    let key = [9u8; 16];
+    c.bench_function("hmac_sha256_rowkey", |b| {
+        b.iter(|| sharoes_crypto::hmac_sha256(black_box(&key), black_box(b"rowid:some-file-name")))
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_seed_u64(2);
+    // 1024-bit keeps criterion runs quick; ratios scale with 2048.
+    let rsa = RsaPrivateKey::generate(1024, &mut rng).unwrap();
+    let msg = vec![0xCDu8; 64];
+    let ct = rsa.public_key().encrypt(&mut rng, &msg).unwrap();
+    let sig = rsa.sign(b"metadata");
+
+    let mut group = c.benchmark_group("rsa1024");
+    group.bench_function("encrypt", |b| {
+        b.iter(|| rsa.public_key().encrypt(&mut rng, black_box(&msg)).unwrap())
+    });
+    group.bench_function("decrypt", |b| b.iter(|| rsa.decrypt(black_box(&ct)).unwrap()));
+    group.bench_function("sign", |b| b.iter(|| rsa.sign(black_box(b"metadata"))));
+    group.bench_function("verify", |b| {
+        b.iter(|| rsa.public_key().verify(black_box(b"metadata"), black_box(&sig)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_esign(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_seed_u64(3);
+    let esign = EsignPrivateKey::generate(1026, &mut rng).unwrap();
+    let sig = esign.sign(&mut rng, b"data block");
+
+    let mut group = c.benchmark_group("esign1026");
+    group.bench_function("sign", |b| b.iter(|| esign.sign(&mut rng, black_box(b"data block"))));
+    group.bench_function("verify", |b| {
+        b.iter(|| esign.public_key().verify(black_box(b"data block"), black_box(&sig)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_hashes, bench_rsa, bench_esign);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks for metadata-object and directory-table
+//! handling: the inner loops of getattr, mkdir, and exec-only traversal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sharoes_core::dirtable::{ChildRef, DirTable};
+use sharoes_core::metadata::{open_metadata, seal_metadata, MetaOpen, MetaSeal, MetadataBody};
+use sharoes_crypto::{HmacDrbg, RsaPrivateKey, SymKey};
+use sharoes_fs::NodeKind;
+use sharoes_net::{WireRead, WireWrite};
+use std::hint::black_box;
+
+fn sample_body() -> MetadataBody {
+    let mut body = MetadataBody::bare(42, NodeKind::File, 1000, 100, 0o644);
+    body.size = 8192;
+    body.nblocks = 2;
+    body.dek = Some(SymKey([7; 16]));
+    body
+}
+
+fn sample_entries(n: usize) -> Vec<(String, ChildRef)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("file{i:04}.dat"),
+                ChildRef {
+                    inode: 1000 + i as u64,
+                    kind: NodeKind::File,
+                    view: [i as u8; 16],
+                    mek: Some(SymKey([1; 16])),
+                    mvk: None,
+                    split: false,
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_metadata_seal(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_seed_u64(1);
+    let body_bytes = sample_body().to_wire();
+    let mek = SymKey([3; 16]);
+    let rsa = RsaPrivateKey::generate(1024, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("metadata_seal");
+    group.bench_function("sharoes_sym", |b| {
+        b.iter(|| seal_metadata(MetaSeal::Sym(&mek), black_box(&body_bytes), &mut rng).unwrap())
+    });
+    group.bench_function("public_rsa", |b| {
+        b.iter(|| {
+            seal_metadata(MetaSeal::Public(rsa.public_key()), black_box(&body_bytes), &mut rng)
+                .unwrap()
+        })
+    });
+    group.bench_function("pubopt_hybrid", |b| {
+        b.iter(|| {
+            seal_metadata(MetaSeal::PubOpt(rsa.public_key()), black_box(&body_bytes), &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    // The getattr inner loop: open per policy.
+    let sym_blob = seal_metadata(MetaSeal::Sym(&mek), &body_bytes, &mut rng).unwrap();
+    let public_blob =
+        seal_metadata(MetaSeal::Public(rsa.public_key()), &body_bytes, &mut rng).unwrap();
+    let pubopt_blob =
+        seal_metadata(MetaSeal::PubOpt(rsa.public_key()), &body_bytes, &mut rng).unwrap();
+    let mut group = c.benchmark_group("metadata_open");
+    group.bench_function("sharoes_sym", |b| {
+        b.iter(|| open_metadata(MetaOpen::Sym(&mek), black_box(&sym_blob)).unwrap())
+    });
+    group.bench_function("public_rsa", |b| {
+        b.iter(|| open_metadata(MetaOpen::Public(&rsa), black_box(&public_blob)).unwrap())
+    });
+    group.bench_function("pubopt_hybrid", |b| {
+        b.iter(|| open_metadata(MetaOpen::PubOpt(&rsa), black_box(&pubopt_blob)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dirtable(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_seed_u64(2);
+    let tek = SymKey([5; 16]);
+    let entries = sample_entries(100);
+
+    let mut group = c.benchmark_group("dirtable_100_entries");
+    group.bench_function("build_full", |b| b.iter(|| DirTable::full(black_box(&entries))));
+    group.bench_function("build_exec_only", |b| {
+        b.iter(|| DirTable::exec_only(black_box(&entries), &tek, &mut rng))
+    });
+
+    let full = DirTable::full(&entries);
+    let hidden = DirTable::exec_only(&entries, &tek, &mut rng);
+    group.bench_function("lookup_full", |b| {
+        b.iter(|| full.lookup(black_box("file0077.dat"), None).unwrap().unwrap())
+    });
+    group.bench_function("lookup_exec_only", |b| {
+        b.iter(|| hidden.lookup(black_box("file0077.dat"), Some(&tek)).unwrap().unwrap())
+    });
+    group.bench_function("codec_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = full.to_wire();
+            DirTable::from_wire(black_box(&bytes)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_body_codec(c: &mut Criterion) {
+    let body = sample_body();
+    let bytes = body.to_wire();
+    c.bench_function("metadata_body_codec", |b| {
+        b.iter(|| {
+            let encoded = body.to_wire();
+            MetadataBody::from_wire(black_box(&encoded)).unwrap()
+        })
+    });
+    let _ = bytes;
+}
+
+criterion_group!(benches, bench_metadata_seal, bench_dirtable, bench_body_codec);
+criterion_main!(benches);

@@ -1,0 +1,347 @@
+//! `paper-figures` — regenerates every table and figure from the Sharoes
+//! ICDE 2008 evaluation.
+//!
+//! ```text
+//! paper-figures [OPTIONS] <fig9|fig10|fig11|fig12|fig13|storage|ablations|summary|all>
+//!
+//! Options:
+//!   --cpu-scale <F>   CPU scale factor mapping this machine's crypto time
+//!                     to the paper's 1 GHz P4 client (default 50)
+//!   --users <N>       enterprise users (default 4)
+//!   --quick           shrink workloads ~10x for a fast smoke run
+//! ```
+//!
+//! Numbers are *virtual seconds*: measured crypto/processing time (scaled)
+//! plus network time modeled on the paper's DSL link. Absolute values will
+//! not match 2008 hardware; the orderings and rough factors should (see
+//! EXPERIMENTS.md).
+
+use sharoes_bench::harness::{all_policies, fmt_secs, four_policies, BenchOpts, Table};
+use sharoes_bench::workloads::{ablations, andrew, createlist, opcosts, postmark, storage};
+use sharoes_core::{CryptoPolicy, Scheme};
+
+struct Args {
+    command: String,
+    opts: BenchOpts,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut opts = BenchOpts::default();
+    let mut command = String::new();
+    let mut quick = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--cpu-scale" => {
+                i += 1;
+                opts.cpu_scale = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cpu-scale needs a number"));
+            }
+            "--users" => {
+                i += 1;
+                opts.users = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--users needs a number"));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            cmd if command.is_empty() && !cmd.starts_with('-') => command = cmd.to_string(),
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if command.is_empty() {
+        print_help();
+        std::process::exit(2);
+    }
+    Args { command, opts, quick }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("paper-figures: {msg}");
+    std::process::exit(2);
+}
+
+fn print_help() {
+    println!(
+        "paper-figures — regenerate the Sharoes ICDE 2008 evaluation\n\n\
+         USAGE: paper-figures [--cpu-scale F] [--users N] [--quick] <COMMAND>\n\n\
+         COMMANDS:\n\
+         \x20 fig9       Create-and-List microbenchmark (Figure 9)\n\
+         \x20 fig10      Postmark with cache-size sweep (Figure 10)\n\
+         \x20 fig11      Andrew benchmark phases (Figure 11)\n\
+         \x20 fig12      Andrew cumulative table (Figure 12)\n\
+         \x20 fig13      Filesystem operation cost breakdown (Figure 13)\n\
+         \x20 storage    Scheme-1/2 storage overhead (§III-D.1, E6)\n\
+         \x20 ablations  A1 scheme fan-out, A2 revocation, A3 ESIGN vs RSA, A4 net sweep\n\
+         \x20 summary    headline speedups (E7)\n\
+         \x20 all        everything above"
+    );
+}
+
+fn fig9(opts: &BenchOpts, quick: bool) -> Vec<createlist::CreateListResult> {
+    let spec = if quick {
+        createlist::CreateListSpec { files: 50, dirs: 5 }
+    } else {
+        createlist::CreateListSpec::default()
+    };
+    println!(
+        "\n== Figure 9: Create-and-List ({} files in {} dirs; per-impl seconds) ==",
+        spec.files, spec.dirs
+    );
+    let mut table = Table::new(&["implementation", "CREATE", "LIST"]);
+    let mut results = Vec::new();
+    for policy in all_policies() {
+        let r = createlist::run(policy, &spec, opts);
+        table.row(vec![
+            policy.name().to_string(),
+            fmt_secs(r.create_secs),
+            fmt_secs(r.list_secs),
+        ]);
+        results.push(r);
+    }
+    table.print();
+    println!("paper: CREATE 121/127/131/245/159  LIST 60/63/60/2253/196");
+    results
+}
+
+fn fig10(opts: &BenchOpts, quick: bool) {
+    let spec = if quick {
+        postmark::PostmarkSpec { files: 50, transactions: 50, ..Default::default() }
+    } else {
+        postmark::PostmarkSpec::default()
+    };
+    println!(
+        "\n== Figure 10: Postmark ({} files, {} transactions; seconds by cache size) ==",
+        spec.files, spec.transactions
+    );
+    let mut headers: Vec<String> = vec!["cache %".into()];
+    for policy in four_policies() {
+        headers.push(policy.name().into());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    for pct in postmark::sweep_points() {
+        let mut row = vec![format!("{pct}")];
+        for policy in four_policies() {
+            let point = postmark::run_point(policy, &spec, pct, opts);
+            row.push(fmt_secs(point.secs));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!("paper shape: PUB-OPT competitive only near 100% cache; +64% vs NO-ENC-MD-D at 10%");
+}
+
+fn fig11(opts: &BenchOpts, quick: bool) -> Vec<andrew::AndrewResult> {
+    let spec = if quick {
+        andrew::AndrewSpec { dirs: 6, files: 10, file_size: 2000 }
+    } else {
+        andrew::AndrewSpec::default()
+    };
+    println!(
+        "\n== Figure 11: Andrew benchmark ({} dirs, {} files; seconds per phase) ==",
+        spec.dirs, spec.files
+    );
+    let mut table =
+        Table::new(&["implementation", "P1 mkdir", "P2 copy", "P3 stat", "P4 read", "P5 compile"]);
+    let mut results = Vec::new();
+    for policy in four_policies() {
+        let r = andrew::run(policy, &spec, opts);
+        let mut row = vec![policy.name().to_string()];
+        for p in r.phases {
+            row.push(fmt_secs(p));
+        }
+        table.row(row);
+        results.push(r);
+    }
+    table.print();
+    results
+}
+
+fn fig12(results: &[andrew::AndrewResult]) {
+    println!("\n== Figure 12: Andrew cumulative ==");
+    let baseline = results
+        .iter()
+        .find(|r| r.policy == CryptoPolicy::NoEncMdD)
+        .map(|r| r.total())
+        .unwrap_or(0.0);
+    let mut table = Table::new(&["scheme", "time (s)", "overheads"]);
+    for r in results {
+        let overhead = if baseline > 0.0 && r.policy != CryptoPolicy::NoEncMdD {
+            format!("{:.1}%", (r.total() / baseline - 1.0) * 100.0)
+        } else {
+            "-".to_string()
+        };
+        table.row(vec![r.policy.name().to_string(), fmt_secs(r.total()), overhead]);
+    }
+    table.print();
+    println!("paper: 239s -, 248s 3.7%, 266s 11%, 384s 60%");
+}
+
+fn fig13(opts: &BenchOpts, quick: bool) {
+    let reps = if quick { 2 } else { 5 };
+    println!("\n== Figure 13: SHAROES operation costs (ms; NETWORK / CRYPTO / OTHER) ==");
+    let costs = opcosts::run(CryptoPolicy::Sharoes, reps, opts);
+    let mut table = Table::new(&["op", "NETWORK", "CRYPTO", "OTHER", "total", "crypto %"]);
+    for c in &costs {
+        table.row(vec![
+            c.label.to_string(),
+            format!("{:.1}", c.network * 1e3),
+            format!("{:.1}", c.crypto * 1e3),
+            format!("{:.1}", c.other * 1e3),
+            format!("{:.1}", c.total() * 1e3),
+            format!("{:.1}%", c.crypto_share() * 100.0),
+        ]);
+    }
+    table.print();
+    println!("paper: CRYPTO < 7% of every operation; mkdir:--x > mkdir:rwx; network dominates");
+}
+
+fn storage_report(opts: &BenchOpts, quick: bool) {
+    let files_per_dir = if quick { 2 } else { 5 };
+    println!("\n== E6: storage overhead (Scheme-1 vs Scheme-2) ==");
+    let mut table = Table::new(&[
+        "scheme",
+        "users",
+        "objects",
+        "md bytes",
+        "md/object",
+        "$ / user-month @1M files",
+    ]);
+    for scheme in [Scheme::SharedCaps, Scheme::PerUser] {
+        let r = storage::run(scheme, opts.users, files_per_dir, opts);
+        table.row(vec![
+            format!("{:?}", r.scheme),
+            r.users.to_string(),
+            r.objects.to_string(),
+            r.metadata_bytes.to_string(),
+            format!("{:.0}", r.metadata_per_object()),
+            format!("${:.2}", r.dollars_per_user_month(1_000_000)),
+        ]);
+    }
+    table.print();
+    println!("paper: Scheme-1 ~ $0.60 per user per month at 1M files (S3 2008 pricing)");
+}
+
+fn ablations_report(opts: &BenchOpts, quick: bool) {
+    let n = if quick { 10 } else { 50 };
+    println!("\n== A1: Scheme-1 vs Scheme-2 ({n} creates, {} users) ==", opts.users);
+    let mut table = Table::new(&["scheme", "create (s)", "stat (s)", "SSP bytes"]);
+    for r in ablations::scheme_comparison(n, opts.users, opts) {
+        table.row(vec![
+            format!("{:?}", r.scheme),
+            fmt_secs(r.create_secs),
+            fmt_secs(r.stat_secs),
+            r.ssp_bytes.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!("\n== A2: immediate vs lazy revocation (seconds) ==");
+    let sizes: &[usize] = if quick { &[4096, 65536] } else { &[4096, 65536, 1 << 20] };
+    let mut table = Table::new(&["file size", "imm chmod", "lazy chmod", "imm write", "lazy write"]);
+    for r in ablations::revocation_costs(sizes, opts) {
+        table.row(vec![
+            r.file_size.to_string(),
+            fmt_secs(r.immediate_chmod),
+            fmt_secs(r.lazy_chmod),
+            fmt_secs(r.immediate_write),
+            fmt_secs(r.lazy_write),
+        ]);
+    }
+    table.print();
+
+    println!("\n== A3: ESIGN vs RSA signing keys ({} creates incl. keygen) ==", n.min(20));
+    let mut table = Table::new(&["scheme", "create (s)", "raw crypto"]);
+    for r in ablations::signing_comparison(n.min(20), opts) {
+        table.row(vec![
+            format!("{:?}", r.scheme),
+            fmt_secs(r.create_secs),
+            format!("{:?}", r.crypto),
+        ]);
+    }
+    table.print();
+    println!("paper (footnote 3): ESIGN is over an order of magnitude faster than RSA");
+
+    println!("\n== A4: network sweep (list-phase seconds, SHAROES vs PUB-OPT) ==");
+    let files = if quick { 20 } else { 100 };
+    let mut table = Table::new(&["link", "SHAROES", "PUB-OPT", "ratio"]);
+    for p in ablations::net_sweep(files, opts) {
+        table.row(vec![
+            p.link.to_string(),
+            fmt_secs(p.sharoes),
+            fmt_secs(p.pubopt),
+            format!("{:.1}x", p.pubopt / p.sharoes),
+        ]);
+    }
+    table.print();
+}
+
+fn summary(fig9_results: &[createlist::CreateListResult]) {
+    println!("\n== E7: headline comparison (from Figure 9) ==");
+    let get = |p: CryptoPolicy| fig9_results.iter().find(|r| r.policy == p).unwrap();
+    let sharoes = get(CryptoPolicy::Sharoes);
+    let pubopt = get(CryptoPolicy::PubOpt);
+    let public = get(CryptoPolicy::Public);
+    let noenc = get(CryptoPolicy::NoEncMdD);
+    println!(
+        "SHAROES list overhead vs NO-ENC-MD-D: {:+.1}% (paper: 5-8%)",
+        (sharoes.list_secs / noenc.list_secs - 1.0) * 100.0
+    );
+    println!(
+        "PUB-OPT list vs SHAROES: {:.1}x slower (paper claims SHAROES wins by 40-200%+)",
+        pubopt.list_secs / sharoes.list_secs
+    );
+    println!(
+        "PUBLIC list vs SHAROES: {:.1}x slower",
+        public.list_secs / sharoes.list_secs
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "# sharoes paper-figures  (cpu-scale {}, {} users, link: paper DSL{})",
+        args.opts.cpu_scale,
+        args.opts.users,
+        if args.quick { ", QUICK mode" } else { "" }
+    );
+    match args.command.as_str() {
+        "fig9" => {
+            let r = fig9(&args.opts, args.quick);
+            summary(&r);
+        }
+        "fig10" => fig10(&args.opts, args.quick),
+        "fig11" | "fig12" => {
+            let r = fig11(&args.opts, args.quick);
+            fig12(&r);
+        }
+        "fig13" => fig13(&args.opts, args.quick),
+        "storage" => storage_report(&args.opts, args.quick),
+        "ablations" => ablations_report(&args.opts, args.quick),
+        "summary" => {
+            let r = fig9(&args.opts, args.quick);
+            summary(&r);
+        }
+        "all" => {
+            let r9 = fig9(&args.opts, args.quick);
+            fig10(&args.opts, args.quick);
+            let r11 = fig11(&args.opts, args.quick);
+            fig12(&r11);
+            fig13(&args.opts, args.quick);
+            storage_report(&args.opts, args.quick);
+            ablations_report(&args.opts, args.quick);
+            summary(&r9);
+        }
+        other => die(&format!("unknown command: {other}")),
+    }
+}

@@ -1,0 +1,265 @@
+//! Ablations A1–A4: design-choice studies called out in DESIGN.md.
+//!
+//! * A1 — Scheme-1 vs Scheme-2: update fan-out and access latency.
+//! * A2 — immediate vs lazy revocation: chmod cost vs next-write cost.
+//! * A3 — ESIGN vs RSA for DSK/MSK signing: create-phase crypto.
+//! * A4 — network sweep: SHAROES vs PUB-OPT across link qualities.
+
+use crate::harness::{content, Bench, BenchOpts, PhaseTimer, BENCH_USER};
+use crate::workloads::createlist::{self, CreateListSpec};
+use sharoes_core::{CryptoPolicy, RevocationMode, Scheme};
+use sharoes_crypto::SignatureScheme;
+use sharoes_fs::Mode;
+use sharoes_net::NetModel;
+use std::time::Duration;
+
+/// A1 result: per-scheme create and stat latencies.
+#[derive(Clone, Debug)]
+pub struct SchemeComparison {
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Virtual seconds to create `n` files.
+    pub create_secs: f64,
+    /// Virtual seconds to stat them all (cold).
+    pub stat_secs: f64,
+    /// SSP bytes after the run.
+    pub ssp_bytes: u64,
+}
+
+/// A1: same workload under Scheme-1 and Scheme-2.
+pub fn scheme_comparison(n: usize, users: usize, opts: &BenchOpts) -> Vec<SchemeComparison> {
+    let mut out = Vec::new();
+    for scheme in [Scheme::SharedCaps, Scheme::PerUser] {
+        let mut o = opts.clone();
+        o.users = users;
+        let bench = Bench::new(CryptoPolicy::Sharoes, scheme, &o, n * 2 + 8);
+        let mut client = bench.client(BENCH_USER, None);
+        let timer = PhaseTimer::start(&client);
+        for i in 0..n {
+            client
+                .create(&format!("/bench/f{i}"), Mode::from_octal(0o644))
+                .expect("create");
+        }
+        let create_secs = timer.seconds(&client, &o);
+
+        let mut stat_client = bench.client(BENCH_USER, None);
+        let timer = PhaseTimer::start(&stat_client);
+        for i in 0..n {
+            stat_client.getattr(&format!("/bench/f{i}")).expect("stat");
+        }
+        let stat_secs = timer.seconds(&stat_client, &o);
+        out.push(SchemeComparison {
+            scheme,
+            create_secs,
+            stat_secs,
+            ssp_bytes: bench.server.store().byte_count(),
+        });
+    }
+    out
+}
+
+/// A2 result for one file size.
+#[derive(Clone, Debug)]
+pub struct RevocationCosts {
+    /// File size tested.
+    pub file_size: usize,
+    /// chmod seconds under immediate revocation.
+    pub immediate_chmod: f64,
+    /// chmod seconds under lazy revocation.
+    pub lazy_chmod: f64,
+    /// Next-write seconds under immediate revocation (no rekey debt).
+    pub immediate_write: f64,
+    /// Next-write seconds under lazy revocation (pays the deferred rekey).
+    pub lazy_write: f64,
+    /// Upload bytes per phase (deterministic, used by tests):
+    /// [imm chmod, imm write, lazy chmod, lazy write].
+    pub bytes_up: [u64; 4],
+}
+
+/// A2: revocation cost placement for growing file sizes.
+pub fn revocation_costs(file_sizes: &[usize], opts: &BenchOpts) -> Vec<RevocationCosts> {
+    let mut out = Vec::new();
+    for &file_size in file_sizes {
+        let mut measured = [0.0f64; 4];
+        let mut bytes_up = [0u64; 4];
+        for (idx, mode) in [RevocationMode::Immediate, RevocationMode::Lazy]
+            .into_iter()
+            .enumerate()
+        {
+            let bench = Bench::new(CryptoPolicy::Sharoes, Scheme::SharedCaps, opts, 32);
+            let mut config = bench.config.clone();
+            config.revocation = mode;
+            let transport =
+                sharoes_net::InMemoryTransport::new(std::sync::Arc::clone(&bench.server) as _);
+            let identity = bench.ring.identity(BENCH_USER).expect("identity");
+            let mut client = sharoes_core::SharoesClient::with_rng(
+                Box::new(transport),
+                config,
+                std::sync::Arc::clone(&bench.db),
+                std::sync::Arc::clone(&bench.pki),
+                identity,
+                std::sync::Arc::clone(&bench.pool),
+                sharoes_crypto::HmacDrbg::from_seed_u64(99),
+            );
+            client.mount().expect("mount");
+            client.create("/bench/victim", Mode::from_octal(0o644)).expect("create");
+            client
+                .write_file("/bench/victim", &content(file_size, 3))
+                .expect("write");
+
+            let timer = PhaseTimer::start(&client);
+            client.chmod("/bench/victim", Mode::from_octal(0o600)).expect("chmod");
+            measured[idx * 2] = timer.seconds(&client, opts);
+            bytes_up[idx * 2] = timer.cost(&client).bytes_up;
+
+            let timer = PhaseTimer::start(&client);
+            client
+                .write_file("/bench/victim", &content(file_size, 4))
+                .expect("post-chmod write");
+            measured[idx * 2 + 1] = timer.seconds(&client, opts);
+            bytes_up[idx * 2 + 1] = timer.cost(&client).bytes_up;
+        }
+        out.push(RevocationCosts {
+            file_size,
+            immediate_chmod: measured[0],
+            immediate_write: measured[1],
+            lazy_chmod: measured[2],
+            lazy_write: measured[3],
+            bytes_up,
+        });
+    }
+    out
+}
+
+/// A3 result.
+#[derive(Clone, Debug)]
+pub struct SigningComparison {
+    /// Scheme measured.
+    pub scheme: SignatureScheme,
+    /// Virtual seconds for the create phase.
+    pub create_secs: f64,
+    /// Real crypto time accumulated (unscaled).
+    pub crypto: Duration,
+}
+
+/// A3: the create phase with ESIGN vs RSA signing keys. Key generation runs
+/// in-phase here (no pool) because keygen cost is part of the comparison.
+pub fn signing_comparison(n: usize, opts: &BenchOpts) -> Vec<SigningComparison> {
+    let mut out = Vec::new();
+    for scheme in [SignatureScheme::Esign, SignatureScheme::Rsa] {
+        let mut o = opts.clone();
+        o.crypto.sig_scheme = scheme;
+        // Equal modulus sizes for a fair fight.
+        o.crypto.sig_bits = 1536;
+        let bench = Bench::new(CryptoPolicy::Sharoes, Scheme::SharedCaps, &o, 0);
+        let mut client = bench.client(BENCH_USER, None);
+        let timer = PhaseTimer::start(&client);
+        for i in 0..n {
+            client
+                .create(&format!("/bench/s{i}"), Mode::from_octal(0o644))
+                .expect("create");
+        }
+        let cost = timer.cost(&client);
+        out.push(SigningComparison {
+            scheme,
+            create_secs: o.net.total_time(&cost, o.cpu_scale).as_secs_f64(),
+            crypto: Duration::from_nanos(cost.crypto_ns),
+        });
+    }
+    out
+}
+
+/// A4 result for one link.
+#[derive(Clone, Debug)]
+pub struct NetSweepPoint {
+    /// Link label.
+    pub link: &'static str,
+    /// SHAROES list seconds.
+    pub sharoes: f64,
+    /// PUB-OPT list seconds.
+    pub pubopt: f64,
+}
+
+/// A4: where does PUB-OPT's crypto tax stop hiding behind the network?
+pub fn net_sweep(files: usize, opts: &BenchOpts) -> Vec<NetSweepPoint> {
+    let spec = CreateListSpec { files, dirs: files / 20 + 1 };
+    let links: [(&'static str, NetModel); 3] = [
+        ("paper-DSL", NetModel::paper_dsl()),
+        ("enterprise-WAN", NetModel::enterprise_wan()),
+        ("LAN", NetModel::lan()),
+    ];
+    let mut out = Vec::new();
+    for (label, net) in links {
+        let mut o = opts.clone();
+        o.net = net;
+        let sharoes = createlist::run(CryptoPolicy::Sharoes, &spec, &o);
+        let pubopt = createlist::run(CryptoPolicy::PubOpt, &spec, &o);
+        out.push(NetSweepPoint { link: label, sharoes: sharoes.list_secs, pubopt: pubopt.list_secs });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_core::CryptoParams;
+
+    fn quick() -> BenchOpts {
+        BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() }
+    }
+
+    #[test]
+    fn a1_scheme1_stores_more() {
+        let rows = scheme_comparison(6, 4, &quick());
+        let s2 = rows.iter().find(|r| r.scheme == Scheme::SharedCaps).unwrap();
+        let s1 = rows.iter().find(|r| r.scheme == Scheme::PerUser).unwrap();
+        assert!(s1.ssp_bytes > s2.ssp_bytes);
+        // Per-user replication also costs more to create (more records up).
+        assert!(s1.create_secs > s2.create_secs * 0.9);
+    }
+
+    #[test]
+    fn a2_lazy_shifts_cost_to_write() {
+        // Assert on upload bytes (deterministic) rather than virtual time,
+        // which embeds wall-clock crypto measurements sensitive to CPU
+        // contention.
+        let rows = revocation_costs(&[16_384], &quick());
+        let r = &rows[0];
+        let [imm_chmod, imm_write, lazy_chmod, lazy_write] = r.bytes_up;
+        assert!(
+            imm_chmod > lazy_chmod,
+            "immediate chmod ships the re-encrypted file: {imm_chmod} vs {lazy_chmod}"
+        );
+        assert!(
+            lazy_write > imm_write,
+            "the lazy next-write carries the deferred metadata rebuild: {lazy_write} vs {imm_write}"
+        );
+    }
+
+    #[test]
+    fn a3_esign_beats_rsa() {
+        let rows = signing_comparison(3, &quick());
+        let esign = rows.iter().find(|r| r.scheme == SignatureScheme::Esign).unwrap();
+        let rsa = rows.iter().find(|r| r.scheme == SignatureScheme::Rsa).unwrap();
+        assert!(
+            esign.crypto < rsa.crypto,
+            "ESIGN crypto {:?} must beat RSA {:?}",
+            esign.crypto,
+            rsa.crypto
+        );
+    }
+
+    #[test]
+    fn a4_gap_widens_relative_on_fast_links() {
+        let points = net_sweep(10, &quick());
+        assert_eq!(points.len(), 3);
+        let dsl = &points[0];
+        let lan = &points[2];
+        let dsl_ratio = dsl.pubopt / dsl.sharoes;
+        let lan_ratio = lan.pubopt / lan.sharoes;
+        assert!(
+            lan_ratio > dsl_ratio,
+            "crypto tax should dominate on fast links: LAN {lan_ratio:.1}x vs DSL {dsl_ratio:.1}x"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! E1 — Figure 9: the Create-and-List microbenchmark.
+//!
+//! "For the encryption phase, we created 500 empty files in 25 directories
+//! and for the decryption phase we performed a recursive listing using an
+//! `ls -lR` operation, which stats all files and directories."
+
+use crate::harness::{scheme_for, Bench, BenchOpts, PhaseTimer, BENCH_USER};
+use sharoes_core::{CryptoPolicy, SharoesClient};
+use sharoes_fs::Mode;
+
+/// Result of one implementation's run.
+#[derive(Clone, Debug)]
+pub struct CreateListResult {
+    /// Which implementation.
+    pub policy: CryptoPolicy,
+    /// Virtual seconds for the create phase.
+    pub create_secs: f64,
+    /// Virtual seconds for the recursive list phase.
+    pub list_secs: f64,
+    /// Files created.
+    pub files: usize,
+    /// Directories created.
+    pub dirs: usize,
+}
+
+/// Workload size (paper defaults: 500 files in 25 directories).
+#[derive(Clone, Copy, Debug)]
+pub struct CreateListSpec {
+    /// Files to create.
+    pub files: usize,
+    /// Directories to spread them over.
+    pub dirs: usize,
+}
+
+impl Default for CreateListSpec {
+    fn default() -> Self {
+        CreateListSpec { files: 500, dirs: 25 }
+    }
+}
+
+/// Recursive `ls -lR`: list a directory, stat every entry, recurse.
+pub fn ls_lr(client: &mut SharoesClient, path: &str) -> usize {
+    let mut statted = 0;
+    let entries = match client.readdir(path) {
+        Ok(e) => e,
+        Err(_) => return 0,
+    };
+    let mut subdirs = Vec::new();
+    for entry in entries {
+        let child = if path == "/" {
+            format!("/{}", entry.name)
+        } else {
+            format!("{path}/{}", entry.name)
+        };
+        if let Ok(st) = client.getattr(&child) {
+            statted += 1;
+            if st.kind == sharoes_fs::NodeKind::Dir {
+                subdirs.push(child);
+            }
+        }
+    }
+    for dir in subdirs {
+        statted += ls_lr(client, &dir);
+    }
+    statted
+}
+
+/// Runs create-and-list for one implementation.
+pub fn run(policy: CryptoPolicy, spec: &CreateListSpec, opts: &BenchOpts) -> CreateListResult {
+    let bench = Bench::new(
+        policy,
+        scheme_for(policy),
+        opts,
+        // Two signing pairs per object, plus slack.
+        (spec.files + spec.dirs) * 2 + 8,
+    );
+    let mut client = bench.client(BENCH_USER, None);
+
+    // Create phase.
+    let timer = PhaseTimer::start(&client);
+    for d in 0..spec.dirs {
+        client
+            .mkdir(&format!("/bench/dir{d}"), Mode::from_octal(0o755))
+            .expect("mkdir");
+    }
+    for f in 0..spec.files {
+        let dir = f % spec.dirs;
+        client
+            .create(&format!("/bench/dir{dir}/file{f}"), Mode::from_octal(0o644))
+            .expect("create");
+    }
+    let create_secs = timer.seconds(&client, opts);
+
+    // List phase: a fresh mount, so every stat is cold (as in the paper).
+    let mut lister = bench.client(BENCH_USER, None);
+    let timer = PhaseTimer::start(&lister);
+    let statted = ls_lr(&mut lister, "/bench");
+    assert_eq!(statted, spec.files + spec.dirs, "ls -lR must stat everything");
+    let list_secs = timer.seconds(&lister, opts);
+
+    CreateListResult {
+        policy,
+        create_secs,
+        list_secs,
+        files: spec.files,
+        dirs: spec.dirs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_core::CryptoParams;
+
+    fn quick_opts() -> BenchOpts {
+        BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() }
+    }
+
+    #[test]
+    fn small_run_produces_sane_shape() {
+        let spec = CreateListSpec { files: 12, dirs: 3 };
+        let opts = quick_opts();
+        let sharoes = run(CryptoPolicy::Sharoes, &spec, &opts);
+        let noenc = run(CryptoPolicy::NoEncMdD, &spec, &opts);
+        let public = run(CryptoPolicy::Public, &spec, &opts);
+        assert!(sharoes.create_secs > 0.0);
+        assert!(
+            public.list_secs > sharoes.list_secs,
+            "PUBLIC list ({}) must exceed SHAROES list ({})",
+            public.list_secs,
+            sharoes.list_secs
+        );
+        assert!(
+            public.list_secs > noenc.list_secs,
+            "PUBLIC list must exceed the no-encryption baseline"
+        );
+        // SHAROES stays within a small factor of the baseline list.
+        assert!(sharoes.list_secs < noenc.list_secs * 1.5);
+    }
+}

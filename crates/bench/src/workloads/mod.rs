@@ -1,0 +1,8 @@
+//! Workload generators and figure harnesses.
+
+pub mod ablations;
+pub mod andrew;
+pub mod createlist;
+pub mod opcosts;
+pub mod postmark;
+pub mod storage;

@@ -1,0 +1,152 @@
+//! E5 — Figure 13: per-operation cost decomposition.
+//!
+//! Breaks getattr, mkdir (per required CAP), and large-file I/O into
+//! NETWORK / CRYPTO / OTHER components, reproducing the paper's finding
+//! that "the CRYPTO component is less than 7% for all filesystem
+//! operations" under SHAROES.
+
+use crate::harness::{content, scheme_for, Bench, BenchOpts, PhaseTimer, BENCH_USER};
+use sharoes_core::CryptoPolicy;
+use sharoes_fs::Mode;
+
+/// One measured operation.
+#[derive(Clone, Debug)]
+pub struct OpCost {
+    /// Operation label matching Figure 13.
+    pub label: &'static str,
+    /// NETWORK seconds.
+    pub network: f64,
+    /// CRYPTO seconds.
+    pub crypto: f64,
+    /// OTHER seconds.
+    pub other: f64,
+}
+
+impl OpCost {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.network + self.crypto + self.other
+    }
+
+    /// CRYPTO share of the total.
+    pub fn crypto_share(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.crypto / self.total()
+        }
+    }
+}
+
+/// Measures Figure 13's operation set for one implementation, averaging
+/// `reps` repetitions of each operation.
+pub fn run(policy: CryptoPolicy, reps: usize, opts: &BenchOpts) -> Vec<OpCost> {
+    let bench = Bench::new(policy, scheme_for(policy), opts, 64 + reps * 8);
+    let mut setup = bench.client(BENCH_USER, None);
+    setup.create("/bench/statme", Mode::from_octal(0o644)).expect("create");
+    setup.create("/bench/onemb", Mode::from_octal(0o644)).expect("create");
+    let one_mb = content(1 << 20, 42);
+    setup.write_file("/bench/onemb", &one_mb).expect("prewrite 1MB");
+
+    let mut out = Vec::new();
+    let avg3 = |sums: (f64, f64, f64), n: f64| OpCost {
+        label: "",
+        network: sums.0 / n,
+        crypto: sums.1 / n,
+        other: sums.2 / n,
+    };
+
+    // getattr: cold stat of a file. The parent directory is resolved first
+    // (Figure 8 charges getattr one metadata receive + one decryption, not
+    // a whole path walk).
+    let mut sums = (0.0, 0.0, 0.0);
+    for _ in 0..reps {
+        let mut c = bench.client(BENCH_USER, None);
+        c.getattr("/bench").expect("warm parent");
+        let t = PhaseTimer::start(&c);
+        c.getattr("/bench/statme").expect("stat");
+        let (n, cr, o) = t.breakdown(&c, opts);
+        sums = (sums.0 + n, sums.1 + cr, sums.2 + o);
+    }
+    out.push(OpCost { label: "getattr", ..avg3(sums, reps as f64) });
+
+    // mkdir variants: 0700 = one rwx CAP; 0111 = exec-only CAPs;
+    // 0711 = both (the paper's "mkdir:both").
+    for (label, mode) in [
+        ("mkdir:rwx", 0o700u32),
+        ("mkdir:--x", 0o111),
+        ("mkdir:both", 0o711),
+    ] {
+        let mut c = bench.client(BENCH_USER, None);
+        c.getattr("/bench").expect("warm parent");
+        let mut sums = (0.0, 0.0, 0.0);
+        for i in 0..reps {
+            let t = PhaseTimer::start(&c);
+            c.mkdir(&format!("/bench/{label}-{i}"), Mode::from_octal(mode))
+                .expect("mkdir");
+            let (n, cr, o) = t.breakdown(&c, opts);
+            sums = (sums.0 + n, sums.1 + cr, sums.2 + o);
+        }
+        out.push(OpCost { label, ..avg3(sums, reps as f64) });
+    }
+
+    // read-1MB: cold read of the 1 MB file.
+    let mut sums = (0.0, 0.0, 0.0);
+    for _ in 0..reps {
+        let mut c = bench.client(BENCH_USER, None);
+        c.getattr("/bench").expect("warm parent");
+        let t = PhaseTimer::start(&c);
+        let data = c.read("/bench/onemb").expect("read 1MB");
+        assert_eq!(data.len(), 1 << 20);
+        let (n, cr, o) = t.breakdown(&c, opts);
+        sums = (sums.0 + n, sums.1 + cr, sums.2 + o);
+    }
+    out.push(OpCost { label: "read-1MB", ..avg3(sums, reps as f64) });
+
+    // write-1MB (write + close).
+    let mut sums = (0.0, 0.0, 0.0);
+    for i in 0..reps {
+        let mut c = bench.client(BENCH_USER, None);
+        c.getattr("/bench").expect("warm parent");
+        let t = PhaseTimer::start(&c);
+        c.write_file("/bench/onemb", &content(1 << 20, i as u64)).expect("write 1MB");
+        let (n, cr, o) = t.breakdown(&c, opts);
+        sums = (sums.0 + n, sums.1 + cr, sums.2 + o);
+    }
+    out.push(OpCost { label: "wr+cl-1MB", ..avg3(sums, reps as f64) });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_core::CryptoParams;
+
+    #[test]
+    fn sharoes_crypto_share_is_small() {
+        let opts = BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() };
+        let costs = run(CryptoPolicy::Sharoes, 2, &opts);
+        assert_eq!(costs.len(), 6);
+        for cost in &costs {
+            assert!(cost.total() > 0.0, "{} empty", cost.label);
+            assert!(
+                cost.crypto_share() < 0.30,
+                "{}: crypto share {:.2} unexpectedly high",
+                cost.label,
+                cost.crypto_share()
+            );
+            assert!(cost.network > cost.crypto, "{}: network must dominate", cost.label);
+        }
+    }
+
+    #[test]
+    fn mkdir_both_costs_at_least_rwx() {
+        let opts = BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() };
+        let costs = run(CryptoPolicy::Sharoes, 2, &opts);
+        let get = |label: &str| costs.iter().find(|c| c.label == label).unwrap().total();
+        assert!(get("mkdir:both") >= get("mkdir:rwx") * 0.8);
+        // 1 MB transfers dwarf metadata ops on the DSL link.
+        assert!(get("read-1MB") > get("getattr") * 10.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! E6 — storage overhead (§III-D.1): Scheme-1 vs Scheme-2 bytes at the SSP
+//! and the paper's "$0.60 per user per month at one million files" claim.
+
+use crate::harness::{Bench, BenchOpts};
+use sharoes_core::{CryptoPolicy, Scheme};
+use sharoes_fs::treegen::{generate, TreeSpec};
+use sharoes_net::KeySpace;
+
+/// Amazon S3 storage price at publication time (2008): $0.15 / GB-month.
+pub const S3_2008_PER_GB_MONTH: f64 = 0.15;
+
+/// Storage measurement for one scheme.
+#[derive(Clone, Debug)]
+pub struct StorageResult {
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Users in the enterprise.
+    pub users: usize,
+    /// Filesystem objects.
+    pub objects: usize,
+    /// Metadata bytes at the SSP.
+    pub metadata_bytes: u64,
+    /// Data bytes at the SSP.
+    pub data_bytes: u64,
+    /// Total bytes at the SSP.
+    pub total_bytes: u64,
+}
+
+impl StorageResult {
+    /// Metadata bytes per object.
+    pub fn metadata_per_object(&self) -> f64 {
+        self.metadata_bytes as f64 / self.objects as f64
+    }
+
+    /// The paper's scenario: metadata cost per user per month for a
+    /// filesystem with `files` objects at S3's 2008 pricing. For Scheme-1
+    /// metadata is per-user; for Scheme-2 it is shared, so the per-user cost
+    /// divides by the population.
+    pub fn dollars_per_user_month(&self, files: u64) -> f64 {
+        let per_object = self.metadata_per_object();
+        let projected = per_object * files as f64;
+        let gb = projected / 1e9;
+        let monthly = gb * S3_2008_PER_GB_MONTH;
+        match self.scheme {
+            // Scheme-1: each user owns a full replica tree; metadata grows
+            // with users, so per-user cost is the single-user tree.
+            Scheme::PerUser => monthly / self.users as f64,
+            Scheme::SharedCaps => monthly / self.users as f64,
+        }
+    }
+}
+
+/// Migrates a synthetic tree and measures bytes by keyspace.
+pub fn run(scheme: Scheme, users: usize, files_per_dir: usize, opts: &BenchOpts) -> StorageResult {
+    let (fs, stats) = generate(&TreeSpec {
+        users,
+        dirs_per_user: 4,
+        files_per_dir,
+        file_size: (500, 2000),
+        ..Default::default()
+    })
+    .expect("treegen");
+    let objects = 2 + stats.dirs + stats.files; // + root + /home
+    let mut bench_opts = opts.clone();
+    bench_opts.users = users;
+    let bench = Bench::from_fs(fs, CryptoPolicy::Sharoes, scheme, &bench_opts, 8);
+    let by_space = bench.server.store().bytes_by_space();
+    let metadata_bytes = by_space.get(&KeySpace::Metadata).copied().unwrap_or(0);
+    let data_bytes = by_space.get(&KeySpace::Data).copied().unwrap_or(0);
+    let total_bytes = bench.server.store().byte_count();
+    StorageResult { scheme, users, objects, metadata_bytes, data_bytes, total_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_core::CryptoParams;
+
+    #[test]
+    fn scheme1_metadata_grows_with_users() {
+        let opts = BenchOpts { crypto: CryptoParams::test(), ..Default::default() };
+        let s1_small = run(Scheme::PerUser, 2, 2, &opts);
+        let s1_large = run(Scheme::PerUser, 6, 2, &opts);
+        let per_obj_small = s1_small.metadata_per_object() / 2.0;
+        let per_obj_large = s1_large.metadata_per_object() / 6.0;
+        // Per-user metadata cost is roughly constant: total scales with users.
+        assert!(
+            (per_obj_small / per_obj_large) < 2.0 && (per_obj_large / per_obj_small) < 2.0,
+            "{per_obj_small} vs {per_obj_large}"
+        );
+        assert!(s1_large.metadata_bytes > s1_small.metadata_bytes);
+    }
+
+    #[test]
+    fn scheme2_beats_scheme1_on_metadata() {
+        let opts = BenchOpts { crypto: CryptoParams::test(), ..Default::default() };
+        let s1 = run(Scheme::PerUser, 6, 2, &opts);
+        let s2 = run(Scheme::SharedCaps, 6, 2, &opts);
+        assert!(
+            s2.metadata_bytes < s1.metadata_bytes,
+            "scheme2 {} should be below scheme1 {}",
+            s2.metadata_bytes,
+            s1.metadata_bytes
+        );
+        // Data bytes are comparable (file content is never replicated).
+        let ratio = s1.data_bytes as f64 / s2.data_bytes as f64;
+        assert!(ratio < 3.0, "data ratio {ratio}");
+    }
+
+    #[test]
+    fn dollar_projection_is_positive_and_finite() {
+        let opts = BenchOpts { crypto: CryptoParams::test(), ..Default::default() };
+        let s1 = run(Scheme::PerUser, 4, 2, &opts);
+        let dollars = s1.dollars_per_user_month(1_000_000);
+        assert!(dollars > 0.0 && dollars.is_finite());
+    }
+}

@@ -1,0 +1,434 @@
+//! `sharoes-shell` — an interactive shell over the Sharoes client filesystem.
+//!
+//! Stands in for the paper's FUSE mount (DESIGN.md substitution #1): the
+//! same operation set, driven from a prompt instead of the VFS.
+//!
+//! ```sh
+//! sharoes-shell          # in-process demo deployment
+//! sharoes-shell --tcp    # same, over loopback TCP
+//! ```
+//!
+//! Type `help` at the prompt for commands.
+
+use sharoes_core::{
+    ClientConfig, CryptoParams, CryptoPolicy, Keyring, Migrator, Pki, Scheme, SharoesClient,
+    SigKeyPool,
+};
+use sharoes_crypto::HmacDrbg;
+use sharoes_fs::{Acl, Gid, LocalFs, Mode, Perm, Uid, UserDb, ROOT_UID};
+use sharoes_net::{InMemoryTransport, TcpTransport, Transport};
+use sharoes_ssp::{serve, SspServer, TcpServerHandle};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+struct Shell {
+    server: Arc<SspServer>,
+    tcp: Option<TcpServerHandle>,
+    db: Arc<UserDb>,
+    pki: Arc<Pki>,
+    ring: Keyring,
+    pool: Arc<SigKeyPool>,
+    config: ClientConfig,
+    client: SharoesClient,
+    user: String,
+    cwd: String,
+}
+
+fn demo_world() -> (Arc<SspServer>, UserDb, Keyring, Arc<SigKeyPool>, ClientConfig) {
+    let mut db = UserDb::new();
+    db.add_group(Gid(0), "wheel").unwrap();
+    db.add_group(Gid(100), "eng").unwrap();
+    db.add_user(ROOT_UID, "root", Gid(0)).unwrap();
+    db.add_user(Uid(1), "alice", Gid(100)).unwrap();
+    db.add_user(Uid(2), "bob", Gid(100)).unwrap();
+
+    let mut local = LocalFs::new(db, Gid(0), Mode::from_octal(0o755));
+    let m = Mode::from_octal;
+    local.mkdir(ROOT_UID, "/home", m(0o755)).unwrap();
+    for (name, uid) in [("alice", Uid(1)), ("bob", Uid(2))] {
+        let home = format!("/home/{name}");
+        local.mkdir(ROOT_UID, &home, m(0o755)).unwrap();
+        local.chown(ROOT_UID, &home, uid, Gid(100)).unwrap();
+        local.create(uid, &format!("{home}/welcome.txt"), m(0o644)).unwrap();
+        local
+            .write(uid, &format!("{home}/welcome.txt"), format!("hello from {name}\n").as_bytes())
+            .unwrap();
+    }
+    local.mkdir(ROOT_UID, "/shared", m(0o775)).unwrap();
+    local.chown(ROOT_UID, "/shared", ROOT_UID, Gid(100)).unwrap();
+
+    eprintln!("[demo] generating keys and migrating the demo tree ...");
+    let mut rng = HmacDrbg::from_seed_u64(0xD3340);
+    let ring = Keyring::generate(local.users(), 1024, &mut rng).unwrap();
+    let config = ClientConfig {
+        crypto: CryptoParams { rsa_bits: 1024, ..CryptoParams::test() },
+        scheme: Scheme::SharedCaps,
+        policy: CryptoPolicy::Sharoes,
+        ..Default::default()
+    };
+    let pool = Arc::new(SigKeyPool::new(config.crypto));
+    pool.prefill_parallel(32, 11);
+    let server = SspServer::new().into_shared();
+    let mut transport = InMemoryTransport::new(Arc::clone(&server) as _);
+    Migrator { fs: &local, config: &config, ring: &ring, pool: &pool, downgrade_unsupported: true }
+        .migrate(&mut transport, &mut rng)
+        .unwrap();
+    eprintln!(
+        "[demo] SSP holds {} encrypted objects ({} bytes)",
+        server.store().object_count(),
+        server.store().byte_count()
+    );
+    (server, local.users().clone(), ring, pool, config)
+}
+
+impl Shell {
+    fn new(use_tcp: bool) -> Shell {
+        let (server, db, ring, pool, config) = demo_world();
+        let tcp = if use_tcp {
+            let handle = serve(Arc::clone(&server), "127.0.0.1:0").expect("bind tcp");
+            eprintln!("[demo] SSP serving on tcp://{}", handle.addr());
+            Some(handle)
+        } else {
+            None
+        };
+        let db = Arc::new(db);
+        let pki = Arc::new(ring.public_directory());
+        let client = Self::mount_user(&server, &tcp, &db, &pki, &ring, &pool, &config, "alice")
+            .expect("mount alice");
+        Shell {
+            server,
+            tcp,
+            db,
+            pki,
+            ring,
+            pool,
+            config,
+            client,
+            user: "alice".into(),
+            cwd: "/".into(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mount_user(
+        server: &Arc<SspServer>,
+        tcp: &Option<TcpServerHandle>,
+        db: &Arc<UserDb>,
+        pki: &Arc<Pki>,
+        ring: &Keyring,
+        pool: &Arc<SigKeyPool>,
+        config: &ClientConfig,
+        name: &str,
+    ) -> Result<SharoesClient, String> {
+        let user = db.user_by_name(name).ok_or_else(|| format!("no such user: {name}"))?;
+        let transport: Box<dyn Transport> = match tcp {
+            Some(handle) => Box::new(
+                TcpTransport::connect(&handle.addr().to_string()).map_err(|e| e.to_string())?,
+            ),
+            None => Box::new(InMemoryTransport::new(Arc::clone(server) as _)),
+        };
+        let identity = ring.identity(user.uid).map_err(|e| e.to_string())?;
+        let mut client = SharoesClient::new(
+            transport,
+            config.clone(),
+            Arc::clone(db),
+            Arc::clone(pki),
+            identity,
+            Arc::clone(pool),
+        );
+        client.mount().map_err(|e| e.to_string())?;
+        Ok(client)
+    }
+
+    fn abspath(&self, arg: &str) -> String {
+        if arg.starts_with('/') {
+            arg.to_string()
+        } else if self.cwd == "/" {
+            format!("/{arg}")
+        } else {
+            format!("{}/{arg}", self.cwd)
+        }
+    }
+
+    fn run_line(&mut self, line: &str) -> bool {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let Some(&cmd) = parts.first() else { return true };
+        let args = &parts[1..];
+        let result = match cmd {
+            "help" => {
+                println!(
+                    "commands:\n\
+                     \x20 ls [PATH]         list directory\n\
+                     \x20 cd PATH           change directory\n\
+                     \x20 pwd               print working directory\n\
+                     \x20 cat PATH          print file contents\n\
+                     \x20 put PATH TEXT..   write TEXT to a file (creates it)\n\
+                     \x20 mkdir PATH [MODE] create directory (default 755)\n\
+                     \x20 touch PATH [MODE] create empty file (default 644)\n\
+                     \x20 rm PATH           remove file\n\
+                     \x20 rmdir PATH        remove empty directory\n\
+                     \x20 mv FROM TO        rename within a directory\n\
+                     \x20 chmod MODE PATH   change permissions (octal)\n\
+                     \x20 setfacl u:NAME:rwx PATH   grant a named-user ACL entry\n\
+                     \x20 stat PATH         show attributes\n\
+                     \x20 su NAME           remount as another user (alice, bob, root)\n\
+                     \x20 whoami            current user\n\
+                     \x20 ssp               show what the provider stores\n\
+                     \x20 costs             traffic/crypto counters for this mount\n\
+                     \x20 exit              quit"
+                );
+                Ok(())
+            }
+            "pwd" => {
+                println!("{}", self.cwd);
+                Ok(())
+            }
+            "whoami" => {
+                println!("{} ({})", self.user, self.client.uid());
+                Ok(())
+            }
+            "cd" => match args {
+                [path] => {
+                    let target = self.abspath(path);
+                    match self.client.getattr(&target) {
+                        Ok(st) if st.kind == sharoes_fs::NodeKind::Dir => {
+                            self.cwd = target;
+                            Ok(())
+                        }
+                        Ok(_) => Err(format!("not a directory: {target}")),
+                        Err(e) => Err(e.to_string()),
+                    }
+                }
+                _ => Err("usage: cd PATH".into()),
+            },
+            "ls" => {
+                let path =
+                    args.first().map(|p| self.abspath(p)).unwrap_or_else(|| self.cwd.clone());
+                match self.client.readdir(&path) {
+                    Ok(entries) => {
+                        for e in entries {
+                            let kind = match e.kind {
+                                sharoes_fs::NodeKind::Dir => "d",
+                                sharoes_fs::NodeKind::File => "-",
+                            };
+                            let inode = e
+                                .inode
+                                .map(|i| format!("{i:>20}"))
+                                .unwrap_or_else(|| format!("{:>20}", "(hidden)"));
+                            println!("{kind} {inode}  {}", e.name);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "cat" => match args {
+                [path] => self
+                    .client
+                    .read(&self.abspath(path))
+                    .map(|data| print!("{}", String::from_utf8_lossy(&data)))
+                    .map_err(|e| e.to_string()),
+                _ => Err("usage: cat PATH".into()),
+            },
+            "put" => {
+                if args.len() < 2 {
+                    Err("usage: put PATH TEXT...".into())
+                } else {
+                    let path = self.abspath(args[0]);
+                    let text = format!("{}\n", args[1..].join(" "));
+                    let mut result = Ok(());
+                    if self.client.getattr(&path).is_err() {
+                        result = self
+                            .client
+                            .create(&path, Mode::from_octal(0o644))
+                            .map(|_| ())
+                            .map_err(|e| e.to_string());
+                    }
+                    result.and_then(|()| {
+                        self.client
+                            .write_file(&path, text.as_bytes())
+                            .map_err(|e| e.to_string())
+                    })
+                }
+            }
+            "mkdir" => match args {
+                [path] => self
+                    .client
+                    .mkdir(&self.abspath(path), Mode::from_octal(0o755))
+                    .map(|_| ())
+                    .map_err(|e| e.to_string()),
+                [path, mode] => u32::from_str_radix(mode, 8)
+                    .map_err(|_| "bad octal mode".to_string())
+                    .and_then(|m| {
+                        self.client
+                            .mkdir(&self.abspath(path), Mode::from_octal(m))
+                            .map(|_| ())
+                            .map_err(|e| e.to_string())
+                    }),
+                _ => Err("usage: mkdir PATH [MODE]".into()),
+            },
+            "touch" => match args {
+                [path] => self
+                    .client
+                    .create(&self.abspath(path), Mode::from_octal(0o644))
+                    .map(|_| ())
+                    .map_err(|e| e.to_string()),
+                [path, mode] => u32::from_str_radix(mode, 8)
+                    .map_err(|_| "bad octal mode".to_string())
+                    .and_then(|m| {
+                        self.client
+                            .create(&self.abspath(path), Mode::from_octal(m))
+                            .map(|_| ())
+                            .map_err(|e| e.to_string())
+                    }),
+                _ => Err("usage: touch PATH [MODE]".into()),
+            },
+            "rm" => match args {
+                [path] => self.client.unlink(&self.abspath(path)).map_err(|e| e.to_string()),
+                _ => Err("usage: rm PATH".into()),
+            },
+            "rmdir" => match args {
+                [path] => self.client.rmdir(&self.abspath(path)).map_err(|e| e.to_string()),
+                _ => Err("usage: rmdir PATH".into()),
+            },
+            "mv" => match args {
+                [from, to] => self
+                    .client
+                    .rename(&self.abspath(from), &self.abspath(to))
+                    .map_err(|e| e.to_string()),
+                _ => Err("usage: mv FROM TO".into()),
+            },
+            "chmod" => match args {
+                [mode, path] => u32::from_str_radix(mode, 8)
+                    .map_err(|_| "bad octal mode".to_string())
+                    .and_then(|m| {
+                        self.client
+                            .chmod(&self.abspath(path), Mode::from_octal(m))
+                            .map_err(|e| e.to_string())
+                    }),
+                _ => Err("usage: chmod MODE PATH".into()),
+            },
+            "setfacl" => match args {
+                [entry, path] => self.setfacl(entry, &self.abspath(path)),
+                _ => Err("usage: setfacl u:NAME:rwx PATH".into()),
+            },
+            "stat" => match args {
+                [path] => match self.client.getattr(&self.abspath(path)) {
+                    Ok(st) => {
+                        println!(
+                            "inode#{}  {:?}  mode {}  owner {}  group {}  size {}  gen {}{}",
+                            st.inode,
+                            st.kind,
+                            st.mode,
+                            st.owner,
+                            st.group,
+                            st.size,
+                            st.generation,
+                            if st.rekey_pending { "  [rekey pending]" } else { "" }
+                        );
+                        Ok(())
+                    }
+                    Err(e) => Err(e.to_string()),
+                },
+                _ => Err("usage: stat PATH".into()),
+            },
+            "su" => match args {
+                [name] => match Self::mount_user(
+                    &self.server,
+                    &self.tcp,
+                    &self.db,
+                    &self.pki,
+                    &self.ring,
+                    &self.pool,
+                    &self.config,
+                    name,
+                ) {
+                    Ok(client) => {
+                        self.client = client;
+                        self.user = name.to_string();
+                        self.cwd = "/".into();
+                        println!("now {name}");
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+                _ => Err("usage: su NAME".into()),
+            },
+            "ssp" => {
+                println!(
+                    "the provider stores {} opaque encrypted objects, {} bytes total — \
+                     no names, no keys, no plaintext",
+                    self.server.store().object_count(),
+                    self.server.store().byte_count()
+                );
+                Ok(())
+            }
+            "costs" => {
+                let s = self.client.meter().sample();
+                println!(
+                    "round trips {}  up {} B  down {} B  crypto {:.2} ms  other {:.2} ms",
+                    s.round_trips,
+                    s.bytes_up,
+                    s.bytes_down,
+                    s.crypto_ns as f64 / 1e6,
+                    s.other_ns as f64 / 1e6
+                );
+                Ok(())
+            }
+            "exit" | "quit" => return false,
+            other => Err(format!("unknown command: {other} (try `help`)")),
+        };
+        if let Err(e) = result {
+            println!("error: {e}");
+        }
+        true
+    }
+
+    fn setfacl(&mut self, entry: &str, path: &str) -> Result<(), String> {
+        let parts: Vec<&str> = entry.split(':').collect();
+        let [kind, name, perms] = parts[..] else {
+            return Err("entry must look like u:NAME:rwx".into());
+        };
+        let perm = Perm {
+            read: perms.contains('r'),
+            write: perms.contains('w'),
+            exec: perms.contains('x'),
+        };
+        let mut acl = Acl::empty();
+        match kind {
+            "u" => {
+                let user = self.db.user_by_name(name).ok_or_else(|| format!("no user {name}"))?;
+                acl.set_user(user.uid, perm);
+            }
+            "g" => {
+                let group =
+                    self.db.group_by_name(name).ok_or_else(|| format!("no group {name}"))?;
+                acl.set_group(group.gid, perm);
+            }
+            _ => return Err("entry must start with u: or g:".into()),
+        }
+        self.client.set_acl(path, acl).map_err(|e| e.to_string())
+    }
+}
+
+fn main() {
+    let use_tcp = std::env::args().any(|a| a == "--tcp");
+    let mut shell = Shell::new(use_tcp);
+    println!("sharoes shell — type `help` for commands, `exit` to quit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("{}@sharoes:{}$ ", shell.user, shell.cwd);
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if !shell.run_line(line.trim()) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    println!("bye");
+}

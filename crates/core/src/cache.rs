@@ -1,0 +1,318 @@
+//! Client-side plaintext cache with byte-capacity LRU eviction.
+//!
+//! "The size of the cache influences the amount of cryptographic overheads,
+//! since for every metadata or data miss, encrypted data is obtained from
+//! the SSP and it is decrypted again" (§V-B). The Postmark figure sweeps
+//! this capacity as a percentage of the workload footprint.
+
+use std::collections::HashMap;
+
+/// What a cache slot holds.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CacheKey {
+    /// A decrypted metadata body, by `(inode, view)`.
+    Meta(u64, [u8; 16]),
+    /// A decrypted directory table, by `(inode, view)`.
+    Table(u64, [u8; 16]),
+    /// A decrypted data block, by `(inode, generation, block)`.
+    Block(u64, u64, u32),
+    /// A decrypted manifest, by `(inode, generation)`.
+    Manifest(u64, u64),
+}
+
+struct Slot {
+    value: Vec<u8>,
+    /// LRU clock stamp.
+    stamp: u64,
+    /// Dirty slots are write-back data not yet flushed.
+    dirty: bool,
+}
+
+/// Hit/miss statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Values evicted to respect the capacity.
+    pub evictions: u64,
+}
+
+/// Byte-bounded LRU cache of decrypted values.
+pub struct ClientCache {
+    slots: HashMap<CacheKey, Slot>,
+    capacity: Option<u64>,
+    bytes: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl ClientCache {
+    /// A cache holding at most `capacity` bytes (`None` = unbounded).
+    pub fn new(capacity: Option<u64>) -> Self {
+        ClientCache {
+            slots: HashMap::new(),
+            capacity,
+            bytes: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a value, refreshing its recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Vec<u8>> {
+        self.clock += 1;
+        match self.slots.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = self.clock;
+                self.stats.hits += 1;
+                Some(slot.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without counting a hit/miss or refreshing recency.
+    pub fn peek(&self, key: &CacheKey) -> Option<&Vec<u8>> {
+        self.slots.get(key).map(|s| &s.value)
+    }
+
+    /// Inserts (or replaces) a clean value.
+    pub fn put(&mut self, key: CacheKey, value: Vec<u8>) {
+        self.insert(key, value, false);
+    }
+
+    /// Inserts (or replaces) a dirty value (write-back data).
+    pub fn put_dirty(&mut self, key: CacheKey, value: Vec<u8>) {
+        self.insert(key, value, true);
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Vec<u8>, dirty: bool) {
+        self.clock += 1;
+        let new_len = value.len() as u64;
+        if let Some(old) = self.slots.remove(&key) {
+            self.bytes -= old.value.len() as u64;
+        }
+        // A single over-capacity value is still cached (then evicted first
+        // on the next insert); capacity bounds steady-state usage.
+        self.slots.insert(key, Slot { value, stamp: self.clock, dirty });
+        self.bytes += new_len;
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        while self.bytes > cap && self.slots.len() > 1 {
+            // Evict the least-recently-used clean slot; dirty slots only if
+            // no clean slot remains (caller must flush regularly).
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, s)| !s.dirty)
+                .min_by_key(|(_, s)| s.stamp)
+                .or_else(|| self.slots.iter().min_by_key(|(_, s)| s.stamp))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(slot) = self.slots.remove(&k) {
+                        self.bytes -= slot.value.len() as u64;
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Removes one entry.
+    pub fn invalidate(&mut self, key: &CacheKey) {
+        if let Some(slot) = self.slots.remove(key) {
+            self.bytes -= slot.value.len() as u64;
+        }
+    }
+
+    /// Removes all entries for an inode (metadata change / revocation).
+    pub fn invalidate_inode(&mut self, inode: u64) {
+        let doomed: Vec<CacheKey> = self
+            .slots
+            .keys()
+            .filter(|k| match k {
+                CacheKey::Meta(i, _)
+                | CacheKey::Table(i, _)
+                | CacheKey::Block(i, _, _)
+                | CacheKey::Manifest(i, _) => *i == inode,
+            })
+            .cloned()
+            .collect();
+        for k in doomed {
+            self.invalidate(&k);
+        }
+    }
+
+    /// Drains all dirty entries (for flush-on-close), leaving them clean.
+    pub fn take_dirty(&mut self) -> Vec<(CacheKey, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (key, slot) in self.slots.iter_mut() {
+            if slot.dirty {
+                slot.dirty = false;
+                out.push((key.clone(), slot.value.clone()));
+            }
+        }
+        out
+    }
+
+    /// Dirty entries for one inode.
+    pub fn dirty_for(&self, inode: u64) -> Vec<(CacheKey, Vec<u8>)> {
+        self.slots
+            .iter()
+            .filter(|(k, s)| {
+                s.dirty
+                    && match k {
+                        CacheKey::Block(i, _, _) | CacheKey::Manifest(i, _) => *i == inode,
+                        _ => false,
+                    }
+            })
+            .map(|(k, s)| (k.clone(), s.value.clone()))
+            .collect()
+    }
+
+    /// Marks one inode's dirty entries clean (after a successful flush).
+    pub fn mark_clean(&mut self, inode: u64) {
+        for (key, slot) in self.slots.iter_mut() {
+            let matches = match key {
+                CacheKey::Block(i, _, _) | CacheKey::Manifest(i, _) => *i == inode,
+                _ => false,
+            };
+            if matches {
+                slot.dirty = false;
+            }
+        }
+    }
+
+    /// True if any dirty entry exists.
+    pub fn has_dirty(&self) -> bool {
+        self.slots.values().any(|s| s.dirty)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes currently cached.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Drops everything (remount).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey::Block(i, 0, 0)
+    }
+
+    #[test]
+    fn get_put_and_stats() {
+        let mut c = ClientCache::new(None);
+        assert!(c.get(&key(1)).is_none());
+        c.put(key(1), vec![1, 2, 3]);
+        assert_eq!(c.get(&key(1)).unwrap(), vec![1, 2, 3]);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(c.bytes(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let mut c = ClientCache::new(Some(10));
+        c.put(key(1), vec![0; 4]);
+        c.put(key(2), vec![0; 4]);
+        // Touch 1 so 2 becomes LRU.
+        c.get(&key(1));
+        c.put(key(3), vec![0; 4]);
+        assert!(c.bytes() <= 10);
+        assert!(c.peek(&key(1)).is_some());
+        assert!(c.peek(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.peek(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let mut c = ClientCache::new(Some(100));
+        c.put(key(1), vec![0; 50]);
+        c.put(key(1), vec![0; 10]);
+        assert_eq!(c.bytes(), 10);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn dirty_entries_survive_eviction_pressure() {
+        let mut c = ClientCache::new(Some(10));
+        c.put_dirty(key(1), vec![0; 8]);
+        c.put(key(2), vec![0; 8]);
+        // The clean entry should be evicted before the dirty one.
+        assert!(c.peek(&key(1)).is_some());
+        assert!(c.peek(&key(2)).is_none());
+        assert!(c.has_dirty());
+        let dirty = c.take_dirty();
+        assert_eq!(dirty.len(), 1);
+        assert!(!c.has_dirty());
+    }
+
+    #[test]
+    fn invalidate_inode_clears_related() {
+        let mut c = ClientCache::new(None);
+        c.put(CacheKey::Meta(5, [0; 16]), vec![1]);
+        c.put(CacheKey::Table(5, [0; 16]), vec![2]);
+        c.put(CacheKey::Block(5, 0, 0), vec![3]);
+        c.put(CacheKey::Block(6, 0, 0), vec![4]);
+        c.invalidate_inode(5);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(&CacheKey::Block(6, 0, 0)).is_some());
+    }
+
+    #[test]
+    fn dirty_flush_cycle() {
+        let mut c = ClientCache::new(None);
+        c.put_dirty(CacheKey::Block(7, 0, 0), vec![1]);
+        c.put_dirty(CacheKey::Manifest(7, 0), vec![2]);
+        c.put_dirty(CacheKey::Block(8, 0, 0), vec![3]);
+        assert_eq!(c.dirty_for(7).len(), 2);
+        c.mark_clean(7);
+        assert_eq!(c.dirty_for(7).len(), 0);
+        assert!(c.has_dirty(), "inode 8 still dirty");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = ClientCache::new(None);
+        c.put(key(1), vec![0; 10]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cryptographic Access-control Primitives (paper §III, Figures 4 and 5).
+//!
+//! A CAP realizes one rwx permission setting by choosing which key fields a
+//! principal's metadata replica contains and which directory-table view it
+//! can open. This module is the pure rule table; materialization lives in
+//! [`crate::scheme`].
+//!
+//! Faithful to the paper, some permissions have **no** cryptographic
+//! realization with symmetric data keys and are rejected:
+//! directory `-wx` (write requires the DEK, which implies read), and file
+//! `-w-` / `--x` / `-wx`.
+
+use crate::error::CoreError;
+use sharoes_fs::Perm;
+
+/// How much of a directory table a CAP may see.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TableAccess {
+    /// No table access at all (zero / write-only CAPs).
+    None,
+    /// Names only — `ls` works, traversal does not (read / read-write CAPs).
+    NamesOnly,
+    /// All four columns (read-exec / read-write-exec CAPs).
+    Full,
+    /// Rows individually encrypted under keys derived from entry names:
+    /// traversal by exact name only (§III-A exec-only).
+    ExecOnly,
+}
+
+/// Which key fields a file CAP exposes (Figure 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FileCap {
+    /// Data encryption key present (read access).
+    pub dek: bool,
+    /// Data verification key present (can authenticate content).
+    pub dvk: bool,
+    /// Data signing key present (write access).
+    pub dsk: bool,
+}
+
+/// Which key fields and table view a directory CAP exposes (Figure 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DirCap {
+    /// Table encryption key for this class's replica present.
+    pub dek: bool,
+    /// Table verification key present.
+    pub dvk: bool,
+    /// Table signing key present (may modify the directory).
+    pub dsk: bool,
+    /// What the table replica for this CAP contains.
+    pub table: TableAccess,
+}
+
+/// Derives the file CAP for a permission triple (Figure 5).
+pub fn file_cap(perm: Perm) -> Result<FileCap, CoreError> {
+    match (perm.read, perm.write, perm.exec) {
+        // zero permissions: metadata visible, no keys.
+        (false, false, false) => Ok(FileCap { dek: false, dvk: false, dsk: false }),
+        // read (and read-exec: "once the file has been decrypted the client
+        // filesystem can execute it").
+        (true, false, _) => Ok(FileCap { dek: true, dvk: true, dsk: false }),
+        // read-write (and read-write-exec).
+        (true, true, _) => Ok(FileCap { dek: true, dvk: true, dsk: true }),
+        // write-only / exec-only / write-exec: impossible with symmetric DEKs.
+        _ => Err(CoreError::UnsupportedPermission {
+            perm: perm.to_string(),
+            kind: "file",
+        }),
+    }
+}
+
+/// Derives the directory CAP for a permission triple (Figure 4).
+pub fn dir_cap(perm: Perm) -> Result<DirCap, CoreError> {
+    match (perm.read, perm.write, perm.exec) {
+        // zero and write-only: "write does not work without exec".
+        (false, _, false) => Ok(DirCap { dek: false, dvk: false, dsk: false, table: TableAccess::None }),
+        // read and read-write: listing only ("write does not work without
+        // an execute permission", so rw- collapses to r--).
+        (true, _, false) => Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::NamesOnly }),
+        // read-exec: traversal, no modification.
+        (true, false, true) => Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::Full }),
+        // read-write-exec: full access.
+        (true, true, true) => Ok(DirCap { dek: true, dvk: true, dsk: true, table: TableAccess::Full }),
+        // exec-only: traversal by exact name.
+        (false, false, true) => Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::ExecOnly }),
+        // write-exec: unsupported (symmetric table keys would grant read).
+        (false, true, true) => Err(CoreError::UnsupportedPermission {
+            perm: perm.to_string(),
+            kind: "directory",
+        }),
+    }
+}
+
+/// True when the permission can traverse into children.
+pub fn can_traverse(perm: Perm) -> bool {
+    perm.exec
+}
+
+/// The table materialization actually stored for a CAP under a policy that
+/// may not encrypt data: exec-only row hiding is a *cryptographic*
+/// construction (`H_DEKthis(name)`), so the no-encryption baseline degrades
+/// it to a full table — there is nothing to hide behind.
+pub fn effective_table_access(access: TableAccess, encrypts_data: bool) -> TableAccess {
+    match access {
+        TableAccess::ExecOnly if !encrypts_data => TableAccess::Full,
+        other => other,
+    }
+}
+
+/// Downgrades an unsupported permission to the nearest supported one
+/// (used by the migration tool's `--downgrade` option): drops the write bit
+/// from `-wx` directories and write-only files; drops exec from `--x` files.
+pub fn downgrade(perm: Perm, is_dir: bool) -> Perm {
+    let supported = if is_dir { dir_cap(perm).is_ok() } else { file_cap(perm).is_ok() };
+    if supported {
+        return perm;
+    }
+    if is_dir {
+        // -wx -> --x
+        Perm { read: perm.read, write: false, exec: perm.exec }
+    } else {
+        // -w- / -wx -> ---; --x -> ---
+        Perm::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_file_caps() {
+        // zero
+        let c = file_cap(Perm::NONE).unwrap();
+        assert_eq!((c.dek, c.dvk, c.dsk), (false, false, false));
+        // read
+        let c = file_cap(Perm::R).unwrap();
+        assert_eq!((c.dek, c.dvk, c.dsk), (true, true, false));
+        // read-write
+        let c = file_cap(Perm::RW).unwrap();
+        assert_eq!((c.dek, c.dvk, c.dsk), (true, true, true));
+        // read-exec == read
+        assert_eq!(file_cap(Perm::RX).unwrap(), file_cap(Perm::R).unwrap());
+        // read-write-exec == read-write
+        assert_eq!(file_cap(Perm::RWX).unwrap(), file_cap(Perm::RW).unwrap());
+    }
+
+    #[test]
+    fn unsupported_file_perms_rejected() {
+        for p in [Perm::W, Perm::X, Perm::WX] {
+            assert!(matches!(
+                file_cap(p),
+                Err(CoreError::UnsupportedPermission { kind: "file", .. })
+            ), "{p}");
+        }
+    }
+
+    #[test]
+    fn figure4_dir_caps() {
+        // zero
+        let c = dir_cap(Perm::NONE).unwrap();
+        assert_eq!(c.table, TableAccess::None);
+        assert!(!c.dek && !c.dvk && !c.dsk);
+        // write-only == zero
+        assert_eq!(dir_cap(Perm::W).unwrap(), dir_cap(Perm::NONE).unwrap());
+        // read: names only
+        let c = dir_cap(Perm::R).unwrap();
+        assert_eq!(c.table, TableAccess::NamesOnly);
+        assert!(c.dek && c.dvk && !c.dsk);
+        // read-write == read
+        assert_eq!(dir_cap(Perm::RW).unwrap(), dir_cap(Perm::R).unwrap());
+        // read-exec: all columns, no DSK
+        let c = dir_cap(Perm::RX).unwrap();
+        assert_eq!(c.table, TableAccess::Full);
+        assert!(c.dek && c.dvk && !c.dsk);
+        // rwx: all columns + DSK
+        let c = dir_cap(Perm::RWX).unwrap();
+        assert_eq!(c.table, TableAccess::Full);
+        assert!(c.dsk);
+        // exec-only: row-encrypted table
+        let c = dir_cap(Perm::X).unwrap();
+        assert_eq!(c.table, TableAccess::ExecOnly);
+        assert!(c.dek && c.dvk && !c.dsk);
+    }
+
+    #[test]
+    fn write_exec_dir_rejected() {
+        assert!(matches!(
+            dir_cap(Perm::WX),
+            Err(CoreError::UnsupportedPermission { kind: "directory", .. })
+        ));
+    }
+
+    #[test]
+    fn downgrade_rules() {
+        assert_eq!(downgrade(Perm::WX, true), Perm::X);
+        assert_eq!(downgrade(Perm::W, false), Perm::NONE);
+        assert_eq!(downgrade(Perm::X, false), Perm::NONE);
+        assert_eq!(downgrade(Perm::WX, false), Perm::NONE);
+        // Supported permissions pass through.
+        assert_eq!(downgrade(Perm::RWX, true), Perm::RWX);
+        assert_eq!(downgrade(Perm::R, false), Perm::R);
+        assert_eq!(downgrade(Perm::X, true), Perm::X);
+    }
+
+    #[test]
+    fn traversal_requires_exec() {
+        assert!(can_traverse(Perm::X));
+        assert!(can_traverse(Perm::RWX));
+        assert!(!can_traverse(Perm::RW));
+        assert!(!can_traverse(Perm::NONE));
+    }
+}

@@ -1,0 +1,1830 @@
+//! The Sharoes client filesystem (paper §IV-A).
+//!
+//! Provides filesystem-like access over remotely stored SSP data: it
+//! navigates the CAP-based design, performs all encryption/decryption and
+//! signing/verification, maintains the write-back cache, and implements the
+//! operations of Figure 8 (`getattr`, `mkdir`, `mknod`, `chmod`, `read`,
+//! `write`, `close`, plus `readdir`, `unlink`, `rmdir`, `rename`,
+//! `set_acl`).
+//!
+//! The paper's FUSE layer is replaced by this library API plus the
+//! `sharoes-cli` shell (see DESIGN.md substitution #1): every cryptographic,
+//! metadata, and network code path the paper measures lives here unchanged.
+//!
+//! One client instance is one mounted user; all four baseline
+//! implementations of §V run through the same code with a different
+//! [`CryptoPolicy`].
+
+use crate::cache::{CacheKey, CacheStats, ClientCache};
+use crate::cap::TableAccess;
+use crate::dirtable::{ChildRef, DirTable, Row};
+use crate::error::{CoreError, Result};
+use crate::groups::{group_key_slot, open_group_key_block};
+use crate::ids::{self, ClassTag};
+use crate::keypool::SigKeyPool;
+use crate::keyring::{Pki, UserIdentity};
+use crate::metadata::{open_metadata, MetaOpen, MetadataBody, SealedObject, ViewId};
+use crate::params::{ClientConfig, CryptoPolicy, RevocationMode, Scheme};
+use crate::scheme::{Layout, Manifest, ObjectAttrs, ObjectSecrets, SigPairs, SplitEntry, MANIFEST_BLOCK};
+use crate::superblock::Superblock;
+use sharoes_crypto::{HmacDrbg, RandomSource, SymKey, SystemRandom, VerifyKey};
+use sharoes_fs::{path as fspath, Acl, Gid, Mode, NodeKind, Uid, UserDb};
+use sharoes_net::{CostMeter, ObjectKey, Request, Response, Transport, WireRead, WireWrite};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What `getattr` returns — the visible attributes of Figure 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub inode: u64,
+    /// File or directory.
+    pub kind: NodeKind,
+    /// Owner.
+    pub owner: Uid,
+    /// Owning group.
+    pub group: Gid,
+    /// Mode bits.
+    pub mode: Mode,
+    /// Size at last metadata update (writes update data blocks only, per
+    /// Figure 8; see README "Size semantics").
+    pub size: u64,
+    /// Block count at last metadata update.
+    pub nblocks: u32,
+    /// Key epoch.
+    pub generation: u64,
+    /// Lazy-revocation marker.
+    pub rekey_pending: bool,
+}
+
+/// One `readdir` result row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadDirEntry {
+    /// Entry name.
+    pub name: String,
+    /// Entry kind.
+    pub kind: NodeKind,
+    /// Inode, when the caller's CAP exposes it (read-only CAPs list names
+    /// only).
+    pub inode: Option<u64>,
+}
+
+/// How to reach and open one metadata replica.
+#[derive(Clone, Debug)]
+struct NodeHandle {
+    inode: u64,
+    view: [u8; 16],
+    mek: Option<SymKey>,
+    mvk: Option<VerifyKey>,
+}
+
+struct MountState {
+    root: NodeHandle,
+}
+
+/// A pending whole-file write staged by [`SharoesClient::write`].
+struct PendingWrite {
+    content: Vec<u8>,
+}
+
+/// The Sharoes client filesystem.
+pub struct SharoesClient {
+    transport: Box<dyn Transport>,
+    meter: Arc<CostMeter>,
+    config: ClientConfig,
+    db: Arc<UserDb>,
+    pki: Arc<Pki>,
+    identity: UserIdentity,
+    pool: Arc<SigKeyPool>,
+    rng: HmacDrbg,
+    /// Fresh entropy mixed into inode allocation so two clients seeded with
+    /// the same deterministic RNG can never collide on inode numbers.
+    mount_nonce: u64,
+    cache: ClientCache,
+    mount: Option<MountState>,
+    pending: HashMap<String, PendingWrite>,
+    /// Session freshness ledger: the highest signed version observed per
+    /// metadata replica and per data generation. A later observation with a
+    /// lower version means the SSP replayed stale (validly signed) state —
+    /// the rollback half of the paper's §VIII "integrity mechanisms" future
+    /// work (full fork consistency is SUNDR's, §VI).
+    freshness: HashMap<FreshKey, u64>,
+}
+
+/// Keys of the session freshness ledger.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum FreshKey {
+    /// A metadata replica `(inode, view tag)`.
+    Meta(u64, [u8; 16]),
+    /// A file's data manifest within one key generation.
+    Data(u64, u64),
+}
+
+impl SharoesClient {
+    /// Creates a client for one user. Call [`SharoesClient::mount`] before
+    /// any filesystem operation.
+    pub fn new(
+        transport: Box<dyn Transport>,
+        config: ClientConfig,
+        db: Arc<UserDb>,
+        pki: Arc<Pki>,
+        identity: UserIdentity,
+        pool: Arc<SigKeyPool>,
+    ) -> Self {
+        let mut seed = [0u8; 32];
+        SystemRandom::new().fill_bytes(&mut seed);
+        Self::with_rng(transport, config, db, pki, identity, pool, HmacDrbg::new(&seed))
+    }
+
+    /// Like [`SharoesClient::new`] with a caller-controlled generator
+    /// (deterministic tests/benches).
+    pub fn with_rng(
+        transport: Box<dyn Transport>,
+        config: ClientConfig,
+        db: Arc<UserDb>,
+        pki: Arc<Pki>,
+        identity: UserIdentity,
+        pool: Arc<SigKeyPool>,
+        rng: HmacDrbg,
+    ) -> Self {
+        let meter = Arc::clone(transport.meter());
+        let cache = ClientCache::new(config.cache_capacity);
+        let mut nonce = [0u8; 8];
+        SystemRandom::new().fill_bytes(&mut nonce);
+        SharoesClient {
+            transport,
+            meter,
+            config,
+            db,
+            pki,
+            identity,
+            pool,
+            rng,
+            mount_nonce: u64::from_be_bytes(nonce),
+            cache,
+            mount: None,
+            pending: HashMap::new(),
+            freshness: HashMap::new(),
+        }
+    }
+
+    /// Who this client is mounted as.
+    pub fn uid(&self) -> Uid {
+        self.identity.uid
+    }
+
+    /// The client configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// The cost meter shared with the transport.
+    pub fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn layout(&self) -> Layout<'_> {
+        Layout {
+            scheme: self.config.effective_scheme(),
+            policy: self.config.policy,
+            block_size: self.config.block_size,
+            db: &self.db,
+            pki: &self.pki,
+        }
+    }
+
+    fn signs(&self) -> bool {
+        self.config.policy.signs()
+    }
+
+    fn encrypts_data(&self) -> bool {
+        self.config.policy.encrypts_data()
+    }
+
+    // ---------------------------------------------------------------- I/O
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        match self.transport.call(req)? {
+            Response::Error(msg) => Err(CoreError::Net(sharoes_net::NetError::Remote(msg))),
+            other => Ok(other),
+        }
+    }
+
+    fn fetch(&mut self, key: ObjectKey) -> Result<Option<Vec<u8>>> {
+        match self.call(&Request::Get { key })? {
+            Response::Object(v) => Ok(v),
+            _ => Err(CoreError::Corrupt("unexpected response to Get")),
+        }
+    }
+
+    fn fetch_many(&mut self, keys: Vec<ObjectKey>) -> Result<Vec<Option<Vec<u8>>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.call(&Request::GetMany { keys })? {
+            Response::Objects(v) => Ok(v),
+            _ => Err(CoreError::Corrupt("unexpected response to GetMany")),
+        }
+    }
+
+    fn put_many(&mut self, items: Vec<(ObjectKey, Vec<u8>)>) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        match self.call(&Request::PutMany { items })? {
+            Response::Ok => Ok(()),
+            _ => Err(CoreError::Corrupt("unexpected response to PutMany")),
+        }
+    }
+
+    fn delete_many(&mut self, keys: Vec<ObjectKey>) -> Result<()> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        match self.call(&Request::DeleteMany { keys })? {
+            Response::Ok => Ok(()),
+            _ => Err(CoreError::Corrupt("unexpected response to DeleteMany")),
+        }
+    }
+
+    /// Records an observed signed version, flagging regressions as rollback.
+    fn check_freshness(&mut self, key: FreshKey, observed: u64, what: &str) -> Result<()> {
+        match self.freshness.get(&key) {
+            Some(&seen) if observed < seen => Err(CoreError::TamperDetected(format!(
+                "{what} rolled back from version {seen} to {observed}"
+            ))),
+            _ => {
+                self.freshness.insert(key, observed);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs `f`, charging its wall time to the CRYPTO cost component.
+    fn timed_crypto<T>(meter: &CostMeter, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        meter.charge_crypto_ns(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    // -------------------------------------------------------------- mount
+
+    /// Mounts the filesystem: decrypts this user's superblock with their
+    /// private key (the one-time public-key operation of §III-C) and
+    /// recovers group keys in-band (§II-A).
+    pub fn mount(&mut self) -> Result<()> {
+        let uid = self.identity.uid;
+        let sb_key = ObjectKey::superblock(ids::superblock_view(uid));
+        let blob = self
+            .fetch(sb_key)?
+            .ok_or_else(|| CoreError::NotFound(format!("superblock for {uid}")))?;
+        let meter = Arc::clone(&self.meter);
+        let private = self.identity.private.clone();
+        let sb = Self::timed_crypto(&meter, || Superblock::open_with(&private, &blob))?;
+
+        // Group key blocks, one fetch for all memberships.
+        let gids = self.db.groups_of(uid);
+        let slots: Vec<ObjectKey> = gids.iter().map(|&g| group_key_slot(g, uid)).collect();
+        let blobs = self.fetch_many(slots)?;
+        for (gid, blob) in gids.into_iter().zip(blobs) {
+            if let Some(blob) = blob {
+                let key = Self::timed_crypto(&meter, || open_group_key_block(&private, &blob))?;
+                self.identity.install_group_key(gid, key);
+            }
+        }
+
+        self.cache.clear();
+        self.pending.clear();
+        self.freshness.clear();
+        self.mount = Some(MountState {
+            root: NodeHandle {
+                inode: sb.root_inode,
+                view: sb.root_view,
+                mek: sb.root_mek,
+                mvk: sb.root_mvk,
+            },
+        });
+        Ok(())
+    }
+
+    /// True once mounted.
+    pub fn is_mounted(&self) -> bool {
+        self.mount.is_some()
+    }
+
+    // ------------------------------------------------------ metadata path
+
+    /// Fetches, verifies, and decrypts one metadata replica (the `getattr`
+    /// path of Figure 8: one network receive plus one decryption).
+    fn open_metadata_at(&mut self, h: &NodeHandle) -> Result<MetadataBody> {
+        let ck = CacheKey::Meta(h.inode, h.view);
+        if let Some(bytes) = self.cache.get(&ck) {
+            return MetadataBody::from_wire(&bytes).map_err(|_| CoreError::Corrupt("cached metadata"));
+        }
+        let key = ObjectKey::metadata(h.inode, h.view);
+        let blob = self
+            .fetch(key)?
+            .ok_or_else(|| CoreError::NotFound(format!("metadata inode#{}", h.inode)))?;
+        let sealed =
+            SealedObject::from_wire(&blob).map_err(|_| CoreError::Corrupt("sealed metadata"))?;
+
+        let meter = Arc::clone(&self.meter);
+        let policy = self.config.policy;
+        let signs = self.signs();
+        let private = self.identity.private.clone();
+        let plain = Self::timed_crypto(&meter, || -> Result<Vec<u8>> {
+            sealed.verify(&key, if signs { h.mvk.as_ref() } else { None })?;
+            let opener = match policy {
+                CryptoPolicy::NoEncMdD | CryptoPolicy::NoEncMd => MetaOpen::Plain,
+                CryptoPolicy::Sharoes => {
+                    let mek = h.mek.as_ref().ok_or(CoreError::PermissionDenied {
+                        path: format!("inode#{}", h.inode),
+                        needed: "MEK (metadata key)",
+                    })?;
+                    MetaOpen::Sym(mek)
+                }
+                CryptoPolicy::Public => MetaOpen::Public(&private),
+                CryptoPolicy::PubOpt => MetaOpen::PubOpt(&private),
+            };
+            open_metadata(opener, &sealed.ciphertext)
+        })?;
+        let body =
+            MetadataBody::from_wire(&plain).map_err(|_| CoreError::Corrupt("metadata body"))?;
+        if body.inode != h.inode {
+            return Err(CoreError::TamperDetected(format!(
+                "metadata inode mismatch: expected {}, got {}",
+                h.inode, body.inode
+            )));
+        }
+        self.check_freshness(
+            FreshKey::Meta(h.inode, h.view),
+            body.version,
+            &format!("metadata inode#{}", h.inode),
+        )?;
+        self.cache.put(ck, plain);
+        Ok(body)
+    }
+
+    /// Scheme-2 split-point resolution (§III-D.2): if this user's class on
+    /// the object differs from the continuation replica we landed on,
+    /// follow the per-user/per-group split entry to the right CAP.
+    fn reconcile(&mut self, h: NodeHandle, body: MetadataBody) -> Result<(NodeHandle, MetadataBody)> {
+        if self.config.effective_scheme() != Scheme::SharedCaps {
+            return Ok((h, body));
+        }
+        let attrs = ObjectAttrs::from_body(&body);
+        let my_class = attrs.class_of(self.identity.uid, &self.db);
+        let my_tag = ViewId::Class(my_class).tag(h.inode);
+        if my_tag == h.view {
+            return Ok((h, body));
+        }
+
+        // Candidate split slots: personal first, then group-addressed.
+        let mut candidates: Vec<(ObjectKey, Option<Gid>)> = vec![(
+            ObjectKey::metadata(h.inode, ids::split_user_view(h.inode, self.identity.uid)),
+            None,
+        )];
+        for gid in self.db.groups_of(self.identity.uid) {
+            candidates.push((
+                ObjectKey::metadata(h.inode, ids::split_group_view(h.inode, gid)),
+                Some(gid),
+            ));
+        }
+
+        for (slot, via_group) in candidates {
+            let ck = CacheKey::Meta(slot.inode, slot.view);
+            let plain = if let Some(bytes) = self.cache.get(&ck) {
+                Some(bytes)
+            } else {
+                match self.fetch(slot)? {
+                    None => None,
+                    Some(blob) => {
+                        let meter = Arc::clone(&self.meter);
+                        let key = match via_group {
+                            None => Some(self.identity.private.clone()),
+                            Some(gid) => self.identity.group_key(gid),
+                        };
+                        let Some(key) = key else { continue };
+                        let decrypted =
+                            Self::timed_crypto(&meter, || key.decrypt_blob(&blob));
+                        match decrypted {
+                            Ok(plain) => {
+                                self.cache.put(ck, plain.clone());
+                                Some(plain)
+                            }
+                            Err(_) => continue, // not addressed to us
+                        }
+                    }
+                }
+            };
+            let Some(plain) = plain else { continue };
+            let entry = SplitEntry::from_wire(&plain)
+                .map_err(|_| CoreError::Corrupt("split entry"))?;
+            let nh = NodeHandle {
+                inode: h.inode,
+                view: entry.view,
+                mek: entry.mek,
+                mvk: entry.mvk,
+            };
+            let nbody = self.open_metadata_at(&nh)?;
+            return Ok((nh, nbody));
+        }
+        // No entry: the continuation CAP is (at least) our class's CAP —
+        // permissions may coincide. Use it.
+        Ok((h, body))
+    }
+
+    /// Fetches, verifies, and decrypts the directory-table replica for `h`.
+    fn open_table(&mut self, h: &NodeHandle, body: &MetadataBody) -> Result<DirTable> {
+        let ck = CacheKey::Table(h.inode, h.view);
+        if let Some(bytes) = self.cache.get(&ck) {
+            return DirTable::from_wire(&bytes).map_err(|_| CoreError::Corrupt("cached table"));
+        }
+        let key = ObjectKey::data(h.inode, h.view, 0);
+        let blob = self.fetch(key)?.ok_or(CoreError::PermissionDenied {
+            path: format!("inode#{}", h.inode),
+            needed: "directory-table access (no replica for this CAP)",
+        })?;
+        let sealed =
+            SealedObject::from_wire(&blob).map_err(|_| CoreError::Corrupt("sealed table"))?;
+        let meter = Arc::clone(&self.meter);
+        let signs = self.signs();
+        let encrypts = self.encrypts_data();
+        let dvk = body.dvk.clone();
+        let tek = body.dek.clone();
+        let plain = Self::timed_crypto(&meter, || -> Result<Vec<u8>> {
+            sealed.verify(&key, if signs { dvk.as_ref() } else { None })?;
+            if encrypts {
+                let tek = tek.as_ref().ok_or(CoreError::PermissionDenied {
+                    path: format!("inode#{}", h.inode),
+                    needed: "DEK (directory table key)",
+                })?;
+                Ok(tek.open(&sealed.ciphertext)?)
+            } else {
+                Ok(sealed.ciphertext.clone())
+            }
+        })?;
+        let table = DirTable::from_wire(&plain).map_err(|_| CoreError::Corrupt("table body"))?;
+        self.cache.put(ck, plain);
+        Ok(table)
+    }
+
+    /// Resolves an absolute path to `(handle, body)` with traversal checks.
+    fn resolve(&mut self, path: &str) -> Result<(NodeHandle, MetadataBody)> {
+        let parts = fspath::split(path)?;
+        let root = self
+            .mount
+            .as_ref()
+            .ok_or(CoreError::NotMounted)?
+            .root
+            .clone();
+        let mut h = root;
+        let mut body = self.open_metadata_at(&h)?;
+        let (nh, nbody) = self.reconcile(h, body)?;
+        h = nh;
+        body = nbody;
+
+        for (i, comp) in parts.iter().enumerate() {
+            let attrs = ObjectAttrs::from_body(&body);
+            if attrs.kind != NodeKind::Dir {
+                return Err(CoreError::NotADirectory(fspath::join(&parts[..i])));
+            }
+            let perm = attrs.perm_of(self.identity.uid, &self.db);
+            if !perm.exec {
+                return Err(CoreError::PermissionDenied {
+                    path: fspath::join(&parts[..i]),
+                    needed: "exec (traverse)",
+                });
+            }
+            let table = self.open_table(&h, &body)?;
+            let tek = body.dek.clone();
+            let child = match table.lookup(comp, tek.as_ref())? {
+                Some(child) => child,
+                None => {
+                    // The cached table may predate another client's create:
+                    // revalidate once before declaring the entry missing.
+                    self.cache.invalidate(&CacheKey::Table(h.inode, h.view));
+                    let fresh = self.open_table(&h, &body)?;
+                    fresh
+                        .lookup(comp, tek.as_ref())?
+                        .ok_or_else(|| CoreError::NotFound(fspath::join(&parts[..=i])))?
+                }
+            };
+            h = NodeHandle {
+                inode: child.inode,
+                view: child.view,
+                mek: child.mek,
+                mvk: child.mvk,
+            };
+            body = self.open_metadata_at(&h)?;
+            let (nh, nbody) = self.reconcile(h, body)?;
+            h = nh;
+            body = nbody;
+        }
+        Ok((h, body))
+    }
+
+    // ------------------------------------------------------------ readers
+
+    /// `stat`: attributes of the object at `path` (Figure 8 `getattr`).
+    pub fn getattr(&mut self, path: &str) -> Result<FileStat> {
+        let (_, body) = self.resolve(path)?;
+        Ok(FileStat {
+            inode: body.inode,
+            kind: body.kind,
+            owner: Uid(body.owner),
+            group: Gid(body.group),
+            mode: Mode::from_octal(body.mode),
+            size: body.size,
+            nblocks: body.nblocks,
+            generation: body.generation,
+            rekey_pending: body.rekey_pending,
+        })
+    }
+
+    /// Lists a directory (requires the read permission; exec-only CAPs
+    /// cannot list — §III-A).
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<ReadDirEntry>> {
+        let (h, body) = self.resolve(path)?;
+        let attrs = ObjectAttrs::from_body(&body);
+        if attrs.kind != NodeKind::Dir {
+            return Err(CoreError::NotADirectory(path.to_string()));
+        }
+        let perm = attrs.perm_of(self.identity.uid, &self.db);
+        if !perm.read {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "read" });
+        }
+        let table = self.open_table(&h, &body)?;
+        Ok(table
+            .list()
+            .into_iter()
+            .map(|(name, kind, child)| ReadDirEntry {
+                name,
+                kind,
+                inode: child.map(|c| c.inode),
+            })
+            .collect())
+    }
+
+    /// Fetches, verifies, and decrypts the data manifest — the per-file
+    /// DSK-signed object that authenticates every block (§II-B: "writers
+    /// sign the hash of the file content"). Speculatively fetches block 0 in
+    /// the same round trip on a cold read.
+    fn load_manifest(&mut self, body: &MetadataBody) -> Result<Manifest> {
+        let inode = body.inode;
+        let generation = body.generation;
+        let ck = CacheKey::Manifest(inode, generation);
+        if let Some(bytes) = self.cache.get(&ck) {
+            return Layout::parse_manifest(&bytes);
+        }
+        let dview = ids::data_view(inode, generation);
+        let mkey = ObjectKey::data(inode, dview, MANIFEST_BLOCK);
+        let b0key = ObjectKey::data(inode, dview, 0);
+        let fetched = self.fetch_many(vec![mkey, b0key])?;
+        let mblob = fetched[0]
+            .clone()
+            .ok_or(CoreError::Corrupt("missing data manifest"))?;
+        let mplain = self.open_manifest_record(&mkey, &mblob, body)?;
+        let manifest = Layout::parse_manifest(&mplain)?;
+        self.check_freshness(
+            FreshKey::Data(inode, generation),
+            manifest.version,
+            &format!("data manifest inode#{inode}"),
+        )?;
+        self.cache.put(ck, mplain);
+        if let Some(b0) = &fetched[1] {
+            if let Ok(plain) = self.open_data_block(&b0key, b0, body, manifest.hash_of(0)) {
+                self.cache.put(CacheKey::Block(inode, generation, 0), plain);
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Like [`Self::load_manifest`] but without the speculative block-0
+    /// fetch (used by close, which overwrites the data anyway).
+    fn load_manifest_lean(&mut self, body: &MetadataBody) -> Result<Manifest> {
+        let ck = CacheKey::Manifest(body.inode, body.generation);
+        if let Some(bytes) = self.cache.get(&ck) {
+            return Layout::parse_manifest(&bytes);
+        }
+        let dview = ids::data_view(body.inode, body.generation);
+        let mkey = ObjectKey::data(body.inode, dview, MANIFEST_BLOCK);
+        let blob = self
+            .fetch(mkey)?
+            .ok_or(CoreError::Corrupt("missing data manifest"))?;
+        let plain = self.open_manifest_record(&mkey, &blob, body)?;
+        let manifest = Layout::parse_manifest(&plain)?;
+        self.check_freshness(
+            FreshKey::Data(body.inode, body.generation),
+            manifest.version,
+            &format!("data manifest inode#{}", body.inode),
+        )?;
+        self.cache.put(ck, plain);
+        Ok(manifest)
+    }
+
+    /// Verifies (signature) and decrypts the manifest record.
+    fn open_manifest_record(
+        &mut self,
+        key: &ObjectKey,
+        blob: &[u8],
+        body: &MetadataBody,
+    ) -> Result<Vec<u8>> {
+        let sealed =
+            SealedObject::from_wire(blob).map_err(|_| CoreError::Corrupt("sealed manifest"))?;
+        let meter = Arc::clone(&self.meter);
+        let signs = self.signs();
+        let encrypts = self.encrypts_data();
+        let dvk = body.dvk.clone();
+        let dek = body.dek.clone();
+        Self::timed_crypto(&meter, || -> Result<Vec<u8>> {
+            sealed.verify(key, if signs { dvk.as_ref() } else { None })?;
+            if encrypts {
+                let dek = dek.as_ref().ok_or(CoreError::PermissionDenied {
+                    path: format!("inode#{}", key.inode),
+                    needed: "DEK (read)",
+                })?;
+                Ok(dek.open(&sealed.ciphertext)?)
+            } else {
+                Ok(sealed.ciphertext.clone())
+            }
+        })
+    }
+
+    /// Decrypts one (unsigned) data block, authenticating its ciphertext
+    /// against the manifest hash when the policy signs.
+    fn open_data_block(
+        &mut self,
+        key: &ObjectKey,
+        blob: &[u8],
+        body: &MetadataBody,
+        expected_hash: Option<&[u8; 32]>,
+    ) -> Result<Vec<u8>> {
+        let sealed =
+            SealedObject::from_wire(blob).map_err(|_| CoreError::Corrupt("sealed block"))?;
+        let meter = Arc::clone(&self.meter);
+        let signs = self.signs();
+        let encrypts = self.encrypts_data();
+        let dek = body.dek.clone();
+        Self::timed_crypto(&meter, || -> Result<Vec<u8>> {
+            if signs {
+                let expected = expected_hash.ok_or_else(|| {
+                    CoreError::TamperDetected(format!("block {key:?} not covered by manifest"))
+                })?;
+                let actual = sharoes_crypto::Sha256::digest(&sealed.ciphertext);
+                if !sharoes_crypto::ct_eq(&actual, expected) {
+                    return Err(CoreError::TamperDetected(format!(
+                        "block hash mismatch on {key:?}"
+                    )));
+                }
+            }
+            if encrypts {
+                let dek = dek.as_ref().ok_or(CoreError::PermissionDenied {
+                    path: format!("inode#{}", key.inode),
+                    needed: "DEK (read)",
+                })?;
+                Ok(dek.open(&sealed.ciphertext)?)
+            } else {
+                Ok(sealed.ciphertext.clone())
+            }
+        })
+    }
+
+    /// Reads a whole file (Figure 8 `read`: obtain data and decrypt).
+    pub fn read(&mut self, path: &str) -> Result<Vec<u8>> {
+        // Unflushed local writes are visible to the writer.
+        if let Some(p) = self.pending.get(path) {
+            return Ok(p.content.clone());
+        }
+        let (_, body) = self.resolve(path)?;
+        let attrs = ObjectAttrs::from_body(&body);
+        if attrs.kind != NodeKind::File {
+            return Err(CoreError::IsADirectory(path.to_string()));
+        }
+        let perm = attrs.perm_of(self.identity.uid, &self.db);
+        if !perm.read {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "read" });
+        }
+        if self.encrypts_data() && body.dek.is_none() {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "DEK (read)" });
+        }
+
+        let manifest = self.load_manifest(&body)?;
+        let inode = body.inode;
+        let generation = body.generation;
+        let dview = ids::data_view(inode, generation);
+
+        // Blocks are assembled from local copies; the cache is populated
+        // opportunistically and may evict under a small capacity without
+        // affecting correctness.
+        let mut blocks: Vec<Option<Vec<u8>>> = vec![None; manifest.nblocks as usize];
+        let mut missing = Vec::new();
+        for (i, slot) in blocks.iter_mut().enumerate() {
+            if let Some(bytes) = self.cache.get(&CacheKey::Block(inode, generation, i as u32)) {
+                *slot = Some(bytes);
+            } else {
+                missing.push(ObjectKey::data(inode, dview, i as u32));
+            }
+        }
+        let fetched = self.fetch_many(missing.clone())?;
+        for (key, blob) in missing.iter().zip(fetched) {
+            let blob = blob.ok_or(CoreError::Corrupt("missing data block"))?;
+            let plain = self.open_data_block(key, &blob, &body, manifest.hash_of(key.block))?;
+            self.cache
+                .put(CacheKey::Block(inode, generation, key.block), plain.clone());
+            blocks[key.block as usize] = Some(plain);
+        }
+
+        let mut out = Vec::with_capacity(manifest.size as usize);
+        for block in blocks {
+            out.extend_from_slice(&block.ok_or(CoreError::Corrupt("missing data block"))?);
+        }
+        out.truncate(manifest.size as usize);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------ writers
+
+    /// Stages a whole-file write. "We cache all writes locally and only
+    /// encrypt the file before sending it to the SSP as the result of a
+    /// file close" (§IV-A.1).
+    pub fn write(&mut self, path: &str, data: &[u8]) -> Result<()> {
+        let (_, body) = self.resolve(path)?;
+        let attrs = ObjectAttrs::from_body(&body);
+        if attrs.kind != NodeKind::File {
+            return Err(CoreError::IsADirectory(path.to_string()));
+        }
+        let perm = attrs.perm_of(self.identity.uid, &self.db);
+        if !perm.write {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "write" });
+        }
+        if self.encrypts_data() && body.dek.is_none() {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "DEK" });
+        }
+        if self.signs() && body.dsk.is_none() {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "DSK (write)" });
+        }
+        self.pending
+            .insert(path.to_string(), PendingWrite { content: data.to_vec() });
+        Ok(())
+    }
+
+    /// Flushes a staged write (Figure 8 `close`: encrypt file, send to
+    /// server — one data encryption, one data send).
+    pub fn close(&mut self, path: &str) -> Result<()> {
+        let Some(pending) = self.pending.remove(path) else {
+            return Ok(()); // close without write is a no-op
+        };
+        let (h, mut body) = self.resolve(path)?;
+
+        // Lazy-revocation hook: an owner flushing content rotates the DEK.
+        if body.rekey_pending
+            && self.config.policy == CryptoPolicy::Sharoes
+            && body.msk.is_some()
+        {
+            return self.rekey_and_write(h, body, &pending.content);
+        }
+
+        let inode = body.inode;
+        let generation = body.generation;
+        let dview = ids::data_view(inode, generation);
+        // Only the block count (and write version) matter here; skip the
+        // speculative block-0 fetch the read path does.
+        let (old_nblocks, old_version) = self
+            .load_manifest_lean(&body)
+            .map(|m| (m.nblocks, m.version))
+            .unwrap_or((0, 0));
+
+        let records = self.seal_file_content(&body, &pending.content, old_version + 1)?;
+        self.freshness
+            .insert(FreshKey::Data(inode, generation), old_version + 1);
+        let new_nblocks = pending.content.len().div_ceil(self.config.block_size.max(1)) as u32;
+        if old_nblocks > new_nblocks {
+            // Shrink: clear stale trailing blocks first.
+            self.call(&Request::DeleteBlocks { inode, view: dview })?;
+        }
+        self.put_many(records)?;
+
+        // Refresh caches with the new plaintext (manifest refetched lazily:
+        // its hashes live in the sealed records we just built).
+        self.cache.invalidate(&CacheKey::Manifest(inode, generation));
+        for i in 0..old_nblocks.max(new_nblocks) {
+            self.cache.invalidate(&CacheKey::Block(inode, generation, i));
+        }
+        for (i, chunk) in pending.content.chunks(self.config.block_size.max(1)).enumerate() {
+            self.cache
+                .put(CacheKey::Block(inode, generation, i as u32), chunk.to_vec());
+        }
+        body.size = pending.content.len() as u64;
+        Ok(())
+    }
+
+    /// Seals file content into manifest + block records using the keys in
+    /// `body` (a writer's CAP).
+    fn seal_file_content(
+        &mut self,
+        body: &MetadataBody,
+        content: &[u8],
+        version: u64,
+    ) -> Result<Vec<(ObjectKey, Vec<u8>)>> {
+        let inode = body.inode;
+        let dview = ids::data_view(inode, body.generation);
+        let block_size = self.config.block_size.max(1);
+        let nblocks = if content.is_empty() { 0 } else { content.len().div_ceil(block_size) };
+
+        let meter = Arc::clone(&self.meter);
+        let encrypts = self.encrypts_data();
+        let signs = self.signs();
+        let dek = body.dek.clone();
+        let dsk = body.dsk.clone();
+        let mut rng = self.rng.clone();
+        let records = Self::timed_crypto(&meter, || -> Result<Vec<(ObjectKey, Vec<u8>)>> {
+            let seal_plain = |plain: &[u8], rng: &mut HmacDrbg| -> Result<Vec<u8>> {
+                if encrypts {
+                    Ok(dek
+                        .as_ref()
+                        .ok_or(CoreError::PermissionDenied {
+                            path: format!("inode#{inode}"),
+                            needed: "DEK",
+                        })?
+                        .seal(rng, plain))
+                } else {
+                    Ok(plain.to_vec())
+                }
+            };
+
+            let mut blocks = Vec::with_capacity(nblocks);
+            let mut block_hashes = Vec::with_capacity(if signs { nblocks } else { 0 });
+            for (i, chunk) in content.chunks(block_size).enumerate() {
+                let key = ObjectKey::data(inode, dview, i as u32);
+                let ciphertext = seal_plain(chunk, &mut rng)?;
+                if signs {
+                    block_hashes.push(sharoes_crypto::Sha256::digest(&ciphertext));
+                }
+                blocks.push((key, SealedObject::unsigned(ciphertext).to_wire()));
+            }
+
+            let manifest = Manifest {
+                size: content.len() as u64,
+                version,
+                nblocks: nblocks as u32,
+                block_hashes,
+            };
+            let mkey = ObjectKey::data(inode, dview, MANIFEST_BLOCK);
+            let mciphertext = seal_plain(&manifest.to_wire(), &mut rng)?;
+            let msealed = if signs {
+                let dsk = dsk.as_ref().ok_or(CoreError::PermissionDenied {
+                    path: format!("inode#{inode}"),
+                    needed: "DSK (write)",
+                })?;
+                SealedObject::signed(mciphertext, &mkey, dsk, &mut rng)
+            } else {
+                SealedObject::unsigned(mciphertext)
+            };
+
+            let mut out = Vec::with_capacity(nblocks + 1);
+            out.push((mkey, msealed.to_wire()));
+            out.extend(blocks);
+            Ok(out)
+        })?;
+        // Advance the client RNG past the states the closure consumed.
+        self.rng.reseed(b"seal-file-content");
+        Ok(records)
+    }
+
+    /// Convenience: write + close in one call.
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<()> {
+        self.write(path, data)?;
+        self.close(path)
+    }
+
+    /// Creates an empty file (Figure 8 `mknod`).
+    pub fn create(&mut self, path: &str, mode: Mode) -> Result<u64> {
+        self.create_child(path, mode, NodeKind::File)
+    }
+
+    /// Creates a directory (Figure 8 `mkdir`).
+    pub fn mkdir(&mut self, path: &str, mode: Mode) -> Result<u64> {
+        self.create_child(path, mode, NodeKind::Dir)
+    }
+
+    fn alloc_inode(&mut self) -> u64 {
+        // Random 64-bit inode numbers: collision-free in practice and
+        // allocatable without coordination between distributed clients. The
+        // per-mount nonce guarantees distinctness even across clients built
+        // from identical deterministic RNG seeds.
+        loop {
+            let candidate = self.rng.next_u64() ^ self.mount_nonce;
+            if candidate > 1 {
+                return candidate;
+            }
+        }
+    }
+
+    fn primary_gid(&self) -> Result<Gid> {
+        self.db
+            .user(self.identity.uid)
+            .map(|u| u.primary_gid)
+            .ok_or_else(|| CoreError::UnknownPrincipal(self.identity.uid.to_string()))
+    }
+
+    fn create_child(&mut self, path: &str, mode: Mode, kind: NodeKind) -> Result<u64> {
+        let (parent_parts, name) = fspath::split_parent(path)?;
+        fspath::validate_name(name)?;
+        let parent_path = fspath::join(&parent_parts);
+        let name = name.to_string();
+        let (ph, pbody) = self.resolve(&parent_path)?;
+        let pattrs = ObjectAttrs::from_body(&pbody);
+        if pattrs.kind != NodeKind::Dir {
+            return Err(CoreError::NotADirectory(parent_path));
+        }
+        let perm = pattrs.perm_of(self.identity.uid, &self.db);
+        if !(perm.write && perm.exec) {
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "write+exec on parent",
+            });
+        }
+        // Duplicate check through our own (full) table view.
+        let table = self.open_table(&ph, &pbody)?;
+        if table.lookup(&name, pbody.dek.as_ref())?.is_some() {
+            return Err(CoreError::AlreadyExists(path.to_string()));
+        }
+
+        let inode = self.alloc_inode();
+        let gid = self.primary_gid()?;
+        let child_attrs = ObjectAttrs::new(inode, kind, self.identity.uid, gid, mode);
+        self.layout().validate_perms(&child_attrs)?;
+
+        let meter = Arc::clone(&self.meter);
+        let pool = Arc::clone(&self.pool);
+        let mut rng = self.rng.clone();
+        let child_secrets = {
+            let layout = self.layout();
+            Self::timed_crypto(&meter, || layout.generate_secrets(&child_attrs, &pool, &mut rng))
+        };
+        self.rng.reseed(b"create-child");
+
+        // Child records: metadata replicas + (empty) content.
+        let mut records = {
+            let meter = Arc::clone(&self.meter);
+            let mut rng = self.rng.clone();
+            let layout = self.layout();
+            let recs = Self::timed_crypto(&meter, || -> Result<Vec<(ObjectKey, Vec<u8>)>> {
+                let mut recs = layout.metadata_records(&child_attrs, &child_secrets, &mut rng)?;
+                match kind {
+                    NodeKind::File => {
+                        recs.extend(layout.data_records(&child_attrs, &child_secrets, &[], &mut rng));
+                    }
+                    NodeKind::Dir => {
+                        let (tables, _) =
+                            layout.table_records(&child_attrs, &child_secrets, &[], &mut rng)?;
+                        recs.extend(tables);
+                    }
+                }
+                Ok(recs)
+            })?;
+            self.rng.reseed(b"create-records");
+            recs
+        };
+
+        // Parent tables: add one row per view (the "[*] per required CAP"
+        // cost of Figure 8), collecting split targets for the new child.
+        let (table_records, divergent) = self.rebuild_parent_tables(
+            &ph,
+            &pbody,
+            TableEdit::Insert {
+                name: &name,
+                child: &child_attrs,
+                child_secrets: &child_secrets,
+            },
+        )?;
+        records.extend(table_records);
+
+        if !divergent.is_empty() {
+            let meter = Arc::clone(&self.meter);
+            let mut rng = self.rng.clone();
+            let layout = self.layout();
+            let splits = Self::timed_crypto(&meter, || {
+                layout.split_records(&child_attrs, &child_secrets, &divergent, &mut rng)
+            })?;
+            self.rng.reseed(b"create-splits");
+            records.extend(splits);
+        }
+
+        // One round trip ships everything (paper mkdir: "send both").
+        self.put_many(records)?;
+
+        // rebuild_parent_tables refreshed the table caches in place.
+        Ok(inode)
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, path: &str) -> Result<()> {
+        self.remove_child(path, NodeKind::File)
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<()> {
+        self.remove_child(path, NodeKind::Dir)
+    }
+
+    fn remove_child(&mut self, path: &str, expect: NodeKind) -> Result<()> {
+        let (parent_parts, name) = fspath::split_parent(path)?;
+        let parent_path = fspath::join(&parent_parts);
+        let name = name.to_string();
+        let (ph, pbody) = self.resolve(&parent_path)?;
+        let pattrs = ObjectAttrs::from_body(&pbody);
+        let perm = pattrs.perm_of(self.identity.uid, &self.db);
+        if !(perm.write && perm.exec) {
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "write+exec on parent",
+            });
+        }
+
+        let (ch, cbody) = self.resolve(path)?;
+        let cattrs = ObjectAttrs::from_body(&cbody);
+        match (expect, cattrs.kind) {
+            (NodeKind::File, NodeKind::Dir) => {
+                return Err(CoreError::IsADirectory(path.to_string()))
+            }
+            (NodeKind::Dir, NodeKind::File) => {
+                return Err(CoreError::NotADirectory(path.to_string()))
+            }
+            _ => {}
+        }
+        if expect == NodeKind::Dir {
+            // Emptiness check requires a table-bearing CAP on the child.
+            let table = self.open_table(&ch, &cbody)?;
+            if !table.is_empty() {
+                return Err(CoreError::NotEmpty(path.to_string()));
+            }
+        }
+
+        let (table_records, _) = self.rebuild_parent_tables(&ph, &pbody, TableEdit::Remove { name: &name })?;
+        self.put_many(table_records)?;
+
+        // Delete the child's replicas, split entries, and data.
+        let mut doomed = self.layout().replica_slots(&cattrs);
+        for user in self.db.users() {
+            doomed.push(ObjectKey::metadata(
+                cattrs.inode,
+                ids::split_user_view(cattrs.inode, user.uid),
+            ));
+        }
+        for group in self.db.groups() {
+            doomed.push(ObjectKey::metadata(
+                cattrs.inode,
+                ids::split_group_view(cattrs.inode, group.gid),
+            ));
+        }
+        self.delete_many(doomed)?;
+        if cattrs.kind == NodeKind::File {
+            self.call(&Request::DeleteBlocks {
+                inode: cattrs.inode,
+                view: ids::data_view(cattrs.inode, cattrs.generation),
+            })?;
+        }
+
+        self.pending.remove(path);
+        self.cache.invalidate_inode(cattrs.inode);
+        let _ = &pattrs;
+        Ok(())
+    }
+
+    /// Renames an entry within the same directory (cross-directory moves
+    /// are supported for objects the caller owns; see DESIGN.md).
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let (from_parent_parts, from_name) = fspath::split_parent(from)?;
+        let (to_parent_parts, to_name) = fspath::split_parent(to)?;
+        fspath::validate_name(to_name)?;
+        if from_parent_parts != to_parent_parts {
+            return Err(CoreError::PermissionDenied {
+                path: to.to_string(),
+                needed: "same-directory rename (cross-directory moves: copy+unlink)",
+            });
+        }
+        let parent_path = fspath::join(&from_parent_parts);
+        let from_name = from_name.to_string();
+        let to_name = to_name.to_string();
+
+        let (ph, pbody) = self.resolve(&parent_path)?;
+        let pattrs = ObjectAttrs::from_body(&pbody);
+        let perm = pattrs.perm_of(self.identity.uid, &self.db);
+        if !(perm.write && perm.exec) {
+            return Err(CoreError::PermissionDenied {
+                path: from.to_string(),
+                needed: "write+exec on parent",
+            });
+        }
+        let table = self.open_table(&ph, &pbody)?;
+        if table.lookup(&from_name, pbody.dek.as_ref())?.is_none() {
+            return Err(CoreError::NotFound(from.to_string()));
+        }
+        if table.lookup(&to_name, pbody.dek.as_ref())?.is_some() {
+            return Err(CoreError::AlreadyExists(to.to_string()));
+        }
+
+        let (table_records, _) = self.rebuild_parent_tables(
+            &ph,
+            &pbody,
+            TableEdit::Rename { from: &from_name, to: &to_name },
+        )?;
+        self.put_many(table_records)?;
+        let _ = &pattrs;
+        Ok(())
+    }
+
+    // --------------------------------------------- parent table rebuilds
+
+    /// The table-bearing views of a directory with their materialization
+    /// levels (owner always Full; exec-only degrades to Full without data
+    /// encryption).
+    fn dir_views_with_access(&self, attrs: &ObjectAttrs) -> Result<Vec<(ViewId, TableAccess)>> {
+        let layout = self.layout();
+        let mut out = Vec::new();
+        for (view, perm) in layout.views(attrs) {
+            let access = layout.table_access_for(view, attrs, perm)?;
+            if access != TableAccess::None {
+                out.push((view, access));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies an edit to every table replica of a directory.
+    ///
+    /// The writer holds all table keys (`write_teks`), fetches every view's
+    /// current table, applies the edit, and re-seals each — this is exactly
+    /// the per-CAP cost the paper charges mkdir/mknod with.
+    #[allow(clippy::type_complexity)]
+    fn rebuild_parent_tables(
+        &mut self,
+        ph: &NodeHandle,
+        pbody: &MetadataBody,
+        edit: TableEdit<'_>,
+    ) -> Result<(Vec<(ObjectKey, Vec<u8>)>, Vec<(Uid, ClassTag)>)> {
+        let pattrs = ObjectAttrs::from_body(pbody);
+        let views = self.dir_views_with_access(&pattrs)?;
+
+        // Table keys per view.
+        let teks: HashMap<ViewId, SymKey> = pbody.write_teks.iter().cloned().collect();
+        if self.encrypts_data() && teks.len() < views.len() {
+            return Err(CoreError::PermissionDenied {
+                path: format!("inode#{}", ph.inode),
+                needed: "write TEKs (directory write)",
+            });
+        }
+
+        // Names come from our own (full) view.
+        let my_table = self.open_table(ph, pbody)?;
+        let names: Vec<(String, NodeKind)> = my_table
+            .list()
+            .into_iter()
+            .map(|(name, kind, _)| (name, kind))
+            .collect();
+
+        // Current replica plaintexts: cached where possible (the paper's
+        // mkdir costs are sends only — the client caches the parent table),
+        // fetched in one round trip otherwise.
+        let keys: Vec<ObjectKey> = views
+            .iter()
+            .map(|(view, _)| ObjectKey::data(ph.inode, view.tag(ph.inode), 0))
+            .collect();
+        let mut plains: Vec<Option<Vec<u8>>> = Vec::with_capacity(views.len());
+        let mut missing: Vec<(usize, ObjectKey)> = Vec::new();
+        for (i, (view, _)) in views.iter().enumerate() {
+            let ck = CacheKey::Table(ph.inode, view.tag(ph.inode));
+            match self.cache.get(&ck) {
+                Some(bytes) => plains.push(Some(bytes)),
+                None => {
+                    plains.push(None);
+                    missing.push((i, keys[i]));
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let fetched = self.fetch_many(missing.iter().map(|(_, k)| *k).collect())?;
+            let teks_snapshot = teks.clone();
+            let encrypts_now = self.encrypts_data();
+            for ((slot, _), blob) in missing.iter().zip(fetched) {
+                let blob = blob.ok_or(CoreError::Corrupt("missing table replica"))?;
+                let sealed = SealedObject::from_wire(&blob)
+                    .map_err(|_| CoreError::Corrupt("sealed table replica"))?;
+                let plain = if encrypts_now {
+                    let tek = teks_snapshot
+                        .get(&views[*slot].0)
+                        .ok_or(CoreError::PermissionDenied {
+                            path: format!("inode#{}", ph.inode),
+                            needed: "TEK for replica",
+                        })?;
+                    tek.open(&sealed.ciphertext)?
+                } else {
+                    sealed.ciphertext.clone()
+                };
+                plains[*slot] = Some(plain);
+            }
+        }
+
+        let meter = Arc::clone(&self.meter);
+        let signs = self.signs();
+        let encrypts = self.encrypts_data();
+        let dsk = pbody.dsk.clone();
+        let mut rng = self.rng.clone();
+        let mut divergent_union: Vec<(Uid, ClassTag)> = Vec::new();
+        let mut records = Vec::with_capacity(views.len());
+        let layout = self.layout();
+        let mut cache_updates: Vec<(CacheKey, Vec<u8>)> = Vec::with_capacity(views.len());
+
+        for ((view, access), (key, plain)) in views.iter().zip(keys.iter().zip(plains)) {
+            let access = *access;
+            let tek = teks.get(view);
+            let plain = plain.ok_or(CoreError::Corrupt("missing table replica"))?;
+            let table =
+                DirTable::from_wire(&plain).map_err(|_| CoreError::Corrupt("table replica"))?;
+
+            // Recover this view's (name -> ChildRef) map.
+            let mut entries: Vec<(String, ChildRef)> = Vec::with_capacity(names.len() + 1);
+            match access {
+                TableAccess::Full => {
+                    for row in &table.rows {
+                        if let Row::Full { name, child } = row {
+                            entries.push((name.clone(), child.clone()));
+                        }
+                    }
+                }
+                TableAccess::NamesOnly => {
+                    for row in &table.rows {
+                        if let Row::Name { name, kind } = row {
+                            entries.push((
+                                name.clone(),
+                                ChildRef {
+                                    inode: 0,
+                                    kind: *kind,
+                                    view: [0; 16],
+                                    mek: None,
+                                    mvk: None,
+                                    split: false,
+                                },
+                            ));
+                        }
+                    }
+                }
+                TableAccess::ExecOnly => {
+                    let tek = tek.ok_or(CoreError::Corrupt("exec-only rebuild needs TEK"))?;
+                    for (name, _) in &names {
+                        if let Some(child) = table.lookup(name, Some(tek))? {
+                            entries.push((name.clone(), child));
+                        }
+                    }
+                }
+                TableAccess::None => unreachable!("filtered"),
+            }
+
+            // Apply the edit.
+            match &edit {
+                TableEdit::Insert { name, child, child_secrets } => {
+                    let (child_ref, divergent) =
+                        layout.child_ref(&pattrs, *view, child, child_secrets);
+                    for d in divergent {
+                        if !divergent_union.contains(&d) {
+                            divergent_union.push(d);
+                        }
+                    }
+                    entries.push((name.to_string(), child_ref));
+                }
+                TableEdit::Remove { name } => {
+                    entries.retain(|(n, _)| n != name);
+                }
+                TableEdit::Rename { from, to } => {
+                    for (n, _) in entries.iter_mut() {
+                        if n == from {
+                            *n = to.to_string();
+                        }
+                    }
+                }
+            }
+
+            // Rebuild, re-seal, re-sign.
+            let mut new_plain: Vec<u8> = Vec::new();
+            let rebuilt = Self::timed_crypto(&meter, || -> Result<Vec<u8>> {
+                let new_table = match access {
+                    TableAccess::NamesOnly => DirTable::names_only(&entries),
+                    TableAccess::Full => DirTable::full(&entries),
+                    TableAccess::ExecOnly => {
+                        let tek = tek.ok_or(CoreError::Corrupt("exec-only rebuild needs TEK"))?;
+                        DirTable::exec_only(&entries, tek, &mut rng)
+                    }
+                    TableAccess::None => unreachable!("filtered"),
+                };
+                let plain = new_table.to_wire();
+                new_plain = plain.clone();
+                let ciphertext = if encrypts {
+                    teks.get(view)
+                        .ok_or(CoreError::Corrupt("missing TEK"))?
+                        .seal(&mut rng, &plain)
+                } else {
+                    plain
+                };
+                let sealed = if signs {
+                    let dsk = dsk.as_ref().ok_or(CoreError::PermissionDenied {
+                        path: format!("inode#{}", ph.inode),
+                        needed: "DSK (directory write)",
+                    })?;
+                    SealedObject::signed(ciphertext, key, dsk, &mut rng)
+                } else {
+                    SealedObject::unsigned(ciphertext)
+                };
+                Ok(sealed.to_wire())
+            })?;
+            cache_updates.push((CacheKey::Table(ph.inode, view.tag(ph.inode)), new_plain));
+            records.push((*key, rebuilt));
+        }
+        let _ = layout;
+        for (ck, plain) in cache_updates {
+            self.cache.put(ck, plain);
+        }
+        self.rng.reseed(b"rebuild-tables");
+        Ok((records, divergent_union))
+    }
+
+    // ----------------------------------------------------------- chmod &c
+
+    /// Changes permissions (Figure 8 `chmod`). Owner only. Revocations
+    /// re-key per the configured [`RevocationMode`].
+    pub fn chmod(&mut self, path: &str, mode: Mode) -> Result<()> {
+        self.update_access(path, Some(mode), None)
+    }
+
+    /// Replaces the POSIX ACL. Owner only. New named principals get split
+    /// entries; removed grants trigger revocation handling.
+    pub fn set_acl(&mut self, path: &str, acl: Acl) -> Result<()> {
+        self.update_access(path, None, Some(acl))
+    }
+
+    fn update_access(&mut self, path: &str, mode: Option<Mode>, acl: Option<Acl>) -> Result<()> {
+        let (h, body) = self.resolve(path)?;
+        let old_attrs = ObjectAttrs::from_body(&body);
+        if old_attrs.owner != self.identity.uid {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "ownership" });
+        }
+        if self.signs() && body.msk.is_none() {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "MSK (owner)" });
+        }
+
+        let mut new_attrs = old_attrs.clone();
+        new_attrs.version += 1;
+        if let Some(mode) = mode {
+            new_attrs.mode = mode;
+        }
+        if let Some(acl) = acl {
+            new_attrs.acl = acl;
+        }
+        self.layout().validate_perms(&new_attrs)?;
+
+        // Revocation detection: any user whose effective permission shrinks.
+        let mut revocation = false;
+        for user in self.db.users() {
+            let old = old_attrs.perm_of(user.uid, &self.db);
+            let new = new_attrs.perm_of(user.uid, &self.db);
+            if !new.covers(old) {
+                revocation = true;
+                break;
+            }
+        }
+
+        // Rebuild secrets from the owner CAP.
+        let mut secrets = self.secrets_from_owner_body(&h, &body)?;
+
+        // New views (added ACL classes) need fresh MEKs/TEKs.
+        let layout_views: Vec<ViewId> =
+            self.layout().views(&new_attrs).into_iter().map(|(v, _)| v).collect();
+        for view in &layout_views {
+            if self.config.policy == CryptoPolicy::Sharoes && !secrets.meks.contains_key(view) {
+                secrets.meks.insert(*view, SymKey::random(&mut self.rng));
+            }
+            if new_attrs.kind == NodeKind::Dir && !secrets.teks.contains_key(view) {
+                secrets.teks.insert(*view, SymKey::random(&mut self.rng));
+            }
+        }
+
+        let mut records = Vec::new();
+        let mut deletes = Vec::new();
+        let mut stale_slots: Vec<ObjectKey> = Vec::new();
+
+        // Directories need their children's key material to rebuild table
+        // replicas (both grants, which may create replicas for classes that
+        // never had one, and revocations, which rotate TEKs).
+        let children = if new_attrs.kind == NodeKind::Dir {
+            Some(self.collect_dir_children(&h, &body)?)
+        } else {
+            None
+        };
+
+        if revocation && self.config.revocation == RevocationMode::Immediate {
+            // Immediate revocation: rotate the DEK (and directory TEKs) and
+            // re-encrypt content under a fresh generation.
+            match new_attrs.kind {
+                NodeKind::File => {
+                    let content = self.read_content_for_rekey(&body)?;
+                    let old_view = ids::data_view(new_attrs.inode, new_attrs.generation);
+                    new_attrs.generation += 1;
+                    secrets.dek = SymKey::random(&mut self.rng);
+                    let meter = Arc::clone(&self.meter);
+                    let mut rng = self.rng.clone();
+                    let layout = self.layout();
+                    records.extend(Self::timed_crypto(&meter, || {
+                        layout.data_records(&new_attrs, &secrets, &content, &mut rng)
+                    }));
+                    self.rng.reseed(b"rekey-data");
+                    deletes.push(old_view);
+                    new_attrs.size = content.len() as u64;
+                    new_attrs.nblocks =
+                        content.len().div_ceil(self.config.block_size.max(1)) as u32;
+                }
+                NodeKind::Dir => {
+                    // Rotate every table key; the rebuild below re-seals.
+                    for view in &layout_views {
+                        secrets.teks.insert(*view, SymKey::random(&mut self.rng));
+                    }
+                }
+            }
+            new_attrs.rekey_pending = false;
+        } else if revocation && self.config.revocation == RevocationMode::Lazy {
+            new_attrs.rekey_pending = true;
+        }
+
+        if let Some(children) = &children {
+            records.extend(self.build_dir_tables(&new_attrs, &secrets, children)?);
+            // Views that lost table access keep stale replicas around;
+            // delete them (they are sealed under rotated-away keys anyway).
+            let new_tags: Vec<[u8; 16]> = self
+                .dir_views_with_access(&new_attrs)?
+                .into_iter()
+                .map(|(v, _)| v.tag(new_attrs.inode))
+                .collect();
+            for (view, _) in self.dir_views_with_access(&old_attrs)? {
+                let tag = view.tag(new_attrs.inode);
+                if !new_tags.contains(&tag) {
+                    stale_slots.push(ObjectKey::data(new_attrs.inode, tag, 0));
+                }
+            }
+        }
+
+        // Rebuild all metadata replicas.
+        {
+            let meter = Arc::clone(&self.meter);
+            let mut rng = self.rng.clone();
+            let layout = self.layout();
+            records.extend(Self::timed_crypto(&meter, || {
+                layout.metadata_records(&new_attrs, &secrets, &mut rng)
+            })?);
+            self.rng.reseed(b"update-access-md");
+        }
+
+        // Split entries for ACL-named principals.
+        let mut divergent: Vec<(Uid, ClassTag)> = Vec::new();
+        for (uid, _) in new_attrs.acl.user_entries() {
+            divergent.push((uid, ClassTag::AclUser(uid.0)));
+        }
+        for (gid, _) in new_attrs.acl.group_entries() {
+            if let Some(group) = self.db.group(gid) {
+                for &member in &group.members {
+                    if new_attrs.class_of(member, &self.db) == ClassTag::AclGroup(gid.0) {
+                        divergent.push((member, ClassTag::AclGroup(gid.0)));
+                    }
+                }
+            }
+        }
+        if !divergent.is_empty() {
+            let meter = Arc::clone(&self.meter);
+            let mut rng = self.rng.clone();
+            let layout = self.layout();
+            records.extend(Self::timed_crypto(&meter, || {
+                layout.split_records(&new_attrs, &secrets, &divergent, &mut rng)
+            })?);
+            self.rng.reseed(b"update-access-splits");
+        }
+
+        self.put_many(records)?;
+        for view in deletes {
+            self.call(&Request::DeleteBlocks { inode: new_attrs.inode, view })?;
+        }
+        self.delete_many(stale_slots)?;
+        self.cache.invalidate_inode(new_attrs.inode);
+        Ok(())
+    }
+
+    /// Everything an owner needs to rebuild a directory's table replicas:
+    /// per-child attributes, per-view MEKs, and the metadata verify key.
+    fn collect_dir_children(
+        &mut self,
+        h: &NodeHandle,
+        body: &MetadataBody,
+    ) -> Result<Vec<ChildInfo>> {
+        let attrs = ObjectAttrs::from_body(body);
+        // Owner's replica is always a full table.
+        let my_table = self.open_table(h, body)?;
+        let rows: Vec<(String, ChildRef)> = my_table
+            .rows
+            .iter()
+            .filter_map(|row| match row {
+                Row::Full { name, child } => Some((name.clone(), child.clone())),
+                _ => None,
+            })
+            .collect();
+
+        // Harvest per-view child MEKs from every existing replica: the
+        // owner holds all TEKs, so all rows open.
+        let old_views = self.dir_views_with_access(&attrs)?;
+        let teks: HashMap<ViewId, SymKey> = body.write_teks.iter().cloned().collect();
+        let keys: Vec<ObjectKey> = old_views
+            .iter()
+            .map(|(view, _)| ObjectKey::data(h.inode, view.tag(h.inode), 0))
+            .collect();
+        let blobs = self.fetch_many(keys)?;
+        let mut harvested: HashMap<(u64, [u8; 16]), SymKey> = HashMap::new();
+        for ((view, access), blob) in old_views.iter().zip(blobs) {
+            let Some(blob) = blob else { continue };
+            let Ok(sealed) = SealedObject::from_wire(&blob) else { continue };
+            let plain = if self.encrypts_data() {
+                let Some(tek) = teks.get(view) else { continue };
+                let Ok(p) = tek.open(&sealed.ciphertext) else { continue };
+                p
+            } else {
+                sealed.ciphertext.clone()
+            };
+            let Ok(table) = DirTable::from_wire(&plain) else { continue };
+            match access {
+                TableAccess::Full => {
+                    for row in &table.rows {
+                        if let Row::Full { child, .. } = row {
+                            if let Some(mek) = &child.mek {
+                                harvested.insert((child.inode, child.view), mek.clone());
+                            }
+                        }
+                    }
+                }
+                TableAccess::ExecOnly => {
+                    let Some(tek) = teks.get(view) else { continue };
+                    for (name, _) in &rows {
+                        if let Ok(Some(child)) = table.lookup(name, Some(tek)) {
+                            if let Some(mek) = &child.mek {
+                                harvested.insert((child.inode, child.view), mek.clone());
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut out = Vec::with_capacity(rows.len());
+        for (name, child_ref) in rows {
+            let ch = NodeHandle {
+                inode: child_ref.inode,
+                view: child_ref.view,
+                mek: child_ref.mek.clone(),
+                mvk: child_ref.mvk.clone(),
+            };
+            let cbody = self.open_metadata_at(&ch)?;
+            let cattrs = ObjectAttrs::from_body(&cbody);
+            let mut meks: HashMap<ViewId, SymKey> = HashMap::new();
+            if Uid(cbody.owner) == self.identity.uid {
+                // Owned child: its owner replica carries all MEKs.
+                meks.extend(cbody.owner_meks.iter().cloned());
+            }
+            // Fill gaps from harvested rows.
+            let candidates = self.layout().candidate_child_views(&cattrs);
+            for view in candidates {
+                if meks.contains_key(&view) {
+                    continue;
+                }
+                let tag = view.tag(cattrs.inode);
+                if let Some(mek) = harvested.get(&(cattrs.inode, tag)) {
+                    meks.insert(view, mek.clone());
+                }
+            }
+            out.push(ChildInfo { name, attrs: cattrs, meks, mvk: child_ref.mvk });
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds every table replica of a directory from child information
+    /// (used by chmod/set_acl, where view sets and access levels change).
+    fn build_dir_tables(
+        &mut self,
+        new_attrs: &ObjectAttrs,
+        secrets: &ObjectSecrets,
+        children: &[ChildInfo],
+    ) -> Result<Vec<(ObjectKey, Vec<u8>)>> {
+        let views = self.dir_views_with_access(new_attrs)?;
+        let meter = Arc::clone(&self.meter);
+        let signs = self.signs();
+        let encrypts = self.encrypts_data();
+        let mut rng = self.rng.clone();
+        let mut records = Vec::with_capacity(views.len());
+        let layout = self.layout();
+
+        for (view, access) in views {
+            let mut entries: Vec<(String, ChildRef)> = Vec::with_capacity(children.len());
+            for child in children {
+                let (child_ref, _) = layout.child_ref_from_parts(
+                    new_attrs,
+                    view,
+                    &child.attrs,
+                    &child.meks,
+                    child.mvk.clone(),
+                );
+                entries.push((child.name.clone(), child_ref));
+            }
+            let key = ObjectKey::data(new_attrs.inode, view.tag(new_attrs.inode), 0);
+            let tek = secrets.teks.get(&view);
+            let rec = Self::timed_crypto(&meter, || -> Result<Vec<u8>> {
+                let table = match access {
+                    TableAccess::NamesOnly => DirTable::names_only(&entries),
+                    TableAccess::Full => DirTable::full(&entries),
+                    TableAccess::ExecOnly => {
+                        let tek = tek.ok_or(CoreError::Corrupt("missing TEK"))?;
+                        DirTable::exec_only(&entries, tek, &mut rng)
+                    }
+                    TableAccess::None => unreachable!("filtered"),
+                };
+                let plain = table.to_wire();
+                let ciphertext = if encrypts {
+                    tek.ok_or(CoreError::Corrupt("missing TEK"))?.seal(&mut rng, &plain)
+                } else {
+                    plain
+                };
+                let sealed = match (&secrets.sig, signs) {
+                    (Some(sig), true) => SealedObject::signed(ciphertext, &key, &sig.dsk, &mut rng),
+                    _ => SealedObject::unsigned(ciphertext),
+                };
+                Ok(sealed.to_wire())
+            })?;
+            records.push((key, rec));
+        }
+        let _ = layout;
+        self.rng.reseed(b"build-dir-tables");
+        Ok(records)
+    }
+
+    /// Reconstructs [`ObjectSecrets`] from an owner's metadata replica.
+    fn secrets_from_owner_body(&self, h: &NodeHandle, body: &MetadataBody) -> Result<ObjectSecrets> {
+        let sig = match (self.signs(), &body.dsk, &body.dvk, &body.msk, &h.mvk) {
+            (false, ..) => None,
+            (true, Some(dsk), Some(dvk), Some(msk), Some(mvk)) => Some(SigPairs {
+                dsk: dsk.clone(),
+                dvk: dvk.clone(),
+                msk: msk.clone(),
+                mvk: mvk.clone(),
+            }),
+            _ => {
+                return Err(CoreError::PermissionDenied {
+                    path: format!("inode#{}", h.inode),
+                    needed: "owner key material (DSK/DVK/MSK/MVK)",
+                })
+            }
+        };
+        let dek = match (body.kind, &body.dek) {
+            (NodeKind::File, Some(dek)) => dek.clone(),
+            // Directories keep per-view TEKs; dek below is unused. Files
+            // without encryption (NO-ENC policies) take a placeholder.
+            _ => SymKey([0u8; 16]),
+        };
+        Ok(ObjectSecrets {
+            dek,
+            teks: body.write_teks.iter().cloned().collect(),
+            meks: body.owner_meks.iter().cloned().collect(),
+            sig,
+        })
+    }
+
+    /// Reads a file's full plaintext for re-keying (bypasses permission
+    /// checks — the caller is the owner mid-revocation).
+    fn read_content_for_rekey(&mut self, body: &MetadataBody) -> Result<Vec<u8>> {
+        let manifest = self.load_manifest(body)?;
+        let dview = ids::data_view(body.inode, body.generation);
+        let keys: Vec<ObjectKey> = (0..manifest.nblocks)
+            .map(|i| ObjectKey::data(body.inode, dview, i))
+            .collect();
+        let blobs = self.fetch_many(keys.clone())?;
+        let mut out = Vec::with_capacity(manifest.size as usize);
+        for (key, blob) in keys.iter().zip(blobs) {
+            let blob = blob.ok_or(CoreError::Corrupt("missing block during rekey"))?;
+            out.extend_from_slice(&self.open_data_block(
+                key,
+                &blob,
+                body,
+                manifest.hash_of(key.block),
+            )?);
+        }
+        out.truncate(manifest.size as usize);
+        Ok(out)
+    }
+
+    /// Flushes the DEK rotation deferred by lazy revocation, then writes.
+    fn rekey_and_write(
+        &mut self,
+        h: NodeHandle,
+        body: MetadataBody,
+        content: &[u8],
+    ) -> Result<()> {
+        let mut attrs = ObjectAttrs::from_body(&body);
+        let mut secrets = self.secrets_from_owner_body(&h, &body)?;
+        let old_view = ids::data_view(attrs.inode, attrs.generation);
+        attrs.generation += 1;
+        attrs.version += 1;
+        attrs.rekey_pending = false;
+        attrs.size = content.len() as u64;
+        attrs.nblocks = content.len().div_ceil(self.config.block_size.max(1)) as u32;
+        secrets.dek = SymKey::random(&mut self.rng);
+
+        let mut records = Vec::new();
+        {
+            let meter = Arc::clone(&self.meter);
+            let mut rng = self.rng.clone();
+            let layout = self.layout();
+            records.extend(Self::timed_crypto(&meter, || {
+                layout.data_records(&attrs, &secrets, content, &mut rng)
+            }));
+            records.extend(Self::timed_crypto(&meter, || {
+                layout.metadata_records(&attrs, &secrets, &mut rng)
+            })?);
+            self.rng.reseed(b"lazy-rekey");
+        }
+        self.put_many(records)?;
+        self.call(&Request::DeleteBlocks { inode: attrs.inode, view: old_view })?;
+        self.cache.invalidate_inode(attrs.inode);
+        Ok(())
+    }
+
+    /// Refreshes the size/nblocks attributes in this owner's metadata
+    /// replicas from the current manifest (writes leave metadata untouched,
+    /// per Figure 8 — this is the explicit owner-side refresh).
+    pub fn fsync_metadata(&mut self, path: &str) -> Result<()> {
+        let (h, body) = self.resolve(path)?;
+        let mut attrs = ObjectAttrs::from_body(&body);
+        if attrs.owner != self.identity.uid {
+            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "ownership" });
+        }
+        if attrs.kind == NodeKind::File {
+            let manifest = self.load_manifest(&body)?;
+            attrs.size = manifest.size;
+            attrs.nblocks = manifest.nblocks;
+        }
+        attrs.version += 1;
+        let secrets = self.secrets_from_owner_body(&h, &body)?;
+        let meter = Arc::clone(&self.meter);
+        let mut rng = self.rng.clone();
+        let layout = self.layout();
+        let records = Self::timed_crypto(&meter, || {
+            layout.metadata_records(&attrs, &secrets, &mut rng)
+        })?;
+        self.rng.reseed(b"fsync-metadata");
+        self.put_many(records)?;
+        self.cache.invalidate_inode(attrs.inode);
+        Ok(())
+    }
+}
+
+/// Per-child material collected for directory table rebuilds.
+struct ChildInfo {
+    name: String,
+    attrs: ObjectAttrs,
+    meks: HashMap<ViewId, SymKey>,
+    mvk: Option<VerifyKey>,
+}
+
+/// Directory-table edits supported by `rebuild_parent_tables`.
+enum TableEdit<'a> {
+    /// Insert a new child row.
+    Insert {
+        /// Entry name.
+        name: &'a str,
+        /// Child attributes.
+        child: &'a ObjectAttrs,
+        /// Child key material.
+        child_secrets: &'a ObjectSecrets,
+    },
+    /// Remove a row by name.
+    Remove {
+        /// Entry name.
+        name: &'a str,
+    },
+    /// Rename a row.
+    Rename {
+        /// Old name.
+        from: &'a str,
+        /// New name.
+        to: &'a str,
+    },
+}

@@ -1,0 +1,128 @@
+//! Error type for the Sharoes core.
+
+use sharoes_crypto::CryptoError;
+use sharoes_net::NetError;
+use std::fmt;
+
+/// Errors surfaced by the Sharoes client, migration tool, and layout logic.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A path component does not exist (or is invisible to this principal).
+    NotFound(String),
+    /// The caller's CAP lacks the keys/fields for the operation.
+    PermissionDenied {
+        /// Path or object description.
+        path: String,
+        /// What was missing, e.g. "DEK (read)".
+        needed: &'static str,
+    },
+    /// The requested permission cannot be represented cryptographically
+    /// (paper §III: directory write-exec; file write-only / exec-only).
+    UnsupportedPermission {
+        /// The offending rwx triple, rendered like "-wx".
+        perm: String,
+        /// File or directory.
+        kind: &'static str,
+    },
+    /// A signature or structural check failed — the SSP (or a non-writer)
+    /// tampered with stored state.
+    TamperDetected(String),
+    /// Expected a directory.
+    NotADirectory(String),
+    /// Expected a file.
+    IsADirectory(String),
+    /// Target already exists.
+    AlreadyExists(String),
+    /// Directory not empty.
+    NotEmpty(String),
+    /// The client has not mounted a filesystem yet.
+    NotMounted,
+    /// Cryptographic failure.
+    Crypto(CryptoError),
+    /// Transport failure.
+    Net(NetError),
+    /// Malformed path.
+    BadPath(sharoes_fs::path::PathError),
+    /// Stored object bytes failed to parse (treated as tampering-adjacent).
+    Corrupt(&'static str),
+    /// The operation requires an identity the keyring doesn't hold.
+    UnknownPrincipal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotFound(p) => write!(f, "not found: {p}"),
+            CoreError::PermissionDenied { path, needed } => {
+                write!(f, "permission denied on {path} (missing {needed})")
+            }
+            CoreError::UnsupportedPermission { perm, kind } => {
+                write!(f, "permission {perm} on a {kind} has no cryptographic realization")
+            }
+            CoreError::TamperDetected(what) => write!(f, "tamper detected: {what}"),
+            CoreError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            CoreError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            CoreError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            CoreError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            CoreError::NotMounted => write!(f, "filesystem not mounted"),
+            CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::BadPath(e) => write!(f, "{e}"),
+            CoreError::Corrupt(what) => write!(f, "corrupt stored object: {what}"),
+            CoreError::UnknownPrincipal(who) => write!(f, "no key material for {who}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Crypto(e) => Some(e),
+            CoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for CoreError {
+    fn from(e: CryptoError) -> Self {
+        CoreError::Crypto(e)
+    }
+}
+
+impl From<NetError> for CoreError {
+    fn from(e: NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+impl From<sharoes_fs::path::PathError> for CoreError {
+    fn from(e: sharoes_fs::path::PathError) -> Self {
+        CoreError::BadPath(e)
+    }
+}
+
+/// Core result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::PermissionDenied { path: "/x".into(), needed: "DEK (read)" };
+        assert_eq!(e.to_string(), "permission denied on /x (missing DEK (read))");
+        let e = CoreError::UnsupportedPermission { perm: "-wx".into(), kind: "directory" };
+        assert!(e.to_string().contains("-wx"));
+        assert_eq!(CoreError::NotMounted.to_string(), "filesystem not mounted");
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = CryptoError::SignatureInvalid.into();
+        assert!(matches!(e, CoreError::Crypto(_)));
+        let e: CoreError = NetError::Closed.into();
+        assert!(matches!(e, CoreError::Net(_)));
+    }
+}

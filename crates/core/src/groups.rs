@@ -1,0 +1,107 @@
+//! In-band group key distribution (paper §II-A).
+//!
+//! "The group keys are distributed to users by storing them encrypted with
+//! the public keys of group members (individually). These encrypted group
+//! keys are stored at the SSP. When a user alice logs into the system ...
+//! she obtains her encrypted group key blocks and uses her private key to
+//! decrypt and thus obtain her group keys."
+
+use crate::error::{CoreError, Result};
+use crate::ids;
+use crate::keyring::Keyring;
+use sharoes_crypto::{RandomSource, RsaPrivateKey};
+use sharoes_fs::{Gid, Uid, UserDb};
+use sharoes_net::ObjectKey;
+
+/// Builds the group key blocks for every group membership in the directory:
+/// one `(ObjectKey, blob)` per (group, member) pair.
+pub fn build_group_key_blocks<R: RandomSource + ?Sized>(
+    db: &UserDb,
+    ring: &Keyring,
+    rng: &mut R,
+) -> Result<Vec<(ObjectKey, Vec<u8>)>> {
+    let mut out = Vec::new();
+    for group in db.groups() {
+        let group_priv = ring.group_private(group.gid)?;
+        let payload = group_priv.to_bytes();
+        for &member in &group.members {
+            let pk = ring.user_public(member)?;
+            let blob = pk.encrypt_blob(rng, &payload)?;
+            out.push((
+                ObjectKey::group_key(group.gid.0 as u64, ids::group_key_view(member)),
+                blob,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// The SSP slot of the group key block for `(gid, member)`.
+pub fn group_key_slot(gid: Gid, member: Uid) -> ObjectKey {
+    ObjectKey::group_key(gid.0 as u64, ids::group_key_view(member))
+}
+
+/// Decrypts a fetched group key block with the member's private key.
+pub fn open_group_key_block(private: &RsaPrivateKey, blob: &[u8]) -> Result<RsaPrivateKey> {
+    let plain = private
+        .decrypt_blob(blob)
+        .map_err(|_| CoreError::TamperDetected("group key block decryption failed".into()))?;
+    RsaPrivateKey::from_bytes(&plain).map_err(|_| CoreError::Corrupt("group key payload"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_crypto::HmacDrbg;
+
+    fn setup() -> (UserDb, Keyring, HmacDrbg) {
+        let mut db = UserDb::new();
+        db.add_group(Gid(10), "eng").unwrap();
+        db.add_group(Gid(20), "ops").unwrap();
+        db.add_user(Uid(1), "alice", Gid(10)).unwrap();
+        db.add_user(Uid(2), "bob", Gid(10)).unwrap();
+        db.add_user(Uid(3), "carol", Gid(20)).unwrap();
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let ring = Keyring::generate(&db, 512, &mut rng).unwrap();
+        (db, ring, rng)
+    }
+
+    #[test]
+    fn blocks_cover_all_memberships() {
+        let (db, ring, mut rng) = setup();
+        let blocks = build_group_key_blocks(&db, &ring, &mut rng).unwrap();
+        // eng has 2 members, ops has 1.
+        assert_eq!(blocks.len(), 3);
+        let keys: Vec<ObjectKey> = blocks.iter().map(|(k, _)| *k).collect();
+        assert!(keys.contains(&group_key_slot(Gid(10), Uid(1))));
+        assert!(keys.contains(&group_key_slot(Gid(10), Uid(2))));
+        assert!(keys.contains(&group_key_slot(Gid(20), Uid(3))));
+    }
+
+    #[test]
+    fn member_recovers_group_key_in_band() {
+        let (db, ring, mut rng) = setup();
+        let blocks = build_group_key_blocks(&db, &ring, &mut rng).unwrap();
+        let slot = group_key_slot(Gid(10), Uid(1));
+        let (_, blob) = blocks.iter().find(|(k, _)| *k == slot).unwrap();
+        let alice = ring.user_private(Uid(1)).unwrap();
+        let recovered = open_group_key_block(alice, blob).unwrap();
+        // The recovered key must decrypt things encrypted to the group.
+        let ct = ring
+            .group_public(Gid(10))
+            .unwrap()
+            .encrypt(&mut rng, b"to the eng group")
+            .unwrap();
+        assert_eq!(recovered.decrypt(&ct).unwrap(), b"to the eng group");
+    }
+
+    #[test]
+    fn non_member_cannot_recover() {
+        let (db, ring, mut rng) = setup();
+        let blocks = build_group_key_blocks(&db, &ring, &mut rng).unwrap();
+        let slot = group_key_slot(Gid(10), Uid(1));
+        let (_, blob) = blocks.iter().find(|(k, _)| *k == slot).unwrap();
+        let carol = ring.user_private(Uid(3)).unwrap();
+        assert!(open_group_key_block(carol, blob).is_err());
+    }
+}

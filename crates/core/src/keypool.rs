@@ -1,0 +1,137 @@
+//! Signature key-pair pooling.
+//!
+//! Every Sharoes object carries two fresh signing pairs (DSK/DVK, MSK/MVK).
+//! Generating ESIGN/RSA keys means prime search, which would otherwise
+//! serialize into the create path; the pool amortizes it and lets bulk
+//! operations (migration) prefill in batch.
+
+use crate::params::CryptoParams;
+use parking_lot::Mutex;
+use sharoes_crypto::{generate_signing_pair, RandomSource, SigningKey, VerifyKey};
+
+/// A pool of pre-generated signing pairs.
+pub struct SigKeyPool {
+    params: CryptoParams,
+    pool: Mutex<Vec<(SigningKey, VerifyKey)>>,
+}
+
+impl SigKeyPool {
+    /// An empty pool generating keys per `params`.
+    pub fn new(params: CryptoParams) -> Self {
+        SigKeyPool { params, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// Pre-generates `n` pairs.
+    pub fn prefill<R: RandomSource + ?Sized>(&self, n: usize, rng: &mut R) {
+        let mut fresh = Vec::with_capacity(n);
+        for _ in 0..n {
+            fresh.push(
+                generate_signing_pair(self.params.sig_scheme, self.params.sig_bits, rng)
+                    .expect("signature keygen"),
+            );
+        }
+        self.pool.lock().extend(fresh);
+    }
+
+    /// Pre-generates `n` pairs across all available cores. Each worker gets
+    /// an independent DRBG derived from `seed`, so the pool contents are
+    /// deterministic up to ordering.
+    pub fn prefill_parallel(&self, n: usize, seed: u64) {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n.max(1));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let quota = n / threads + usize::from(t < n % threads);
+                let pool = &self.pool;
+                let params = self.params;
+                scope.spawn(move || {
+                    let mut rng = sharoes_crypto::HmacDrbg::new(
+                        &[&seed.to_be_bytes()[..], &(t as u64).to_be_bytes()[..]].concat(),
+                    );
+                    let mut fresh = Vec::with_capacity(quota);
+                    for _ in 0..quota {
+                        fresh.push(
+                            generate_signing_pair(params.sig_scheme, params.sig_bits, &mut rng)
+                                .expect("signature keygen"),
+                        );
+                    }
+                    pool.lock().extend(fresh);
+                });
+            }
+        });
+    }
+
+    /// Pre-fills the pool with `n` clones of a single freshly generated
+    /// pair. Only valid when the consumer never *signs* with these keys
+    /// (the PUBLIC/PUB-OPT baselines carry signing-key bytes inside
+    /// metadata for size fidelity but perform no signing), so distinctness
+    /// is irrelevant and the prefill cost collapses to one keygen.
+    pub fn prefill_cloned<R: RandomSource + ?Sized>(&self, n: usize, rng: &mut R) {
+        let pair = generate_signing_pair(self.params.sig_scheme, self.params.sig_bits, rng)
+            .expect("signature keygen");
+        let mut pool = self.pool.lock();
+        for _ in 0..n {
+            pool.push(pair.clone());
+        }
+    }
+
+    /// Takes a pair, generating one on demand if the pool is dry.
+    pub fn take<R: RandomSource + ?Sized>(&self, rng: &mut R) -> (SigningKey, VerifyKey) {
+        if let Some(pair) = self.pool.lock().pop() {
+            return pair;
+        }
+        generate_signing_pair(self.params.sig_scheme, self.params.sig_bits, rng)
+            .expect("signature keygen")
+    }
+
+    /// Current pool depth.
+    pub fn len(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    /// True when no pre-generated pairs remain.
+    pub fn is_empty(&self) -> bool {
+        self.pool.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_crypto::HmacDrbg;
+
+    #[test]
+    fn prefill_and_take() {
+        let pool = SigKeyPool::new(CryptoParams::test());
+        let mut rng = HmacDrbg::from_seed_u64(1);
+        assert!(pool.is_empty());
+        pool.prefill(3, &mut rng);
+        assert_eq!(pool.len(), 3);
+        let (sk, vk) = pool.take(&mut rng);
+        assert_eq!(pool.len(), 2);
+        let sig = sk.sign(&mut rng, b"x");
+        vk.verify(b"x", &sig).unwrap();
+    }
+
+    #[test]
+    fn parallel_prefill_fills_pool() {
+        let pool = SigKeyPool::new(CryptoParams::test());
+        pool.prefill_parallel(7, 42);
+        assert_eq!(pool.len(), 7);
+        let mut rng = HmacDrbg::from_seed_u64(3);
+        let (sk, vk) = pool.take(&mut rng);
+        let sig = sk.sign(&mut rng, b"parallel");
+        vk.verify(b"parallel", &sig).unwrap();
+    }
+
+    #[test]
+    fn take_generates_on_dry_pool() {
+        let pool = SigKeyPool::new(CryptoParams::test());
+        let mut rng = HmacDrbg::from_seed_u64(2);
+        let (sk, vk) = pool.take(&mut rng);
+        let sig = sk.sign(&mut rng, b"on demand");
+        vk.verify(b"on demand", &sig).unwrap();
+    }
+}

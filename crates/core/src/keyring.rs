@@ -1,0 +1,202 @@
+//! Identity key material: user and group RSA key pairs.
+//!
+//! "Each user has a public-private key pair ... This key pair effectively
+//! serves as the identity of the user. User groups also have a similar
+//! public-private key pair" (§II-A). The enterprise generates these during
+//! migration; public keys are assumed known to everyone (PKI / IBE), private
+//! keys never leave the enterprise domain.
+
+use crate::error::{CoreError, Result};
+use parking_lot::RwLock;
+use sharoes_crypto::{RandomSource, RsaPrivateKey, RsaPublicKey};
+use sharoes_fs::{Gid, Uid, UserDb};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// All identity keys for the enterprise (the migration tool holds this;
+/// individual users hold only their own slice — see [`UserIdentity`]).
+#[derive(Debug, Clone, Default)]
+pub struct Keyring {
+    users: HashMap<Uid, RsaPrivateKey>,
+    groups: HashMap<Gid, RsaPrivateKey>,
+}
+
+impl Keyring {
+    /// Generates key pairs for every user and group in the directory.
+    pub fn generate<R: RandomSource + ?Sized>(
+        db: &UserDb,
+        rsa_bits: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let mut ring = Keyring::default();
+        for user in db.users() {
+            ring.users
+                .insert(user.uid, RsaPrivateKey::generate(rsa_bits, rng)?);
+        }
+        for group in db.groups() {
+            ring.groups
+                .insert(group.gid, RsaPrivateKey::generate(rsa_bits, rng)?);
+        }
+        Ok(ring)
+    }
+
+    /// A user's public key (the PKI everyone can consult).
+    pub fn user_public(&self, uid: Uid) -> Result<&RsaPublicKey> {
+        self.users
+            .get(&uid)
+            .map(|k| k.public_key())
+            .ok_or_else(|| CoreError::UnknownPrincipal(uid.to_string()))
+    }
+
+    /// A group's public key.
+    pub fn group_public(&self, gid: Gid) -> Result<&RsaPublicKey> {
+        self.groups
+            .get(&gid)
+            .map(|k| k.public_key())
+            .ok_or_else(|| CoreError::UnknownPrincipal(gid.to_string()))
+    }
+
+    /// A user's private key (enterprise-side only).
+    pub fn user_private(&self, uid: Uid) -> Result<&RsaPrivateKey> {
+        self.users
+            .get(&uid)
+            .ok_or_else(|| CoreError::UnknownPrincipal(uid.to_string()))
+    }
+
+    /// A group's private key (enterprise-side only; distributed to members
+    /// in-band via group key blocks).
+    pub fn group_private(&self, gid: Gid) -> Result<&RsaPrivateKey> {
+        self.groups
+            .get(&gid)
+            .ok_or_else(|| CoreError::UnknownPrincipal(gid.to_string()))
+    }
+
+    /// Extracts the slice a single user legitimately holds: their own key
+    /// pair (group keys arrive in-band after mount).
+    pub fn identity(&self, uid: Uid) -> Result<UserIdentity> {
+        Ok(UserIdentity {
+            uid,
+            private: self.user_private(uid)?.clone(),
+            group_keys: Arc::new(RwLock::new(HashMap::new())),
+        })
+    }
+
+    /// Uids with keys.
+    pub fn user_ids(&self) -> Vec<Uid> {
+        let mut ids: Vec<Uid> = self.users.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The public half of the keyring — what the paper's PKI assumption
+    /// ("each user knows the public keys for all other users") makes
+    /// available to every client.
+    pub fn public_directory(&self) -> Pki {
+        Pki {
+            users: self
+                .users
+                .iter()
+                .map(|(&uid, k)| (uid, k.public_key().clone()))
+                .collect(),
+            groups: self
+                .groups
+                .iter()
+                .map(|(&gid, k)| (gid, k.public_key().clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Public keys of all enterprise principals (the PKI of §II-A).
+#[derive(Clone, Debug, Default)]
+pub struct Pki {
+    users: HashMap<Uid, RsaPublicKey>,
+    groups: HashMap<Gid, RsaPublicKey>,
+}
+
+impl Pki {
+    /// A user's public key.
+    pub fn user(&self, uid: Uid) -> Result<&RsaPublicKey> {
+        self.users
+            .get(&uid)
+            .ok_or_else(|| CoreError::UnknownPrincipal(uid.to_string()))
+    }
+
+    /// A group's public key.
+    pub fn group(&self, gid: Gid) -> Result<&RsaPublicKey> {
+        self.groups
+            .get(&gid)
+            .ok_or_else(|| CoreError::UnknownPrincipal(gid.to_string()))
+    }
+}
+
+/// The key material one mounted user possesses.
+///
+/// The single pair the paper requires each user to manage, plus group keys
+/// recovered in-band at mount time ("she obtains her encrypted group key
+/// blocks and uses her private key to decrypt", §II-A).
+#[derive(Clone, Debug)]
+pub struct UserIdentity {
+    /// Who this is.
+    pub uid: Uid,
+    /// The user's private key.
+    pub private: RsaPrivateKey,
+    /// Group private keys recovered from group key blocks at mount.
+    pub group_keys: Arc<RwLock<HashMap<Gid, RsaPrivateKey>>>,
+}
+
+impl UserIdentity {
+    /// Installs a group key recovered in-band.
+    pub fn install_group_key(&self, gid: Gid, key: RsaPrivateKey) {
+        self.group_keys.write().insert(gid, key);
+    }
+
+    /// A group private key, if this user recovered it.
+    pub fn group_key(&self, gid: Gid) -> Option<RsaPrivateKey> {
+        self.group_keys.read().get(&gid).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_crypto::HmacDrbg;
+
+    fn db() -> UserDb {
+        let mut db = UserDb::new();
+        db.add_group(Gid(10), "g").unwrap();
+        db.add_user(Uid(1), "a", Gid(10)).unwrap();
+        db.add_user(Uid(2), "b", Gid(10)).unwrap();
+        db
+    }
+
+    #[test]
+    fn generate_covers_all_principals() {
+        let mut rng = HmacDrbg::from_seed_u64(1);
+        let ring = Keyring::generate(&db(), 512, &mut rng).unwrap();
+        assert!(ring.user_public(Uid(1)).is_ok());
+        assert!(ring.user_public(Uid(2)).is_ok());
+        assert!(ring.group_public(Gid(10)).is_ok());
+        assert!(matches!(ring.user_public(Uid(9)), Err(CoreError::UnknownPrincipal(_))));
+        assert_eq!(ring.user_ids(), vec![Uid(1), Uid(2)]);
+    }
+
+    #[test]
+    fn identity_decrypts_what_public_encrypted() {
+        let mut rng = HmacDrbg::from_seed_u64(2);
+        let ring = Keyring::generate(&db(), 512, &mut rng).unwrap();
+        let identity = ring.identity(Uid(1)).unwrap();
+        let ct = ring.user_public(Uid(1)).unwrap().encrypt(&mut rng, b"hello").unwrap();
+        assert_eq!(identity.private.decrypt(&ct).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn group_key_install_and_lookup() {
+        let mut rng = HmacDrbg::from_seed_u64(3);
+        let ring = Keyring::generate(&db(), 512, &mut rng).unwrap();
+        let identity = ring.identity(Uid(1)).unwrap();
+        assert!(identity.group_key(Gid(10)).is_none());
+        identity.install_group_key(Gid(10), ring.group_private(Gid(10)).unwrap().clone());
+        assert!(identity.group_key(Gid(10)).is_some());
+    }
+}

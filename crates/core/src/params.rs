@@ -1,0 +1,201 @@
+//! Configuration: schemes, crypto policies, revocation modes, parameters.
+
+use sharoes_crypto::SignatureScheme;
+
+/// How metadata replicas are laid out at the SSP (paper §III-D).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Scheme {
+    /// Scheme-1: the metadata/directory-table tree is replicated per user.
+    PerUser,
+    /// Scheme-2: replicated per CAP (permission class), with public-key
+    /// split points where user populations diverge.
+    SharedCaps,
+}
+
+/// The five implementations compared in the paper's evaluation (§V).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CryptoPolicy {
+    /// NO-ENC-MD-D: no metadata or data encryption — the networking/
+    /// implementation-overhead baseline.
+    NoEncMdD,
+    /// NO-ENC-MD: plaintext metadata, symmetric-encrypted data.
+    NoEncMd,
+    /// SHAROES: symmetric crypto for both metadata and data, in-band keys.
+    Sharoes,
+    /// PUBLIC: whole metadata objects encrypted with user public keys
+    /// (Sirius/SNAD/Farsite-style).
+    Public,
+    /// PUB-OPT: metadata sealed with a symmetric key that is itself
+    /// public-key wrapped per user.
+    PubOpt,
+}
+
+impl CryptoPolicy {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CryptoPolicy::NoEncMdD => "NO-ENC-MD-D",
+            CryptoPolicy::NoEncMd => "NO-ENC-MD",
+            CryptoPolicy::Sharoes => "SHAROES",
+            CryptoPolicy::Public => "PUBLIC",
+            CryptoPolicy::PubOpt => "PUB-OPT",
+        }
+    }
+
+    /// Whether file data blocks are symmetrically encrypted.
+    pub fn encrypts_data(self) -> bool {
+        !matches!(self, CryptoPolicy::NoEncMdD)
+    }
+
+    /// Whether metadata objects are protected at all.
+    pub fn encrypts_metadata(self) -> bool {
+        matches!(self, CryptoPolicy::Sharoes | CryptoPolicy::Public | CryptoPolicy::PubOpt)
+    }
+
+    /// Whether this policy signs metadata/data (only the full Sharoes design
+    /// carries the DSK/MSK machinery; the baselines mirror the related work,
+    /// which the paper compares on encryption cost).
+    pub fn signs(self) -> bool {
+        matches!(self, CryptoPolicy::Sharoes)
+    }
+
+    /// The baselines replicate metadata per user (equivalent to Scheme-1, as
+    /// the paper notes); only Sharoes supports shared CAPs.
+    pub fn forces_per_user(self) -> bool {
+        !matches!(self, CryptoPolicy::Sharoes)
+    }
+}
+
+/// What happens to keys when access is revoked via `chmod` (§IV-A.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RevocationMode {
+    /// Re-key and re-encrypt data immediately during the chmod (the paper
+    /// prototype's default).
+    Immediate,
+    /// Mark the object; re-key only when content is next written (Plutus
+    /// style).
+    Lazy,
+}
+
+/// Asymmetric key sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CryptoParams {
+    /// RSA modulus bits for user/group identities, superblocks, split
+    /// points, and the PUBLIC/PUB-OPT baselines.
+    pub rsa_bits: usize,
+    /// Signature scheme for DSK/DVK and MSK/MVK.
+    pub sig_scheme: SignatureScheme,
+    /// Signature key modulus bits.
+    pub sig_bits: usize,
+}
+
+impl CryptoParams {
+    /// The paper's evaluation setting: 2048-bit RSA (NIST SP 800-78) and
+    /// ESIGN signing keys of comparable size.
+    pub fn paper() -> Self {
+        CryptoParams { rsa_bits: 2048, sig_scheme: SignatureScheme::Esign, sig_bits: 1536 }
+    }
+
+    /// Small keys for fast unit/integration tests. NOT secure.
+    pub fn test() -> Self {
+        CryptoParams { rsa_bits: 512, sig_scheme: SignatureScheme::Esign, sig_bits: 384 }
+    }
+
+    /// Mid-size keys for benchmark runs: large enough that the symmetric/
+    /// public-key gap dominates, small enough that key generation doesn't.
+    pub fn bench() -> Self {
+        CryptoParams { rsa_bits: 2048, sig_scheme: SignatureScheme::Esign, sig_bits: 768 }
+    }
+}
+
+impl Default for CryptoParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Metadata layout scheme.
+    pub scheme: Scheme,
+    /// Which of the five implementations this client runs.
+    pub policy: CryptoPolicy,
+    /// Revocation strategy for chmod.
+    pub revocation: RevocationMode,
+    /// File data block size in bytes.
+    pub block_size: usize,
+    /// Plaintext cache capacity in bytes (`None` = unbounded).
+    pub cache_capacity: Option<u64>,
+    /// Asymmetric key sizing.
+    pub crypto: CryptoParams,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            scheme: Scheme::SharedCaps,
+            policy: CryptoPolicy::Sharoes,
+            revocation: RevocationMode::Immediate,
+            block_size: 4096,
+            cache_capacity: None,
+            crypto: CryptoParams::default(),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Effective scheme after policy constraints (baselines are per-user).
+    pub fn effective_scheme(&self) -> Scheme {
+        if self.policy.forces_per_user() {
+            Scheme::PerUser
+        } else {
+            self.scheme
+        }
+    }
+
+    /// Test configuration: small keys, a given policy/scheme.
+    pub fn test_with(policy: CryptoPolicy, scheme: Scheme) -> Self {
+        ClientConfig {
+            scheme,
+            policy,
+            crypto: CryptoParams::test(),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_properties_match_paper_table() {
+        assert!(!CryptoPolicy::NoEncMdD.encrypts_data());
+        assert!(!CryptoPolicy::NoEncMdD.encrypts_metadata());
+        assert!(CryptoPolicy::NoEncMd.encrypts_data());
+        assert!(!CryptoPolicy::NoEncMd.encrypts_metadata());
+        for p in [CryptoPolicy::Sharoes, CryptoPolicy::Public, CryptoPolicy::PubOpt] {
+            assert!(p.encrypts_data());
+            assert!(p.encrypts_metadata());
+        }
+        assert!(CryptoPolicy::Sharoes.signs());
+        assert!(!CryptoPolicy::Public.signs());
+    }
+
+    #[test]
+    fn baselines_force_per_user_layout() {
+        let cfg = ClientConfig::test_with(CryptoPolicy::Public, Scheme::SharedCaps);
+        assert_eq!(cfg.effective_scheme(), Scheme::PerUser);
+        let cfg = ClientConfig::test_with(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+        assert_eq!(cfg.effective_scheme(), Scheme::SharedCaps);
+        let cfg = ClientConfig::test_with(CryptoPolicy::Sharoes, Scheme::PerUser);
+        assert_eq!(cfg.effective_scheme(), Scheme::PerUser);
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(CryptoPolicy::Sharoes.name(), "SHAROES");
+        assert_eq!(CryptoPolicy::PubOpt.name(), "PUB-OPT");
+    }
+}

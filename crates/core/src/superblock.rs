@@ -1,0 +1,132 @@
+//! The per-user encrypted superblock (paper §III-C).
+//!
+//! "For each authorized user U, we store the superblock encrypted with the
+//! public key of U and store it at the SSP. ... no out-of-band distribution
+//! is required and only a one-time public key cryptographic operation is
+//! required (at mount time)."
+
+use crate::error::{CoreError, Result};
+use sharoes_crypto::{RandomSource, RsaPrivateKey, RsaPublicKey, SymKey, VerifyKey};
+use sharoes_net::{Cursor, NetError, WireRead, WireWrite};
+
+/// The decrypted superblock contents for one user.
+#[derive(Clone, Debug)]
+pub struct Superblock {
+    /// Namespace-root inode number.
+    pub root_inode: u64,
+    /// View tag of this user's root metadata replica.
+    pub root_view: [u8; 16],
+    /// MEK for that replica (None for baseline policies).
+    pub root_mek: Option<SymKey>,
+    /// MVK for that replica (None when the policy doesn't sign).
+    pub root_mvk: Option<VerifyKey>,
+    /// Filesystem block size.
+    pub block_size: u32,
+    /// Scheme tag: 0 = per-user, 1 = shared CAPs.
+    pub scheme_tag: u8,
+}
+
+impl WireWrite for Superblock {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.root_inode.write(out);
+        self.root_view.write(out);
+        match &self.root_mek {
+            None => 0u8.write(out),
+            Some(k) => {
+                1u8.write(out);
+                k.0.write(out);
+            }
+        }
+        self.root_mvk.as_ref().map(|k| k.to_bytes()).write(out);
+        self.block_size.write(out);
+        self.scheme_tag.write(out);
+    }
+}
+
+impl WireRead for Superblock {
+    fn read(r: &mut Cursor<'_>) -> std::result::Result<Self, NetError> {
+        Ok(Superblock {
+            root_inode: u64::read(r)?,
+            root_view: <[u8; 16]>::read(r)?,
+            root_mek: match u8::read(r)? {
+                0 => None,
+                1 => Some(SymKey(<[u8; 16]>::read(r)?)),
+                _ => return Err(NetError::Codec("invalid mek option")),
+            },
+            root_mvk: Option::<Vec<u8>>::read(r)?
+                .map(|b| VerifyKey::from_bytes(&b))
+                .transpose()
+                .map_err(|_| NetError::Codec("bad root mvk"))?,
+            block_size: u32::read(r)?,
+            scheme_tag: u8::read(r)?,
+        })
+    }
+}
+
+impl Superblock {
+    /// Seals this superblock for a user with their public key.
+    pub fn seal_for<R: RandomSource + ?Sized>(
+        &self,
+        pk: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<Vec<u8>> {
+        Ok(pk.encrypt_blob(rng, &self.to_wire())?)
+    }
+
+    /// Opens a sealed superblock with the mounting user's private key.
+    pub fn open_with(private: &RsaPrivateKey, blob: &[u8]) -> Result<Superblock> {
+        let plain = private
+            .decrypt_blob(blob)
+            .map_err(|_| CoreError::TamperDetected("superblock decryption failed".into()))?;
+        Superblock::from_wire(&plain).map_err(|_| CoreError::Corrupt("superblock body"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_crypto::HmacDrbg;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = HmacDrbg::from_seed_u64(1);
+        let rsa = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let sb = Superblock {
+            root_inode: 1,
+            root_view: [3; 16],
+            root_mek: Some(SymKey([5; 16])),
+            root_mvk: None,
+            block_size: 4096,
+            scheme_tag: 1,
+        };
+        let sealed = sb.seal_for(rsa.public_key(), &mut rng).unwrap();
+        let opened = Superblock::open_with(&rsa, &sealed).unwrap();
+        assert_eq!(opened.root_inode, 1);
+        assert_eq!(opened.root_view, [3; 16]);
+        assert_eq!(opened.root_mek, Some(SymKey([5; 16])));
+        assert_eq!(opened.block_size, 4096);
+        assert_eq!(opened.scheme_tag, 1);
+    }
+
+    #[test]
+    fn wrong_user_cannot_open() {
+        let mut rng = HmacDrbg::from_seed_u64(2);
+        let alice = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let bob = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let sb = Superblock {
+            root_inode: 1,
+            root_view: [0; 16],
+            root_mek: None,
+            root_mvk: None,
+            block_size: 4096,
+            scheme_tag: 0,
+        };
+        let sealed = sb.seal_for(alice.public_key(), &mut rng).unwrap();
+        assert!(Superblock::open_with(&bob, &sealed).is_err());
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!(Superblock::from_wire(&[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! End-to-end semantics: the Sharoes client must expose *nix-equivalent
+//! data sharing semantics over the untrusted SSP, for both schemes and all
+//! five implementations.
+
+mod common;
+
+use common::{World, ALICE, BOB, CAROL};
+use sharoes_core::{CoreError, CryptoPolicy, Scheme};
+use sharoes_fs::{Mode, NodeKind, Perm};
+
+fn all_schemes() -> [Scheme; 2] {
+    [Scheme::SharedCaps, Scheme::PerUser]
+}
+
+#[test]
+fn owner_reads_own_tree() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut alice = world.client(ALICE);
+        assert_eq!(alice.read("/home/alice/notes.txt").unwrap(), b"alice's notes");
+        assert_eq!(alice.read("/home/alice/private/key").unwrap(), b"top secret");
+        let st = alice.getattr("/home/alice/notes.txt").unwrap();
+        assert_eq!(st.owner, ALICE);
+        assert_eq!(st.mode, Mode::from_octal(0o644));
+        assert_eq!(st.kind, NodeKind::File);
+        assert_eq!(st.size, 13);
+    }
+}
+
+#[test]
+fn group_member_reads_world_readable() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut bob = world.client(BOB);
+        assert_eq!(bob.read("/home/alice/notes.txt").unwrap(), b"alice's notes", "{scheme:?}");
+        assert_eq!(bob.read("/shared/board.txt").unwrap(), b"minutes");
+    }
+}
+
+#[test]
+fn private_dir_blocks_traversal() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut bob = world.client(BOB);
+        let err = bob.read("/home/alice/private/key").unwrap_err();
+        assert!(
+            matches!(err, CoreError::PermissionDenied { .. } | CoreError::NotFound(_)),
+            "{scheme:?}: {err}"
+        );
+        let mut carol = world.client(CAROL);
+        assert!(carol.read("/home/alice/private/key").is_err());
+    }
+}
+
+#[test]
+fn exec_only_dropbox_semantics() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut bob = world.client(BOB);
+        // Cannot list...
+        let err = bob.readdir("/home/alice/dropbox").unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied { needed: "read", .. }), "{scheme:?}");
+        // ...but can fetch by exact name (the paper's §III-A headline CAP).
+        assert_eq!(bob.read("/home/alice/dropbox/drop").unwrap(), b"droppable");
+        // Wrong name: not found, and no information about what exists.
+        assert!(matches!(
+            bob.read("/home/alice/dropbox/guess").unwrap_err(),
+            CoreError::NotFound(_)
+        ));
+    }
+}
+
+#[test]
+fn read_only_listing_semantics() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut bob = world.client(BOB);
+        // Can list names...
+        let entries = bob.readdir("/home/alice/listing").unwrap();
+        assert_eq!(entries.len(), 1, "{scheme:?}");
+        assert_eq!(entries[0].name, "seen");
+        // Read-only CAP hides inode numbers and keys.
+        assert_eq!(entries[0].inode, None);
+        // ...but cannot traverse (no exec).
+        assert!(matches!(
+            bob.read("/home/alice/listing/seen").unwrap_err(),
+            CoreError::PermissionDenied { needed: "exec (traverse)", .. }
+        ));
+        assert!(bob.getattr("/home/alice/listing/seen").is_err());
+    }
+}
+
+#[test]
+fn owner_readdir_shows_full_rows() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    let mut entries = alice.readdir("/home/alice").unwrap();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, vec!["dropbox", "listing", "notes.txt", "private"]);
+    assert!(entries.iter().all(|e| e.inode.is_some()));
+}
+
+#[test]
+fn group_writer_updates_shared_file() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut bob = world.client(BOB);
+        bob.write_file("/shared/board.txt", b"minutes v2 by bob").unwrap();
+        // Both bob and alice see the update.
+        assert_eq!(bob.read("/shared/board.txt").unwrap(), b"minutes v2 by bob");
+        let mut alice = world.client(ALICE);
+        assert_eq!(alice.read("/shared/board.txt").unwrap(), b"minutes v2 by bob", "{scheme:?}");
+    }
+}
+
+#[test]
+fn non_writer_cannot_write() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut carol = world.client(CAROL);
+        // carol can read /shared/board.txt (0664 other=r) but not write.
+        assert_eq!(carol.read("/shared/board.txt").unwrap(), b"minutes");
+        assert!(matches!(
+            carol.write("/shared/board.txt", b"vandalism"),
+            Err(CoreError::PermissionDenied { .. })
+        ));
+        // And bob cannot write alice's notes (0644).
+        let mut bob = world.client(BOB);
+        assert!(bob.write("/home/alice/notes.txt", b"graffiti").is_err());
+    }
+}
+
+#[test]
+fn create_write_read_delete_cycle() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut alice = world.client(ALICE);
+        alice.create("/home/alice/fresh.txt", Mode::from_octal(0o644)).unwrap();
+        assert_eq!(alice.read("/home/alice/fresh.txt").unwrap(), b"");
+        alice.write_file("/home/alice/fresh.txt", b"fresh content").unwrap();
+        assert_eq!(alice.read("/home/alice/fresh.txt").unwrap(), b"fresh content");
+
+        // Visible to another mounted client.
+        let mut bob = world.client(BOB);
+        assert_eq!(bob.read("/home/alice/fresh.txt").unwrap(), b"fresh content", "{scheme:?}");
+
+        alice.unlink("/home/alice/fresh.txt").unwrap();
+        assert!(matches!(
+            alice.read("/home/alice/fresh.txt").unwrap_err(),
+            CoreError::NotFound(_)
+        ));
+        let mut bob2 = world.client(BOB);
+        assert!(bob2.read("/home/alice/fresh.txt").is_err());
+    }
+}
+
+#[test]
+fn mkdir_and_nested_creation() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    alice.mkdir("/home/alice/proj", Mode::from_octal(0o755)).unwrap();
+    alice.mkdir("/home/alice/proj/src", Mode::from_octal(0o755)).unwrap();
+    alice.create("/home/alice/proj/src/main.rs", Mode::from_octal(0o644)).unwrap();
+    alice.write_file("/home/alice/proj/src/main.rs", b"fn main() {}").unwrap();
+    assert_eq!(alice.read("/home/alice/proj/src/main.rs").unwrap(), b"fn main() {}");
+    let st = alice.getattr("/home/alice/proj").unwrap();
+    assert_eq!(st.kind, NodeKind::Dir);
+
+    // Fresh client (cold cache) sees the whole subtree.
+    let mut bob = world.client(BOB);
+    assert_eq!(bob.read("/home/alice/proj/src/main.rs").unwrap(), b"fn main() {}");
+}
+
+#[test]
+fn create_in_shared_dir_by_group_member() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut bob = world.client(BOB);
+        bob.create("/shared/bobs.txt", Mode::from_octal(0o664)).unwrap();
+        bob.write_file("/shared/bobs.txt", b"from bob").unwrap();
+        let mut alice = world.client(ALICE);
+        assert_eq!(alice.read("/shared/bobs.txt").unwrap(), b"from bob", "{scheme:?}");
+        // alice (group member) can edit bob's 0664 file.
+        alice.write_file("/shared/bobs.txt", b"edited by alice").unwrap();
+        let mut bob2 = world.client(BOB);
+        assert_eq!(bob2.read("/shared/bobs.txt").unwrap(), b"edited by alice");
+        // carol (other) cannot create here.
+        let mut carol = world.client(CAROL);
+        assert!(carol.create("/shared/carols.txt", Mode::from_octal(0o644)).is_err());
+    }
+}
+
+#[test]
+fn duplicate_and_missing_errors() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    assert!(matches!(
+        alice.create("/home/alice/notes.txt", Mode::from_octal(0o644)).unwrap_err(),
+        CoreError::AlreadyExists(_)
+    ));
+    assert!(matches!(
+        alice.read("/home/alice/nope").unwrap_err(),
+        CoreError::NotFound(_)
+    ));
+    assert!(matches!(
+        alice.read("/home/alice/notes.txt/sub").unwrap_err(),
+        CoreError::NotADirectory(_)
+    ));
+    assert!(matches!(
+        alice.read("/home/alice").unwrap_err(),
+        CoreError::IsADirectory(_)
+    ));
+}
+
+#[test]
+fn rename_within_directory() {
+    for scheme in all_schemes() {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut alice = world.client(ALICE);
+        alice.rename("/home/alice/notes.txt", "/home/alice/renamed.txt").unwrap();
+        assert!(alice.read("/home/alice/notes.txt").is_err());
+        assert_eq!(alice.read("/home/alice/renamed.txt").unwrap(), b"alice's notes");
+        // Another client agrees.
+        let mut bob = world.client(BOB);
+        assert_eq!(bob.read("/home/alice/renamed.txt").unwrap(), b"alice's notes", "{scheme:?}");
+        // Rename through an exec-only view re-keys hidden rows correctly.
+        alice.rename("/home/alice/dropbox/drop", "/home/alice/dropbox/drop2").unwrap();
+        let mut bob2 = world.client(BOB);
+        assert!(bob2.read("/home/alice/dropbox/drop").is_err());
+        assert_eq!(bob2.read("/home/alice/dropbox/drop2").unwrap(), b"droppable");
+    }
+}
+
+#[test]
+fn rmdir_requires_empty() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    assert!(matches!(
+        alice.rmdir("/home/alice/private").unwrap_err(),
+        CoreError::NotEmpty(_)
+    ));
+    alice.unlink("/home/alice/private/key").unwrap();
+    alice.rmdir("/home/alice/private").unwrap();
+    assert!(alice.getattr("/home/alice/private").is_err());
+}
+
+#[test]
+fn all_policies_basic_semantics() {
+    for policy in [
+        CryptoPolicy::NoEncMdD,
+        CryptoPolicy::NoEncMd,
+        CryptoPolicy::Sharoes,
+        CryptoPolicy::Public,
+        CryptoPolicy::PubOpt,
+    ] {
+        let world = World::new(policy, Scheme::SharedCaps);
+        let mut alice = world.client(ALICE);
+        assert_eq!(alice.read("/home/alice/notes.txt").unwrap(), b"alice's notes", "{policy:?}");
+        alice.create("/home/alice/x.txt", Mode::from_octal(0o644)).unwrap();
+        alice.write_file("/home/alice/x.txt", b"xyz").unwrap();
+        assert_eq!(alice.read("/home/alice/x.txt").unwrap(), b"xyz", "{policy:?}");
+        let mut bob = world.client(BOB);
+        assert_eq!(bob.read("/home/alice/x.txt").unwrap(), b"xyz", "{policy:?}");
+        // Exec-only still behaves across policies.
+        assert!(bob.readdir("/home/alice/dropbox").is_err());
+        assert_eq!(bob.read("/home/alice/dropbox/drop").unwrap(), b"droppable", "{policy:?}");
+    }
+}
+
+#[test]
+fn multi_block_files_roundtrip() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    // Default test block size is 4096; write ~3.5 blocks.
+    let big: Vec<u8> = (0..14_000u32).map(|i| (i % 251) as u8).collect();
+    alice.create("/home/alice/big.bin", Mode::from_octal(0o644)).unwrap();
+    alice.write_file("/home/alice/big.bin", &big).unwrap();
+    assert_eq!(alice.read("/home/alice/big.bin").unwrap(), big);
+    let mut bob = world.client(BOB);
+    assert_eq!(bob.read("/home/alice/big.bin").unwrap(), big);
+
+    // Shrink: stale blocks must disappear.
+    alice.write_file("/home/alice/big.bin", b"now tiny").unwrap();
+    let mut bob2 = world.client(BOB);
+    assert_eq!(bob2.read("/home/alice/big.bin").unwrap(), b"now tiny");
+}
+
+#[test]
+fn split_points_route_owner_and_group() {
+    // /home is root-owned; /home/alice is alice-owned: continuation for
+    // /home's classes lands on Group or Other, and alice reaches her Owner
+    // CAP via a split entry (§III-D.2).
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    let st = alice.getattr("/home/alice").unwrap();
+    assert_eq!(st.owner, ALICE);
+    // Owner powers prove she reached her Owner CAP: she can chmod.
+    alice.chmod("/home/alice/notes.txt", Mode::from_octal(0o600)).unwrap();
+    let mut bob = world.client(BOB);
+    assert!(bob.read("/home/alice/notes.txt").is_err());
+}
+
+#[test]
+fn deep_unshared_paths_have_no_splits_for_owner() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    // Below /home/alice everything is alice-owned: her class stays Owner,
+    // so resolution succeeds repeatedly (and cheaply) without split lookups.
+    for _ in 0..3 {
+        assert_eq!(alice.read("/home/alice/private/key").unwrap(), b"top secret");
+    }
+}
+
+#[test]
+fn perm_of_matches_local_model() {
+    // The client's permission view must agree with the local-fs reference.
+    let fs = common::sample_tree();
+    let world = World::from_fs(fs.clone(), CryptoPolicy::Sharoes, Scheme::SharedCaps, 7);
+    let mut clients: Vec<_> = [ALICE, BOB, CAROL]
+        .into_iter()
+        .map(|u| (u, world.client(u)))
+        .collect();
+    for path in [
+        "/home/alice/notes.txt",
+        "/shared/board.txt",
+        "/home/alice/dropbox/drop",
+    ] {
+        for (uid, client) in clients.iter_mut() {
+            let local = fs.read(*uid, path);
+            let remote = client.read(path);
+            assert_eq!(
+                local.is_ok(),
+                remote.is_ok(),
+                "access parity broke for {uid} on {path}: local={local:?} remote={remote:?}"
+            );
+            if let (Ok(l), Ok(r)) = (local, remote) {
+                assert_eq!(l, r, "content parity broke for {uid} on {path}");
+            }
+        }
+    }
+}
+
+#[test]
+fn write_visibility_before_close() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    alice.write("/home/alice/notes.txt", b"draft").unwrap();
+    // The writer sees their own uncommitted draft...
+    assert_eq!(alice.read("/home/alice/notes.txt").unwrap(), b"draft");
+    // ...but other clients still see the old content until close.
+    let mut bob = world.client(BOB);
+    assert_eq!(bob.read("/home/alice/notes.txt").unwrap(), b"alice's notes");
+    alice.close("/home/alice/notes.txt").unwrap();
+    let mut bob2 = world.client(BOB);
+    assert_eq!(bob2.read("/home/alice/notes.txt").unwrap(), b"draft");
+}
+
+#[test]
+fn unsupported_permissions_rejected_at_runtime() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    // Directory write-exec for group.
+    assert!(matches!(
+        alice.mkdir("/home/alice/wx", Mode::from_octal(0o730)).unwrap_err(),
+        CoreError::UnsupportedPermission { .. }
+    ));
+    // File write-only for other.
+    assert!(matches!(
+        alice.create("/home/alice/wo", Mode::from_octal(0o642)).unwrap_err(),
+        CoreError::UnsupportedPermission { .. }
+    ));
+    // chmod into an unsupported mode is refused too.
+    assert!(alice.chmod("/home/alice/notes.txt", Mode::from_octal(0o602)).is_err());
+    let _ = Perm::WX; // referenced for readability
+}
+
+#[test]
+fn chmod_requires_ownership() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut bob = world.client(BOB);
+    assert!(matches!(
+        bob.chmod("/home/alice/notes.txt", Mode::from_octal(0o666)).unwrap_err(),
+        CoreError::PermissionDenied { .. }
+    ));
+}
+
+#[test]
+fn mount_required() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let transport = sharoes_net::InMemoryTransport::new(std::sync::Arc::clone(&world.server) as _);
+    let identity = world.ring.identity(ALICE).unwrap();
+    let mut client = sharoes_core::SharoesClient::new(
+        Box::new(transport),
+        world.config.clone(),
+        std::sync::Arc::clone(&world.db),
+        std::sync::Arc::clone(&world.pki),
+        identity,
+        std::sync::Arc::clone(&world.pool),
+    );
+    assert!(matches!(client.read("/shared/board.txt").unwrap_err(), CoreError::NotMounted));
+    client.mount().unwrap();
+    assert!(client.is_mounted());
+    assert_eq!(client.read("/shared/board.txt").unwrap(), b"minutes");
+}

@@ -1,0 +1,131 @@
+//! Shared end-to-end test fixture: a migrated enterprise with mountable
+//! per-user clients.
+
+use sharoes_core::{
+    ClientConfig, CryptoParams, CryptoPolicy, Keyring, Migrator, Pki, Scheme, SharoesClient,
+    SigKeyPool,
+};
+use sharoes_crypto::HmacDrbg;
+use sharoes_fs::{Gid, LocalFs, Mode, Uid, UserDb, ROOT_UID};
+use sharoes_net::InMemoryTransport;
+use sharoes_ssp::SspServer;
+use std::sync::Arc;
+
+/// A migrated deployment: SSP + keys + directory, from which clients mount.
+pub struct World {
+    pub server: Arc<SspServer>,
+    pub db: Arc<UserDb>,
+    pub pki: Arc<Pki>,
+    pub ring: Keyring,
+    pub pool: Arc<SigKeyPool>,
+    pub config: ClientConfig,
+}
+
+pub const ALICE: Uid = Uid(1);
+pub const BOB: Uid = Uid(2);
+pub const CAROL: Uid = Uid(3);
+pub const STAFF: Gid = Gid(100);
+pub const OUTSIDE: Gid = Gid(200);
+
+/// Users: root, alice+bob in `staff`, carol in `outside`.
+pub fn small_db() -> UserDb {
+    let mut db = UserDb::new();
+    db.add_group(Gid(0), "wheel").unwrap();
+    db.add_group(STAFF, "staff").unwrap();
+    db.add_group(OUTSIDE, "outside").unwrap();
+    db.add_user(ROOT_UID, "root", Gid(0)).unwrap();
+    db.add_user(ALICE, "alice", STAFF).unwrap();
+    db.add_user(BOB, "bob", STAFF).unwrap();
+    db.add_user(CAROL, "carol", OUTSIDE).unwrap();
+    db
+}
+
+/// A local tree exercising the interesting permission shapes:
+///
+/// ```text
+/// /                        root 0755
+/// /home                    root 0755
+/// /home/alice              alice:staff 0755
+/// /home/alice/notes.txt    alice 0644  "alice's notes"
+/// /home/alice/private      alice 0700
+/// /home/alice/private/key  alice 0600  "top secret"
+/// /home/alice/dropbox      alice 0711  (exec-only for group/other)
+/// /home/alice/dropbox/drop alice 0644  "droppable"
+/// /home/alice/listing      alice 0744  (read-only listing for others)
+/// /home/alice/listing/seen alice 0644  "listed"
+/// /shared                  root:staff 0775 (staff-writable)
+/// /shared/board.txt        alice 0664  "minutes"
+/// ```
+pub fn sample_tree() -> LocalFs {
+    let mut fs = LocalFs::new(small_db(), Gid(0), Mode::from_octal(0o755));
+    let m = Mode::from_octal;
+    fs.mkdir(ROOT_UID, "/home", m(0o755)).unwrap();
+    fs.mkdir(ROOT_UID, "/home/alice", m(0o755)).unwrap();
+    fs.chown(ROOT_UID, "/home/alice", ALICE, STAFF).unwrap();
+    fs.create(ALICE, "/home/alice/notes.txt", m(0o644)).unwrap();
+    fs.write(ALICE, "/home/alice/notes.txt", b"alice's notes").unwrap();
+    fs.mkdir(ALICE, "/home/alice/private", m(0o700)).unwrap();
+    fs.create(ALICE, "/home/alice/private/key", m(0o600)).unwrap();
+    fs.write(ALICE, "/home/alice/private/key", b"top secret").unwrap();
+    fs.mkdir(ALICE, "/home/alice/dropbox", m(0o711)).unwrap();
+    fs.create(ALICE, "/home/alice/dropbox/drop", m(0o644)).unwrap();
+    fs.write(ALICE, "/home/alice/dropbox/drop", b"droppable").unwrap();
+    fs.mkdir(ALICE, "/home/alice/listing", m(0o744)).unwrap();
+    fs.create(ALICE, "/home/alice/listing/seen", m(0o644)).unwrap();
+    fs.write(ALICE, "/home/alice/listing/seen", b"listed").unwrap();
+    fs.mkdir(ROOT_UID, "/shared", m(0o775)).unwrap();
+    fs.chown(ROOT_UID, "/shared", ROOT_UID, STAFF).unwrap();
+    fs.create(ALICE, "/shared/board.txt", m(0o664)).unwrap();
+    fs.write(ALICE, "/shared/board.txt", b"minutes").unwrap();
+    fs
+}
+
+impl World {
+    /// Migrates `sample_tree()` under the given policy/scheme.
+    pub fn new(policy: CryptoPolicy, scheme: Scheme) -> World {
+        Self::from_fs(sample_tree(), policy, scheme, 0xC0FFEE)
+    }
+
+    /// Migrates an arbitrary tree.
+    pub fn from_fs(fs: LocalFs, policy: CryptoPolicy, scheme: Scheme, seed: u64) -> World {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let ring = Keyring::generate(fs.users(), 512, &mut rng).expect("keyring");
+        let config = ClientConfig::test_with(policy, scheme);
+        let pool = Arc::new(SigKeyPool::new(CryptoParams::test()));
+        let server = SspServer::new().into_shared();
+        let mut transport = InMemoryTransport::new(Arc::clone(&server) as _);
+        let migrator = Migrator {
+            fs: &fs,
+            config: &config,
+            ring: &ring,
+            pool: &pool,
+            downgrade_unsupported: true,
+        };
+        migrator.migrate(&mut transport, &mut rng).expect("migration");
+        let db = Arc::new(fs.users().clone());
+        let pki = Arc::new(ring.public_directory());
+        World { server, db, pki, ring, pool, config }
+    }
+
+    /// Mounts a client for `uid`.
+    pub fn client(&self, uid: Uid) -> SharoesClient {
+        self.client_with_config(uid, self.config.clone())
+    }
+
+    /// Mounts a client with a custom config (e.g. a small cache).
+    pub fn client_with_config(&self, uid: Uid, config: ClientConfig) -> SharoesClient {
+        let transport = InMemoryTransport::new(Arc::clone(&self.server) as _);
+        let identity = self.ring.identity(uid).expect("identity");
+        let mut client = SharoesClient::with_rng(
+            Box::new(transport),
+            config,
+            Arc::clone(&self.db),
+            Arc::clone(&self.pki),
+            identity,
+            Arc::clone(&self.pool),
+            HmacDrbg::from_seed_u64(0xBEEF ^ uid.0 as u64),
+        );
+        client.mount().expect("mount");
+        client
+    }
+}

@@ -1,0 +1,307 @@
+//! Property tests for core data structures: metadata bodies, directory
+//! tables, CAP invariants, and hostile-bytes safety.
+
+use proptest::prelude::*;
+use sharoes_core::cap::{dir_cap, downgrade, file_cap, TableAccess};
+use sharoes_core::scheme::{Layout, ObjectAttrs};
+use sharoes_core::{CryptoPolicy, Keyring, Scheme};
+use sharoes_fs::{Gid, Mode, Uid, UserDb};
+use std::sync::OnceLock;
+use sharoes_core::dirtable::{ChildRef, DirTable};
+use sharoes_core::metadata::{AclEntryWire, MetadataBody, SealedObject};
+use sharoes_core::scheme::SplitEntry;
+use sharoes_core::superblock::Superblock;
+use sharoes_crypto::{HmacDrbg, SymKey};
+use sharoes_fs::{NodeKind, Perm};
+use sharoes_net::{WireRead, WireWrite};
+
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    (any::<bool>(), any::<bool>(), any::<bool>())
+        .prop_map(|(read, write, exec)| Perm { read, write, exec })
+}
+
+fn arb_body() -> impl Strategy<Value = MetadataBody> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u32..0o1000,
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<bool>(),
+        prop::collection::vec((any::<bool>(), any::<u32>(), 0u8..8), 0..4),
+        prop::option::of(any::<[u8; 16]>()),
+    )
+        .prop_map(
+            |(inode, is_dir, owner, group, mode, size, nblocks, generation, rekey, acl, dek)| {
+                let mut body = MetadataBody::bare(
+                    inode,
+                    if is_dir { NodeKind::Dir } else { NodeKind::File },
+                    owner,
+                    group,
+                    mode,
+                );
+                body.size = size;
+                body.nblocks = nblocks;
+                body.generation = generation;
+                body.rekey_pending = rekey;
+                body.acl = acl
+                    .into_iter()
+                    .map(|(is_group, id, bits)| AclEntryWire { is_group, id, bits })
+                    .collect();
+                body.dek = dek.map(SymKey);
+                body
+            },
+        )
+}
+
+fn arb_child() -> impl Strategy<Value = ChildRef> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        any::<[u8; 16]>(),
+        prop::option::of(any::<[u8; 16]>()),
+        any::<bool>(),
+    )
+        .prop_map(|(inode, is_dir, view, mek, split)| ChildRef {
+            inode,
+            kind: if is_dir { NodeKind::Dir } else { NodeKind::File },
+            view,
+            mek: mek.map(SymKey),
+            mvk: None,
+            split,
+        })
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<(String, ChildRef)>> {
+    prop::collection::btree_map("[a-zA-Z0-9_.-]{1,24}", arb_child(), 0..12)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn metadata_body_roundtrips(body in arb_body()) {
+        let bytes = body.to_wire();
+        let decoded = MetadataBody::from_wire(&bytes).unwrap();
+        prop_assert_eq!(decoded.inode, body.inode);
+        prop_assert_eq!(decoded.kind, body.kind);
+        prop_assert_eq!(decoded.owner, body.owner);
+        prop_assert_eq!(decoded.group, body.group);
+        prop_assert_eq!(decoded.mode, body.mode);
+        prop_assert_eq!(decoded.size, body.size);
+        prop_assert_eq!(decoded.generation, body.generation);
+        prop_assert_eq!(decoded.rekey_pending, body.rekey_pending);
+        prop_assert_eq!(decoded.acl, body.acl);
+        prop_assert_eq!(decoded.dek, body.dek);
+    }
+
+    #[test]
+    fn dirtable_views_roundtrip(entries in arb_entries(), tek in any::<[u8; 16]>(), seed in any::<u64>()) {
+        let tek = SymKey(tek);
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        for table in [
+            DirTable::names_only(&entries),
+            DirTable::full(&entries),
+            DirTable::exec_only(&entries, &tek, &mut rng),
+        ] {
+            let bytes = table.to_wire();
+            prop_assert_eq!(DirTable::from_wire(&bytes).unwrap(), table);
+        }
+    }
+
+    #[test]
+    fn full_view_lookup_finds_every_entry(entries in arb_entries()) {
+        let table = DirTable::full(&entries);
+        for (name, child) in &entries {
+            let found = table.lookup(name, None).unwrap().unwrap();
+            prop_assert_eq!(&found, child);
+        }
+        prop_assert_eq!(table.list().len(), entries.len());
+    }
+
+    #[test]
+    fn exec_only_lookup_by_exact_name_only(
+        entries in arb_entries(),
+        tek in any::<[u8; 16]>(),
+        probe in "[a-zA-Z0-9_.-]{1,24}",
+        seed in any::<u64>(),
+    ) {
+        let tek = SymKey(tek);
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let table = DirTable::exec_only(&entries, &tek, &mut rng);
+        // Every real name opens; names are never listable.
+        for (name, child) in &entries {
+            let found = table.lookup(name, Some(&tek)).unwrap().unwrap();
+            prop_assert_eq!(found.inode, child.inode);
+        }
+        prop_assert!(table.list().is_empty());
+        // A probe that is not an entry returns None.
+        if !entries.iter().any(|(n, _)| n == &probe) {
+            prop_assert!(table.lookup(&probe, Some(&tek)).unwrap().is_none());
+        }
+        // No plaintext names in the serialization.
+        let bytes = table.to_wire();
+        for (name, _) in &entries {
+            if name.len() >= 4 {
+                prop_assert!(
+                    !bytes.windows(name.len()).any(|w| w == name.as_bytes()),
+                    "leaked name {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_tables_are_total_and_consistent(perm in arb_perm()) {
+        // Every permission either has a CAP or downgrades to one that does.
+        for is_dir in [true, false] {
+            let direct_ok = if is_dir { dir_cap(perm).is_ok() } else { file_cap(perm).is_ok() };
+            let softened = downgrade(perm, is_dir);
+            let softened_ok =
+                if is_dir { dir_cap(softened).is_ok() } else { file_cap(softened).is_ok() };
+            prop_assert!(softened_ok, "downgrade({perm}, {is_dir}) still unsupported");
+            // Downgrade never grants anything new.
+            prop_assert!(perm.covers(softened));
+            if direct_ok {
+                prop_assert_eq!(softened, perm, "supported perms must not change");
+            }
+        }
+    }
+
+    #[test]
+    fn dir_cap_monotonicity(perm in arb_perm()) {
+        // If a permission grants the signing key, it must also grant the
+        // table key (writers re-encrypt), and rwx must be Full.
+        if let Ok(cap) = dir_cap(perm) {
+            if cap.dsk {
+                prop_assert!(cap.dek);
+                prop_assert_eq!(cap.table, TableAccess::Full);
+            }
+            if cap.table != TableAccess::None {
+                prop_assert!(cap.dek, "table access requires the table key");
+            }
+        }
+    }
+
+    #[test]
+    fn sealed_object_roundtrips(ct in prop::collection::vec(any::<u8>(), 0..512), sig in prop::option::of(prop::collection::vec(any::<u8>(), 0..128))) {
+        let obj = SealedObject { ciphertext: ct, signature: sig };
+        prop_assert_eq!(SealedObject::from_wire(&obj.to_wire()).unwrap(), obj);
+    }
+
+    #[test]
+    fn split_entry_roundtrips(view in any::<[u8; 16]>(), mek in prop::option::of(any::<[u8; 16]>())) {
+        let entry = SplitEntry { view, mek: mek.map(SymKey), mvk: None };
+        prop_assert_eq!(SplitEntry::from_wire(&entry.to_wire()).unwrap(), entry);
+    }
+
+    #[test]
+    fn continuation_covers_every_population_member(
+        parent_owner in 0u32..6,
+        parent_group in 1u32..4,
+        parent_mode in 0u32..0o1000,
+        child_owner in 0u32..6,
+        child_group in 1u32..4,
+        class_idx in 0usize..3,
+    ) {
+        // THE Scheme-2 routing invariant: for any parent class, every user
+        // in its population either follows the row continuation or appears
+        // in the divergent (split-entry) set — nobody is stranded.
+        fn fixture() -> &'static (UserDb, Keyring) {
+            static FX: OnceLock<(UserDb, Keyring)> = OnceLock::new();
+            FX.get_or_init(|| {
+                let mut db = UserDb::new();
+                db.add_group(Gid(1), "g1").unwrap();
+                db.add_group(Gid(2), "g2").unwrap();
+                db.add_group(Gid(3), "g3").unwrap();
+                for i in 0..6u32 {
+                    db.add_user(Uid(i), &format!("u{i}"), Gid(1 + i % 3)).unwrap();
+                }
+                let mut rng = sharoes_crypto::HmacDrbg::from_seed_u64(0xC0);
+                let ring = Keyring::generate(&db, 512, &mut rng).unwrap();
+                (db, ring)
+            })
+        }
+        let (db, ring) = fixture();
+        let pki = ring.public_directory();
+        let layout = Layout {
+            scheme: Scheme::SharedCaps,
+            policy: CryptoPolicy::Sharoes,
+            block_size: 4096,
+            db,
+            pki: &pki,
+        };
+        let parent = ObjectAttrs::new(
+            10,
+            sharoes_fs::NodeKind::Dir,
+            Uid(parent_owner),
+            Gid(parent_group),
+            Mode::from_octal(parent_mode & 0o777),
+        );
+        let child = ObjectAttrs::new(
+            11,
+            NodeKind::File,
+            Uid(child_owner),
+            Gid(child_group),
+            Mode::from_octal(0o640),
+        );
+        let classes = [
+            sharoes_core::ClassTag::Owner,
+            sharoes_core::ClassTag::Group,
+            sharoes_core::ClassTag::Other,
+        ];
+        let parent_class = classes[class_idx];
+        let (cont, divergent) = layout.continuation(&parent, parent_class, &child);
+        for uid in layout.population(&parent, parent_class) {
+            let true_class = child.class_of(uid, db);
+            if true_class == cont {
+                prop_assert!(
+                    !divergent.iter().any(|(u, _)| *u == uid),
+                    "{uid} both continues and diverges"
+                );
+            } else {
+                prop_assert!(
+                    divergent.contains(&(uid, true_class)),
+                    "{uid} (class {true_class:?}) stranded: continuation {cont:?}, divergent {divergent:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = MetadataBody::from_wire(&bytes);
+        let _ = DirTable::from_wire(&bytes);
+        let _ = SealedObject::from_wire(&bytes);
+        let _ = SplitEntry::from_wire(&bytes);
+        let _ = Superblock::from_wire(&bytes);
+    }
+
+    #[test]
+    fn superblock_roundtrips(
+        root_inode in any::<u64>(),
+        root_view in any::<[u8; 16]>(),
+        mek in prop::option::of(any::<[u8; 16]>()),
+        block_size in 1u32..1_000_000,
+        scheme_tag in 0u8..2,
+    ) {
+        let sb = Superblock {
+            root_inode,
+            root_view,
+            root_mek: mek.map(SymKey),
+            root_mvk: None,
+            block_size,
+            scheme_tag,
+        };
+        let decoded = Superblock::from_wire(&sb.to_wire()).unwrap();
+        prop_assert_eq!(decoded.root_inode, sb.root_inode);
+        prop_assert_eq!(decoded.root_view, sb.root_view);
+        prop_assert_eq!(decoded.root_mek, sb.root_mek);
+        prop_assert_eq!(decoded.block_size, sb.block_size);
+        prop_assert_eq!(decoded.scheme_tag, sb.scheme_tag);
+    }
+}

@@ -1,0 +1,217 @@
+//! Revocation semantics (paper §IV-A.1): immediate vs lazy re-keying on
+//! chmod, ACL grants/revocations, and split-entry routing for ACL users.
+
+mod common;
+
+use common::{World, ALICE, BOB, CAROL};
+use sharoes_core::{ClientConfig, CoreError, CryptoPolicy, RevocationMode, Scheme};
+use sharoes_fs::{Acl, Mode, Perm};
+
+#[test]
+fn immediate_revocation_locks_out_reader() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    let mut bob = world.client(BOB);
+
+    // bob can read 0644 notes.
+    assert_eq!(bob.read("/home/alice/notes.txt").unwrap(), b"alice's notes");
+    let gen_before = bob.getattr("/home/alice/notes.txt").unwrap().generation;
+
+    // alice revokes group/other read.
+    alice.chmod("/home/alice/notes.txt", Mode::from_octal(0o600)).unwrap();
+
+    // A fresh bob client (no cached plaintext) is locked out.
+    let mut bob2 = world.client(BOB);
+    assert!(bob2.read("/home/alice/notes.txt").is_err());
+
+    // Immediate mode re-keyed: the generation advanced and data moved.
+    let mut alice2 = world.client(ALICE);
+    let st = alice2.getattr("/home/alice/notes.txt").unwrap();
+    assert_eq!(st.generation, gen_before + 1);
+    assert!(!st.rekey_pending);
+    assert_eq!(alice2.read("/home/alice/notes.txt").unwrap(), b"alice's notes");
+}
+
+#[test]
+fn grant_then_revoke_roundtrip() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+
+    // private/key is 0600; grant group read.
+    alice.chmod("/home/alice/private", Mode::from_octal(0o750)).unwrap();
+    alice.chmod("/home/alice/private/key", Mode::from_octal(0o640)).unwrap();
+    let mut bob = world.client(BOB);
+    assert_eq!(bob.read("/home/alice/private/key").unwrap(), b"top secret");
+
+    // Revoke again.
+    alice.chmod("/home/alice/private/key", Mode::from_octal(0o600)).unwrap();
+    let mut bob2 = world.client(BOB);
+    assert!(bob2.read("/home/alice/private/key").is_err());
+}
+
+#[test]
+fn lazy_revocation_defers_rekey_until_owner_write() {
+    let mut config = ClientConfig::test_with(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    config.revocation = RevocationMode::Lazy;
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+
+    let mut alice = world.client_with_config(ALICE, config.clone());
+    let gen_before = alice.getattr("/home/alice/notes.txt").unwrap().generation;
+    alice.chmod("/home/alice/notes.txt", Mode::from_octal(0o600)).unwrap();
+
+    // Lazy: marked pending, generation unchanged, data not re-encrypted.
+    let st = alice.getattr("/home/alice/notes.txt").unwrap();
+    assert!(st.rekey_pending);
+    assert_eq!(st.generation, gen_before);
+
+    // A fresh bob cannot read through the metadata path (his CAP lost the
+    // DEK) even though the ciphertext is unchanged.
+    let mut bob = world.client(BOB);
+    assert!(bob.read("/home/alice/notes.txt").is_err());
+
+    // The next owner write rotates the key.
+    alice.write_file("/home/alice/notes.txt", b"rotated now").unwrap();
+    let st = alice.getattr("/home/alice/notes.txt").unwrap();
+    assert!(!st.rekey_pending);
+    assert_eq!(st.generation, gen_before + 1);
+    assert_eq!(alice.read("/home/alice/notes.txt").unwrap(), b"rotated now");
+}
+
+#[test]
+fn acl_grant_gives_named_user_access() {
+    for scheme in [Scheme::SharedCaps, Scheme::PerUser] {
+        let world = World::new(CryptoPolicy::Sharoes, scheme);
+        let mut alice = world.client(ALICE);
+
+        // carol (other, 0600 file → no access after tightening).
+        alice.chmod("/home/alice/notes.txt", Mode::from_octal(0o600)).unwrap();
+        let mut carol = world.client(CAROL);
+        assert!(carol.read("/home/alice/notes.txt").is_err());
+
+        // Named-user ACL entry for carol.
+        let mut acl = Acl::empty();
+        acl.set_user(CAROL, Perm::R);
+        alice.set_acl("/home/alice/notes.txt", acl).unwrap();
+
+        let mut carol2 = world.client(CAROL);
+        assert_eq!(
+            carol2.read("/home/alice/notes.txt").unwrap(),
+            b"alice's notes",
+            "{scheme:?}"
+        );
+        // bob still locked out.
+        let mut bob = world.client(BOB);
+        assert!(bob.read("/home/alice/notes.txt").is_err());
+    }
+}
+
+#[test]
+fn acl_removal_revokes() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    alice.chmod("/home/alice/notes.txt", Mode::from_octal(0o600)).unwrap();
+    let mut acl = Acl::empty();
+    acl.set_user(CAROL, Perm::R);
+    alice.set_acl("/home/alice/notes.txt", acl).unwrap();
+    let mut carol = world.client(CAROL);
+    assert!(carol.read("/home/alice/notes.txt").is_ok());
+
+    // Remove the entry: immediate revocation re-keys.
+    let gen_before = alice.getattr("/home/alice/notes.txt").unwrap().generation;
+    alice.set_acl("/home/alice/notes.txt", Acl::empty()).unwrap();
+    let st = alice.getattr("/home/alice/notes.txt").unwrap();
+    assert_eq!(st.generation, gen_before + 1);
+    let mut carol2 = world.client(CAROL);
+    assert!(carol2.read("/home/alice/notes.txt").is_err());
+    assert_eq!(alice.read("/home/alice/notes.txt").unwrap(), b"alice's notes");
+}
+
+#[test]
+fn directory_revocation_rotates_table_keys() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    let mut bob = world.client(BOB);
+    // bob can list /home/alice (0755).
+    assert!(bob.readdir("/home/alice").is_ok());
+
+    alice.chmod("/home/alice", Mode::from_octal(0o700)).unwrap();
+    let mut bob2 = world.client(BOB);
+    let err = bob2.readdir("/home/alice").unwrap_err();
+    assert!(matches!(err, CoreError::PermissionDenied { .. }), "{err}");
+    assert!(bob2.read("/home/alice/notes.txt").is_err());
+
+    // alice still works, and can re-grant.
+    assert!(alice.readdir("/home/alice").is_ok());
+    alice.chmod("/home/alice", Mode::from_octal(0o755)).unwrap();
+    let mut bob3 = world.client(BOB);
+    assert!(bob3.readdir("/home/alice").is_ok());
+    assert_eq!(bob3.read("/home/alice/notes.txt").unwrap(), b"alice's notes");
+}
+
+#[test]
+fn chmod_to_exec_only_changes_directory_semantics() {
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut alice = world.client(ALICE);
+    // /home/alice/listing is 0744 (others list, no traverse). Flip to 0711.
+    alice.chmod("/home/alice/listing", Mode::from_octal(0o711)).unwrap();
+    let mut bob = world.client(BOB);
+    assert!(bob.readdir("/home/alice/listing").is_err());
+    assert_eq!(bob.read("/home/alice/listing/seen").unwrap(), b"listed");
+}
+
+#[test]
+fn revoked_generation_moves_data_view() {
+    // After immediate revocation the old ciphertext blocks are deleted from
+    // the SSP — a revoked reader with a cached DEK has nothing to decrypt.
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let objects_before = world.server.store().object_count();
+    let mut alice = world.client(ALICE);
+    alice.chmod("/home/alice/notes.txt", Mode::from_octal(0o600)).unwrap();
+    // Same number of data objects (old deleted, new written).
+    let objects_after = world.server.store().object_count();
+    assert_eq!(objects_before, objects_after);
+}
+
+#[test]
+fn group_membership_revocation_via_rekey() {
+    // Removing a user from a group (enterprise-side) revokes future access
+    // once the owner re-keys (paper footnote 5).
+    let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let mut bob = world.client(BOB);
+    assert_eq!(bob.read("/shared/board.txt").unwrap(), b"minutes");
+
+    // Enterprise removes bob from staff, then the owner re-keys by touching
+    // permissions (chmod to the same-but-tighter mode triggers revocation
+    // because bob's effective perm shrinks).
+    let mut db = (*world.db).clone();
+    db.remove_member(common::STAFF, BOB).unwrap();
+    let db = std::sync::Arc::new(db);
+
+    // alice's client must use the updated directory.
+    let transport = sharoes_net::InMemoryTransport::new(std::sync::Arc::clone(&world.server) as _);
+    let mut alice = sharoes_core::SharoesClient::with_rng(
+        Box::new(transport),
+        world.config.clone(),
+        std::sync::Arc::clone(&db),
+        std::sync::Arc::clone(&world.pki),
+        world.ring.identity(ALICE).unwrap(),
+        std::sync::Arc::clone(&world.pool),
+        sharoes_crypto::HmacDrbg::from_seed_u64(0xA11CE),
+    );
+    alice.mount().unwrap();
+    alice.chmod("/shared/board.txt", Mode::from_octal(0o660)).unwrap();
+
+    // bob, now outside the group (fresh client with updated db), is out.
+    let transport = sharoes_net::InMemoryTransport::new(std::sync::Arc::clone(&world.server) as _);
+    let mut bob2 = sharoes_core::SharoesClient::with_rng(
+        Box::new(transport),
+        world.config.clone(),
+        db,
+        std::sync::Arc::clone(&world.pki),
+        world.ring.identity(BOB).unwrap(),
+        std::sync::Arc::clone(&world.pool),
+        sharoes_crypto::HmacDrbg::from_seed_u64(0xB0B),
+    );
+    bob2.mount().unwrap();
+    assert!(bob2.read("/shared/board.txt").is_err());
+}

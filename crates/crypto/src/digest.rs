@@ -1,0 +1,25 @@
+//! A minimal incremental-hash trait shared by SHA-256, SHA-1, and MD5.
+
+/// An incremental cryptographic hash function.
+pub trait Digest: Clone {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block length in bytes (needed by HMAC).
+    const BLOCK_LEN: usize;
+    /// Human-readable algorithm name.
+    const NAME: &'static str;
+
+    /// Fresh hash state.
+    fn new() -> Self;
+    /// Absorbs more message bytes.
+    fn update(&mut self, data: &[u8]);
+    /// Consumes the state and produces the digest.
+    fn finalize_vec(self) -> Vec<u8>;
+
+    /// One-shot digest of `data`.
+    fn hash(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize_vec()
+    }
+}

@@ -1,0 +1,162 @@
+//! Random sources: the OS-backed generator and a deterministic HMAC-DRBG.
+//!
+//! All randomness used by key generation, padding, and IVs flows through the
+//! [`RandomSource`] trait so tests and benchmarks can substitute the
+//! reproducible [`HmacDrbg`] (NIST SP 800-90A HMAC_DRBG over SHA-256) for the
+//! system generator.
+
+use crate::hmac::hmac_sha256;
+
+/// A source of random bytes.
+pub trait RandomSource {
+    /// Fills `buf` with random bytes.
+    fn fill_bytes(&mut self, buf: &mut [u8]);
+
+    /// Returns a random 64-bit value.
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+/// OS-backed randomness (thread-local generator from the `rand` crate).
+pub struct SystemRandom(rand::rngs::ThreadRng);
+
+impl SystemRandom {
+    /// Creates a new handle to the thread-local generator.
+    pub fn new() -> Self {
+        SystemRandom(rand::rng())
+    }
+}
+
+impl Default for SystemRandom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RandomSource for SystemRandom {
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        rand::Rng::fill_bytes(&mut self.0, buf);
+    }
+}
+
+/// Deterministic HMAC-DRBG (SHA-256) per NIST SP 800-90A.
+///
+/// Two instances created with the same seed produce identical streams, which
+/// makes key generation in tests and benchmark fixtures reproducible.
+#[derive(Clone)]
+pub struct HmacDrbg {
+    k: [u8; 32],
+    v: [u8; 32],
+    reseed_counter: u64,
+}
+
+impl HmacDrbg {
+    /// Instantiates the DRBG from seed material.
+    pub fn new(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg { k: [0u8; 32], v: [1u8; 32], reseed_counter: 1 };
+        drbg.update(Some(seed));
+        drbg
+    }
+
+    /// Convenience constructor from a 64-bit seed.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        Self::new(&seed.to_be_bytes())
+    }
+
+    /// Mixes additional entropy into the state.
+    pub fn reseed(&mut self, seed: &[u8]) {
+        self.update(Some(seed));
+        self.reseed_counter = 1;
+    }
+
+    fn update(&mut self, data: Option<&[u8]>) {
+        let mut msg = Vec::with_capacity(32 + 1 + data.map_or(0, |d| d.len()));
+        msg.extend_from_slice(&self.v);
+        msg.push(0x00);
+        if let Some(d) = data {
+            msg.extend_from_slice(d);
+        }
+        self.k = hmac_sha256(&self.k, &msg);
+        self.v = hmac_sha256(&self.k, &self.v);
+        if let Some(d) = data {
+            let mut msg = Vec::with_capacity(32 + 1 + d.len());
+            msg.extend_from_slice(&self.v);
+            msg.push(0x01);
+            msg.extend_from_slice(d);
+            self.k = hmac_sha256(&self.k, &msg);
+            self.v = hmac_sha256(&self.k, &self.v);
+        }
+    }
+}
+
+impl RandomSource for HmacDrbg {
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut offset = 0;
+        while offset < buf.len() {
+            self.v = hmac_sha256(&self.k, &self.v);
+            let take = (buf.len() - offset).min(32);
+            buf[offset..offset + take].copy_from_slice(&self.v[..take]);
+            offset += take;
+        }
+        self.update(None);
+        self.reseed_counter += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drbg_is_deterministic() {
+        let mut a = HmacDrbg::new(b"seed material");
+        let mut b = HmacDrbg::new(b"seed material");
+        let mut ba = [0u8; 77];
+        let mut bb = [0u8; 77];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba.to_vec(), bb.to_vec());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = HmacDrbg::new(b"seed-a");
+        let mut b = HmacDrbg::new(b"seed-b");
+        let mut ba = [0u8; 32];
+        let mut bb = [0u8; 32];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_ne!(ba, bb);
+    }
+
+    #[test]
+    fn successive_outputs_differ() {
+        let mut a = HmacDrbg::from_seed_u64(42);
+        let x = a.next_u64();
+        let y = a.next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn reseed_changes_stream() {
+        let mut a = HmacDrbg::from_seed_u64(7);
+        let mut b = HmacDrbg::from_seed_u64(7);
+        b.reseed(b"extra");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn system_random_produces_nonconstant_output() {
+        let mut r = SystemRandom::new();
+        let mut buf = [0u8; 64];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0) || {
+            // Astronomically unlikely; retry once to avoid a flaky test.
+            r.fill_bytes(&mut buf);
+            buf.iter().any(|&b| b != 0)
+        });
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal length-prefixed binary encoding for key serialization.
+//!
+//! The higher layers have their own wire codec in `sharoes-net`; this module
+//! exists so key material can round-trip to bytes without pulling network
+//! dependencies into the crypto crate.
+
+use crate::error::CryptoError;
+
+/// Appends a `u32` big-endian length prefix followed by the bytes.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a single byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a big-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Cursor over a byte slice with checked reads.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns an error unless the whole buffer has been consumed.
+    pub fn expect_end(&self) -> Result<(), CryptoError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CryptoError::MalformedKey("trailing bytes"))
+        }
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, CryptoError> {
+        if self.remaining() < 1 {
+            return Err(CryptoError::MalformedKey("truncated u8"));
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads a big-endian u32.
+    pub fn take_u32(&mut self) -> Result<u32, CryptoError> {
+        if self.remaining() < 4 {
+            return Err(CryptoError::MalformedKey("truncated u32"));
+        }
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], CryptoError> {
+        let len = self.take_u32()? as usize;
+        if self.remaining() < len {
+            return Err(CryptoError::MalformedKey("truncated byte string"));
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEADBEEF);
+        put_bytes(&mut out, b"hello");
+        put_bytes(&mut out, b"");
+
+        let mut r = Reader::new(&out);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.take_bytes().unwrap(), b"hello");
+        assert_eq!(r.take_bytes().unwrap(), b"");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"hello");
+        out.truncate(out.len() - 1);
+        let mut r = Reader::new(&out);
+        assert!(r.take_bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 1);
+        out.push(0xFF);
+        let mut r = Reader::new(&out);
+        r.take_u8().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

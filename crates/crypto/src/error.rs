@@ -1,0 +1,53 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Ciphertext is malformed (wrong length, missing IV, ...).
+    InvalidCiphertext(&'static str),
+    /// PKCS#7 or PKCS#1 padding failed validation.
+    InvalidPadding,
+    /// A signature did not verify.
+    SignatureInvalid,
+    /// A message is too large for the key size.
+    MessageTooLong,
+    /// Serialized key material could not be parsed.
+    MalformedKey(&'static str),
+    /// Key generation failed (e.g., could not find a prime in budget).
+    KeyGeneration(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidCiphertext(why) => write!(f, "invalid ciphertext: {why}"),
+            CryptoError::InvalidPadding => write!(f, "invalid padding"),
+            CryptoError::SignatureInvalid => write!(f, "signature verification failed"),
+            CryptoError::MessageTooLong => write!(f, "message too long for key size"),
+            CryptoError::MalformedKey(why) => write!(f, "malformed key material: {why}"),
+            CryptoError::KeyGeneration(why) => write!(f, "key generation failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CryptoError::InvalidCiphertext("too short").to_string(),
+            "invalid ciphertext: too short"
+        );
+        assert_eq!(CryptoError::InvalidPadding.to_string(), "invalid padding");
+        assert_eq!(
+            CryptoError::SignatureInvalid.to_string(),
+            "signature verification failed"
+        );
+    }
+}

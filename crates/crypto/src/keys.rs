@@ -1,0 +1,291 @@
+//! Key abstractions used by the Sharoes layers above.
+//!
+//! * [`SymKey`] — a 128-bit AES key: the DEK (data encryption key) and MEK
+//!   (metadata encryption key) of the paper.
+//! * [`SigningKey`] / [`VerifyKey`] — scheme-agnostic signing pairs: the
+//!   DSK/DVK (data) and MSK/MVK (metadata) of the paper. ESIGN by default
+//!   (paper footnote 3), RSA selectable for ablation A3.
+
+use crate::aes::Aes128;
+use crate::drbg::RandomSource;
+use crate::encoding::{put_bytes, put_u8, Reader};
+use crate::error::CryptoError;
+use crate::esign::{EsignPrivateKey, EsignPublicKey};
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+
+/// A 128-bit symmetric key (AES-128).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SymKey(pub [u8; 16]);
+
+impl SymKey {
+    /// Generates a fresh random key.
+    pub fn random<R: RandomSource + ?Sized>(rng: &mut R) -> Self {
+        let mut k = [0u8; 16];
+        rng.fill_bytes(&mut k);
+        SymKey(k)
+    }
+
+    /// Builds a key from exactly 16 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != 16 {
+            return Err(CryptoError::MalformedKey("SymKey must be 16 bytes"));
+        }
+        let mut k = [0u8; 16];
+        k.copy_from_slice(bytes);
+        Ok(SymKey(k))
+    }
+
+    /// Derives a key from the leading 16 bytes of an HMAC output.
+    ///
+    /// This is the paper's `H_DEKthis(name)` construction for exec-only
+    /// directory rows (§III-A).
+    pub fn derive(parent: &SymKey, label: &[u8]) -> Self {
+        let mac = crate::hmac::hmac_sha256(&parent.0, label);
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&mac[..16]);
+        SymKey(k)
+    }
+
+    /// The expanded AES cipher for this key.
+    pub fn cipher(&self) -> Aes128 {
+        Aes128::new(&self.0)
+    }
+
+    /// Seals a plaintext with AES-CTR (`iv || ciphertext`).
+    pub fn seal<R: RandomSource + ?Sized>(&self, rng: &mut R, plaintext: &[u8]) -> Vec<u8> {
+        crate::modes::ctr_seal(&self.cipher(), rng, plaintext)
+    }
+
+    /// Opens a blob produced by [`SymKey::seal`].
+    pub fn open(&self, blob: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        crate::modes::ctr_open(&self.cipher(), blob)
+    }
+}
+
+impl std::fmt::Debug for SymKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key bytes.
+        write!(f, "SymKey(****)")
+    }
+}
+
+/// Which asymmetric signature scheme backs a signing pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SignatureScheme {
+    /// ESIGN over `n = p²q` — the paper's fast default.
+    Esign,
+    /// RSA PKCS#1 v1.5 — what most related systems use.
+    Rsa,
+}
+
+impl SignatureScheme {
+    fn tag(self) -> u8 {
+        match self {
+            SignatureScheme::Esign => 1,
+            SignatureScheme::Rsa => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CryptoError> {
+        match tag {
+            1 => Ok(SignatureScheme::Esign),
+            2 => Ok(SignatureScheme::Rsa),
+            _ => Err(CryptoError::MalformedKey("unknown signature scheme tag")),
+        }
+    }
+}
+
+/// A signing key (paper: DSK for data, MSK for metadata).
+#[derive(Clone, Debug)]
+pub enum SigningKey {
+    /// ESIGN private key.
+    Esign(EsignPrivateKey),
+    /// RSA private key.
+    Rsa(RsaPrivateKey),
+}
+
+/// A verification key (paper: DVK for data, MVK for metadata).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyKey {
+    /// ESIGN public key.
+    Esign(EsignPublicKey),
+    /// RSA public key.
+    Rsa(RsaPublicKey),
+}
+
+/// Generates a signing/verification pair for `scheme`.
+pub fn generate_signing_pair<R: RandomSource + ?Sized>(
+    scheme: SignatureScheme,
+    bits: usize,
+    rng: &mut R,
+) -> Result<(SigningKey, VerifyKey), CryptoError> {
+    match scheme {
+        SignatureScheme::Esign => {
+            let sk = EsignPrivateKey::generate(bits, rng)?;
+            let vk = sk.public_key().clone();
+            Ok((SigningKey::Esign(sk), VerifyKey::Esign(vk)))
+        }
+        SignatureScheme::Rsa => {
+            let sk = RsaPrivateKey::generate(bits, rng)?;
+            let vk = sk.public_key().clone();
+            Ok((SigningKey::Rsa(sk), VerifyKey::Rsa(vk)))
+        }
+    }
+}
+
+impl SigningKey {
+    /// The scheme backing this key.
+    pub fn scheme(&self) -> SignatureScheme {
+        match self {
+            SigningKey::Esign(_) => SignatureScheme::Esign,
+            SigningKey::Rsa(_) => SignatureScheme::Rsa,
+        }
+    }
+
+    /// Signs `msg`.
+    pub fn sign<R: RandomSource + ?Sized>(&self, rng: &mut R, msg: &[u8]) -> Vec<u8> {
+        match self {
+            SigningKey::Esign(k) => k.sign(rng, msg),
+            SigningKey::Rsa(k) => k.sign(msg),
+        }
+    }
+
+    /// The matching verification key.
+    pub fn verify_key(&self) -> VerifyKey {
+        match self {
+            SigningKey::Esign(k) => VerifyKey::Esign(k.public_key().clone()),
+            SigningKey::Rsa(k) => VerifyKey::Rsa(k.public_key().clone()),
+        }
+    }
+
+    /// Serializes with a scheme tag.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u8(&mut out, self.scheme().tag());
+        match self {
+            SigningKey::Esign(k) => put_bytes(&mut out, &k.to_bytes()),
+            SigningKey::Rsa(k) => put_bytes(&mut out, &k.to_bytes()),
+        }
+        out
+    }
+
+    /// Parses a tagged serialized signing key.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut r = Reader::new(bytes);
+        let scheme = SignatureScheme::from_tag(r.take_u8()?)?;
+        let body = r.take_bytes()?;
+        r.expect_end()?;
+        Ok(match scheme {
+            SignatureScheme::Esign => SigningKey::Esign(EsignPrivateKey::from_bytes(body)?),
+            SignatureScheme::Rsa => SigningKey::Rsa(RsaPrivateKey::from_bytes(body)?),
+        })
+    }
+}
+
+impl VerifyKey {
+    /// The scheme backing this key.
+    pub fn scheme(&self) -> SignatureScheme {
+        match self {
+            VerifyKey::Esign(_) => SignatureScheme::Esign,
+            VerifyKey::Rsa(_) => SignatureScheme::Rsa,
+        }
+    }
+
+    /// Verifies `signature` over `msg`.
+    pub fn verify(&self, msg: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+        match self {
+            VerifyKey::Esign(k) => k.verify(msg, signature),
+            VerifyKey::Rsa(k) => k.verify(msg, signature),
+        }
+    }
+
+    /// Serializes with a scheme tag.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u8(&mut out, self.scheme().tag());
+        match self {
+            VerifyKey::Esign(k) => put_bytes(&mut out, &k.to_bytes()),
+            VerifyKey::Rsa(k) => put_bytes(&mut out, &k.to_bytes()),
+        }
+        out
+    }
+
+    /// Parses a tagged serialized verification key.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut r = Reader::new(bytes);
+        let scheme = SignatureScheme::from_tag(r.take_u8()?)?;
+        let body = r.take_bytes()?;
+        r.expect_end()?;
+        Ok(match scheme {
+            SignatureScheme::Esign => VerifyKey::Esign(EsignPublicKey::from_bytes(body)?),
+            SignatureScheme::Rsa => VerifyKey::Rsa(RsaPublicKey::from_bytes(body)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+
+    #[test]
+    fn symkey_seal_open() {
+        let mut rng = HmacDrbg::from_seed_u64(1);
+        let key = SymKey::random(&mut rng);
+        let blob = key.seal(&mut rng, b"file contents");
+        assert_eq!(key.open(&blob).unwrap(), b"file contents");
+        let other = SymKey::random(&mut rng);
+        assert_ne!(other.open(&blob).unwrap(), b"file contents");
+    }
+
+    #[test]
+    fn symkey_from_slice_validation() {
+        assert!(SymKey::from_slice(&[0u8; 16]).is_ok());
+        assert!(SymKey::from_slice(&[0u8; 15]).is_err());
+        assert!(SymKey::from_slice(&[0u8; 17]).is_err());
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_label_sensitive() {
+        let parent = SymKey([9u8; 16]);
+        let a = SymKey::derive(&parent, b"file-a");
+        let b = SymKey::derive(&parent, b"file-a");
+        let c = SymKey::derive(&parent, b"file-b");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let other_parent = SymKey([8u8; 16]);
+        assert_ne!(SymKey::derive(&other_parent, b"file-a"), a);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let key = SymKey([0x42; 16]);
+        assert_eq!(format!("{key:?}"), "SymKey(****)");
+    }
+
+    #[test]
+    fn signing_pair_roundtrip_both_schemes() {
+        let mut rng = HmacDrbg::from_seed_u64(2);
+        for (scheme, bits) in [(SignatureScheme::Esign, 768), (SignatureScheme::Rsa, 512)] {
+            let (sk, vk) = generate_signing_pair(scheme, bits, &mut rng).unwrap();
+            assert_eq!(sk.scheme(), scheme);
+            assert_eq!(vk.scheme(), scheme);
+            let sig = sk.sign(&mut rng, b"payload");
+            vk.verify(b"payload", &sig).unwrap();
+            assert!(vk.verify(b"other", &sig).is_err());
+            assert_eq!(sk.verify_key(), vk);
+        }
+    }
+
+    #[test]
+    fn tagged_serialization_roundtrip() {
+        let mut rng = HmacDrbg::from_seed_u64(3);
+        let (sk, vk) = generate_signing_pair(SignatureScheme::Esign, 768, &mut rng).unwrap();
+        let sk2 = SigningKey::from_bytes(&sk.to_bytes()).unwrap();
+        let vk2 = VerifyKey::from_bytes(&vk.to_bytes()).unwrap();
+        let sig = sk2.sign(&mut rng, b"x");
+        vk2.verify(b"x", &sig).unwrap();
+        assert!(SigningKey::from_bytes(&[9, 0, 0, 0, 0]).is_err());
+        assert!(VerifyKey::from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! All RSA and ESIGN exponentiations route through [`MontgomeryCtx`], which
+//! implements the CIOS (coarsely integrated operand scanning) multiplication
+//! with 64-bit limbs and a fixed 4-bit window exponentiation ladder.
+
+use crate::bignum::BigUint;
+
+/// Precomputed state for arithmetic modulo a fixed odd modulus.
+pub struct MontgomeryCtx {
+    modulus: BigUint,
+    /// Modulus limbs padded to `k` entries.
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64 k)`, used to enter Montgomery form.
+    rr: Vec<u64>,
+    /// `R mod n`: the Montgomery representation of one.
+    r1: Vec<u64>,
+    /// Number of limbs.
+    k: usize,
+}
+
+impl MontgomeryCtx {
+    /// Creates a context for the given odd modulus.
+    ///
+    /// # Panics
+    /// Panics if `modulus` is even or < 3.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(modulus.is_odd(), "Montgomery modulus must be odd");
+        assert!(modulus.bit_len() >= 2, "Montgomery modulus must be >= 3");
+        let k = modulus.limbs.len();
+        let mut n = modulus.limbs.clone();
+        n.resize(k, 0);
+
+        let n0inv = neg_inv_u64(n[0]);
+
+        // R mod n and R^2 mod n via BigUint division (setup only, not hot).
+        let r = BigUint::one().shl(64 * k);
+        let r1_big = r.rem(&modulus);
+        let rr_big = r1_big.mul(&r1_big).rem(&modulus);
+        let mut r1 = r1_big.limbs.clone();
+        r1.resize(k, 0);
+        let mut rr = rr_big.limbs.clone();
+        rr.resize(k, 0);
+
+        MontgomeryCtx { modulus, n, n0inv, rr, r1, k }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^-1 mod n`.
+    ///
+    /// Operands are `k`-limb little-endian vectors, already reduced mod n.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let mut t = vec![0u64; k + 2];
+
+        for &ai in a.iter().take(k) {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let cur = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = t[k + 1].wrapping_add((cur >> 64) as u64);
+
+            // m = t[0] * n0inv mod 2^64; t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n0inv);
+            let mut carry = {
+                let cur = t[0] as u128 + m as u128 * self.n[0] as u128;
+                cur >> 64
+            };
+            for j in 1..k {
+                let cur = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1].wrapping_add((cur >> 64) as u64);
+            t[k + 1] = 0;
+        }
+
+        // Final conditional subtraction: t may be in [0, 2n).
+        let mut out = t[..k].to_vec();
+        if t[k] != 0 || ge(&out, &self.n) {
+            sub_in_place(&mut out, &self.n, t[k]);
+        }
+        out
+    }
+
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let reduced = a.rem(&self.modulus);
+        let mut limbs = reduced.limbs.clone();
+        limbs.resize(self.k, 0);
+        self.mont_mul(&limbs, &self.rr)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// `(a * b) mod n`.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod n` with a fixed 4-bit window.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let bm = self.to_mont(base);
+
+        // Precompute bm^0 .. bm^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        table.push(bm.clone());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], &bm));
+        }
+
+        let bits = exp.bit_len();
+        let top_window = (bits - 1) / 4; // index of the most significant window
+        let mut acc = table[window_at(exp, top_window)].clone();
+        for w in (0..top_window).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let idx = window_at(exp, w);
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Extracts the `w`-th 4-bit window (little-endian window order).
+fn window_at(exp: &BigUint, w: usize) -> usize {
+    let bit = w * 4;
+    let mut v = 0usize;
+    for i in 0..4 {
+        if exp.bit(bit + i) {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+/// `-a^{-1} mod 2^64` for odd `a`, by Newton iteration.
+fn neg_inv_u64(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1);
+    let mut inv = a; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(a.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b`, where the logical value of a includes `extra * 2^(64 len)`.
+fn sub_in_place(a: &mut [u64], b: &[u64], extra: u64) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert!(extra >= borrow || extra == 0 && borrow == 0);
+    let _ = extra;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn neg_inv_correct() {
+        for a in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            let ninv = neg_inv_u64(a);
+            // a * (-a^-1) == -1 mod 2^64
+            assert_eq!(a.wrapping_mul(ninv), u64::MAX, "a={a:#x}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive_small() {
+        let modulus = n(1_000_003); // odd
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        for (b, e) in [(2u64, 10u64), (3, 0), (12345, 67), (999_999, 3), (7, 1_000_000)] {
+            let expected = naive_pow(b, e, 1_000_003);
+            assert_eq!(ctx.pow(&n(b), &n(e)), n(expected), "b={b} e={e}");
+        }
+    }
+
+    fn naive_pow(mut b: u64, mut e: u64, m: u64) -> u64 {
+        let mut r = 1u128;
+        let mut bb = b as u128 % m as u128;
+        while e > 0 {
+            if e & 1 == 1 {
+                r = r * bb % m as u128;
+            }
+            bb = bb * bb % m as u128;
+            e >>= 1;
+        }
+        b = r as u64;
+        b
+    }
+
+    #[test]
+    fn pow_multi_limb_fermat() {
+        // p = 2^127 - 1 is a Mersenne prime; check Fermat's little theorem.
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        let ctx = MontgomeryCtx::new(p.clone());
+        let a = BigUint::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let res = ctx.pow(&a, &p.sub(&BigUint::one()));
+        assert_eq!(res, BigUint::one());
+    }
+
+    #[test]
+    fn mul_mod_matches_plain() {
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // odd
+        let ctx = MontgomeryCtx::new(m.clone());
+        let a = BigUint::from_hex("deadbeefcafebabe1122334455667788").unwrap();
+        let b = BigUint::from_hex("aabbccddeeff00112233445566778899").unwrap();
+        assert_eq!(ctx.mul_mod(&a, &b), a.mul_mod(&b, &m));
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let m = n(97);
+        let ctx = MontgomeryCtx::new(m);
+        assert_eq!(ctx.pow(&n(12), &BigUint::zero()), BigUint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_modulus_rejected() {
+        MontgomeryCtx::new(n(100));
+    }
+}

@@ -1,0 +1,192 @@
+//! Primality testing and random prime generation.
+//!
+//! Candidates are sieved against a table of small primes and then subjected
+//! to Miller–Rabin with random bases. Used by RSA and ESIGN key generation.
+
+use crate::bignum::BigUint;
+use crate::drbg::RandomSource;
+use crate::error::CryptoError;
+
+/// Number of Miller–Rabin rounds; 2^-128 error bound for random candidates.
+const MILLER_RABIN_ROUNDS: usize = 32;
+
+/// Small primes used for trial division (all odd primes below 2000).
+fn small_primes() -> &'static [u64] {
+    use std::sync::OnceLock;
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| {
+        let limit = 2000usize;
+        let mut is_comp = vec![false; limit];
+        let mut primes = Vec::new();
+        for n in 2..limit {
+            if !is_comp[n] {
+                primes.push(n as u64);
+                let mut m = n * n;
+                while m < limit {
+                    is_comp[m] = true;
+                    m += n;
+                }
+            }
+        }
+        primes
+    })
+}
+
+/// Deterministic trial division by the small-prime table.
+///
+/// Returns `Some(true/false)` when trial division decides, `None` otherwise.
+fn trial_division(n: &BigUint) -> Option<bool> {
+    for &p in small_primes() {
+        let pp = BigUint::from_u64(p);
+        match n.cmp_ref(&pp) {
+            std::cmp::Ordering::Less => return Some(false), // n < 2 handled by caller
+            std::cmp::Ordering::Equal => return Some(true),
+            std::cmp::Ordering::Greater => {}
+        }
+        let (_, r) = n.div_rem_u64(p);
+        if r == 0 {
+            return Some(false);
+        }
+    }
+    None
+}
+
+/// Miller–Rabin probabilistic primality test.
+pub fn is_probable_prime<R: RandomSource + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    let two = BigUint::from_u64(2);
+    if n.cmp_ref(&two) == std::cmp::Ordering::Equal {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    if let Some(decided) = trial_division(n) {
+        return decided;
+    }
+
+    // n - 1 = d * 2^s with d odd
+    let n_minus_1 = n.sub(&BigUint::one());
+    let s = {
+        let mut s = 0usize;
+        let mut t = n_minus_1.clone();
+        while t.is_even() {
+            t = t.shr(1);
+            s += 1;
+        }
+        s
+    };
+    let d = n_minus_1.shr(s);
+
+    let ctx = crate::montgomery::MontgomeryCtx::new(n.clone());
+    'witness: for _ in 0..MILLER_RABIN_ROUNDS {
+        // Random base in [2, n-2]
+        let a = loop {
+            let a = BigUint::random_below(rng, &n_minus_1);
+            if !a.is_zero() && !a.is_one() {
+                break a;
+            }
+        };
+        let mut x = ctx.pow(&a, &d);
+        if x.is_one() || x.cmp_ref(&n_minus_1) == std::cmp::Ordering::Equal {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = ctx.mul_mod(&x, &x);
+            if x.cmp_ref(&n_minus_1) == std::cmp::Ordering::Equal {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+pub fn generate_prime<R: RandomSource + ?Sized>(
+    bits: usize,
+    rng: &mut R,
+) -> Result<BigUint, CryptoError> {
+    assert!(bits >= 8, "prime size too small: {bits} bits");
+    // Expected candidates ~ bits * ln2 / 2; allow a generous budget.
+    let budget = bits * 64;
+    for _ in 0..budget {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        // Force odd and force the top two bits so products of two such
+        // primes have full bit length (standard RSA trick).
+        candidate.set_bit(0);
+        candidate.set_bit(bits - 1);
+        if bits >= 2 {
+            candidate.set_bit(bits - 2);
+        }
+        if is_probable_prime(&candidate, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(CryptoError::KeyGeneration("prime search budget exhausted"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn small_numbers_classified() {
+        let mut rng = HmacDrbg::from_seed_u64(1);
+        let primes = [2u64, 3, 5, 7, 11, 13, 1999, 2003, 104729, 1_000_000_007];
+        let composites = [0u64, 1, 4, 6, 9, 15, 2001, 104730, 1_000_000_008];
+        for p in primes {
+            assert!(is_probable_prime(&n(p), &mut rng), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_probable_prime(&n(c), &mut rng), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // 561, 1105, 1729 fool Fermat but not Miller–Rabin.
+        let mut rng = HmacDrbg::from_seed_u64(2);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_probable_prime(&n(c), &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^127 - 1 (Mersenne prime)
+        let mut rng = HmacDrbg::from_seed_u64(3);
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&p, &mut rng));
+        // 2^128 - 1 is composite.
+        let c = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, &mut rng));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = HmacDrbg::from_seed_u64(4);
+        for bits in [64usize, 128, 256] {
+            let p = generate_prime(bits, &mut rng).unwrap();
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p1 = generate_prime(96, &mut HmacDrbg::from_seed_u64(99)).unwrap();
+        let p2 = generate_prime(96, &mut HmacDrbg::from_seed_u64(99)).unwrap();
+        assert_eq!(p1, p2);
+        let p3 = generate_prime(96, &mut HmacDrbg::from_seed_u64(100)).unwrap();
+        assert_ne!(p1, p3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for RSA and ESIGN: round-trip laws, cross-key rejection,
+//! and malleability resistance, with small keys and few cases (prime
+//! generation is expensive).
+
+use proptest::prelude::*;
+use sharoes_crypto::{EsignPrivateKey, HmacDrbg, RsaPrivateKey};
+use std::sync::OnceLock;
+
+/// A few fixed keys shared across cases (keygen dominates otherwise).
+fn rsa_keys() -> &'static [RsaPrivateKey; 2] {
+    static KEYS: OnceLock<[RsaPrivateKey; 2]> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = HmacDrbg::from_seed_u64(0xA11);
+        [
+            RsaPrivateKey::generate(512, &mut rng).unwrap(),
+            RsaPrivateKey::generate(512, &mut rng).unwrap(),
+        ]
+    })
+}
+
+fn esign_keys() -> &'static [EsignPrivateKey; 2] {
+    static KEYS: OnceLock<[EsignPrivateKey; 2]> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = HmacDrbg::from_seed_u64(0xE5);
+        [
+            EsignPrivateKey::generate(768, &mut rng).unwrap(),
+            EsignPrivateKey::generate(768, &mut rng).unwrap(),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rsa_encrypt_decrypt_roundtrip(msg in prop::collection::vec(any::<u8>(), 0..53), seed in any::<u64>()) {
+        let key = &rsa_keys()[0];
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let ct = key.public_key().encrypt(&mut rng, &msg).unwrap();
+        prop_assert_eq!(key.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn rsa_wrong_key_fails_or_garbles(msg in prop::collection::vec(any::<u8>(), 1..53), seed in any::<u64>()) {
+        let [k1, k2] = rsa_keys();
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let ct = k1.public_key().encrypt(&mut rng, &msg).unwrap();
+        match k2.decrypt(&ct) {
+            Err(_) => {}
+            Ok(pt) => prop_assert_ne!(pt, msg),
+        }
+    }
+
+    #[test]
+    fn rsa_blob_roundtrip(blob in prop::collection::vec(any::<u8>(), 0..400), seed in any::<u64>()) {
+        let key = &rsa_keys()[0];
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let ct = key.public_key().encrypt_blob(&mut rng, &blob).unwrap();
+        prop_assert_eq!(key.decrypt_blob(&ct).unwrap(), blob);
+    }
+
+    #[test]
+    fn rsa_sign_verify_laws(msg in prop::collection::vec(any::<u8>(), 0..256)) {
+        let [k1, k2] = rsa_keys();
+        let sig = k1.sign(&msg);
+        k1.public_key().verify(&msg, &sig).unwrap();
+        // Other key rejects.
+        prop_assert!(k2.public_key().verify(&msg, &sig).is_err());
+        // Any single-byte perturbation of the message rejects.
+        let mut other = msg.clone();
+        other.push(0x01);
+        prop_assert!(k1.public_key().verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn rsa_signature_bitflip_rejected(msg in prop::collection::vec(any::<u8>(), 0..64), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let key = &rsa_keys()[0];
+        let mut sig = key.sign(&msg);
+        let i = pos.index(sig.len());
+        sig[i] ^= 1 << bit;
+        prop_assert!(key.public_key().verify(&msg, &sig).is_err());
+    }
+
+    #[test]
+    fn esign_sign_verify_laws(msg in prop::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
+        let [k1, k2] = esign_keys();
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let sig = k1.sign(&mut rng, &msg);
+        k1.public_key().verify(&msg, &sig).unwrap();
+        prop_assert!(k2.public_key().verify(&msg, &sig).is_err());
+        let mut other = msg.clone();
+        other.push(0xFF);
+        prop_assert!(k1.public_key().verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn esign_signature_bitflip_rejected(msg in prop::collection::vec(any::<u8>(), 0..64), pos in any::<prop::sample::Index>(), bit in 0u8..8, seed in any::<u64>()) {
+        let key = &esign_keys()[0];
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let mut sig = key.sign(&mut rng, &msg);
+        let i = pos.index(sig.len());
+        sig[i] ^= 1 << bit;
+        // An ESIGN signature authenticates the top hash window; flips in the
+        // low bits of s can survive e-th powering only with negligible
+        // probability. Assert rejection; if this ever flakes it indicates a
+        // real soundness bug worth investigating.
+        prop_assert!(key.public_key().verify(&msg, &sig).is_err());
+    }
+}

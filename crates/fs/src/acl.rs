@@ -1,0 +1,113 @@
+//! POSIX-style access control lists.
+//!
+//! ACL entries are the paper's canonical source of Scheme-2 *split points*
+//! (§III-D.2): "One typical cause of this divergence is POSIX ACLs when
+//! permissions for specific users or groups are added to the traditional
+//! *nix owner, group, others model."
+
+use crate::mode::Perm;
+use crate::users::{Gid, Uid};
+use std::collections::BTreeMap;
+
+/// An access control list: named-user and named-group entries.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Acl {
+    users: BTreeMap<Uid, Perm>,
+    groups: BTreeMap<Gid, Perm>,
+}
+
+impl Acl {
+    /// An ACL with no entries.
+    pub fn empty() -> Self {
+        Acl::default()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty() && self.groups.is_empty()
+    }
+
+    /// Sets (or replaces) a named-user entry.
+    pub fn set_user(&mut self, uid: Uid, perm: Perm) {
+        self.users.insert(uid, perm);
+    }
+
+    /// Sets (or replaces) a named-group entry.
+    pub fn set_group(&mut self, gid: Gid, perm: Perm) {
+        self.groups.insert(gid, perm);
+    }
+
+    /// Removes a named-user entry; returns whether one existed.
+    pub fn remove_user(&mut self, uid: Uid) -> bool {
+        self.users.remove(&uid).is_some()
+    }
+
+    /// Removes a named-group entry; returns whether one existed.
+    pub fn remove_group(&mut self, gid: Gid) -> bool {
+        self.groups.remove(&gid).is_some()
+    }
+
+    /// The named-user entry for `uid`, if any.
+    pub fn user_entry(&self, uid: Uid) -> Option<Perm> {
+        self.users.get(&uid).copied()
+    }
+
+    /// The named-group entry for `gid`, if any.
+    pub fn group_entry(&self, gid: Gid) -> Option<Perm> {
+        self.groups.get(&gid).copied()
+    }
+
+    /// Iterates over named-user entries in uid order.
+    pub fn user_entries(&self) -> impl Iterator<Item = (Uid, Perm)> + '_ {
+        self.users.iter().map(|(&u, &p)| (u, p))
+    }
+
+    /// Iterates over named-group entries in gid order.
+    pub fn group_entries(&self) -> impl Iterator<Item = (Gid, Perm)> + '_ {
+        self.groups.iter().map(|(&g, &p)| (g, p))
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.users.len() + self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut acl = Acl::empty();
+        assert!(acl.is_empty());
+        acl.set_user(Uid(5), Perm::RX);
+        acl.set_group(Gid(7), Perm::R);
+        assert_eq!(acl.user_entry(Uid(5)), Some(Perm::RX));
+        assert_eq!(acl.group_entry(Gid(7)), Some(Perm::R));
+        assert_eq!(acl.user_entry(Uid(6)), None);
+        assert_eq!(acl.len(), 2);
+        assert!(acl.remove_user(Uid(5)));
+        assert!(!acl.remove_user(Uid(5)));
+        assert!(acl.remove_group(Gid(7)));
+        assert!(acl.is_empty());
+    }
+
+    #[test]
+    fn replace_updates_entry() {
+        let mut acl = Acl::empty();
+        acl.set_user(Uid(1), Perm::R);
+        acl.set_user(Uid(1), Perm::RW);
+        assert_eq!(acl.user_entry(Uid(1)), Some(Perm::RW));
+        assert_eq!(acl.len(), 1);
+    }
+
+    #[test]
+    fn iteration_ordered() {
+        let mut acl = Acl::empty();
+        acl.set_user(Uid(9), Perm::R);
+        acl.set_user(Uid(3), Perm::W);
+        let uids: Vec<_> = acl.user_entries().map(|(u, _)| u).collect();
+        assert_eq!(uids, vec![Uid(3), Uid(9)]);
+    }
+}

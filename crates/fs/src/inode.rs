@@ -1,0 +1,81 @@
+//! Inode identifiers and attributes.
+
+use crate::acl::Acl;
+use crate::mode::Mode;
+use crate::users::{Gid, Uid};
+use std::fmt;
+
+/// A filesystem inode number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InodeId(pub u64);
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inode#{}", self.0)
+    }
+}
+
+/// Whether an inode is a file or a directory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+/// The attribute block of an inode — what `stat`/`getattr` returns.
+///
+/// Mirrors the paper's Figure 2 metadata fields (inode#, type, owner, group,
+/// perms) minus the key fields, which only exist in the encrypted
+/// representation at the SSP.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attr {
+    /// The inode number.
+    pub inode: InodeId,
+    /// File or directory.
+    pub kind: NodeKind,
+    /// Owning user.
+    pub owner: Uid,
+    /// Owning group.
+    pub group: Gid,
+    /// Permission bits.
+    pub mode: Mode,
+    /// POSIX ACL entries (usually empty).
+    pub acl: Acl,
+    /// File size in bytes (directories report their entry count).
+    pub size: u64,
+    /// Monotonic version, bumped on every content or attribute change.
+    pub version: u64,
+}
+
+impl Attr {
+    /// Creates attributes for a fresh object.
+    pub fn new(inode: InodeId, kind: NodeKind, owner: Uid, group: Gid, mode: Mode) -> Self {
+        Attr {
+            inode,
+            kind,
+            owner,
+            group,
+            mode,
+            acl: Acl::empty(),
+            size: 0,
+            version: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_new() {
+        assert_eq!(InodeId(42).to_string(), "inode#42");
+        let a = Attr::new(InodeId(1), NodeKind::Dir, Uid(1), Gid(2), Mode::from_octal(0o750));
+        assert_eq!(a.kind, NodeKind::Dir);
+        assert_eq!(a.size, 0);
+        assert_eq!(a.version, 1);
+        assert!(a.acl.is_empty());
+    }
+}

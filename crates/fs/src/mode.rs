@@ -1,0 +1,348 @@
+//! *nix permission bits and permission-class evaluation.
+//!
+//! The paper's CAPs are keyed by the classic owner/group/other triple plus
+//! optional POSIX ACL entries; this module is the plaintext source of truth
+//! those CAPs replicate cryptographically.
+
+use crate::acl::Acl;
+use crate::users::{Gid, Uid, UserDb};
+use std::fmt;
+
+/// One `rwx` triple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Perm {
+    /// Read bit.
+    pub read: bool,
+    /// Write bit.
+    pub write: bool,
+    /// Execute / traverse bit.
+    pub exec: bool,
+}
+
+impl Perm {
+    /// No permissions.
+    pub const NONE: Perm = Perm { read: false, write: false, exec: false };
+    /// `r--`
+    pub const R: Perm = Perm { read: true, write: false, exec: false };
+    /// `-w-`
+    pub const W: Perm = Perm { read: false, write: true, exec: false };
+    /// `--x`
+    pub const X: Perm = Perm { read: false, write: false, exec: true };
+    /// `rw-`
+    pub const RW: Perm = Perm { read: true, write: true, exec: false };
+    /// `r-x`
+    pub const RX: Perm = Perm { read: true, write: false, exec: true };
+    /// `-wx`
+    pub const WX: Perm = Perm { read: false, write: true, exec: true };
+    /// `rwx`
+    pub const RWX: Perm = Perm { read: true, write: true, exec: true };
+
+    /// Builds from the low three bits of `v` (`0o7` = rwx).
+    pub fn from_bits(v: u32) -> Perm {
+        Perm {
+            read: v & 0o4 != 0,
+            write: v & 0o2 != 0,
+            exec: v & 0o1 != 0,
+        }
+    }
+
+    /// The low-three-bits encoding.
+    pub fn bits(self) -> u32 {
+        (self.read as u32) << 2 | (self.write as u32) << 1 | self.exec as u32
+    }
+
+    /// True if every bit in `other` is also set here.
+    pub fn covers(self, other: Perm) -> bool {
+        (!other.read || self.read) && (!other.write || self.write) && (!other.exec || self.exec)
+    }
+}
+
+impl fmt::Debug for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.exec { 'x' } else { '-' }
+        )
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The classic owner/group/other mode word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode {
+    /// Owner class permissions.
+    pub owner: Perm,
+    /// Group class permissions.
+    pub group: Perm,
+    /// Other (world) class permissions.
+    pub other: Perm,
+}
+
+impl Mode {
+    /// Builds from an octal-style word, e.g. `0o755`.
+    pub fn from_octal(v: u32) -> Mode {
+        Mode {
+            owner: Perm::from_bits(v >> 6),
+            group: Perm::from_bits(v >> 3),
+            other: Perm::from_bits(v),
+        }
+    }
+
+    /// The octal-style encoding.
+    pub fn octal(self) -> u32 {
+        self.owner.bits() << 6 | self.group.bits() << 3 | self.other.bits()
+    }
+
+    /// Permission for a given class.
+    pub fn class_perm(self, class: PermClass) -> Perm {
+        match class {
+            PermClass::Owner => self.owner,
+            PermClass::Group => self.group,
+            PermClass::Other => self.other,
+        }
+    }
+}
+
+impl fmt::Debug for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.owner, self.group, self.other)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Which of the three classic classes a user falls into for an object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum PermClass {
+    /// The object's owner.
+    Owner,
+    /// A member of the object's group (who is not the owner).
+    Group,
+    /// Everyone else.
+    Other,
+}
+
+/// Classifies `uid` against an object owned by `(owner, group)`.
+///
+/// Follows the standard *nix evaluation order: owner first, then group
+/// membership, then other. ACL qualification is layered on by
+/// [`effective_perm`].
+pub fn classify(uid: Uid, owner: Uid, group: Gid, db: &UserDb) -> PermClass {
+    if uid == owner {
+        PermClass::Owner
+    } else if db.is_member(uid, group) {
+        PermClass::Group
+    } else {
+        PermClass::Other
+    }
+}
+
+/// The permission class of `uid` on an object with ACLs, in first-match
+/// evaluation order: owner, ACL named user, owning-group member, first ACL
+/// named group containing the user (gid order), other.
+///
+/// POSIX 1003.1e specifies a *union* over matching group entries; Sharoes
+/// uses first-match so that every user lands in exactly one permission
+/// class — the invariant the cryptographic CAPs are keyed by (see
+/// DESIGN.md). The difference only shows for users matched by several group
+/// entries with different grants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AclClass {
+    /// The owner.
+    Owner,
+    /// Matched a named-user ACL entry.
+    AclUser(Uid),
+    /// Member of the owning group.
+    Group,
+    /// Matched a named-group ACL entry.
+    AclGroup(Gid),
+    /// Everyone else.
+    Other,
+}
+
+/// Classifies `uid` with ACLs (first-match; see [`AclClass`]).
+pub fn classify_with_acl(
+    uid: Uid,
+    owner: Uid,
+    group: Gid,
+    acl: &Acl,
+    db: &UserDb,
+) -> AclClass {
+    if uid == owner {
+        return AclClass::Owner;
+    }
+    if acl.user_entry(uid).is_some() {
+        return AclClass::AclUser(uid);
+    }
+    if db.is_member(uid, group) {
+        return AclClass::Group;
+    }
+    for (gid, _) in acl.group_entries() {
+        if db.is_member(uid, gid) {
+            return AclClass::AclGroup(gid);
+        }
+    }
+    AclClass::Other
+}
+
+/// The permission a class receives.
+pub fn class_perm_with_acl(class: AclClass, mode: Mode, acl: &Acl) -> Perm {
+    match class {
+        AclClass::Owner => mode.owner,
+        AclClass::AclUser(uid) => acl.user_entry(uid).unwrap_or(mode.other),
+        AclClass::Group => mode.group,
+        AclClass::AclGroup(gid) => acl.group_entry(gid).unwrap_or(mode.other),
+        AclClass::Other => mode.other,
+    }
+}
+
+/// The effective permission of `uid` on an object, honouring POSIX ACLs
+/// (first-match semantics; see [`classify_with_acl`]).
+pub fn effective_perm(
+    uid: Uid,
+    owner: Uid,
+    group: Gid,
+    mode: Mode,
+    acl: &Acl,
+    db: &UserDb,
+) -> Perm {
+    class_perm_with_acl(classify_with_acl(uid, owner, group, acl, db), mode, acl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::Acl;
+
+    fn db() -> UserDb {
+        let mut db = UserDb::new();
+        db.add_group(Gid(10), "eng").unwrap();
+        db.add_group(Gid(20), "ops").unwrap();
+        db.add_user(Uid(1), "alice", Gid(10)).unwrap();
+        db.add_user(Uid(2), "bob", Gid(10)).unwrap();
+        db.add_user(Uid(3), "carol", Gid(20)).unwrap();
+        db
+    }
+
+    #[test]
+    fn octal_roundtrip() {
+        for v in [0o000u32, 0o755, 0o644, 0o711, 0o777, 0o531] {
+            assert_eq!(Mode::from_octal(v).octal(), v);
+        }
+        assert_eq!(format!("{}", Mode::from_octal(0o754)), "rwxr-xr--");
+    }
+
+    #[test]
+    fn perm_covers() {
+        assert!(Perm::RWX.covers(Perm::RX));
+        assert!(Perm::R.covers(Perm::NONE));
+        assert!(!Perm::R.covers(Perm::W));
+        assert!(Perm::RX.covers(Perm::X));
+        assert!(!Perm::NONE.covers(Perm::R));
+    }
+
+    #[test]
+    fn classification_order() {
+        let db = db();
+        assert_eq!(classify(Uid(1), Uid(1), Gid(10), &db), PermClass::Owner);
+        assert_eq!(classify(Uid(2), Uid(1), Gid(10), &db), PermClass::Group);
+        assert_eq!(classify(Uid(3), Uid(1), Gid(10), &db), PermClass::Other);
+        // Owner beats group membership.
+        assert_eq!(classify(Uid(1), Uid(1), Gid(10), &db), PermClass::Owner);
+    }
+
+    #[test]
+    fn effective_perm_basic_classes() {
+        let db = db();
+        let mode = Mode::from_octal(0o754);
+        let acl = Acl::empty();
+        assert_eq!(effective_perm(Uid(1), Uid(1), Gid(10), mode, &acl, &db), Perm::RWX);
+        assert_eq!(effective_perm(Uid(2), Uid(1), Gid(10), mode, &acl, &db), Perm::RX);
+        assert_eq!(effective_perm(Uid(3), Uid(1), Gid(10), mode, &acl, &db), Perm::R);
+    }
+
+    #[test]
+    fn acl_named_user_beats_group() {
+        let db = db();
+        let mode = Mode::from_octal(0o770);
+        let mut acl = Acl::empty();
+        acl.set_user(Uid(2), Perm::R);
+        // bob is in the owning group, but his named-user entry wins.
+        assert_eq!(effective_perm(Uid(2), Uid(1), Gid(10), mode, &acl, &db), Perm::R);
+    }
+
+    #[test]
+    fn acl_group_entries_first_match() {
+        let mut db = db();
+        db.add_member(Gid(20), Uid(2)).unwrap();
+        let mode = Mode::from_octal(0o740);
+        let mut acl = Acl::empty();
+        acl.set_group(Gid(20), Perm::X);
+        // bob is in the owning group, which matches before the ACL group
+        // entry (first-match semantics): he gets r--.
+        assert_eq!(effective_perm(Uid(2), Uid(1), Gid(10), mode, &acl, &db), Perm::R);
+        assert_eq!(
+            classify_with_acl(Uid(2), Uid(1), Gid(10), &acl, &db),
+            AclClass::Group
+        );
+        // carol: only in ops, so the named-group entry applies.
+        assert_eq!(effective_perm(Uid(3), Uid(1), Gid(10), mode, &acl, &db), Perm::X);
+        assert_eq!(
+            classify_with_acl(Uid(3), Uid(1), Gid(10), &acl, &db),
+            AclClass::AclGroup(Gid(20))
+        );
+    }
+
+    #[test]
+    fn classify_with_acl_order() {
+        let db = db();
+        let mut acl = Acl::empty();
+        acl.set_user(Uid(2), Perm::RW);
+        // Named-user entry beats group membership.
+        assert_eq!(
+            classify_with_acl(Uid(2), Uid(1), Gid(10), &acl, &db),
+            AclClass::AclUser(Uid(2))
+        );
+        // Owner beats everything, even a named-user entry for the owner.
+        acl.set_user(Uid(1), Perm::NONE);
+        assert_eq!(
+            classify_with_acl(Uid(1), Uid(1), Gid(10), &acl, &db),
+            AclClass::Owner
+        );
+        // Unrelated user: other.
+        assert_eq!(
+            classify_with_acl(Uid(3), Uid(1), Gid(10), &acl, &db),
+            AclClass::Other
+        );
+        // class_perm_with_acl agrees with effective_perm everywhere.
+        let mode = Mode::from_octal(0o754);
+        for uid in [Uid(1), Uid(2), Uid(3)] {
+            let class = classify_with_acl(uid, Uid(1), Gid(10), &acl, &db);
+            assert_eq!(
+                class_perm_with_acl(class, mode, &acl),
+                effective_perm(uid, Uid(1), Gid(10), mode, &acl, &db)
+            );
+        }
+    }
+
+    #[test]
+    fn owner_ignores_acl() {
+        let db = db();
+        let mode = Mode::from_octal(0o700);
+        let mut acl = Acl::empty();
+        acl.set_user(Uid(1), Perm::NONE);
+        assert_eq!(effective_perm(Uid(1), Uid(1), Gid(10), mode, &acl, &db), Perm::RWX);
+    }
+}

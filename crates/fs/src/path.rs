@@ -1,0 +1,124 @@
+//! Absolute-path parsing helpers shared by the local filesystem model and
+//! the Sharoes client.
+
+/// Errors from path validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// Path did not start with `/`.
+    NotAbsolute,
+    /// A component was empty, `.`, `..`, or contained a NUL byte.
+    BadComponent(String),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::NotAbsolute => write!(f, "path must be absolute"),
+            PathError::BadComponent(c) => write!(f, "bad path component: {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Splits an absolute path into components.
+///
+/// `"/"` yields an empty vector. Consecutive slashes and a trailing slash
+/// are tolerated (`"/a//b/"` → `["a", "b"]`); `.` and `..` are rejected —
+/// the client resolves paths literally, like the FUSE layer would after the
+/// kernel has normalized them.
+pub fn split(path: &str) -> Result<Vec<&str>, PathError> {
+    if !path.starts_with('/') {
+        return Err(PathError::NotAbsolute);
+    }
+    let mut parts = Vec::new();
+    for comp in path.split('/') {
+        if comp.is_empty() {
+            continue;
+        }
+        validate_name(comp)?;
+        parts.push(comp);
+    }
+    Ok(parts)
+}
+
+/// Validates a single file or directory name.
+pub fn validate_name(name: &str) -> Result<(), PathError> {
+    if name.is_empty() || name == "." || name == ".." || name.contains('/') || name.contains('\0')
+    {
+        return Err(PathError::BadComponent(name.to_string()));
+    }
+    Ok(())
+}
+
+/// Splits a path into `(parent_components, final_name)`.
+pub fn split_parent(path: &str) -> Result<(Vec<&str>, &str), PathError> {
+    let mut parts = split(path)?;
+    match parts.pop() {
+        Some(name) => Ok((parts, name)),
+        None => Err(PathError::BadComponent("/".to_string())),
+    }
+}
+
+/// Joins components back into an absolute path (for display).
+pub fn join(components: &[&str]) -> String {
+    if components.is_empty() {
+        "/".to_string()
+    } else {
+        let mut s = String::new();
+        for c in components {
+            s.push('/');
+            s.push_str(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_basic() {
+        assert_eq!(split("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(split("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split("/a//b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn split_rejects_relative_and_dots() {
+        assert_eq!(split("a/b"), Err(PathError::NotAbsolute));
+        assert!(split("/a/./b").is_err());
+        assert!(split("/a/../b").is_err());
+        assert_eq!(split(""), Err(PathError::NotAbsolute));
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("ok-name_1.txt").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name(".").is_err());
+        assert!(validate_name("..").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("a\0b").is_err());
+    }
+
+    #[test]
+    fn parent_split() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert!(split_parent("/").is_err());
+        let (parent, name) = split_parent("/top").unwrap();
+        assert!(parent.is_empty());
+        assert_eq!(name, "top");
+    }
+
+    #[test]
+    fn join_roundtrip() {
+        assert_eq!(join(&[]), "/");
+        assert_eq!(join(&["a", "b"]), "/a/b");
+        let parts = split("/x/y/z").unwrap();
+        assert_eq!(join(&parts), "/x/y/z");
+    }
+}

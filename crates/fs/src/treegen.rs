@@ -1,0 +1,266 @@
+//! Synthetic filesystem tree generation.
+//!
+//! The paper calibrates its design against permission studies of two real
+//! enterprises (reference \[13\]: >70 % of users use exec-only directories; write-exec
+//! directories were never observed). We cannot ship those proprietary traces,
+//! so this generator produces trees with a configurable permission mix whose
+//! defaults match the published observations. Used by migration tests and
+//! the benchmark workloads.
+
+use crate::fsys::{FsError, LocalFs, ROOT_UID};
+use crate::mode::Mode;
+use crate::users::{Gid, Uid, UserDb};
+
+/// Deterministic 64-bit generator (SplitMix64) so trees are reproducible.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `percent / 100`.
+    pub fn percent(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Weighted permission mix for generated directories and files.
+#[derive(Clone, Debug)]
+pub struct PermissionMix {
+    /// `(mode, weight)` pairs for directories.
+    pub dir_modes: Vec<(Mode, u32)>,
+    /// `(mode, weight)` pairs for files.
+    pub file_modes: Vec<(Mode, u32)>,
+}
+
+impl Default for PermissionMix {
+    /// Defaults shaped by the paper's study \[13\]: exec-only (`--x`) is the
+    /// dominant non-owner directory permission; write-exec never appears;
+    /// write-only files never appear.
+    fn default() -> Self {
+        PermissionMix {
+            dir_modes: vec![
+                (Mode::from_octal(0o711), 45), // exec-only for group/other
+                (Mode::from_octal(0o755), 25),
+                (Mode::from_octal(0o750), 15),
+                (Mode::from_octal(0o700), 10),
+                (Mode::from_octal(0o744), 5),
+            ],
+            file_modes: vec![
+                (Mode::from_octal(0o644), 40),
+                (Mode::from_octal(0o640), 25),
+                (Mode::from_octal(0o600), 20),
+                (Mode::from_octal(0o664), 10),
+                (Mode::from_octal(0o444), 5),
+            ],
+        }
+    }
+}
+
+impl PermissionMix {
+    fn pick(&self, rng: &mut SplitMix64, dirs: bool) -> Mode {
+        let table = if dirs { &self.dir_modes } else { &self.file_modes };
+        let total: u32 = table.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.below(total as u64) as u32;
+        for &(mode, w) in table {
+            if roll < w {
+                return mode;
+            }
+            roll -= w;
+        }
+        table.last().expect("non-empty mix").0
+    }
+}
+
+/// Parameters for tree generation.
+#[derive(Clone, Debug)]
+pub struct TreeSpec {
+    /// Number of user home directories to create under `/home`.
+    pub users: usize,
+    /// Directories per home (split across two levels).
+    pub dirs_per_user: usize,
+    /// Files per directory.
+    pub files_per_dir: usize,
+    /// File size range in bytes (inclusive).
+    pub file_size: (u64, u64),
+    /// Permission mix.
+    pub mix: PermissionMix,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreeSpec {
+    fn default() -> Self {
+        TreeSpec {
+            users: 4,
+            dirs_per_user: 5,
+            files_per_dir: 4,
+            file_size: (500, 10_000), // Postmark's default 500 B – 9.77 KB
+            mix: PermissionMix::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Output statistics from generation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Directories created (excluding `/` and `/home`).
+    pub dirs: usize,
+    /// Files created.
+    pub files: usize,
+    /// Total file bytes written.
+    pub bytes: u64,
+}
+
+/// Builds the standard enterprise user directory used across tests/benches:
+/// root plus `n` users alice0..alice(n-1), all in group `staff`, odd users
+/// additionally in `eng`.
+pub fn standard_users(n: usize) -> UserDb {
+    let mut db = UserDb::new();
+    db.add_group(Gid(0), "wheel").expect("fresh db");
+    db.add_group(Gid(100), "staff").expect("fresh db");
+    db.add_group(Gid(101), "eng").expect("fresh db");
+    db.add_user(ROOT_UID, "root", Gid(0)).expect("fresh db");
+    for i in 0..n {
+        let uid = Uid(1000 + i as u32);
+        db.add_user(uid, &format!("user{i}"), Gid(100)).expect("unique uid");
+        if i % 2 == 1 {
+            db.add_member(Gid(101), uid).expect("user exists");
+        }
+    }
+    db
+}
+
+/// Generates a populated [`LocalFs`] according to `spec`.
+pub fn generate(spec: &TreeSpec) -> Result<(LocalFs, TreeStats), FsError> {
+    let db = standard_users(spec.users);
+    let mut fs = LocalFs::new(db, Gid(0), Mode::from_octal(0o755));
+    let mut rng = SplitMix64::new(spec.seed);
+    let mut stats = TreeStats::default();
+
+    fs.mkdir(ROOT_UID, "/home", Mode::from_octal(0o755))?;
+    for u in 0..spec.users {
+        let uid = Uid(1000 + u as u32);
+        let home = format!("/home/user{u}");
+        fs.mkdir(ROOT_UID, &home, spec.mix.pick(&mut rng, true))?;
+        fs.chown(ROOT_UID, &home, uid, Gid(100))?;
+        stats.dirs += 1;
+
+        for d in 0..spec.dirs_per_user {
+            let dir = if d % 2 == 0 {
+                format!("{home}/proj{d}")
+            } else {
+                format!("{home}/proj{}/sub{d}", d - 1)
+            };
+            fs.mkdir(uid, &dir, spec.mix.pick(&mut rng, true))?;
+            stats.dirs += 1;
+            for f in 0..spec.files_per_dir {
+                let file = format!("{dir}/file{f}.dat");
+                // Create writable, fill, then drop to the target mode — the
+                // mix may include modes the owner cannot write through
+                // (e.g. 0444), just like a real archive restore would.
+                fs.create(uid, &file, Mode::from_octal(0o600))?;
+                let size = rng.range(spec.file_size.0, spec.file_size.1);
+                let body: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_mul(31).wrapping_add(u as u8)).collect();
+                fs.write(uid, &file, &body)?;
+                fs.chmod(uid, &file, spec.mix.pick(&mut rng, false))?;
+                stats.files += 1;
+                stats.bytes += size;
+            }
+        }
+    }
+    Ok((fs, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_matches_spec_counts() {
+        let spec = TreeSpec { users: 3, dirs_per_user: 4, files_per_dir: 2, ..Default::default() };
+        let (fs, stats) = generate(&spec).unwrap();
+        assert_eq!(stats.dirs, 3 * (4 + 1));
+        assert_eq!(stats.files, 3 * 4 * 2);
+        assert!(stats.bytes > 0);
+        // Inodes: root + /home + dirs + files
+        assert_eq!(fs.inode_count(), 2 + stats.dirs + stats.files);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TreeSpec::default();
+        let (fs1, s1) = generate(&spec).unwrap();
+        let (fs2, s2) = generate(&spec).unwrap();
+        assert_eq!(s1, s2);
+        let w1: Vec<_> = fs1.walk().into_iter().map(|(p, a)| (p, a.mode.octal(), a.size)).collect();
+        let w2: Vec<_> = fs2.walk().into_iter().map(|(p, a)| (p, a.mode.octal(), a.size)).collect();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn owners_can_read_their_files() {
+        let (fs, _) = generate(&TreeSpec::default()).unwrap();
+        let data = fs.read(Uid(1000), "/home/user0/proj0/file0.dat").unwrap();
+        assert!(!data.is_empty());
+    }
+
+    #[test]
+    fn no_write_exec_directories_generated() {
+        let (fs, _) = generate(&TreeSpec { users: 6, ..Default::default() }).unwrap();
+        for (path, attr) in fs.walk() {
+            if attr.kind == crate::inode::NodeKind::Dir {
+                for class in [attr.mode.owner, attr.mode.group, attr.mode.other] {
+                    assert!(
+                        !(class.write && class.exec && !class.read),
+                        "write-exec directory generated at {path}"
+                    );
+                }
+            }
+        }
+    }
+}

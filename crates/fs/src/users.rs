@@ -1,0 +1,253 @@
+//! Enterprise user and group directory.
+//!
+//! Sharoes assumes the *enterprise* (never the SSP) knows its own principals:
+//! the migration tool and owners consult this directory to compute permission
+//! classes, CAP populations, and Scheme-2 split points. Each user and group
+//! also owns a public/private key pair at the Sharoes layer; this crate only
+//! models identity and membership.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A user identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Uid(pub u32);
+
+/// A group identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gid(pub u32);
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid:{}", self.0)
+    }
+}
+
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gid:{}", self.0)
+    }
+}
+
+/// A user record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct User {
+    /// Unique identifier.
+    pub uid: Uid,
+    /// Login name (unique).
+    pub name: String,
+    /// Primary group.
+    pub primary_gid: Gid,
+}
+
+/// A group record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Unique identifier.
+    pub gid: Gid,
+    /// Group name (unique).
+    pub name: String,
+    /// Members (uids), including users whose primary group this is.
+    pub members: BTreeSet<Uid>,
+}
+
+/// Errors from directory operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UserDbError {
+    /// A uid/gid or name is already taken.
+    Duplicate(String),
+    /// The referenced user or group does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for UserDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UserDbError::Duplicate(what) => write!(f, "duplicate entry: {what}"),
+            UserDbError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for UserDbError {}
+
+/// The enterprise directory: users, groups, and memberships.
+#[derive(Clone, Debug, Default)]
+pub struct UserDb {
+    users: BTreeMap<Uid, User>,
+    groups: BTreeMap<Gid, Group>,
+    names: BTreeMap<String, Uid>,
+    group_names: BTreeMap<String, Gid>,
+}
+
+impl UserDb {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a group.
+    pub fn add_group(&mut self, gid: Gid, name: &str) -> Result<(), UserDbError> {
+        if self.groups.contains_key(&gid) || self.group_names.contains_key(name) {
+            return Err(UserDbError::Duplicate(format!("group {name}/{gid}")));
+        }
+        self.groups.insert(
+            gid,
+            Group { gid, name: name.to_string(), members: BTreeSet::new() },
+        );
+        self.group_names.insert(name.to_string(), gid);
+        Ok(())
+    }
+
+    /// Adds a user whose primary group must already exist.
+    pub fn add_user(&mut self, uid: Uid, name: &str, primary_gid: Gid) -> Result<(), UserDbError> {
+        if self.users.contains_key(&uid) || self.names.contains_key(name) {
+            return Err(UserDbError::Duplicate(format!("user {name}/{uid}")));
+        }
+        let group = self
+            .groups
+            .get_mut(&primary_gid)
+            .ok_or_else(|| UserDbError::NotFound(format!("{primary_gid}")))?;
+        group.members.insert(uid);
+        self.users
+            .insert(uid, User { uid, name: name.to_string(), primary_gid });
+        self.names.insert(name.to_string(), uid);
+        Ok(())
+    }
+
+    /// Adds `uid` to `gid` as a supplementary member.
+    pub fn add_member(&mut self, gid: Gid, uid: Uid) -> Result<(), UserDbError> {
+        if !self.users.contains_key(&uid) {
+            return Err(UserDbError::NotFound(format!("{uid}")));
+        }
+        let group = self
+            .groups
+            .get_mut(&gid)
+            .ok_or_else(|| UserDbError::NotFound(format!("{gid}")))?;
+        group.members.insert(uid);
+        Ok(())
+    }
+
+    /// Removes `uid` from `gid` (membership revocation; paper §IV footnote 5).
+    pub fn remove_member(&mut self, gid: Gid, uid: Uid) -> Result<(), UserDbError> {
+        let group = self
+            .groups
+            .get_mut(&gid)
+            .ok_or_else(|| UserDbError::NotFound(format!("{gid}")))?;
+        if !group.members.remove(&uid) {
+            return Err(UserDbError::NotFound(format!("{uid} in {gid}")));
+        }
+        Ok(())
+    }
+
+    /// Looks up a user by id.
+    pub fn user(&self, uid: Uid) -> Option<&User> {
+        self.users.get(&uid)
+    }
+
+    /// Looks up a user by name.
+    pub fn user_by_name(&self, name: &str) -> Option<&User> {
+        self.names.get(name).and_then(|uid| self.users.get(uid))
+    }
+
+    /// Looks up a group by id.
+    pub fn group(&self, gid: Gid) -> Option<&Group> {
+        self.groups.get(&gid)
+    }
+
+    /// Looks up a group by name.
+    pub fn group_by_name(&self, name: &str) -> Option<&Group> {
+        self.group_names.get(name).and_then(|gid| self.groups.get(gid))
+    }
+
+    /// True if `uid` belongs to `gid` (primary or supplementary).
+    pub fn is_member(&self, uid: Uid, gid: Gid) -> bool {
+        self.groups.get(&gid).is_some_and(|g| g.members.contains(&uid))
+    }
+
+    /// All groups `uid` belongs to.
+    pub fn groups_of(&self, uid: Uid) -> Vec<Gid> {
+        self.groups
+            .values()
+            .filter(|g| g.members.contains(&uid))
+            .map(|g| g.gid)
+            .collect()
+    }
+
+    /// All users, ordered by uid.
+    pub fn users(&self) -> impl Iterator<Item = &User> {
+        self.users.values()
+    }
+
+    /// All groups, ordered by gid.
+    pub fn groups(&self) -> impl Iterator<Item = &Group> {
+        self.groups.values()
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> UserDb {
+        let mut db = UserDb::new();
+        db.add_group(Gid(100), "eng").unwrap();
+        db.add_group(Gid(200), "sales").unwrap();
+        db.add_user(Uid(1), "alice", Gid(100)).unwrap();
+        db.add_user(Uid(2), "bob", Gid(100)).unwrap();
+        db.add_user(Uid(3), "carol", Gid(200)).unwrap();
+        db
+    }
+
+    #[test]
+    fn primary_group_membership_is_automatic() {
+        let db = sample_db();
+        assert!(db.is_member(Uid(1), Gid(100)));
+        assert!(db.is_member(Uid(2), Gid(100)));
+        assert!(!db.is_member(Uid(3), Gid(100)));
+    }
+
+    #[test]
+    fn supplementary_membership() {
+        let mut db = sample_db();
+        db.add_member(Gid(100), Uid(3)).unwrap();
+        assert!(db.is_member(Uid(3), Gid(100)));
+        assert_eq!(db.groups_of(Uid(3)), vec![Gid(100), Gid(200)]);
+        db.remove_member(Gid(100), Uid(3)).unwrap();
+        assert!(!db.is_member(Uid(3), Gid(100)));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut db = sample_db();
+        assert!(db.add_user(Uid(1), "dupe", Gid(100)).is_err());
+        assert!(db.add_user(Uid(9), "alice", Gid(100)).is_err());
+        assert!(db.add_group(Gid(100), "other").is_err());
+        assert!(db.add_group(Gid(9), "eng").is_err());
+    }
+
+    #[test]
+    fn missing_references_rejected() {
+        let mut db = sample_db();
+        assert!(db.add_user(Uid(9), "dave", Gid(999)).is_err());
+        assert!(db.add_member(Gid(999), Uid(1)).is_err());
+        assert!(db.add_member(Gid(100), Uid(999)).is_err());
+        assert!(db.remove_member(Gid(200), Uid(1)).is_err());
+    }
+
+    #[test]
+    fn lookups() {
+        let db = sample_db();
+        assert_eq!(db.user_by_name("alice").unwrap().uid, Uid(1));
+        assert_eq!(db.group_by_name("sales").unwrap().gid, Gid(200));
+        assert!(db.user_by_name("nobody").is_none());
+        assert_eq!(db.user_count(), 3);
+        assert_eq!(db.users().count(), 3);
+        assert_eq!(db.groups().count(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the filesystem model: permission-evaluation
+//! invariants that the cryptographic CAPs depend on, and path parsing.
+
+use proptest::prelude::*;
+use sharoes_fs::prelude::*;
+
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    (any::<bool>(), any::<bool>(), any::<bool>())
+        .prop_map(|(read, write, exec)| Perm { read, write, exec })
+}
+
+fn arb_mode() -> impl Strategy<Value = Mode> {
+    (arb_perm(), arb_perm(), arb_perm()).prop_map(|(owner, group, other)| Mode {
+        owner,
+        group,
+        other,
+    })
+}
+
+/// A small fixed population: root + 4 users across 2 groups, user 3 in both.
+fn db() -> UserDb {
+    let mut db = UserDb::new();
+    db.add_group(Gid(1), "g1").unwrap();
+    db.add_group(Gid(2), "g2").unwrap();
+    db.add_user(Uid(0), "root", Gid(1)).unwrap();
+    db.add_user(Uid(1), "u1", Gid(1)).unwrap();
+    db.add_user(Uid(2), "u2", Gid(2)).unwrap();
+    db.add_user(Uid(3), "u3", Gid(1)).unwrap();
+    db.add_member(Gid(2), Uid(3)).unwrap();
+    db
+}
+
+fn arb_acl() -> impl Strategy<Value = Acl> {
+    prop::collection::vec((0u32..5, arb_perm(), any::<bool>()), 0..4).prop_map(|entries| {
+        let mut acl = Acl::empty();
+        for (id, perm, is_group) in entries {
+            if is_group {
+                acl.set_group(Gid(1 + id % 2), perm);
+            } else {
+                acl.set_user(Uid(id), perm);
+            }
+        }
+        acl
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mode_octal_roundtrip(mode in arb_mode()) {
+        prop_assert_eq!(Mode::from_octal(mode.octal()), mode);
+        prop_assert!(mode.octal() <= 0o777);
+    }
+
+    #[test]
+    fn every_user_lands_in_exactly_one_class(
+        owner in 0u32..5,
+        group in 1u32..3,
+        acl in arb_acl(),
+        uid in 0u32..5,
+    ) {
+        let db = db();
+        let class = classify_with_acl(Uid(uid), Uid(owner), Gid(group), &acl, &db);
+        // The class is deterministic and self-consistent.
+        let again = classify_with_acl(Uid(uid), Uid(owner), Gid(group), &acl, &db);
+        prop_assert_eq!(class, again);
+        // Owner always classifies as Owner.
+        if uid == owner {
+            prop_assert_eq!(class, AclClass::Owner);
+        }
+        // A named-user entry always captures its (non-owner) subject.
+        if uid != owner && acl.user_entry(Uid(uid)).is_some() {
+            prop_assert_eq!(class, AclClass::AclUser(Uid(uid)));
+        }
+    }
+
+    #[test]
+    fn effective_perm_equals_class_perm(
+        owner in 0u32..5,
+        group in 1u32..3,
+        mode in arb_mode(),
+        acl in arb_acl(),
+        uid in 0u32..5,
+    ) {
+        // The factored evaluation (classify, then class perm) must agree
+        // with the direct one — this equivalence is exactly what lets CAPs
+        // be keyed by class.
+        let db = db();
+        let class = classify_with_acl(Uid(uid), Uid(owner), Gid(group), &acl, &db);
+        prop_assert_eq!(
+            class_perm_with_acl(class, mode, &acl),
+            effective_perm(Uid(uid), Uid(owner), Gid(group), mode, &acl, &db)
+        );
+    }
+
+    #[test]
+    fn perm_covers_is_a_partial_order(a in arb_perm(), b in arb_perm(), c in arb_perm()) {
+        prop_assert!(a.covers(a));
+        if a.covers(b) && b.covers(a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.covers(b) && b.covers(c) {
+            prop_assert!(a.covers(c));
+        }
+    }
+
+    #[test]
+    fn path_split_join_roundtrip(parts in prop::collection::vec("[a-zA-Z0-9_.-]{1,12}", 0..6)) {
+        // Filter accidental "." / ".." components the regex can produce.
+        prop_assume!(parts.iter().all(|p| p != "." && p != ".."));
+        let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+        let joined = sharoes_fs::path::join(&refs);
+        let reparsed = sharoes_fs::path::split(&joined).unwrap();
+        prop_assert_eq!(reparsed, refs);
+    }
+
+    #[test]
+    fn path_split_never_panics(s in "\\PC{0,64}") {
+        let _ = sharoes_fs::path::split(&s);
+        let _ = sharoes_fs::path::validate_name(&s);
+    }
+
+    #[test]
+    fn local_fs_owner_roundtrip(content in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut fs = LocalFs::new(db(), Gid(1), Mode::from_octal(0o755));
+        fs.mkdir(Uid(0), "/d", Mode::from_octal(0o777)).unwrap();
+        fs.create(Uid(1), "/d/f", Mode::from_octal(0o600)).unwrap();
+        fs.write(Uid(1), "/d/f", &content).unwrap();
+        prop_assert_eq!(fs.read(Uid(1), "/d/f").unwrap(), content.clone());
+        prop_assert_eq!(fs.getattr(Uid(1), "/d/f").unwrap().size, content.len() as u64);
+        // 0600: no other user reads it.
+        prop_assert!(fs.read(Uid(2), "/d/f").is_err());
+    }
+
+    #[test]
+    fn treegen_deterministic_across_seeds(seed in any::<u64>()) {
+        use sharoes_fs::treegen::{generate, TreeSpec};
+        let spec = TreeSpec { users: 2, dirs_per_user: 2, files_per_dir: 1, seed, ..Default::default() };
+        let (a, sa) = generate(&spec).unwrap();
+        let (b, sb) = generate(&spec).unwrap();
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(a.inode_count(), b.inode_count());
+    }
+}

@@ -1,0 +1,57 @@
+//! Network-layer error type.
+
+use std::fmt;
+
+/// Errors from the wire codec and transports.
+#[derive(Debug)]
+pub enum NetError {
+    /// Malformed bytes on the wire.
+    Codec(&'static str),
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// The server replied with an error message.
+    Remote(String),
+    /// A frame exceeded the configured maximum size.
+    FrameTooLarge(usize),
+    /// The transport has been shut down.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Codec(why) => write!(f, "codec error: {why}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+            NetError::FrameTooLarge(n) => write!(f, "frame too large: {n} bytes"),
+            NetError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(NetError::Codec("bad tag").to_string(), "codec error: bad tag");
+        assert_eq!(NetError::Closed.to_string(), "transport closed");
+        assert_eq!(NetError::FrameTooLarge(99).to_string(), "frame too large: 99 bytes");
+    }
+}

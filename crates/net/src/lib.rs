@@ -1,0 +1,29 @@
+//! # sharoes-net
+//!
+//! Wire protocol, transports, and the wide-area network cost model for the
+//! Sharoes reproduction.
+//!
+//! * [`wire`] — hand-rolled, hostile-input-safe binary codec.
+//! * [`message`] — the content-oblivious client↔SSP protocol ([`ObjectKey`],
+//!   [`Request`], [`Response`]).
+//! * [`transport`] — [`InMemoryTransport`] (deterministic, metered) and
+//!   [`TcpTransport`] (real sockets), both speaking the identical byte
+//!   format.
+//! * [`cost`] / [`netmodel`] — the NETWORK/CRYPTO/OTHER accounting and the
+//!   paper's DSL link model that converts byte counts to seconds.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod message;
+pub mod netmodel;
+pub mod transport;
+pub mod wire;
+
+pub use cost::{CostMeter, CostSample};
+pub use error::NetError;
+pub use message::{KeySpace, ObjectKey, Request, Response};
+pub use netmodel::NetModel;
+pub use transport::{InMemoryTransport, RequestHandler, TcpTransport, Transport};
+pub use wire::{Cursor, WireRead, WireWrite};

@@ -1,0 +1,322 @@
+//! The client↔SSP request/response protocol.
+//!
+//! The SSP is a dumb, untrusted object store (paper §IV): "it simply
+//! maintains a large hashtable for encrypted metadata objects and encrypted
+//! data blocks, both indexed by the inode numbers and either hash of
+//! user/group ID (for Scheme-1) or CAP ID (Scheme-2)". [`ObjectKey`] is that
+//! index; the protocol is deliberately content-oblivious.
+
+use crate::error::NetError;
+use crate::wire::{Cursor, WireRead, WireWrite};
+
+/// Which logical table at the SSP an object lives in.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum KeySpace {
+    /// Encrypted metadata objects.
+    Metadata,
+    /// Encrypted data blocks (file contents / directory tables).
+    Data,
+    /// Per-user encrypted superblocks (§III-C).
+    Superblock,
+    /// Group key blocks: group private keys encrypted per member (§II-A).
+    GroupKey,
+}
+
+impl KeySpace {
+    fn tag(self) -> u8 {
+        match self {
+            KeySpace::Metadata => 0,
+            KeySpace::Data => 1,
+            KeySpace::Superblock => 2,
+            KeySpace::GroupKey => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, NetError> {
+        Ok(match tag {
+            0 => KeySpace::Metadata,
+            1 => KeySpace::Data,
+            2 => KeySpace::Superblock,
+            3 => KeySpace::GroupKey,
+            _ => return Err(NetError::Codec("unknown keyspace tag")),
+        })
+    }
+}
+
+/// A composite key the SSP indexes by, opaque to the SSP itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ObjectKey {
+    /// Logical table.
+    pub space: KeySpace,
+    /// Inode number (0 where not applicable, e.g. superblocks).
+    pub inode: u64,
+    /// View selector: hash of user/group id (Scheme-1) or CAP id (Scheme-2).
+    pub view: [u8; 16],
+    /// Block index for multi-block file data; 0 otherwise.
+    pub block: u32,
+}
+
+impl ObjectKey {
+    /// Metadata object key.
+    pub fn metadata(inode: u64, view: [u8; 16]) -> Self {
+        ObjectKey { space: KeySpace::Metadata, inode, view, block: 0 }
+    }
+
+    /// Data block key.
+    pub fn data(inode: u64, view: [u8; 16], block: u32) -> Self {
+        ObjectKey { space: KeySpace::Data, inode, view, block }
+    }
+
+    /// Superblock key for a user-hash view.
+    pub fn superblock(view: [u8; 16]) -> Self {
+        ObjectKey { space: KeySpace::Superblock, inode: 0, view, block: 0 }
+    }
+
+    /// Group-key block for `(gid, member-hash)`.
+    pub fn group_key(gid: u64, view: [u8; 16]) -> Self {
+        ObjectKey { space: KeySpace::GroupKey, inode: gid, view, block: 0 }
+    }
+}
+
+impl WireWrite for ObjectKey {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.space.tag().write(out);
+        self.inode.write(out);
+        self.view.write(out);
+        self.block.write(out);
+    }
+}
+
+impl WireRead for ObjectKey {
+    fn read(r: &mut Cursor<'_>) -> Result<Self, NetError> {
+        Ok(ObjectKey {
+            space: KeySpace::from_tag(u8::read(r)?)?,
+            inode: u64::read(r)?,
+            view: <[u8; 16]>::read(r)?,
+            block: u32::read(r)?,
+        })
+    }
+}
+
+/// A client request to the SSP.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Stores (or replaces) one object.
+    Put {
+        /// Target key.
+        key: ObjectKey,
+        /// Encrypted object bytes.
+        value: Vec<u8>,
+    },
+    /// Stores several objects in one round trip (mkdir/migration batching).
+    PutMany {
+        /// `(key, value)` pairs.
+        items: Vec<(ObjectKey, Vec<u8>)>,
+    },
+    /// Fetches one object.
+    Get {
+        /// Source key.
+        key: ObjectKey,
+    },
+    /// Fetches several objects in one round trip.
+    GetMany {
+        /// Keys to fetch; response preserves order.
+        keys: Vec<ObjectKey>,
+    },
+    /// Deletes one object.
+    Delete {
+        /// Target key.
+        key: ObjectKey,
+    },
+    /// Deletes every block of a data object (file truncation/removal).
+    DeleteBlocks {
+        /// Inode whose data blocks should go.
+        inode: u64,
+        /// View selector.
+        view: [u8; 16],
+    },
+    /// Deletes several objects in one round trip (unlink/revocation).
+    DeleteMany {
+        /// Keys to delete.
+        keys: Vec<ObjectKey>,
+    },
+    /// Storage accounting (bench E6 uses this).
+    Stats,
+}
+
+/// An SSP response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// Mutation acknowledged.
+    Ok,
+    /// One object (or `None` if absent).
+    Object(Option<Vec<u8>>),
+    /// Several objects, order matching the request.
+    Objects(Vec<Option<Vec<u8>>>),
+    /// Storage accounting.
+    Stats {
+        /// Number of stored objects.
+        objects: u64,
+        /// Total stored bytes.
+        bytes: u64,
+    },
+    /// Server-side failure.
+    Error(String),
+}
+
+impl WireWrite for Request {
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Ping => 0u8.write(out),
+            Request::Put { key, value } => {
+                1u8.write(out);
+                key.write(out);
+                value.write(out);
+            }
+            Request::PutMany { items } => {
+                2u8.write(out);
+                items.write(out);
+            }
+            Request::Get { key } => {
+                3u8.write(out);
+                key.write(out);
+            }
+            Request::GetMany { keys } => {
+                4u8.write(out);
+                keys.write(out);
+            }
+            Request::Delete { key } => {
+                5u8.write(out);
+                key.write(out);
+            }
+            Request::DeleteBlocks { inode, view } => {
+                6u8.write(out);
+                inode.write(out);
+                view.write(out);
+            }
+            Request::DeleteMany { keys } => {
+                8u8.write(out);
+                keys.write(out);
+            }
+            Request::Stats => 7u8.write(out),
+        }
+    }
+}
+
+impl WireRead for Request {
+    fn read(r: &mut Cursor<'_>) -> Result<Self, NetError> {
+        Ok(match u8::read(r)? {
+            0 => Request::Ping,
+            1 => Request::Put { key: ObjectKey::read(r)?, value: Vec::<u8>::read(r)? },
+            2 => Request::PutMany { items: Vec::read(r)? },
+            3 => Request::Get { key: ObjectKey::read(r)? },
+            4 => Request::GetMany { keys: Vec::read(r)? },
+            5 => Request::Delete { key: ObjectKey::read(r)? },
+            6 => Request::DeleteBlocks { inode: u64::read(r)?, view: <[u8; 16]>::read(r)? },
+            7 => Request::Stats,
+            8 => Request::DeleteMany { keys: Vec::read(r)? },
+            _ => return Err(NetError::Codec("unknown request tag")),
+        })
+    }
+}
+
+impl WireWrite for Response {
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Pong => 0u8.write(out),
+            Response::Ok => 1u8.write(out),
+            Response::Object(v) => {
+                2u8.write(out);
+                v.write(out);
+            }
+            Response::Objects(vs) => {
+                3u8.write(out);
+                vs.write(out);
+            }
+            Response::Stats { objects, bytes } => {
+                4u8.write(out);
+                objects.write(out);
+                bytes.write(out);
+            }
+            Response::Error(msg) => {
+                5u8.write(out);
+                msg.write(out);
+            }
+        }
+    }
+}
+
+impl WireRead for Response {
+    fn read(r: &mut Cursor<'_>) -> Result<Self, NetError> {
+        Ok(match u8::read(r)? {
+            0 => Response::Pong,
+            1 => Response::Ok,
+            2 => Response::Object(Option::read(r)?),
+            3 => Response::Objects(Vec::read(r)?),
+            4 => Response::Stats { objects: u64::read(r)?, bytes: u64::read(r)? },
+            5 => Response::Error(String::read(r)?),
+            _ => return Err(NetError::Codec("unknown response tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::from_wire(&req.to_wire()).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        assert_eq!(Response::from_wire(&resp.to_wire()).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        let key = ObjectKey::metadata(42, [7u8; 16]);
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Put { key, value: vec![1, 2, 3] });
+        roundtrip_req(Request::PutMany {
+            items: vec![(key, vec![1]), (ObjectKey::data(9, [0; 16], 3), vec![])],
+        });
+        roundtrip_req(Request::Get { key });
+        roundtrip_req(Request::GetMany { keys: vec![key, ObjectKey::superblock([1; 16])] });
+        roundtrip_req(Request::Delete { key });
+        roundtrip_req(Request::DeleteBlocks { inode: 5, view: [9; 16] });
+        roundtrip_req(Request::DeleteMany { keys: vec![key, ObjectKey::superblock([2; 16])] });
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Object(None));
+        roundtrip_resp(Response::Object(Some(vec![5, 6])));
+        roundtrip_resp(Response::Objects(vec![None, Some(vec![])]));
+        roundtrip_resp(Response::Stats { objects: 10, bytes: 12345 });
+        roundtrip_resp(Response::Error("boom".into()));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(Request::from_wire(&[99]).is_err());
+        assert!(Response::from_wire(&[99]).is_err());
+    }
+
+    #[test]
+    fn key_constructors() {
+        let k = ObjectKey::group_key(7, [1; 16]);
+        assert_eq!(k.space, KeySpace::GroupKey);
+        assert_eq!(k.inode, 7);
+        let k = ObjectKey::data(3, [2; 16], 9);
+        assert_eq!(k.block, 9);
+        let k = ObjectKey::superblock([3; 16]);
+        assert_eq!(k.inode, 0);
+    }
+}

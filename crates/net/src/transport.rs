@@ -1,0 +1,224 @@
+//! Transports: how serialized requests reach the SSP.
+//!
+//! Two implementations with identical semantics:
+//!
+//! * [`InMemoryTransport`] — serializes through the full wire codec, charges
+//!   a [`CostMeter`], and dispatches to an in-process handler. This is the
+//!   deterministic path the benchmark harness uses (network time is modeled,
+//!   not slept).
+//! * [`TcpTransport`] — real sockets with length-prefixed frames, proving
+//!   the same byte stream works over an actual network.
+
+use crate::cost::CostMeter;
+use crate::error::NetError;
+use crate::message::{Request, Response};
+use crate::wire::{WireRead, WireWrite};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Upper bound on a single frame (64 MiB) to bound hostile allocations.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Something that can serve SSP requests in-process.
+///
+/// Implemented by the `sharoes-ssp` server; defined here so transports do
+/// not depend on the server crate.
+pub trait RequestHandler: Send + Sync {
+    /// Handles one request.
+    fn handle(&self, request: Request) -> Response;
+}
+
+/// A bidirectional request channel to the SSP.
+pub trait Transport: Send {
+    /// Sends a request and waits for the response.
+    fn call(&mut self, request: &Request) -> Result<Response, NetError>;
+
+    /// The meter recording this transport's traffic.
+    fn meter(&self) -> &Arc<CostMeter>;
+}
+
+/// In-process transport with full serialization and cost metering.
+pub struct InMemoryTransport {
+    handler: Arc<dyn RequestHandler>,
+    meter: Arc<CostMeter>,
+}
+
+impl InMemoryTransport {
+    /// Creates a transport speaking to `handler`.
+    pub fn new(handler: Arc<dyn RequestHandler>) -> Self {
+        InMemoryTransport { handler, meter: CostMeter::new_shared() }
+    }
+
+    /// Creates a transport sharing an existing meter.
+    pub fn with_meter(handler: Arc<dyn RequestHandler>, meter: Arc<CostMeter>) -> Self {
+        InMemoryTransport { handler, meter }
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        // Round-trip through the real codec so byte counts (and any codec
+        // bugs) are identical to the TCP path.
+        let req_bytes = request.to_wire();
+        let parsed = Request::from_wire(&req_bytes)?;
+        let response = self.handler.handle(parsed);
+        let resp_bytes = response.to_wire();
+        self.meter
+            .charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
+        Response::from_wire(&resp_bytes)
+    }
+
+    fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<(), NetError> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge(body.len()));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, NetError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// TCP transport: one connection, sequential request/response frames.
+pub struct TcpTransport {
+    stream: TcpStream,
+    meter: Arc<CostMeter>,
+}
+
+impl TcpTransport {
+    /// Connects to an SSP server at `addr` (e.g. `"127.0.0.1:7070"`).
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream, meter: CostMeter::new_shared() })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        let req_bytes = request.to_wire();
+        write_frame(&mut self.stream, &req_bytes)?;
+        let resp_bytes = read_frame(&mut self.stream)?;
+        self.meter
+            .charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
+        Response::from_wire(&resp_bytes)
+    }
+
+    fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ObjectKey;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// Toy handler used by transport tests.
+    struct EchoStore(Mutex<HashMap<ObjectKey, Vec<u8>>>);
+
+    impl RequestHandler for EchoStore {
+        fn handle(&self, request: Request) -> Response {
+            match request {
+                Request::Ping => Response::Pong,
+                Request::Put { key, value } => {
+                    self.0.lock().insert(key, value);
+                    Response::Ok
+                }
+                Request::Get { key } => Response::Object(self.0.lock().get(&key).cloned()),
+                _ => Response::Error("unsupported in test".into()),
+            }
+        }
+    }
+
+    #[test]
+    fn in_memory_roundtrip_and_metering() {
+        let handler = Arc::new(EchoStore(Mutex::new(HashMap::new())));
+        let mut t = InMemoryTransport::new(handler);
+        assert_eq!(t.call(&Request::Ping).unwrap(), Response::Pong);
+        let key = ObjectKey::metadata(1, [0; 16]);
+        t.call(&Request::Put { key, value: vec![9; 100] }).unwrap();
+        assert_eq!(
+            t.call(&Request::Get { key }).unwrap(),
+            Response::Object(Some(vec![9; 100]))
+        );
+        let s = t.meter().sample();
+        assert_eq!(s.round_trips, 3);
+        assert!(s.bytes_up > 100, "upload should include the 100-byte payload");
+        assert!(s.bytes_down > 100, "download should include the fetched object");
+    }
+
+    #[test]
+    fn frames_roundtrip_over_buffers() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello frame");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert!(read_frame(&mut cursor).is_err()); // EOF
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &vec![0u8; MAX_FRAME_LEN + 1]),
+            Err(NetError::FrameTooLarge(_))
+        ));
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(evil);
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::FrameTooLarge(_))));
+    }
+
+    #[test]
+    fn tcp_transport_against_toy_server() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let store = EchoStore(Mutex::new(HashMap::new()));
+            // Serve until the client hangs up.
+            while let Ok(frame) = read_frame(&mut sock) {
+                let req = Request::from_wire(&frame).unwrap();
+                let resp = store.handle(req);
+                write_frame(&mut sock, &resp.to_wire()).unwrap();
+            }
+        });
+
+        let mut t = TcpTransport::connect(&addr.to_string()).unwrap();
+        assert_eq!(t.call(&Request::Ping).unwrap(), Response::Pong);
+        let key = ObjectKey::data(3, [1; 16], 0);
+        t.call(&Request::Put { key, value: b"over tcp".to_vec() }).unwrap();
+        assert_eq!(
+            t.call(&Request::Get { key }).unwrap(),
+            Response::Object(Some(b"over tcp".to_vec()))
+        );
+        assert_eq!(t.meter().sample().round_trips, 3);
+        drop(t);
+        server.join().unwrap();
+    }
+}

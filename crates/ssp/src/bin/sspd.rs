@@ -1,0 +1,73 @@
+//! `sharoes-sspd` — standalone SSP server.
+//!
+//! Usage: `sharoes-sspd [ADDR] [--data FILE]`
+//! (default `127.0.0.1:7070`, in-memory only).
+//!
+//! With `--data`, the store is loaded from FILE at startup (if present) and
+//! snapshotted back every 30 seconds — the SSP's "faithfully store/retrieve"
+//! obligation of paper §VII. All persisted bytes are client-encrypted blobs.
+
+use sharoes_ssp::{serve, ObjectStore, SspServer};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut data: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data" => {
+                data = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("sharoes-sspd: --data needs a file path");
+                    std::process::exit(2);
+                })));
+            }
+            other => addr = other.to_string(),
+        }
+    }
+
+    let store = match &data {
+        Some(path) if path.exists() => match ObjectStore::load_from(path) {
+            Ok(store) => {
+                eprintln!(
+                    "sharoes-sspd: restored {} objects ({} bytes) from {}",
+                    store.object_count(),
+                    store.byte_count(),
+                    path.display()
+                );
+                Arc::new(store)
+            }
+            Err(e) => {
+                eprintln!("sharoes-sspd: failed to load {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        _ => Arc::new(ObjectStore::new()),
+    };
+
+    let server = SspServer::with_store(Arc::clone(&store)).into_shared();
+    match serve(server, &addr) {
+        Ok(handle) => {
+            eprintln!("sharoes-sspd listening on {}", handle.addr());
+            loop {
+                std::thread::sleep(Duration::from_secs(30));
+                if let Some(path) = &data {
+                    match store.save_to(path) {
+                        Ok(()) => eprintln!(
+                            "sharoes-sspd: snapshot {} objects to {}",
+                            store.object_count(),
+                            path.display()
+                        ),
+                        Err(e) => eprintln!("sharoes-sspd: snapshot failed: {e}"),
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("sharoes-sspd: failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

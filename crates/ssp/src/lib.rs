@@ -1,0 +1,23 @@
+//! # sharoes-ssp
+//!
+//! The Storage Service Provider: the *untrusted* half of the Sharoes
+//! architecture. It stores encrypted metadata objects, encrypted data
+//! blocks, per-user superblocks, and group key blocks in a sharded
+//! hashtable, indexed by inode number plus a view selector (user-hash for
+//! Scheme-1, CAP id for Scheme-2) — and understands nothing about any of it.
+//!
+//! * [`store::ObjectStore`] — the blob table.
+//! * [`server::SspServer`] — protocol dispatch (implements
+//!   `sharoes_net::RequestHandler`, so it plugs into both the in-memory and
+//!   TCP transports).
+//! * [`tcp`] — the standalone serving loop; `sharoes-sspd` is the binary.
+
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod store;
+pub mod tcp;
+
+pub use server::SspServer;
+pub use store::ObjectStore;
+pub use tcp::{serve, TcpServerHandle};

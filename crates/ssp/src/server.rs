@@ -1,0 +1,142 @@
+//! The SSP request handler: protocol dispatch over the object store.
+
+use crate::store::ObjectStore;
+use sharoes_net::{Request, RequestHandler, Response};
+use std::sync::Arc;
+
+/// The SSP data-serving component (paper §IV, "SSP Server").
+///
+/// Wraps an [`ObjectStore`] and speaks the [`Request`]/[`Response`] protocol.
+/// It performs no computation on stored content and cannot: everything it
+/// holds is encrypted by clients.
+pub struct SspServer {
+    store: Arc<ObjectStore>,
+}
+
+impl Default for SspServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SspServer {
+    /// A fresh server with an empty store.
+    pub fn new() -> Self {
+        SspServer { store: Arc::new(ObjectStore::new()) }
+    }
+
+    /// A server over an existing store (e.g. pre-migrated state).
+    pub fn with_store(store: Arc<ObjectStore>) -> Self {
+        SspServer { store }
+    }
+
+    /// Direct access to the underlying store (inspection, tamper tests).
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// Wraps the server for sharing across transports/threads.
+    pub fn into_shared(self) -> Arc<SspServer> {
+        Arc::new(self)
+    }
+}
+
+impl RequestHandler for SspServer {
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Put { key, value } => {
+                self.store.put(key, value);
+                Response::Ok
+            }
+            Request::PutMany { items } => {
+                for (key, value) in items {
+                    self.store.put(key, value);
+                }
+                Response::Ok
+            }
+            Request::Get { key } => Response::Object(self.store.get(&key)),
+            Request::GetMany { keys } => {
+                Response::Objects(keys.iter().map(|k| self.store.get(k)).collect())
+            }
+            Request::Delete { key } => {
+                self.store.delete(&key);
+                Response::Ok
+            }
+            Request::DeleteBlocks { inode, view } => {
+                self.store.delete_blocks(inode, view);
+                Response::Ok
+            }
+            Request::DeleteMany { keys } => {
+                for key in &keys {
+                    self.store.delete(key);
+                }
+                Response::Ok
+            }
+            Request::Stats => Response::Stats {
+                objects: self.store.object_count(),
+                bytes: self.store.byte_count(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_net::ObjectKey;
+
+    #[test]
+    fn protocol_dispatch() {
+        let server = SspServer::new();
+        assert_eq!(server.handle(Request::Ping), Response::Pong);
+        let key = ObjectKey::metadata(1, [0; 16]);
+        assert_eq!(
+            server.handle(Request::Put { key, value: vec![1, 2] }),
+            Response::Ok
+        );
+        assert_eq!(
+            server.handle(Request::Get { key }),
+            Response::Object(Some(vec![1, 2]))
+        );
+        assert_eq!(
+            server.handle(Request::Get { key: ObjectKey::metadata(2, [0; 16]) }),
+            Response::Object(None)
+        );
+    }
+
+    #[test]
+    fn batch_operations() {
+        let server = SspServer::new();
+        let k1 = ObjectKey::data(1, [0; 16], 0);
+        let k2 = ObjectKey::data(1, [0; 16], 1);
+        server.handle(Request::PutMany { items: vec![(k1, vec![1]), (k2, vec![2])] });
+        assert_eq!(
+            server.handle(Request::GetMany { keys: vec![k2, k1] }),
+            Response::Objects(vec![Some(vec![2]), Some(vec![1])])
+        );
+        server.handle(Request::DeleteBlocks { inode: 1, view: [0; 16] });
+        assert_eq!(
+            server.handle(Request::GetMany { keys: vec![k1, k2] }),
+            Response::Objects(vec![None, None])
+        );
+    }
+
+    #[test]
+    fn stats_reflect_store() {
+        let server = SspServer::new();
+        server.handle(Request::Put {
+            key: ObjectKey::superblock([1; 16]),
+            value: vec![0; 64],
+        });
+        assert_eq!(
+            server.handle(Request::Stats),
+            Response::Stats { objects: 1, bytes: 64 }
+        );
+        server.handle(Request::Delete { key: ObjectKey::superblock([1; 16]) });
+        assert_eq!(
+            server.handle(Request::Stats),
+            Response::Stats { objects: 0, bytes: 0 }
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! The SSP's object store: a sharded hashtable of encrypted blobs.
+//!
+//! Per the paper (§IV): "There is no computation involved on the data at the
+//! SSP and it simply maintains a large hashtable for encrypted metadata
+//! objects and encrypted data blocks." The store never inspects values; keys
+//! are the composite [`ObjectKey`] index.
+
+use parking_lot::RwLock;
+use sharoes_net::{Cursor, KeySpace, NetError, ObjectKey, WireRead, WireWrite};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic + version prefix of the snapshot file format.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAROES1";
+
+/// Number of lock shards; power of two.
+const SHARDS: usize = 16;
+
+/// Sharded, thread-safe blob store.
+pub struct ObjectStore {
+    shards: Vec<RwLock<HashMap<ObjectKey, Vec<u8>>>>,
+    bytes: AtomicU64,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ObjectStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &ObjectKey) -> &RwLock<HashMap<ObjectKey, Vec<u8>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Stores (or replaces) an object.
+    pub fn put(&self, key: ObjectKey, value: Vec<u8>) {
+        let mut shard = self.shard(&key).write();
+        let new_len = value.len() as u64;
+        match shard.insert(key, value) {
+            Some(old) => {
+                self.bytes.fetch_add(new_len, Ordering::Relaxed);
+                self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.bytes.fetch_add(new_len, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fetches an object.
+    pub fn get(&self, key: &ObjectKey) -> Option<Vec<u8>> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Deletes an object; returns whether it existed.
+    pub fn delete(&self, key: &ObjectKey) -> bool {
+        match self.shard(key).write().remove(key) {
+            Some(old) => {
+                self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Deletes every data block of `(inode, view)`; returns how many.
+    pub fn delete_blocks(&self, inode: u64, view: [u8; 16]) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut map = shard.write();
+            let doomed: Vec<ObjectKey> = map
+                .keys()
+                .filter(|k| k.space == KeySpace::Data && k.inode == inode && k.view == view)
+                .copied()
+                .collect();
+            for key in doomed {
+                if let Some(old) = map.remove(&key) {
+                    self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().len() as u64).sum()
+    }
+
+    /// Total stored bytes.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Serializes the whole store to a snapshot byte stream.
+    ///
+    /// The SSP's "faithful storage" obligation (paper §VII) includes
+    /// durability; this is the persistence hook the `sharoes-sspd` binary
+    /// uses. Contents remain exactly the encrypted blobs clients uploaded.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.byte_count() as usize);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        // Stable iteration isn't required: the store is unordered.
+        let mut entries: Vec<(ObjectKey, Vec<u8>)> = Vec::new();
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                entries.push((*k, v.clone()));
+            }
+        }
+        (entries.len() as u64).write(&mut out);
+        for (key, value) in entries {
+            key.write(&mut out);
+            value.write(&mut out);
+        }
+        out
+    }
+
+    /// Restores a store from snapshot bytes.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<ObjectStore, NetError> {
+        if bytes.len() < 8 || &bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(NetError::Codec("bad snapshot magic"));
+        }
+        let mut cur = Cursor::new(&bytes[8..]);
+        let count = u64::read(&mut cur)?;
+        let store = ObjectStore::new();
+        for _ in 0..count {
+            let key = ObjectKey::read(&mut cur)?;
+            let value = Vec::<u8>::read(&mut cur)?;
+            store.put(key, value);
+        }
+        cur.expect_end()?;
+        Ok(store)
+    }
+
+    /// Writes a snapshot to `path` atomically (write-then-rename).
+    pub fn save_to(&self, path: &Path) -> Result<(), NetError> {
+        let tmp = path.with_extension("tmp");
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&self.snapshot())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a snapshot from `path`.
+    pub fn load_from(path: &Path) -> Result<ObjectStore, NetError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_snapshot(&bytes)
+    }
+
+    /// Bytes stored per keyspace (storage-overhead accounting, bench E6).
+    pub fn bytes_by_space(&self) -> HashMap<KeySpace, u64> {
+        let mut out = HashMap::new();
+        for shard in &self.shards {
+            for (key, value) in shard.read().iter() {
+                *out.entry(key.space).or_insert(0) += value.len() as u64;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(inode: u64, block: u32) -> ObjectKey {
+        ObjectKey::data(inode, [7; 16], block)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let s = ObjectStore::new();
+        assert!(s.get(&k(1, 0)).is_none());
+        s.put(k(1, 0), vec![1, 2, 3]);
+        assert_eq!(s.get(&k(1, 0)).unwrap(), vec![1, 2, 3]);
+        assert!(s.delete(&k(1, 0)));
+        assert!(!s.delete(&k(1, 0)));
+        assert!(s.get(&k(1, 0)).is_none());
+    }
+
+    #[test]
+    fn byte_accounting_on_replace() {
+        let s = ObjectStore::new();
+        s.put(k(1, 0), vec![0; 100]);
+        assert_eq!(s.byte_count(), 100);
+        s.put(k(1, 0), vec![0; 40]);
+        assert_eq!(s.byte_count(), 40);
+        s.delete(&k(1, 0));
+        assert_eq!(s.byte_count(), 0);
+    }
+
+    #[test]
+    fn delete_blocks_removes_only_matching_view() {
+        let s = ObjectStore::new();
+        for b in 0..5 {
+            s.put(k(9, b), vec![b as u8; 10]);
+        }
+        s.put(ObjectKey::data(9, [8; 16], 0), vec![1]); // other view
+        s.put(ObjectKey::metadata(9, [7; 16]), vec![2]); // metadata space
+        assert_eq!(s.delete_blocks(9, [7; 16]), 5);
+        assert_eq!(s.object_count(), 2);
+        assert!(s.get(&ObjectKey::metadata(9, [7; 16])).is_some());
+    }
+
+    #[test]
+    fn keys_with_same_inode_different_views_coexist() {
+        let s = ObjectStore::new();
+        s.put(ObjectKey::metadata(1, [1; 16]), vec![1]);
+        s.put(ObjectKey::metadata(1, [2; 16]), vec![2]);
+        assert_eq!(s.object_count(), 2);
+        assert_eq!(s.get(&ObjectKey::metadata(1, [1; 16])).unwrap(), vec![1]);
+        assert_eq!(s.get(&ObjectKey::metadata(1, [2; 16])).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn bytes_by_space() {
+        let s = ObjectStore::new();
+        s.put(ObjectKey::metadata(1, [0; 16]), vec![0; 10]);
+        s.put(ObjectKey::data(1, [0; 16], 0), vec![0; 90]);
+        s.put(ObjectKey::superblock([3; 16]), vec![0; 5]);
+        let by = s.bytes_by_space();
+        assert_eq!(by[&KeySpace::Metadata], 10);
+        assert_eq!(by[&KeySpace::Data], 90);
+        assert_eq!(by[&KeySpace::Superblock], 5);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let s = ObjectStore::new();
+        for i in 0..20u32 {
+            s.put(ObjectKey::data(i as u64, [i as u8; 16], i), vec![i as u8; 1 + i as usize]);
+        }
+        s.put(ObjectKey::superblock([9; 16]), vec![42; 100]);
+        let bytes = s.snapshot();
+        let restored = ObjectStore::from_snapshot(&bytes).unwrap();
+        assert_eq!(restored.object_count(), s.object_count());
+        assert_eq!(restored.byte_count(), s.byte_count());
+        assert_eq!(
+            restored.get(&ObjectKey::superblock([9; 16])).unwrap(),
+            vec![42; 100]
+        );
+        assert_eq!(
+            restored.get(&ObjectKey::data(7, [7; 16], 7)).unwrap(),
+            vec![7u8; 8]
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(ObjectStore::from_snapshot(b"not a snapshot").is_err());
+        let s = ObjectStore::new();
+        s.put(ObjectKey::superblock([1; 16]), vec![1, 2, 3]);
+        let mut bytes = s.snapshot();
+        bytes.truncate(bytes.len() - 1);
+        assert!(ObjectStore::from_snapshot(&bytes).is_err());
+        let mut trailing = s.snapshot();
+        trailing.push(0);
+        assert!(ObjectStore::from_snapshot(&trailing).is_err());
+    }
+
+    #[test]
+    fn save_load_files() {
+        let dir = std::env::temp_dir().join(format!("sharoes-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.snap");
+        let s = ObjectStore::new();
+        s.put(ObjectKey::metadata(5, [5; 16]), vec![5; 50]);
+        s.save_to(&path).unwrap();
+        let restored = ObjectStore::load_from(&path).unwrap();
+        assert_eq!(restored.get(&ObjectKey::metadata(5, [5; 16])).unwrap(), vec![5; 50]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let s = std::sync::Arc::new(ObjectStore::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        s.put(ObjectKey::data(t, [t as u8; 16], i), vec![0; 8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.object_count(), 8 * 500);
+        assert_eq!(s.byte_count(), 8 * 500 * 8);
+    }
+}

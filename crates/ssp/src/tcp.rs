@@ -1,0 +1,159 @@
+//! TCP serving loop for the SSP.
+//!
+//! One thread per connection; frames are length-prefixed (see
+//! `sharoes_net::transport`). Malformed frames get an error response where
+//! possible and otherwise close the connection — the SSP must stay up under
+//! hostile clients.
+
+use crate::server::SspServer;
+use sharoes_net::transport::{read_frame, write_frame};
+use sharoes_net::{NetError, Request, RequestHandler, Response, WireRead, WireWrite};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server, stoppable and joinable.
+pub struct TcpServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the accept loop to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts serving `server` on `addr` (use port 0 for an ephemeral port).
+pub fn serve(server: Arc<SspServer>, addr: &str) -> Result<TcpServerHandle, NetError> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+
+    let accept_thread = std::thread::Builder::new()
+        .name("sspd-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(sock) = conn else { continue };
+                let server = Arc::clone(&server);
+                let _ = std::thread::Builder::new()
+                    .name("sspd-conn".into())
+                    .spawn(move || serve_connection(server, sock));
+            }
+        })
+        .expect("spawn accept thread");
+
+    Ok(TcpServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+}
+
+fn serve_connection(server: Arc<SspServer>, mut sock: TcpStream) {
+    let _ = sock.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut sock) {
+            Ok(f) => f,
+            Err(_) => return, // disconnect or oversized frame
+        };
+        let response = match Request::from_wire(&frame) {
+            Ok(req) => server.handle(req),
+            Err(e) => Response::Error(format!("bad request: {e}")),
+        };
+        if write_frame(&mut sock, &response.to_wire()).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_net::{ObjectKey, TcpTransport, Transport};
+
+    #[test]
+    fn serves_multiple_clients() {
+        let server = SspServer::new().into_shared();
+        let handle = serve(Arc::clone(&server), "127.0.0.1:0").unwrap();
+        let addr = handle.addr().to_string();
+
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut transport = TcpTransport::connect(&addr).unwrap();
+                    for i in 0..20u32 {
+                        let key = ObjectKey::data(t, [t as u8; 16], i);
+                        transport
+                            .call(&Request::Put { key, value: vec![t as u8; 32] })
+                            .unwrap();
+                    }
+                    let key = ObjectKey::data(t, [t as u8; 16], 7);
+                    assert_eq!(
+                        transport.call(&Request::Get { key }).unwrap(),
+                        Response::Object(Some(vec![t as u8; 32]))
+                    );
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.store().object_count(), 80);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_error_response() {
+        let server = SspServer::new().into_shared();
+        let handle = serve(server, "127.0.0.1:0").unwrap();
+        let mut sock = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(&mut sock, &[0xFF, 0xFF]).unwrap();
+        let resp = read_frame(&mut sock).unwrap();
+        match Response::from_wire(&resp).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("bad request")),
+            other => panic!("expected error, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let server = SspServer::new().into_shared();
+        let handle = serve(server, "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        handle.shutdown();
+        // After shutdown new connections are refused or immediately closed.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut sock) => {
+                let _ = write_frame(&mut sock, &Request::Ping.to_wire());
+                assert!(read_frame(&mut sock).is_err());
+            }
+        }
+    }
+}
