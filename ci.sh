@@ -1,0 +1,23 @@
+#!/bin/sh
+# Hermetic CI gate: formatting, offline release build, offline tests.
+#
+# Everything runs with --offline against the vendored-free, path-only
+# workspace — if any step reaches for the network or a registry, that is
+# itself a CI failure (the hermetic-build policy in DESIGN.md).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo check --offline (benches, examples, bins)"
+cargo check --offline --workspace --all-targets
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "CI OK"

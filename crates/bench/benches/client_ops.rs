@@ -1,25 +1,25 @@
-//! Criterion benchmarks for whole client operations against an in-memory
-//! SSP (real crypto, zero-latency transport): the CPU cost floor of each
-//! Figure 8 operation.
+//! Benchmarks for whole client operations against an in-memory SSP (real
+//! crypto, zero-latency transport): the CPU cost floor of each Figure 8
+//! operation. Runs under the in-tree `sharoes_testkit::bench` harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sharoes_bench::harness::{Bench, BenchOpts, BENCH_USER};
 use sharoes_core::{CryptoParams, CryptoPolicy, Scheme};
 use sharoes_fs::Mode;
+use sharoes_testkit::bench::BenchRunner;
 use std::hint::black_box;
 
 fn quick_opts() -> BenchOpts {
     BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() }
 }
 
-fn bench_client_ops(c: &mut Criterion) {
+fn bench_client_ops(c: &mut BenchRunner) {
     let opts = quick_opts();
     let bench = Bench::new(CryptoPolicy::Sharoes, Scheme::SharedCaps, &opts, 256);
     let mut setup = bench.client(BENCH_USER, None);
     setup.create("/bench/target", Mode::from_octal(0o644)).unwrap();
     setup.write_file("/bench/target", &vec![0xAB; 4096]).unwrap();
 
-    let mut group = c.benchmark_group("client_sharoes");
+    let mut group = c.group("client_sharoes");
 
     group.bench_function("getattr_cold", |b| {
         b.iter_batched(
@@ -28,7 +28,6 @@ fn bench_client_ops(c: &mut Criterion) {
                 client.getattr(black_box("/bench/target")).unwrap();
                 client
             },
-            BatchSize::SmallInput,
         )
     });
 
@@ -45,7 +44,6 @@ fn bench_client_ops(c: &mut Criterion) {
                 client.read(black_box("/bench/target")).unwrap();
                 client
             },
-            BatchSize::SmallInput,
         )
     });
 
@@ -54,9 +52,7 @@ fn bench_client_ops(c: &mut Criterion) {
     group.bench_function("create_empty_file", |b| {
         b.iter(|| {
             counter += 1;
-            writer
-                .create(&format!("/bench/c{counter}"), Mode::from_octal(0o644))
-                .unwrap()
+            writer.create(&format!("/bench/c{counter}"), Mode::from_octal(0o644)).unwrap()
         })
     });
 
@@ -67,11 +63,14 @@ fn bench_client_ops(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_policy_getattr(c: &mut Criterion) {
+fn bench_policy_getattr(c: &mut BenchRunner) {
     let opts = quick_opts();
-    let mut group = c.benchmark_group("getattr_by_policy");
-    for policy in [CryptoPolicy::NoEncMdD, CryptoPolicy::Sharoes, CryptoPolicy::PubOpt, CryptoPolicy::Public] {
-        let scheme = if policy == CryptoPolicy::Sharoes { Scheme::SharedCaps } else { Scheme::PerUser };
+    let mut group = c.group("getattr_by_policy");
+    for policy in
+        [CryptoPolicy::NoEncMdD, CryptoPolicy::Sharoes, CryptoPolicy::PubOpt, CryptoPolicy::Public]
+    {
+        let scheme =
+            if policy == CryptoPolicy::Sharoes { Scheme::SharedCaps } else { Scheme::PerUser };
         let bench = Bench::new(policy, scheme, &opts, 32);
         let mut setup = bench.client(BENCH_USER, None);
         setup.create("/bench/f", Mode::from_octal(0o644)).unwrap();
@@ -82,12 +81,15 @@ fn bench_policy_getattr(c: &mut Criterion) {
                     client.getattr(black_box("/bench/f")).unwrap();
                     client
                 },
-                BatchSize::SmallInput,
             )
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_client_ops, bench_policy_getattr);
-criterion_main!(benches);
+fn main() {
+    let mut c = BenchRunner::from_args("client_ops");
+    bench_client_ops(&mut c);
+    bench_policy_getattr(&mut c);
+    c.finish();
+}

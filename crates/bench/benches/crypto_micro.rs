@@ -1,18 +1,19 @@
-//! Criterion microbenchmarks for the cryptographic substrate: the raw
+//! Microbenchmarks for the cryptographic substrate: the raw
 //! symmetric-vs-asymmetric gap every Sharoes design decision leans on.
+//!
+//! Runs under the in-tree `sharoes_testkit::bench` harness; see DESIGN.md
+//! for the sampling model and the `SHAROES_BENCH_*` knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sharoes_crypto::{
-    Aes128, EsignPrivateKey, HmacDrbg, RsaPrivateKey, Sha256, SymKey,
-};
+use sharoes_crypto::{Aes128, EsignPrivateKey, HmacDrbg, RsaPrivateKey, Sha256, SymKey};
+use sharoes_testkit::bench::BenchRunner;
 use std::hint::black_box;
 
-fn bench_aes(c: &mut Criterion) {
+fn bench_aes(c: &mut BenchRunner) {
     let mut rng = HmacDrbg::from_seed_u64(1);
     let key = SymKey::random(&mut rng);
     let aes = Aes128::new(&[7u8; 16]);
 
-    let mut group = c.benchmark_group("aes128");
+    let mut group = c.group("aes128");
     group.bench_function("block_encrypt", |b| {
         let mut block = [0u8; 16];
         b.iter(|| {
@@ -21,18 +22,19 @@ fn bench_aes(c: &mut Criterion) {
     });
     for size in [600usize, 4096, 1 << 20] {
         let data = vec![0xABu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
+        group.throughput(size as u64);
         group.bench_function(format!("ctr_seal_{size}"), |b| {
+            let mut rng = HmacDrbg::from_seed_u64(11);
             b.iter(|| key.seal(&mut rng, black_box(&data)))
         });
     }
     group.finish();
 }
 
-fn bench_hashes(c: &mut Criterion) {
+fn bench_hashes(c: &mut BenchRunner) {
     let data = vec![0x55u8; 1 << 20];
-    let mut group = c.benchmark_group("hash");
-    group.throughput(Throughput::Bytes(data.len() as u64));
+    let mut group = c.group("hash");
+    group.throughput(data.len() as u64);
     group.bench_function("sha256_1MB", |b| b.iter(|| Sha256::digest(black_box(&data))));
     group.finish();
 
@@ -42,16 +44,17 @@ fn bench_hashes(c: &mut Criterion) {
     });
 }
 
-fn bench_rsa(c: &mut Criterion) {
+fn bench_rsa(c: &mut BenchRunner) {
     let mut rng = HmacDrbg::from_seed_u64(2);
-    // 1024-bit keeps criterion runs quick; ratios scale with 2048.
+    // 1024-bit keeps runs quick; ratios scale with 2048.
     let rsa = RsaPrivateKey::generate(1024, &mut rng).unwrap();
     let msg = vec![0xCDu8; 64];
     let ct = rsa.public_key().encrypt(&mut rng, &msg).unwrap();
     let sig = rsa.sign(b"metadata");
 
-    let mut group = c.benchmark_group("rsa1024");
+    let mut group = c.group("rsa1024");
     group.bench_function("encrypt", |b| {
+        let mut rng = HmacDrbg::from_seed_u64(12);
         b.iter(|| rsa.public_key().encrypt(&mut rng, black_box(&msg)).unwrap())
     });
     group.bench_function("decrypt", |b| b.iter(|| rsa.decrypt(black_box(&ct)).unwrap()));
@@ -62,18 +65,27 @@ fn bench_rsa(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_esign(c: &mut Criterion) {
+fn bench_esign(c: &mut BenchRunner) {
     let mut rng = HmacDrbg::from_seed_u64(3);
     let esign = EsignPrivateKey::generate(1026, &mut rng).unwrap();
     let sig = esign.sign(&mut rng, b"data block");
 
-    let mut group = c.benchmark_group("esign1026");
-    group.bench_function("sign", |b| b.iter(|| esign.sign(&mut rng, black_box(b"data block"))));
+    let mut group = c.group("esign1026");
+    group.bench_function("sign", |b| {
+        let mut rng = HmacDrbg::from_seed_u64(13);
+        b.iter(|| esign.sign(&mut rng, black_box(b"data block")))
+    });
     group.bench_function("verify", |b| {
         b.iter(|| esign.public_key().verify(black_box(b"data block"), black_box(&sig)).unwrap())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_aes, bench_hashes, bench_rsa, bench_esign);
-criterion_main!(benches);
+fn main() {
+    let mut c = BenchRunner::from_args("crypto_micro");
+    bench_aes(&mut c);
+    bench_hashes(&mut c);
+    bench_rsa(&mut c);
+    bench_esign(&mut c);
+    c.finish();
+}

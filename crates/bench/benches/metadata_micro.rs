@@ -1,12 +1,13 @@
-//! Criterion microbenchmarks for metadata-object and directory-table
-//! handling: the inner loops of getattr, mkdir, and exec-only traversal.
+//! Microbenchmarks for metadata-object and directory-table handling: the
+//! inner loops of getattr, mkdir, and exec-only traversal. Runs under the
+//! in-tree `sharoes_testkit::bench` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sharoes_core::dirtable::{ChildRef, DirTable};
 use sharoes_core::metadata::{open_metadata, seal_metadata, MetaOpen, MetaSeal, MetadataBody};
 use sharoes_crypto::{HmacDrbg, RsaPrivateKey, SymKey};
 use sharoes_fs::NodeKind;
 use sharoes_net::{WireRead, WireWrite};
+use sharoes_testkit::bench::BenchRunner;
 use std::hint::black_box;
 
 fn sample_body() -> MetadataBody {
@@ -35,23 +36,26 @@ fn sample_entries(n: usize) -> Vec<(String, ChildRef)> {
         .collect()
 }
 
-fn bench_metadata_seal(c: &mut Criterion) {
+fn bench_metadata_seal(c: &mut BenchRunner) {
     let mut rng = HmacDrbg::from_seed_u64(1);
     let body_bytes = sample_body().to_wire();
     let mek = SymKey([3; 16]);
     let rsa = RsaPrivateKey::generate(1024, &mut rng).unwrap();
 
-    let mut group = c.benchmark_group("metadata_seal");
+    let mut group = c.group("metadata_seal");
     group.bench_function("sharoes_sym", |b| {
+        let mut rng = HmacDrbg::from_seed_u64(21);
         b.iter(|| seal_metadata(MetaSeal::Sym(&mek), black_box(&body_bytes), &mut rng).unwrap())
     });
     group.bench_function("public_rsa", |b| {
+        let mut rng = HmacDrbg::from_seed_u64(22);
         b.iter(|| {
             seal_metadata(MetaSeal::Public(rsa.public_key()), black_box(&body_bytes), &mut rng)
                 .unwrap()
         })
     });
     group.bench_function("pubopt_hybrid", |b| {
+        let mut rng = HmacDrbg::from_seed_u64(23);
         b.iter(|| {
             seal_metadata(MetaSeal::PubOpt(rsa.public_key()), black_box(&body_bytes), &mut rng)
                 .unwrap()
@@ -65,7 +69,7 @@ fn bench_metadata_seal(c: &mut Criterion) {
         seal_metadata(MetaSeal::Public(rsa.public_key()), &body_bytes, &mut rng).unwrap();
     let pubopt_blob =
         seal_metadata(MetaSeal::PubOpt(rsa.public_key()), &body_bytes, &mut rng).unwrap();
-    let mut group = c.benchmark_group("metadata_open");
+    let mut group = c.group("metadata_open");
     group.bench_function("sharoes_sym", |b| {
         b.iter(|| open_metadata(MetaOpen::Sym(&mek), black_box(&sym_blob)).unwrap())
     });
@@ -78,14 +82,15 @@ fn bench_metadata_seal(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_dirtable(c: &mut Criterion) {
+fn bench_dirtable(c: &mut BenchRunner) {
     let mut rng = HmacDrbg::from_seed_u64(2);
     let tek = SymKey([5; 16]);
     let entries = sample_entries(100);
 
-    let mut group = c.benchmark_group("dirtable_100_entries");
+    let mut group = c.group("dirtable_100_entries");
     group.bench_function("build_full", |b| b.iter(|| DirTable::full(black_box(&entries))));
     group.bench_function("build_exec_only", |b| {
+        let mut rng = HmacDrbg::from_seed_u64(24);
         b.iter(|| DirTable::exec_only(black_box(&entries), &tek, &mut rng))
     });
 
@@ -106,17 +111,20 @@ fn bench_dirtable(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_body_codec(c: &mut Criterion) {
+fn bench_body_codec(c: &mut BenchRunner) {
     let body = sample_body();
-    let bytes = body.to_wire();
     c.bench_function("metadata_body_codec", |b| {
         b.iter(|| {
             let encoded = body.to_wire();
             MetadataBody::from_wire(black_box(&encoded)).unwrap()
         })
     });
-    let _ = bytes;
 }
 
-criterion_group!(benches, bench_metadata_seal, bench_dirtable, bench_body_codec);
-criterion_main!(benches);
+fn main() {
+    let mut c = BenchRunner::from_args("metadata_micro");
+    bench_metadata_seal(&mut c);
+    bench_dirtable(&mut c);
+    bench_body_codec(&mut c);
+    c.finish();
+}

@@ -101,11 +101,7 @@ fn fig9(opts: &BenchOpts, quick: bool) -> Vec<createlist::CreateListResult> {
     let mut results = Vec::new();
     for policy in all_policies() {
         let r = createlist::run(policy, &spec, opts);
-        table.row(vec![
-            policy.name().to_string(),
-            fmt_secs(r.create_secs),
-            fmt_secs(r.list_secs),
-        ]);
+        table.row(vec![policy.name().to_string(), fmt_secs(r.create_secs), fmt_secs(r.list_secs)]);
         results.push(r);
     }
     table.print();
@@ -248,7 +244,8 @@ fn ablations_report(opts: &BenchOpts, quick: bool) {
 
     println!("\n== A2: immediate vs lazy revocation (seconds) ==");
     let sizes: &[usize] = if quick { &[4096, 65536] } else { &[4096, 65536, 1 << 20] };
-    let mut table = Table::new(&["file size", "imm chmod", "lazy chmod", "imm write", "lazy write"]);
+    let mut table =
+        Table::new(&["file size", "imm chmod", "lazy chmod", "imm write", "lazy write"]);
     for r in ablations::revocation_costs(sizes, opts) {
         table.row(vec![
             r.file_size.to_string(),
@@ -301,10 +298,7 @@ fn summary(fig9_results: &[createlist::CreateListResult]) {
         "PUB-OPT list vs SHAROES: {:.1}x slower (paper claims SHAROES wins by 40-200%+)",
         pubopt.list_secs / sharoes.list_secs
     );
-    println!(
-        "PUBLIC list vs SHAROES: {:.1}x slower",
-        public.list_secs / sharoes.list_secs
-    );
+    println!("PUBLIC list vs SHAROES: {:.1}x slower", public.list_secs / sharoes.list_secs);
 }
 
 fn main() {

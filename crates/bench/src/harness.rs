@@ -82,15 +82,13 @@ impl Bench {
         db.add_group(Gid(100), "staff").expect("fresh db");
         db.add_user(ROOT_UID, "root", Gid(0)).expect("fresh db");
         for i in 0..opts.users {
-            db.add_user(Uid(1000 + i as u32), &format!("user{i}"), Gid(100))
-                .expect("unique user");
+            db.add_user(Uid(1000 + i as u32), &format!("user{i}"), Gid(100)).expect("unique user");
         }
         let mut fs = LocalFs::new(db, Gid(0), Mode::from_octal(0o755));
         // The working directory belongs to the benchmark user (like the
         // paper's single-user run in its own directory): the owner chain
         // continues cleanly below it, so splits are a one-time cost.
-        fs.mkdir(ROOT_UID, "/bench", Mode::from_octal(0o775))
-            .expect("mkdir /bench");
+        fs.mkdir(ROOT_UID, "/bench", Mode::from_octal(0o775)).expect("mkdir /bench");
         fs.chown(ROOT_UID, "/bench", BENCH_USER, Gid(100)).expect("chown /bench");
 
         Self::from_fs(fs, policy, scheme, opts, prefill)
@@ -133,9 +131,7 @@ impl Bench {
             CryptoPolicy::NoEncMdD | CryptoPolicy::NoEncMd => {}
             // Baselines never sign — their pooled RSA pairs are carried
             // bytes only, so clones of one pair preserve every cost.
-            CryptoPolicy::Public | CryptoPolicy::PubOpt => {
-                pool.prefill_cloned(prefill, &mut rng)
-            }
+            CryptoPolicy::Public | CryptoPolicy::PubOpt => pool.prefill_cloned(prefill, &mut rng),
             CryptoPolicy::Sharoes => pool.prefill_parallel(prefill, opts.seed),
         }
         let server = SspServer::new().into_shared();
@@ -236,10 +232,7 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     /// Appends one row.
@@ -289,12 +282,7 @@ pub fn all_policies() -> [CryptoPolicy; 5] {
 /// Figure 10/11 skip PUBLIC ("we do not compare the PUBLIC implementation
 /// and instead use its optimized version").
 pub fn four_policies() -> [CryptoPolicy; 4] {
-    [
-        CryptoPolicy::NoEncMdD,
-        CryptoPolicy::NoEncMd,
-        CryptoPolicy::Sharoes,
-        CryptoPolicy::PubOpt,
-    ]
+    [CryptoPolicy::NoEncMdD, CryptoPolicy::NoEncMd, CryptoPolicy::Sharoes, CryptoPolicy::PubOpt]
 }
 
 /// Scheme used by a policy in figure runs: Sharoes gets Scheme-2, baselines
@@ -309,9 +297,7 @@ pub fn scheme_for(policy: CryptoPolicy) -> Scheme {
 
 /// Deterministic content generator for workload files.
 pub fn content(len: usize, salt: u64) -> Vec<u8> {
-    (0..len)
-        .map(|i| ((i as u64).wrapping_mul(131).wrapping_add(salt * 17) % 251) as u8)
-        .collect()
+    (0..len).map(|i| ((i as u64).wrapping_mul(131).wrapping_add(salt * 17) % 251) as u8).collect()
 }
 
 /// Convenience: a `Duration` as float seconds.

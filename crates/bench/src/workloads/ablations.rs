@@ -36,9 +36,7 @@ pub fn scheme_comparison(n: usize, users: usize, opts: &BenchOpts) -> Vec<Scheme
         let mut client = bench.client(BENCH_USER, None);
         let timer = PhaseTimer::start(&client);
         for i in 0..n {
-            client
-                .create(&format!("/bench/f{i}"), Mode::from_octal(0o644))
-                .expect("create");
+            client.create(&format!("/bench/f{i}"), Mode::from_octal(0o644)).expect("create");
         }
         let create_secs = timer.seconds(&client, &o);
 
@@ -82,9 +80,7 @@ pub fn revocation_costs(file_sizes: &[usize], opts: &BenchOpts) -> Vec<Revocatio
     for &file_size in file_sizes {
         let mut measured = [0.0f64; 4];
         let mut bytes_up = [0u64; 4];
-        for (idx, mode) in [RevocationMode::Immediate, RevocationMode::Lazy]
-            .into_iter()
-            .enumerate()
+        for (idx, mode) in [RevocationMode::Immediate, RevocationMode::Lazy].into_iter().enumerate()
         {
             let bench = Bench::new(CryptoPolicy::Sharoes, Scheme::SharedCaps, opts, 32);
             let mut config = bench.config.clone();
@@ -103,9 +99,7 @@ pub fn revocation_costs(file_sizes: &[usize], opts: &BenchOpts) -> Vec<Revocatio
             );
             client.mount().expect("mount");
             client.create("/bench/victim", Mode::from_octal(0o644)).expect("create");
-            client
-                .write_file("/bench/victim", &content(file_size, 3))
-                .expect("write");
+            client.write_file("/bench/victim", &content(file_size, 3)).expect("write");
 
             let timer = PhaseTimer::start(&client);
             client.chmod("/bench/victim", Mode::from_octal(0o600)).expect("chmod");
@@ -113,9 +107,7 @@ pub fn revocation_costs(file_sizes: &[usize], opts: &BenchOpts) -> Vec<Revocatio
             bytes_up[idx * 2] = timer.cost(&client).bytes_up;
 
             let timer = PhaseTimer::start(&client);
-            client
-                .write_file("/bench/victim", &content(file_size, 4))
-                .expect("post-chmod write");
+            client.write_file("/bench/victim", &content(file_size, 4)).expect("post-chmod write");
             measured[idx * 2 + 1] = timer.seconds(&client, opts);
             bytes_up[idx * 2 + 1] = timer.cost(&client).bytes_up;
         }
@@ -155,9 +147,7 @@ pub fn signing_comparison(n: usize, opts: &BenchOpts) -> Vec<SigningComparison> 
         let mut client = bench.client(BENCH_USER, None);
         let timer = PhaseTimer::start(&client);
         for i in 0..n {
-            client
-                .create(&format!("/bench/s{i}"), Mode::from_octal(0o644))
-                .expect("create");
+            client.create(&format!("/bench/s{i}"), Mode::from_octal(0o644)).expect("create");
         }
         let cost = timer.cost(&client);
         out.push(SigningComparison {
@@ -194,7 +184,11 @@ pub fn net_sweep(files: usize, opts: &BenchOpts) -> Vec<NetSweepPoint> {
         o.net = net;
         let sharoes = createlist::run(CryptoPolicy::Sharoes, &spec, &o);
         let pubopt = createlist::run(CryptoPolicy::PubOpt, &spec, &o);
-        out.push(NetSweepPoint { link: label, sharoes: sharoes.list_secs, pubopt: pubopt.list_secs });
+        out.push(NetSweepPoint {
+            link: label,
+            sharoes: sharoes.list_secs,
+            pubopt: pubopt.list_secs,
+        });
     }
     out
 }

@@ -51,12 +51,7 @@ impl Default for AndrewSpec {
 
 /// Runs all five phases for one implementation.
 pub fn run(policy: CryptoPolicy, spec: &AndrewSpec, opts: &BenchOpts) -> AndrewResult {
-    let bench = Bench::new(
-        policy,
-        scheme_for(policy),
-        opts,
-        (spec.dirs + spec.files * 2) * 2 + 16,
-    );
+    let bench = Bench::new(policy, scheme_for(policy), opts, (spec.dirs + spec.files * 2) * 2 + 16);
     let mut client = bench.client(BENCH_USER, None);
     let mut phases = [0.0f64; 5];
 
@@ -80,9 +75,7 @@ pub fn run(policy: CryptoPolicy, spec: &AndrewSpec, opts: &BenchOpts) -> AndrewR
         let dir = (f % spec.dirs / 2) * 2; // even (top-level) module dirs
         let path = format!("/bench/src/mod{dir}/file{f}.c");
         client.create(&path, Mode::from_octal(0o644)).expect("create");
-        client
-            .write_file(&path, &content(spec.file_size, f as u64))
-            .expect("write");
+        client.write_file(&path, &content(spec.file_size, f as u64)).expect("write");
         sources.push(path);
     }
     phases[1] = timer.seconds(&client, opts);
@@ -117,10 +110,7 @@ pub fn run(policy: CryptoPolicy, spec: &AndrewSpec, opts: &BenchOpts) -> AndrewR
     }
     read_client.create("/bench/src/a.out", Mode::from_octal(0o755)).expect("create bin");
     read_client
-        .write_file(
-            "/bench/src/a.out",
-            &content(spec.files * spec.file_size / 4, 0xBEEF),
-        )
+        .write_file("/bench/src/a.out", &content(spec.files * spec.file_size / 4, 0xBEEF))
         .expect("link");
     phases[4] = timer.seconds(&read_client, opts);
 

@@ -47,11 +47,8 @@ pub fn ls_lr(client: &mut SharoesClient, path: &str) -> usize {
     };
     let mut subdirs = Vec::new();
     for entry in entries {
-        let child = if path == "/" {
-            format!("/{}", entry.name)
-        } else {
-            format!("{path}/{}", entry.name)
-        };
+        let child =
+            if path == "/" { format!("/{}", entry.name) } else { format!("{path}/{}", entry.name) };
         if let Ok(st) = client.getattr(&child) {
             statted += 1;
             if st.kind == sharoes_fs::NodeKind::Dir {
@@ -79,9 +76,7 @@ pub fn run(policy: CryptoPolicy, spec: &CreateListSpec, opts: &BenchOpts) -> Cre
     // Create phase.
     let timer = PhaseTimer::start(&client);
     for d in 0..spec.dirs {
-        client
-            .mkdir(&format!("/bench/dir{d}"), Mode::from_octal(0o755))
-            .expect("mkdir");
+        client.mkdir(&format!("/bench/dir{d}"), Mode::from_octal(0o755)).expect("mkdir");
     }
     for f in 0..spec.files {
         let dir = f % spec.dirs;
@@ -98,13 +93,7 @@ pub fn run(policy: CryptoPolicy, spec: &CreateListSpec, opts: &BenchOpts) -> Cre
     assert_eq!(statted, spec.files + spec.dirs, "ls -lR must stat everything");
     let list_secs = timer.seconds(&lister, opts);
 
-    CreateListResult {
-        policy,
-        create_secs,
-        list_secs,
-        files: spec.files,
-        dirs: spec.dirs,
-    }
+    CreateListResult { policy, create_secs, list_secs, files: spec.files, dirs: spec.dirs }
 }
 
 #[cfg(test)]

@@ -72,18 +72,13 @@ pub fn run(policy: CryptoPolicy, reps: usize, opts: &BenchOpts) -> Vec<OpCost> {
 
     // mkdir variants: 0700 = one rwx CAP; 0111 = exec-only CAPs;
     // 0711 = both (the paper's "mkdir:both").
-    for (label, mode) in [
-        ("mkdir:rwx", 0o700u32),
-        ("mkdir:--x", 0o111),
-        ("mkdir:both", 0o711),
-    ] {
+    for (label, mode) in [("mkdir:rwx", 0o700u32), ("mkdir:--x", 0o111), ("mkdir:both", 0o711)] {
         let mut c = bench.client(BENCH_USER, None);
         c.getattr("/bench").expect("warm parent");
         let mut sums = (0.0, 0.0, 0.0);
         for i in 0..reps {
             let t = PhaseTimer::start(&c);
-            c.mkdir(&format!("/bench/{label}-{i}"), Mode::from_octal(mode))
-                .expect("mkdir");
+            c.mkdir(&format!("/bench/{label}-{i}"), Mode::from_octal(mode)).expect("mkdir");
             let (n, cr, o) = t.breakdown(&c, opts);
             sums = (sums.0 + n, sums.1 + cr, sums.2 + o);
         }

@@ -50,12 +50,8 @@ pub fn run_point(
     cache_pct: u64,
     opts: &BenchOpts,
 ) -> PostmarkPoint {
-    let bench = Bench::new(
-        policy,
-        scheme_for(policy),
-        opts,
-        (spec.files + spec.transactions) * 2 + 16,
-    );
+    let bench =
+        Bench::new(policy, scheme_for(policy), opts, (spec.files + spec.transactions) * 2 + 16);
     // Estimate the data footprint for the cache budget.
     let avg = (spec.size_range.0 + spec.size_range.1) / 2;
     let footprint = (spec.files * avg) as u64;
@@ -71,9 +67,7 @@ pub fn run_point(
 
     let timer = PhaseTimer::start(&client);
     for d in 0..subdirs {
-        client
-            .mkdir(&format!("/bench/s{d}"), Mode::from_octal(0o755))
-            .expect("mkdir subdir");
+        client.mkdir(&format!("/bench/s{d}"), Mode::from_octal(0o755)).expect("mkdir subdir");
     }
 
     // Phase 1: create the initial file set.
@@ -83,9 +77,7 @@ pub fn run_point(
         let size = rng.range(spec.size_range.0 as u64, spec.size_range.1 as u64) as usize;
         let path = pm_path(next_id);
         client.create(&path, Mode::from_octal(0o644)).expect("create");
-        client
-            .write_file(&path, &content(size, next_id as u64))
-            .expect("write");
+        client.write_file(&path, &content(size, next_id as u64)).expect("write");
         live.push((next_id, size));
         next_id += 1;
     }
@@ -103,22 +95,16 @@ pub fn run_point(
                 // rewrite a random file
                 let idx = rng.below(live.len() as u64) as usize;
                 let (id, _) = live[idx];
-                let size =
-                    rng.range(spec.size_range.0 as u64, spec.size_range.1 as u64) as usize;
-                client
-                    .write_file(&pm_path(id), &content(size, id as u64 + 7))
-                    .expect("rewrite");
+                let size = rng.range(spec.size_range.0 as u64, spec.size_range.1 as u64) as usize;
+                client.write_file(&pm_path(id), &content(size, id as u64 + 7)).expect("rewrite");
                 live[idx].1 = size;
             }
             2 => {
                 // create a new file
-                let size =
-                    rng.range(spec.size_range.0 as u64, spec.size_range.1 as u64) as usize;
+                let size = rng.range(spec.size_range.0 as u64, spec.size_range.1 as u64) as usize;
                 let path = pm_path(next_id);
                 client.create(&path, Mode::from_octal(0o644)).expect("create");
-                client
-                    .write_file(&path, &content(size, next_id as u64))
-                    .expect("write");
+                client.write_file(&path, &content(size, next_id as u64)).expect("write");
                 live.push((next_id, size));
                 next_id += 1;
             }
@@ -155,7 +141,8 @@ mod tests {
     #[test]
     fn bigger_caches_are_not_slower() {
         let opts = BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() };
-        let spec = PostmarkSpec { files: 10, transactions: 20, size_range: (500, 2000), subdirs: 2 };
+        let spec =
+            PostmarkSpec { files: 10, transactions: 20, size_range: (500, 2000), subdirs: 2 };
         let cold = run_point(CryptoPolicy::Sharoes, &spec, 0, &opts);
         let warm = run_point(CryptoPolicy::Sharoes, &spec, 100, &opts);
         assert!(
@@ -172,7 +159,8 @@ mod tests {
         // Full-size keys: the private-key tax per metadata miss is the
         // effect under test, and 512-bit test keys drown it in noise.
         let opts = BenchOpts { users: 2, ..Default::default() };
-        let spec = PostmarkSpec { files: 10, transactions: 20, size_range: (500, 2000), subdirs: 2 };
+        let spec =
+            PostmarkSpec { files: 10, transactions: 20, size_range: (500, 2000), subdirs: 2 };
         let sharoes = run_point(CryptoPolicy::Sharoes, &spec, 10, &opts);
         let pubopt = run_point(CryptoPolicy::PubOpt, &spec, 10, &opts);
         assert!(

@@ -245,9 +245,7 @@ impl Shell {
                             .map_err(|e| e.to_string());
                     }
                     result.and_then(|()| {
-                        self.client
-                            .write_file(&path, text.as_bytes())
-                            .map_err(|e| e.to_string())
+                        self.client.write_file(&path, text.as_bytes()).map_err(|e| e.to_string())
                     })
                 }
             }

@@ -62,10 +62,7 @@ pub fn file_cap(perm: Perm) -> Result<FileCap, CoreError> {
         // read-write (and read-write-exec).
         (true, true, _) => Ok(FileCap { dek: true, dvk: true, dsk: true }),
         // write-only / exec-only / write-exec: impossible with symmetric DEKs.
-        _ => Err(CoreError::UnsupportedPermission {
-            perm: perm.to_string(),
-            kind: "file",
-        }),
+        _ => Err(CoreError::UnsupportedPermission { perm: perm.to_string(), kind: "file" }),
     }
 }
 
@@ -73,21 +70,30 @@ pub fn file_cap(perm: Perm) -> Result<FileCap, CoreError> {
 pub fn dir_cap(perm: Perm) -> Result<DirCap, CoreError> {
     match (perm.read, perm.write, perm.exec) {
         // zero and write-only: "write does not work without exec".
-        (false, _, false) => Ok(DirCap { dek: false, dvk: false, dsk: false, table: TableAccess::None }),
+        (false, _, false) => {
+            Ok(DirCap { dek: false, dvk: false, dsk: false, table: TableAccess::None })
+        }
         // read and read-write: listing only ("write does not work without
         // an execute permission", so rw- collapses to r--).
-        (true, _, false) => Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::NamesOnly }),
+        (true, _, false) => {
+            Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::NamesOnly })
+        }
         // read-exec: traversal, no modification.
-        (true, false, true) => Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::Full }),
+        (true, false, true) => {
+            Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::Full })
+        }
         // read-write-exec: full access.
-        (true, true, true) => Ok(DirCap { dek: true, dvk: true, dsk: true, table: TableAccess::Full }),
+        (true, true, true) => {
+            Ok(DirCap { dek: true, dvk: true, dsk: true, table: TableAccess::Full })
+        }
         // exec-only: traversal by exact name.
-        (false, false, true) => Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::ExecOnly }),
+        (false, false, true) => {
+            Ok(DirCap { dek: true, dvk: true, dsk: false, table: TableAccess::ExecOnly })
+        }
         // write-exec: unsupported (symmetric table keys would grant read).
-        (false, true, true) => Err(CoreError::UnsupportedPermission {
-            perm: perm.to_string(),
-            kind: "directory",
-        }),
+        (false, true, true) => {
+            Err(CoreError::UnsupportedPermission { perm: perm.to_string(), kind: "directory" })
+        }
     }
 }
 
@@ -148,10 +154,10 @@ mod tests {
     #[test]
     fn unsupported_file_perms_rejected() {
         for p in [Perm::W, Perm::X, Perm::WX] {
-            assert!(matches!(
-                file_cap(p),
-                Err(CoreError::UnsupportedPermission { kind: "file", .. })
-            ), "{p}");
+            assert!(
+                matches!(file_cap(p), Err(CoreError::UnsupportedPermission { kind: "file", .. })),
+                "{p}"
+            );
         }
     }
 

@@ -25,7 +25,9 @@ use crate::keypool::SigKeyPool;
 use crate::keyring::{Pki, UserIdentity};
 use crate::metadata::{open_metadata, MetaOpen, MetadataBody, SealedObject, ViewId};
 use crate::params::{ClientConfig, CryptoPolicy, RevocationMode, Scheme};
-use crate::scheme::{Layout, Manifest, ObjectAttrs, ObjectSecrets, SigPairs, SplitEntry, MANIFEST_BLOCK};
+use crate::scheme::{
+    Layout, Manifest, ObjectAttrs, ObjectSecrets, SigPairs, SplitEntry, MANIFEST_BLOCK,
+};
 use crate::superblock::Superblock;
 use sharoes_crypto::{HmacDrbg, RandomSource, SymKey, SystemRandom, VerifyKey};
 use sharoes_fs::{path as fspath, Acl, Gid, Mode, NodeKind, Uid, UserDb};
@@ -137,8 +139,14 @@ impl SharoesClient {
         Self::with_rng(transport, config, db, pki, identity, pool, HmacDrbg::new(&seed))
     }
 
-    /// Like [`SharoesClient::new`] with a caller-controlled generator
-    /// (deterministic tests/benches).
+    /// Like [`SharoesClient::new`] with a caller-controlled generator.
+    ///
+    /// The session is a pure function of the seed: the per-mount inode
+    /// nonce is drawn from `rng`, so two clients built with identical
+    /// seeds replay identical wire traffic (the determinism regression
+    /// test depends on this). Callers mounting several same-uid sessions
+    /// against one store must therefore vary the seed per mount, or their
+    /// inode allocations will collide.
     pub fn with_rng(
         transport: Box<dyn Transport>,
         config: ClientConfig,
@@ -146,12 +154,11 @@ impl SharoesClient {
         pki: Arc<Pki>,
         identity: UserIdentity,
         pool: Arc<SigKeyPool>,
-        rng: HmacDrbg,
+        mut rng: HmacDrbg,
     ) -> Self {
         let meter = Arc::clone(transport.meter());
         let cache = ClientCache::new(config.cache_capacity);
-        let mut nonce = [0u8; 8];
-        SystemRandom::new().fill_bytes(&mut nonce);
+        let nonce = rng.next_u64().to_be_bytes();
         SharoesClient {
             transport,
             meter,
@@ -326,7 +333,8 @@ impl SharoesClient {
     fn open_metadata_at(&mut self, h: &NodeHandle) -> Result<MetadataBody> {
         let ck = CacheKey::Meta(h.inode, h.view);
         if let Some(bytes) = self.cache.get(&ck) {
-            return MetadataBody::from_wire(&bytes).map_err(|_| CoreError::Corrupt("cached metadata"));
+            return MetadataBody::from_wire(&bytes)
+                .map_err(|_| CoreError::Corrupt("cached metadata"));
         }
         let key = ObjectKey::metadata(h.inode, h.view);
         let blob = self
@@ -375,7 +383,11 @@ impl SharoesClient {
     /// Scheme-2 split-point resolution (§III-D.2): if this user's class on
     /// the object differs from the continuation replica we landed on,
     /// follow the per-user/per-group split entry to the right CAP.
-    fn reconcile(&mut self, h: NodeHandle, body: MetadataBody) -> Result<(NodeHandle, MetadataBody)> {
+    fn reconcile(
+        &mut self,
+        h: NodeHandle,
+        body: MetadataBody,
+    ) -> Result<(NodeHandle, MetadataBody)> {
         if self.config.effective_scheme() != Scheme::SharedCaps {
             return Ok((h, body));
         }
@@ -412,8 +424,7 @@ impl SharoesClient {
                             Some(gid) => self.identity.group_key(gid),
                         };
                         let Some(key) = key else { continue };
-                        let decrypted =
-                            Self::timed_crypto(&meter, || key.decrypt_blob(&blob));
+                        let decrypted = Self::timed_crypto(&meter, || key.decrypt_blob(&blob));
                         match decrypted {
                             Ok(plain) => {
                                 self.cache.put(ck, plain.clone());
@@ -425,14 +436,10 @@ impl SharoesClient {
                 }
             };
             let Some(plain) = plain else { continue };
-            let entry = SplitEntry::from_wire(&plain)
-                .map_err(|_| CoreError::Corrupt("split entry"))?;
-            let nh = NodeHandle {
-                inode: h.inode,
-                view: entry.view,
-                mek: entry.mek,
-                mvk: entry.mvk,
-            };
+            let entry =
+                SplitEntry::from_wire(&plain).map_err(|_| CoreError::Corrupt("split entry"))?;
+            let nh =
+                NodeHandle { inode: h.inode, view: entry.view, mek: entry.mek, mvk: entry.mvk };
             let nbody = self.open_metadata_at(&nh)?;
             return Ok((nh, nbody));
         }
@@ -479,12 +486,7 @@ impl SharoesClient {
     /// Resolves an absolute path to `(handle, body)` with traversal checks.
     fn resolve(&mut self, path: &str) -> Result<(NodeHandle, MetadataBody)> {
         let parts = fspath::split(path)?;
-        let root = self
-            .mount
-            .as_ref()
-            .ok_or(CoreError::NotMounted)?
-            .root
-            .clone();
+        let root = self.mount.as_ref().ok_or(CoreError::NotMounted)?.root.clone();
         let mut h = root;
         let mut body = self.open_metadata_at(&h)?;
         let (nh, nbody) = self.reconcile(h, body)?;
@@ -517,12 +519,7 @@ impl SharoesClient {
                         .ok_or_else(|| CoreError::NotFound(fspath::join(&parts[..=i])))?
                 }
             };
-            h = NodeHandle {
-                inode: child.inode,
-                view: child.view,
-                mek: child.mek,
-                mvk: child.mvk,
-            };
+            h = NodeHandle { inode: child.inode, view: child.view, mek: child.mek, mvk: child.mvk };
             body = self.open_metadata_at(&h)?;
             let (nh, nbody) = self.reconcile(h, body)?;
             h = nh;
@@ -565,11 +562,7 @@ impl SharoesClient {
         Ok(table
             .list()
             .into_iter()
-            .map(|(name, kind, child)| ReadDirEntry {
-                name,
-                kind,
-                inode: child.map(|c| c.inode),
-            })
+            .map(|(name, kind, child)| ReadDirEntry { name, kind, inode: child.map(|c| c.inode) })
             .collect())
     }
 
@@ -588,9 +581,7 @@ impl SharoesClient {
         let mkey = ObjectKey::data(inode, dview, MANIFEST_BLOCK);
         let b0key = ObjectKey::data(inode, dview, 0);
         let fetched = self.fetch_many(vec![mkey, b0key])?;
-        let mblob = fetched[0]
-            .clone()
-            .ok_or(CoreError::Corrupt("missing data manifest"))?;
+        let mblob = fetched[0].clone().ok_or(CoreError::Corrupt("missing data manifest"))?;
         let mplain = self.open_manifest_record(&mkey, &mblob, body)?;
         let manifest = Layout::parse_manifest(&mplain)?;
         self.check_freshness(
@@ -616,9 +607,7 @@ impl SharoesClient {
         }
         let dview = ids::data_view(body.inode, body.generation);
         let mkey = ObjectKey::data(body.inode, dview, MANIFEST_BLOCK);
-        let blob = self
-            .fetch(mkey)?
-            .ok_or(CoreError::Corrupt("missing data manifest"))?;
+        let blob = self.fetch(mkey)?.ok_or(CoreError::Corrupt("missing data manifest"))?;
         let plain = self.open_manifest_record(&mkey, &blob, body)?;
         let manifest = Layout::parse_manifest(&plain)?;
         self.check_freshness(
@@ -713,7 +702,10 @@ impl SharoesClient {
             return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "read" });
         }
         if self.encrypts_data() && body.dek.is_none() {
-            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "DEK (read)" });
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "DEK (read)",
+            });
         }
 
         let manifest = self.load_manifest(&body)?;
@@ -737,8 +729,7 @@ impl SharoesClient {
         for (key, blob) in missing.iter().zip(fetched) {
             let blob = blob.ok_or(CoreError::Corrupt("missing data block"))?;
             let plain = self.open_data_block(key, &blob, &body, manifest.hash_of(key.block))?;
-            self.cache
-                .put(CacheKey::Block(inode, generation, key.block), plain.clone());
+            self.cache.put(CacheKey::Block(inode, generation, key.block), plain.clone());
             blocks[key.block as usize] = Some(plain);
         }
 
@@ -769,10 +760,12 @@ impl SharoesClient {
             return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "DEK" });
         }
         if self.signs() && body.dsk.is_none() {
-            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "DSK (write)" });
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "DSK (write)",
+            });
         }
-        self.pending
-            .insert(path.to_string(), PendingWrite { content: data.to_vec() });
+        self.pending.insert(path.to_string(), PendingWrite { content: data.to_vec() });
         Ok(())
     }
 
@@ -785,10 +778,7 @@ impl SharoesClient {
         let (h, mut body) = self.resolve(path)?;
 
         // Lazy-revocation hook: an owner flushing content rotates the DEK.
-        if body.rekey_pending
-            && self.config.policy == CryptoPolicy::Sharoes
-            && body.msk.is_some()
-        {
+        if body.rekey_pending && self.config.policy == CryptoPolicy::Sharoes && body.msk.is_some() {
             return self.rekey_and_write(h, body, &pending.content);
         }
 
@@ -797,14 +787,11 @@ impl SharoesClient {
         let dview = ids::data_view(inode, generation);
         // Only the block count (and write version) matter here; skip the
         // speculative block-0 fetch the read path does.
-        let (old_nblocks, old_version) = self
-            .load_manifest_lean(&body)
-            .map(|m| (m.nblocks, m.version))
-            .unwrap_or((0, 0));
+        let (old_nblocks, old_version) =
+            self.load_manifest_lean(&body).map(|m| (m.nblocks, m.version)).unwrap_or((0, 0));
 
         let records = self.seal_file_content(&body, &pending.content, old_version + 1)?;
-        self.freshness
-            .insert(FreshKey::Data(inode, generation), old_version + 1);
+        self.freshness.insert(FreshKey::Data(inode, generation), old_version + 1);
         let new_nblocks = pending.content.len().div_ceil(self.config.block_size.max(1)) as u32;
         if old_nblocks > new_nblocks {
             // Shrink: clear stale trailing blocks first.
@@ -819,8 +806,7 @@ impl SharoesClient {
             self.cache.invalidate(&CacheKey::Block(inode, generation, i));
         }
         for (i, chunk) in pending.content.chunks(self.config.block_size.max(1)).enumerate() {
-            self.cache
-                .put(CacheKey::Block(inode, generation, i as u32), chunk.to_vec());
+            self.cache.put(CacheKey::Block(inode, generation, i as u32), chunk.to_vec());
         }
         body.size = pending.content.len() as u64;
         Ok(())
@@ -981,7 +967,12 @@ impl SharoesClient {
                 let mut recs = layout.metadata_records(&child_attrs, &child_secrets, &mut rng)?;
                 match kind {
                     NodeKind::File => {
-                        recs.extend(layout.data_records(&child_attrs, &child_secrets, &[], &mut rng));
+                        recs.extend(layout.data_records(
+                            &child_attrs,
+                            &child_secrets,
+                            &[],
+                            &mut rng,
+                        ));
                     }
                     NodeKind::Dir => {
                         let (tables, _) =
@@ -1000,11 +991,7 @@ impl SharoesClient {
         let (table_records, divergent) = self.rebuild_parent_tables(
             &ph,
             &pbody,
-            TableEdit::Insert {
-                name: &name,
-                child: &child_attrs,
-                child_secrets: &child_secrets,
-            },
+            TableEdit::Insert { name: &name, child: &child_attrs, child_secrets: &child_secrets },
         )?;
         records.extend(table_records);
 
@@ -1069,7 +1056,8 @@ impl SharoesClient {
             }
         }
 
-        let (table_records, _) = self.rebuild_parent_tables(&ph, &pbody, TableEdit::Remove { name: &name })?;
+        let (table_records, _) =
+            self.rebuild_parent_tables(&ph, &pbody, TableEdit::Remove { name: &name })?;
         self.put_many(table_records)?;
 
         // Delete the child's replicas, split entries, and data.
@@ -1186,11 +1174,8 @@ impl SharoesClient {
 
         // Names come from our own (full) view.
         let my_table = self.open_table(ph, pbody)?;
-        let names: Vec<(String, NodeKind)> = my_table
-            .list()
-            .into_iter()
-            .map(|(name, kind, _)| (name, kind))
-            .collect();
+        let names: Vec<(String, NodeKind)> =
+            my_table.list().into_iter().map(|(name, kind, _)| (name, kind)).collect();
 
         // Current replica plaintexts: cached where possible (the paper's
         // mkdir costs are sends only — the client caches the parent table),
@@ -1220,9 +1205,8 @@ impl SharoesClient {
                 let sealed = SealedObject::from_wire(&blob)
                     .map_err(|_| CoreError::Corrupt("sealed table replica"))?;
                 let plain = if encrypts_now {
-                    let tek = teks_snapshot
-                        .get(&views[*slot].0)
-                        .ok_or(CoreError::PermissionDenied {
+                    let tek =
+                        teks_snapshot.get(&views[*slot].0).ok_or(CoreError::PermissionDenied {
                             path: format!("inode#{}", ph.inode),
                             needed: "TEK for replica",
                         })?;
@@ -1328,9 +1312,7 @@ impl SharoesClient {
                 let plain = new_table.to_wire();
                 new_plain = plain.clone();
                 let ciphertext = if encrypts {
-                    teks.get(view)
-                        .ok_or(CoreError::Corrupt("missing TEK"))?
-                        .seal(&mut rng, &plain)
+                    teks.get(view).ok_or(CoreError::Corrupt("missing TEK"))?.seal(&mut rng, &plain)
                 } else {
                     plain
                 };
@@ -1374,10 +1356,16 @@ impl SharoesClient {
         let (h, body) = self.resolve(path)?;
         let old_attrs = ObjectAttrs::from_body(&body);
         if old_attrs.owner != self.identity.uid {
-            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "ownership" });
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "ownership",
+            });
         }
         if self.signs() && body.msk.is_none() {
-            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "MSK (owner)" });
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "MSK (owner)",
+            });
         }
 
         let mut new_attrs = old_attrs.clone();
@@ -1678,7 +1666,11 @@ impl SharoesClient {
     }
 
     /// Reconstructs [`ObjectSecrets`] from an owner's metadata replica.
-    fn secrets_from_owner_body(&self, h: &NodeHandle, body: &MetadataBody) -> Result<ObjectSecrets> {
+    fn secrets_from_owner_body(
+        &self,
+        h: &NodeHandle,
+        body: &MetadataBody,
+    ) -> Result<ObjectSecrets> {
         let sig = match (self.signs(), &body.dsk, &body.dvk, &body.msk, &h.mvk) {
             (false, ..) => None,
             (true, Some(dsk), Some(dvk), Some(msk), Some(mvk)) => Some(SigPairs {
@@ -1713,9 +1705,8 @@ impl SharoesClient {
     fn read_content_for_rekey(&mut self, body: &MetadataBody) -> Result<Vec<u8>> {
         let manifest = self.load_manifest(body)?;
         let dview = ids::data_view(body.inode, body.generation);
-        let keys: Vec<ObjectKey> = (0..manifest.nblocks)
-            .map(|i| ObjectKey::data(body.inode, dview, i))
-            .collect();
+        let keys: Vec<ObjectKey> =
+            (0..manifest.nblocks).map(|i| ObjectKey::data(body.inode, dview, i)).collect();
         let blobs = self.fetch_many(keys.clone())?;
         let mut out = Vec::with_capacity(manifest.size as usize);
         for (key, blob) in keys.iter().zip(blobs) {
@@ -1732,12 +1723,7 @@ impl SharoesClient {
     }
 
     /// Flushes the DEK rotation deferred by lazy revocation, then writes.
-    fn rekey_and_write(
-        &mut self,
-        h: NodeHandle,
-        body: MetadataBody,
-        content: &[u8],
-    ) -> Result<()> {
+    fn rekey_and_write(&mut self, h: NodeHandle, body: MetadataBody, content: &[u8]) -> Result<()> {
         let mut attrs = ObjectAttrs::from_body(&body);
         let mut secrets = self.secrets_from_owner_body(&h, &body)?;
         let old_view = ids::data_view(attrs.inode, attrs.generation);
@@ -1774,7 +1760,10 @@ impl SharoesClient {
         let (h, body) = self.resolve(path)?;
         let mut attrs = ObjectAttrs::from_body(&body);
         if attrs.owner != self.identity.uid {
-            return Err(CoreError::PermissionDenied { path: path.to_string(), needed: "ownership" });
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "ownership",
+            });
         }
         if attrs.kind == NodeKind::File {
             let manifest = self.load_manifest(&body)?;
@@ -1786,9 +1775,8 @@ impl SharoesClient {
         let meter = Arc::clone(&self.meter);
         let mut rng = self.rng.clone();
         let layout = self.layout();
-        let records = Self::timed_crypto(&meter, || {
-            layout.metadata_records(&attrs, &secrets, &mut rng)
-        })?;
+        let records =
+            Self::timed_crypto(&meter, || layout.metadata_records(&attrs, &secrets, &mut rng))?;
         self.rng.reseed(b"fsync-metadata");
         self.put_many(records)?;
         self.cache.invalidate_inode(attrs.inode);

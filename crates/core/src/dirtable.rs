@@ -321,10 +321,7 @@ mod tests {
         let listed = table.list();
         assert_eq!(listed.len(), 2);
         assert!(listed.iter().all(|(_, _, child)| child.is_none()));
-        assert!(matches!(
-            table.lookup("entry0", None),
-            Err(CoreError::PermissionDenied { .. })
-        ));
+        assert!(matches!(table.lookup("entry0", None), Err(CoreError::PermissionDenied { .. })));
     }
 
     #[test]
@@ -386,10 +383,7 @@ mod tests {
             // Truncate so the decrypted ChildRef cannot parse.
             sealed.truncate(sealed.len() / 2);
         }
-        assert!(matches!(
-            table.lookup("entry0", Some(&tek)),
-            Err(CoreError::Corrupt(_))
-        ));
+        assert!(matches!(table.lookup("entry0", Some(&tek)), Err(CoreError::Corrupt(_))));
     }
 
     #[test]

@@ -27,10 +27,7 @@ pub fn build_group_key_blocks<R: RandomSource + ?Sized>(
         for &member in &group.members {
             let pk = ring.user_public(member)?;
             let blob = pk.encrypt_blob(rng, &payload)?;
-            out.push((
-                ObjectKey::group_key(group.gid.0 as u64, ids::group_key_view(member)),
-                blob,
-            ));
+            out.push((ObjectKey::group_key(group.gid.0 as u64, ids::group_key_view(member)), blob));
         }
     }
     Ok(out)
@@ -87,11 +84,8 @@ mod tests {
         let alice = ring.user_private(Uid(1)).unwrap();
         let recovered = open_group_key_block(alice, blob).unwrap();
         // The recovered key must decrypt things encrypted to the group.
-        let ct = ring
-            .group_public(Gid(10))
-            .unwrap()
-            .encrypt(&mut rng, b"to the eng group")
-            .unwrap();
+        let ct =
+            ring.group_public(Gid(10)).unwrap().encrypt(&mut rng, b"to the eng group").unwrap();
         assert_eq!(recovered.decrypt(&ct).unwrap(), b"to the eng group");
     }
 

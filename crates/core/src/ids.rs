@@ -135,14 +135,8 @@ mod tests {
 
     #[test]
     fn acl_classes_distinct_per_principal() {
-        assert_ne!(
-            cap_view(1, ClassTag::AclUser(5)),
-            cap_view(1, ClassTag::AclUser(6))
-        );
-        assert_ne!(
-            cap_view(1, ClassTag::AclUser(5)),
-            cap_view(1, ClassTag::AclGroup(5))
-        );
+        assert_ne!(cap_view(1, ClassTag::AclUser(5)), cap_view(1, ClassTag::AclUser(6)));
+        assert_ne!(cap_view(1, ClassTag::AclUser(5)), cap_view(1, ClassTag::AclGroup(5)));
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! operations (migration) prefill in batch.
 
 use crate::params::CryptoParams;
-use parking_lot::Mutex;
 use sharoes_crypto::{generate_signing_pair, RandomSource, SigningKey, VerifyKey};
+use std::sync::Mutex;
 
 /// A pool of pre-generated signing pairs.
 pub struct SigKeyPool {
@@ -30,17 +30,15 @@ impl SigKeyPool {
                     .expect("signature keygen"),
             );
         }
-        self.pool.lock().extend(fresh);
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).extend(fresh);
     }
 
     /// Pre-generates `n` pairs across all available cores. Each worker gets
     /// an independent DRBG derived from `seed`, so the pool contents are
     /// deterministic up to ordering.
     pub fn prefill_parallel(&self, n: usize, seed: u64) {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(n.max(1));
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let quota = n / threads + usize::from(t < n % threads);
@@ -57,7 +55,7 @@ impl SigKeyPool {
                                 .expect("signature keygen"),
                         );
                     }
-                    pool.lock().extend(fresh);
+                    pool.lock().unwrap_or_else(|e| e.into_inner()).extend(fresh);
                 });
             }
         });
@@ -71,7 +69,7 @@ impl SigKeyPool {
     pub fn prefill_cloned<R: RandomSource + ?Sized>(&self, n: usize, rng: &mut R) {
         let pair = generate_signing_pair(self.params.sig_scheme, self.params.sig_bits, rng)
             .expect("signature keygen");
-        let mut pool = self.pool.lock();
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
         for _ in 0..n {
             pool.push(pair.clone());
         }
@@ -79,7 +77,7 @@ impl SigKeyPool {
 
     /// Takes a pair, generating one on demand if the pool is dry.
     pub fn take<R: RandomSource + ?Sized>(&self, rng: &mut R) -> (SigningKey, VerifyKey) {
-        if let Some(pair) = self.pool.lock().pop() {
+        if let Some(pair) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
             return pair;
         }
         generate_signing_pair(self.params.sig_scheme, self.params.sig_bits, rng)
@@ -88,12 +86,12 @@ impl SigKeyPool {
 
     /// Current pool depth.
     pub fn len(&self) -> usize {
-        self.pool.lock().len()
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when no pre-generated pairs remain.
     pub fn is_empty(&self) -> bool {
-        self.pool.lock().is_empty()
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
     }
 }
 

@@ -7,11 +7,11 @@
 //! keys never leave the enterprise domain.
 
 use crate::error::{CoreError, Result};
-use parking_lot::RwLock;
 use sharoes_crypto::{RandomSource, RsaPrivateKey, RsaPublicKey};
 use sharoes_fs::{Gid, Uid, UserDb};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// All identity keys for the enterprise (the migration tool holds this;
 /// individual users hold only their own slice — see [`UserIdentity`]).
@@ -30,12 +30,10 @@ impl Keyring {
     ) -> Result<Self> {
         let mut ring = Keyring::default();
         for user in db.users() {
-            ring.users
-                .insert(user.uid, RsaPrivateKey::generate(rsa_bits, rng)?);
+            ring.users.insert(user.uid, RsaPrivateKey::generate(rsa_bits, rng)?);
         }
         for group in db.groups() {
-            ring.groups
-                .insert(group.gid, RsaPrivateKey::generate(rsa_bits, rng)?);
+            ring.groups.insert(group.gid, RsaPrivateKey::generate(rsa_bits, rng)?);
         }
         Ok(ring)
     }
@@ -58,17 +56,13 @@ impl Keyring {
 
     /// A user's private key (enterprise-side only).
     pub fn user_private(&self, uid: Uid) -> Result<&RsaPrivateKey> {
-        self.users
-            .get(&uid)
-            .ok_or_else(|| CoreError::UnknownPrincipal(uid.to_string()))
+        self.users.get(&uid).ok_or_else(|| CoreError::UnknownPrincipal(uid.to_string()))
     }
 
     /// A group's private key (enterprise-side only; distributed to members
     /// in-band via group key blocks).
     pub fn group_private(&self, gid: Gid) -> Result<&RsaPrivateKey> {
-        self.groups
-            .get(&gid)
-            .ok_or_else(|| CoreError::UnknownPrincipal(gid.to_string()))
+        self.groups.get(&gid).ok_or_else(|| CoreError::UnknownPrincipal(gid.to_string()))
     }
 
     /// Extracts the slice a single user legitimately holds: their own key
@@ -93,16 +87,8 @@ impl Keyring {
     /// available to every client.
     pub fn public_directory(&self) -> Pki {
         Pki {
-            users: self
-                .users
-                .iter()
-                .map(|(&uid, k)| (uid, k.public_key().clone()))
-                .collect(),
-            groups: self
-                .groups
-                .iter()
-                .map(|(&gid, k)| (gid, k.public_key().clone()))
-                .collect(),
+            users: self.users.iter().map(|(&uid, k)| (uid, k.public_key().clone())).collect(),
+            groups: self.groups.iter().map(|(&gid, k)| (gid, k.public_key().clone())).collect(),
         }
     }
 }
@@ -117,16 +103,12 @@ pub struct Pki {
 impl Pki {
     /// A user's public key.
     pub fn user(&self, uid: Uid) -> Result<&RsaPublicKey> {
-        self.users
-            .get(&uid)
-            .ok_or_else(|| CoreError::UnknownPrincipal(uid.to_string()))
+        self.users.get(&uid).ok_or_else(|| CoreError::UnknownPrincipal(uid.to_string()))
     }
 
     /// A group's public key.
     pub fn group(&self, gid: Gid) -> Result<&RsaPublicKey> {
-        self.groups
-            .get(&gid)
-            .ok_or_else(|| CoreError::UnknownPrincipal(gid.to_string()))
+        self.groups.get(&gid).ok_or_else(|| CoreError::UnknownPrincipal(gid.to_string()))
     }
 }
 
@@ -148,12 +130,12 @@ pub struct UserIdentity {
 impl UserIdentity {
     /// Installs a group key recovered in-band.
     pub fn install_group_key(&self, gid: Gid, key: RsaPrivateKey) {
-        self.group_keys.write().insert(gid, key);
+        self.group_keys.write().unwrap_or_else(|e| e.into_inner()).insert(gid, key);
     }
 
     /// A group private key, if this user recovered it.
     pub fn group_key(&self, gid: Gid) -> Option<RsaPrivateKey> {
-        self.group_keys.read().get(&gid).cloned()
+        self.group_keys.read().unwrap_or_else(|e| e.into_inner()).get(&gid).cloned()
     }
 }
 

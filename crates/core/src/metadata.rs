@@ -79,11 +79,7 @@ impl WireWrite for AclEntryWire {
 
 impl WireRead for AclEntryWire {
     fn read(r: &mut Cursor<'_>) -> std::result::Result<Self, NetError> {
-        Ok(AclEntryWire {
-            is_group: bool::read(r)?,
-            id: u32::read(r)?,
-            bits: u8::read(r)?,
-        })
+        Ok(AclEntryWire { is_group: bool::read(r)?, id: u32::read(r)?, bits: u8::read(r)? })
     }
 }
 
@@ -299,10 +295,7 @@ impl WireWrite for SealedObject {
 
 impl WireRead for SealedObject {
     fn read(r: &mut Cursor<'_>) -> std::result::Result<Self, NetError> {
-        Ok(SealedObject {
-            ciphertext: Vec::<u8>::read(r)?,
-            signature: Option::<Vec<u8>>::read(r)?,
-        })
+        Ok(SealedObject { ciphertext: Vec::<u8>::read(r)?, signature: Option::<Vec<u8>>::read(r)? })
     }
 }
 
@@ -338,9 +331,7 @@ impl SealedObject {
     pub fn verify(&self, key: &ObjectKey, verifier: Option<&VerifyKey>) -> Result<()> {
         let Some(vk) = verifier else { return Ok(()) };
         let Some(sig) = &self.signature else {
-            return Err(CoreError::TamperDetected(format!(
-                "missing signature on {key:?}"
-            )));
+            return Err(CoreError::TamperDetected(format!("missing signature on {key:?}")));
         };
         let mut msg = signing_context(key);
         msg.extend_from_slice(&self.ciphertext);
@@ -403,8 +394,10 @@ pub fn open_metadata(open: MetaOpen<'_>, blob: &[u8]) -> Result<Vec<u8>> {
         MetaOpen::Public(sk) => sk.decrypt_blob(blob)?,
         MetaOpen::PubOpt(sk) => {
             let mut cur = Cursor::new(blob);
-            let wrapped = Vec::<u8>::read(&mut cur).map_err(|_| CoreError::Corrupt("pub-opt header"))?;
-            let sealed = Vec::<u8>::read(&mut cur).map_err(|_| CoreError::Corrupt("pub-opt body"))?;
+            let wrapped =
+                Vec::<u8>::read(&mut cur).map_err(|_| CoreError::Corrupt("pub-opt header"))?;
+            let sealed =
+                Vec::<u8>::read(&mut cur).map_err(|_| CoreError::Corrupt("pub-opt body"))?;
             cur.expect_end().map_err(|_| CoreError::Corrupt("pub-opt trailing"))?;
             let key_bytes = sk.decrypt(&wrapped)?;
             let mek = SymKey::from_slice(&key_bytes)?;
@@ -527,10 +520,7 @@ mod tests {
         let obj = SealedObject::signed(vec![1, 2, 3], &key, &msk, &mut rng);
         obj.verify(&key, Some(&mvk)).unwrap();
         // Swapping the object into another slot must fail verification.
-        assert!(matches!(
-            obj.verify(&other, Some(&mvk)),
-            Err(CoreError::TamperDetected(_))
-        ));
+        assert!(matches!(obj.verify(&other, Some(&mvk)), Err(CoreError::TamperDetected(_))));
         // Bit-flip in ciphertext fails.
         let mut bad = obj.clone();
         bad.ciphertext[0] ^= 1;

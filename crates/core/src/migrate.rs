@@ -90,14 +90,12 @@ impl<'a> Migrator<'a> {
                 group: downgrade(mode.group, is_dir),
                 other: downgrade(mode.other, is_dir),
             };
-            if softened != mode
-                && self.downgrade_unsupported {
-                    report.downgraded += 1;
-                    mode = softened;
-                }
-                // else: validate_perms below reports the precise failure.
-            let mut attrs =
-                ObjectAttrs::new(attr.inode.0, attr.kind, attr.owner, attr.group, mode);
+            if softened != mode && self.downgrade_unsupported {
+                report.downgraded += 1;
+                mode = softened;
+            }
+            // else: validate_perms below reports the precise failure.
+            let mut attrs = ObjectAttrs::new(attr.inode.0, attr.kind, attr.owner, attr.group, mode);
             attrs.acl = attr.acl.clone();
             if self.downgrade_unsupported {
                 // ACL entries may also carry unrepresentable grants.
@@ -232,13 +230,9 @@ mod tests {
         scheme: Scheme,
         users: usize,
     ) -> (MigrationReport, Arc<SspServer>) {
-        let (fs, _) = generate(&TreeSpec {
-            users,
-            dirs_per_user: 2,
-            files_per_dir: 1,
-            ..Default::default()
-        })
-        .unwrap();
+        let (fs, _) =
+            generate(&TreeSpec { users, dirs_per_user: 2, files_per_dir: 1, ..Default::default() })
+                .unwrap();
         let mut rng = HmacDrbg::from_seed_u64(1);
         let ring = Keyring::generate(fs.users(), 512, &mut rng).unwrap();
         let config = ClientConfig::test_with(policy, scheme);

@@ -156,12 +156,7 @@ impl ClientConfig {
 
     /// Test configuration: small keys, a given policy/scheme.
     pub fn test_with(policy: CryptoPolicy, scheme: Scheme) -> Self {
-        ClientConfig {
-            scheme,
-            policy,
-            crypto: CryptoParams::test(),
-            ..Default::default()
-        }
+        ClientConfig { scheme, policy, crypto: CryptoParams::test(), ..Default::default() }
     }
 }
 

@@ -19,9 +19,7 @@ use crate::dirtable::{ChildRef, DirTable};
 use crate::error::{CoreError, Result};
 use crate::ids::{self, ClassTag};
 use crate::keyring::Pki;
-use crate::metadata::{
-    seal_metadata, AclEntryWire, MetaSeal, MetadataBody, SealedObject, ViewId,
-};
+use crate::metadata::{seal_metadata, AclEntryWire, MetaSeal, MetadataBody, SealedObject, ViewId};
 use crate::params::{CryptoPolicy, Scheme};
 use crate::superblock::Superblock;
 use sharoes_crypto::{RandomSource, SigningKey, SymKey, VerifyKey};
@@ -29,7 +27,7 @@ use sharoes_fs::{
     class_perm_with_acl, classify_with_acl, Acl, AclClass, Gid, Mode, NodeKind, Perm, Uid, UserDb,
 };
 use sharoes_net::{Cursor, NetError, ObjectKey, WireRead, WireWrite};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Block index reserved for the per-file manifest (size + block count +
 /// per-block ciphertext hashes).
@@ -75,7 +73,8 @@ impl Manifest {
         let size = u64::read(&mut cur).map_err(|_| CoreError::Corrupt("manifest size"))?;
         let version = u64::read(&mut cur).map_err(|_| CoreError::Corrupt("manifest version"))?;
         let nblocks = u32::read(&mut cur).map_err(|_| CoreError::Corrupt("manifest nblocks"))?;
-        let nhashes = u32::read(&mut cur).map_err(|_| CoreError::Corrupt("manifest hashes"))? as usize;
+        let nhashes =
+            u32::read(&mut cur).map_err(|_| CoreError::Corrupt("manifest hashes"))? as usize;
         if nhashes != 0 && nhashes != nblocks as usize {
             return Err(CoreError::Corrupt("manifest hash count"));
         }
@@ -346,7 +345,12 @@ impl<'a> Layout<'a> {
     /// replica is always a full table — the owner can reach any state via
     /// chmod, so hiding rows from them protects nothing and would break
     /// re-keying (see client::update_access).
-    pub fn table_access_for(&self, view: ViewId, attrs: &ObjectAttrs, perm: Perm) -> Result<TableAccess> {
+    pub fn table_access_for(
+        &self,
+        view: ViewId,
+        attrs: &ObjectAttrs,
+        perm: Perm,
+    ) -> Result<TableAccess> {
         let cap = dir_cap(perm)?;
         if Self::is_owner_view(view, attrs) {
             return Ok(TableAccess::Full);
@@ -356,10 +360,7 @@ impl<'a> Layout<'a> {
 
     /// Whether metadata bodies carry DSK/DVK/MSK material at all.
     fn carries_sig_keys(&self) -> bool {
-        matches!(
-            self.policy,
-            CryptoPolicy::Sharoes | CryptoPolicy::Public | CryptoPolicy::PubOpt
-        )
+        matches!(self.policy, CryptoPolicy::Sharoes | CryptoPolicy::Public | CryptoPolicy::PubOpt)
     }
 
     /// Validates that every class permission of `attrs` has a CAP; returns
@@ -499,17 +500,10 @@ impl<'a> Layout<'a> {
             let seal = match (self.policy, view) {
                 (CryptoPolicy::NoEncMdD | CryptoPolicy::NoEncMd, _) => MetaSeal::Plain,
                 (CryptoPolicy::Sharoes, v) => MetaSeal::Sym(
-                    secrets
-                        .meks
-                        .get(&v)
-                        .ok_or(CoreError::Corrupt("missing MEK for view"))?,
+                    secrets.meks.get(&v).ok_or(CoreError::Corrupt("missing MEK for view"))?,
                 ),
-                (CryptoPolicy::Public, ViewId::User(u)) => {
-                    MetaSeal::Public(self.pki.user(Uid(u))?)
-                }
-                (CryptoPolicy::PubOpt, ViewId::User(u)) => {
-                    MetaSeal::PubOpt(self.pki.user(Uid(u))?)
-                }
+                (CryptoPolicy::Public, ViewId::User(u)) => MetaSeal::Public(self.pki.user(Uid(u))?),
+                (CryptoPolicy::PubOpt, ViewId::User(u)) => MetaSeal::PubOpt(self.pki.user(Uid(u))?),
                 (CryptoPolicy::Public | CryptoPolicy::PubOpt, ViewId::Class(_)) => {
                     return Err(CoreError::Corrupt("public policies are per-user"))
                 }
@@ -527,11 +521,7 @@ impl<'a> Layout<'a> {
 
     /// The users whose class on `attrs` is exactly `class`.
     pub fn population(&self, attrs: &ObjectAttrs, class: ClassTag) -> Vec<Uid> {
-        self.db
-            .users()
-            .filter(|u| attrs.class_of(u.uid, self.db) == class)
-            .map(|u| u.uid)
-            .collect()
+        self.db.users().filter(|u| attrs.class_of(u.uid, self.db) == class).map(|u| u.uid).collect()
     }
 
     /// Scheme-2 continuation of `parent_class` into `child`:
@@ -568,10 +558,7 @@ impl<'a> Layout<'a> {
             .max_by_key(|(class, count)| (**count, class.domain_order()))
             .map(|(class, _)| *class)
             .expect("non-empty population");
-        let divergent = assignments
-            .into_iter()
-            .filter(|(_, c)| *c != cont)
-            .collect();
+        let divergent = assignments.into_iter().filter(|(_, c)| *c != cont).collect();
         (cont, divergent)
     }
 
@@ -663,9 +650,11 @@ impl<'a> Layout<'a> {
         dir_secrets: &ObjectSecrets,
         entries: &[(String, &ObjectAttrs, &ObjectSecrets)],
         rng: &mut R,
-    ) -> Result<(Vec<(ObjectKey, Vec<u8>)>, HashMap<u64, Vec<(Uid, ClassTag)>>)> {
+    ) -> Result<(Vec<(ObjectKey, Vec<u8>)>, BTreeMap<u64, Vec<(Uid, ClassTag)>>)> {
         let mut records = Vec::new();
-        let mut splits: HashMap<u64, Vec<(Uid, ClassTag)>> = HashMap::new();
+        // BTreeMap: callers iterate this to draw per-child randomness, so the
+        // order must be a pure function of the tree, not of hasher state.
+        let mut splits: BTreeMap<u64, Vec<(Uid, ClassTag)>> = BTreeMap::new();
 
         for (view, perm) in self.views(dir) {
             let access = self.table_access_for(view, dir, perm)?;
@@ -772,11 +761,8 @@ impl<'a> Layout<'a> {
         // Group-addressed optimization (§II-A group keys put to work): all
         // divergent users landing in the child's Group class share one
         // entry encrypted with the group public key.
-        let group_class_users: Vec<Uid> = divergent
-            .iter()
-            .filter(|(_, c)| *c == ClassTag::Group)
-            .map(|(u, _)| *u)
-            .collect();
+        let group_class_users: Vec<Uid> =
+            divergent.iter().filter(|(_, c)| *c == ClassTag::Group).map(|(u, _)| *u).collect();
         let use_group_entry = group_class_users.len() >= 2 && self.pki.group(child.group).is_ok();
         if use_group_entry {
             let payload = entry_for(ClassTag::Group).to_wire();
@@ -813,11 +799,7 @@ impl<'a> Layout<'a> {
         rng: &mut R,
     ) -> Vec<(ObjectKey, Vec<u8>)> {
         let view = ids::data_view(attrs.inode, attrs.generation);
-        let nblocks = if content.is_empty() {
-            0
-        } else {
-            content.len().div_ceil(self.block_size)
-        };
+        let nblocks = if content.is_empty() { 0 } else { content.len().div_ceil(self.block_size) };
         let signs = self.policy.signs() && secrets.sig.is_some();
 
         let mut blocks = Vec::with_capacity(nblocks);
@@ -843,11 +825,8 @@ impl<'a> Layout<'a> {
         };
         let mplain = manifest.to_wire();
         let mkey = ObjectKey::data(attrs.inode, view, MANIFEST_BLOCK);
-        let mciphertext = if self.policy.encrypts_data() {
-            secrets.dek.seal(rng, &mplain)
-        } else {
-            mplain
-        };
+        let mciphertext =
+            if self.policy.encrypts_data() { secrets.dek.seal(rng, &mplain) } else { mplain };
         let msealed = match (&secrets.sig, self.policy.signs()) {
             (Some(sig), true) => SealedObject::signed(mciphertext, &mkey, &sig.dsk, rng),
             _ => SealedObject::unsigned(mciphertext),
@@ -972,7 +951,7 @@ mod tests {
         let layout = Layout { scheme: Scheme::SharedCaps, ..layout };
         let views = layout.views(&attrs);
         assert_eq!(views.len(), 3); // owner/group/other
-        // Owner gets rw-, group and other get r--.
+                                    // Owner gets rw-, group and other get r--.
         for (view, perm) in views {
             match view {
                 ViewId::Class(ClassTag::Owner) => assert_eq!(perm, Perm::RW),
@@ -1027,9 +1006,7 @@ mod tests {
             let key = ObjectKey::metadata(attrs.inode, view.tag(attrs.inode));
             let (_, blob) = records.iter().find(|(k, _)| *k == key).unwrap();
             let sealed = SealedObject::from_wire(blob).unwrap();
-            sealed
-                .verify(&key, Some(&secrets.sig.as_ref().unwrap().mvk))
-                .unwrap();
+            sealed.verify(&key, Some(&secrets.sig.as_ref().unwrap().mvk)).unwrap();
             let mek = secrets.meks.get(&view).unwrap();
             let plain = mek.open(&sealed.ciphertext).unwrap();
             let body = MetadataBody::from_wire(&plain).unwrap();
@@ -1227,10 +1204,9 @@ mod tests {
         };
         let child = ObjectAttrs::new(9, NodeKind::Dir, Uid(1), Gid(100), Mode::from_octal(0o750));
         let secrets = layout.generate_secrets(&child, &pool, &mut rng);
-        let divergent = vec![(Uid(1), ClassTag::Owner), (Uid(2), ClassTag::Group), (Uid(3), ClassTag::Group)];
-        let records = layout
-            .split_records(&child, &secrets, &divergent, &mut rng)
-            .unwrap();
+        let divergent =
+            vec![(Uid(1), ClassTag::Owner), (Uid(2), ClassTag::Group), (Uid(3), ClassTag::Group)];
+        let records = layout.split_records(&child, &secrets, &divergent, &mut rng).unwrap();
         // bob and carol share a group-addressed entry; alice gets her own.
         assert_eq!(records.len(), 2);
         let group_slot =
@@ -1267,9 +1243,7 @@ mod tests {
         let child = ObjectAttrs::new(21, NodeKind::File, Uid(1), Gid(100), Mode::from_octal(0o644));
         let child_secrets = layout.generate_secrets(&child, &pool, &mut rng);
         let entries = vec![("doc.txt".to_string(), &child, &child_secrets)];
-        let (records, _) = layout
-            .table_records(&dir, &dir_secrets, &entries, &mut rng)
-            .unwrap();
+        let (records, _) = layout.table_records(&dir, &dir_secrets, &entries, &mut rng).unwrap();
         assert_eq!(records.len(), 3);
 
         // Owner view: full table with the name visible after decryption.

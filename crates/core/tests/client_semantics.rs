@@ -146,10 +146,7 @@ fn create_write_read_delete_cycle() {
         assert_eq!(bob.read("/home/alice/fresh.txt").unwrap(), b"fresh content", "{scheme:?}");
 
         alice.unlink("/home/alice/fresh.txt").unwrap();
-        assert!(matches!(
-            alice.read("/home/alice/fresh.txt").unwrap_err(),
-            CoreError::NotFound(_)
-        ));
+        assert!(matches!(alice.read("/home/alice/fresh.txt").unwrap_err(), CoreError::NotFound(_)));
         let mut bob2 = world.client(BOB);
         assert!(bob2.read("/home/alice/fresh.txt").is_err());
     }
@@ -199,18 +196,12 @@ fn duplicate_and_missing_errors() {
         alice.create("/home/alice/notes.txt", Mode::from_octal(0o644)).unwrap_err(),
         CoreError::AlreadyExists(_)
     ));
-    assert!(matches!(
-        alice.read("/home/alice/nope").unwrap_err(),
-        CoreError::NotFound(_)
-    ));
+    assert!(matches!(alice.read("/home/alice/nope").unwrap_err(), CoreError::NotFound(_)));
     assert!(matches!(
         alice.read("/home/alice/notes.txt/sub").unwrap_err(),
         CoreError::NotADirectory(_)
     ));
-    assert!(matches!(
-        alice.read("/home/alice").unwrap_err(),
-        CoreError::IsADirectory(_)
-    ));
+    assert!(matches!(alice.read("/home/alice").unwrap_err(), CoreError::IsADirectory(_)));
 }
 
 #[test]
@@ -236,10 +227,7 @@ fn rename_within_directory() {
 fn rmdir_requires_empty() {
     let world = World::new(CryptoPolicy::Sharoes, Scheme::SharedCaps);
     let mut alice = world.client(ALICE);
-    assert!(matches!(
-        alice.rmdir("/home/alice/private").unwrap_err(),
-        CoreError::NotEmpty(_)
-    ));
+    assert!(matches!(alice.rmdir("/home/alice/private").unwrap_err(), CoreError::NotEmpty(_)));
     alice.unlink("/home/alice/private/key").unwrap();
     alice.rmdir("/home/alice/private").unwrap();
     assert!(alice.getattr("/home/alice/private").is_err());
@@ -317,15 +305,9 @@ fn perm_of_matches_local_model() {
     // The client's permission view must agree with the local-fs reference.
     let fs = common::sample_tree();
     let world = World::from_fs(fs.clone(), CryptoPolicy::Sharoes, Scheme::SharedCaps, 7);
-    let mut clients: Vec<_> = [ALICE, BOB, CAROL]
-        .into_iter()
-        .map(|u| (u, world.client(u)))
-        .collect();
-    for path in [
-        "/home/alice/notes.txt",
-        "/shared/board.txt",
-        "/home/alice/dropbox/drop",
-    ] {
+    let mut clients: Vec<_> =
+        [ALICE, BOB, CAROL].into_iter().map(|u| (u, world.client(u))).collect();
+    for path in ["/home/alice/notes.txt", "/shared/board.txt", "/home/alice/dropbox/drop"] {
         for (uid, client) in clients.iter_mut() {
             let local = fs.read(*uid, path);
             let remote = client.read(path);

@@ -114,6 +114,11 @@ impl World {
 
     /// Mounts a client with a custom config (e.g. a small cache).
     pub fn client_with_config(&self, uid: Uid, config: ClientConfig) -> SharoesClient {
+        // Identically-seeded sessions allocate identical inodes, so each
+        // mount folds in a process-wide counter to stay collision-free when
+        // a test mounts the same uid twice.
+        static MOUNTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let mount = MOUNTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let transport = InMemoryTransport::new(Arc::clone(&self.server) as _);
         let identity = self.ring.identity(uid).expect("identity");
         let mut client = SharoesClient::with_rng(
@@ -123,7 +128,9 @@ impl World {
             Arc::clone(&self.pki),
             identity,
             Arc::clone(&self.pool),
-            HmacDrbg::from_seed_u64(0xBEEF ^ uid.0 as u64),
+            HmacDrbg::from_seed_u64(
+                0xBEEF ^ uid.0 as u64 ^ mount.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
         );
         client.mount().expect("mount");
         client

@@ -1,90 +1,65 @@
 //! Property tests for core data structures: metadata bodies, directory
 //! tables, CAP invariants, and hostile-bytes safety.
 
-use proptest::prelude::*;
 use sharoes_core::cap::{dir_cap, downgrade, file_cap, TableAccess};
-use sharoes_core::scheme::{Layout, ObjectAttrs};
-use sharoes_core::{CryptoPolicy, Keyring, Scheme};
-use sharoes_fs::{Gid, Mode, Uid, UserDb};
-use std::sync::OnceLock;
 use sharoes_core::dirtable::{ChildRef, DirTable};
 use sharoes_core::metadata::{AclEntryWire, MetadataBody, SealedObject};
-use sharoes_core::scheme::SplitEntry;
+use sharoes_core::scheme::{Layout, ObjectAttrs, SplitEntry};
 use sharoes_core::superblock::Superblock;
-use sharoes_crypto::{HmacDrbg, SymKey};
-use sharoes_fs::{NodeKind, Perm};
+use sharoes_core::{CryptoPolicy, Keyring, Scheme};
+use sharoes_crypto::SymKey;
+use sharoes_fs::{Gid, Mode, NodeKind, Perm, Uid, UserDb};
 use sharoes_net::{WireRead, WireWrite};
+use sharoes_testkit::prelude::*;
+use std::sync::OnceLock;
 
-fn arb_perm() -> impl Strategy<Value = Perm> {
-    (any::<bool>(), any::<bool>(), any::<bool>())
-        .prop_map(|(read, write, exec)| Perm { read, write, exec })
+fn perms() -> Gen<Perm> {
+    Gen::from_fn(|t| Ok(Perm { read: t.bool(), write: t.bool(), exec: t.bool() }))
 }
 
-fn arb_body() -> impl Strategy<Value = MetadataBody> {
-    (
-        any::<u64>(),
-        any::<bool>(),
-        any::<u32>(),
-        any::<u32>(),
-        0u32..0o1000,
-        any::<u64>(),
-        any::<u32>(),
-        any::<u64>(),
-        any::<bool>(),
-        prop::collection::vec((any::<bool>(), any::<u32>(), 0u8..8), 0..4),
-        prop::option::of(any::<[u8; 16]>()),
-    )
-        .prop_map(
-            |(inode, is_dir, owner, group, mode, size, nblocks, generation, rekey, acl, dek)| {
-                let mut body = MetadataBody::bare(
-                    inode,
-                    if is_dir { NodeKind::Dir } else { NodeKind::File },
-                    owner,
-                    group,
-                    mode,
-                );
-                body.size = size;
-                body.nblocks = nblocks;
-                body.generation = generation;
-                body.rekey_pending = rekey;
-                body.acl = acl
-                    .into_iter()
-                    .map(|(is_group, id, bits)| AclEntryWire { is_group, id, bits })
-                    .collect();
-                body.dek = dek.map(SymKey);
-                body
-            },
-        )
+fn bodies() -> Gen<MetadataBody> {
+    Gen::from_fn(|t| {
+        let mut body = MetadataBody::bare(
+            t.u64(),
+            if t.bool() { NodeKind::Dir } else { NodeKind::File },
+            t.u32(),
+            t.u32(),
+            t.u64_in(0, 0o1000) as u32,
+        );
+        body.size = t.u64();
+        body.nblocks = t.u32();
+        body.generation = t.u64();
+        body.rekey_pending = t.bool();
+        let n_acl = t.usize_in(0, 4);
+        body.acl = (0..n_acl)
+            .map(|_| AclEntryWire { is_group: t.bool(), id: t.u32(), bits: t.u64_in(0, 8) as u8 })
+            .collect();
+        body.dek = gen::option_of(gen::byte_arrays::<16>()).sample(t)?.map(SymKey);
+        Ok(body)
+    })
 }
 
-fn arb_child() -> impl Strategy<Value = ChildRef> {
-    (
-        any::<u64>(),
-        any::<bool>(),
-        any::<[u8; 16]>(),
-        prop::option::of(any::<[u8; 16]>()),
-        any::<bool>(),
-    )
-        .prop_map(|(inode, is_dir, view, mek, split)| ChildRef {
-            inode,
-            kind: if is_dir { NodeKind::Dir } else { NodeKind::File },
-            view,
-            mek: mek.map(SymKey),
+fn children() -> Gen<ChildRef> {
+    Gen::from_fn(|t| {
+        Ok(ChildRef {
+            inode: t.u64(),
+            kind: if t.bool() { NodeKind::Dir } else { NodeKind::File },
+            view: gen::byte_arrays::<16>().sample(t)?,
+            mek: gen::option_of(gen::byte_arrays::<16>()).sample(t)?.map(SymKey),
             mvk: None,
-            split,
+            split: t.bool(),
         })
+    })
 }
 
-fn arb_entries() -> impl Strategy<Value = Vec<(String, ChildRef)>> {
-    prop::collection::btree_map("[a-zA-Z0-9_.-]{1,24}", arb_child(), 0..12)
-        .prop_map(|m| m.into_iter().collect())
+fn entry_lists() -> Gen<Vec<(String, ChildRef)>> {
+    gen::entry_maps(gen::string_of(gen::NAMEY, 1..25), children(), 0..12)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+prop! {
+    #![cases(128)]
 
-    #[test]
-    fn metadata_body_roundtrips(body in arb_body()) {
+    fn metadata_body_roundtrips(body in bodies()) {
         let bytes = body.to_wire();
         let decoded = MetadataBody::from_wire(&bytes).unwrap();
         prop_assert_eq!(decoded.inode, body.inode);
@@ -99,8 +74,11 @@ proptest! {
         prop_assert_eq!(decoded.dek, body.dek);
     }
 
-    #[test]
-    fn dirtable_views_roundtrip(entries in arb_entries(), tek in any::<[u8; 16]>(), seed in any::<u64>()) {
+    fn dirtable_views_roundtrip(
+        entries in entry_lists(),
+        tek in gen::byte_arrays::<16>(),
+        seed in gen::u64s(),
+    ) {
         let tek = SymKey(tek);
         let mut rng = HmacDrbg::from_seed_u64(seed);
         for table in [
@@ -113,8 +91,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn full_view_lookup_finds_every_entry(entries in arb_entries()) {
+    fn full_view_lookup_finds_every_entry(entries in entry_lists()) {
         let table = DirTable::full(&entries);
         for (name, child) in &entries {
             let found = table.lookup(name, None).unwrap().unwrap();
@@ -123,12 +100,11 @@ proptest! {
         prop_assert_eq!(table.list().len(), entries.len());
     }
 
-    #[test]
     fn exec_only_lookup_by_exact_name_only(
-        entries in arb_entries(),
-        tek in any::<[u8; 16]>(),
-        probe in "[a-zA-Z0-9_.-]{1,24}",
-        seed in any::<u64>(),
+        entries in entry_lists(),
+        tek in gen::byte_arrays::<16>(),
+        probe in gen::string_of(gen::NAMEY, 1..25),
+        seed in gen::u64s(),
     ) {
         let tek = SymKey(tek);
         let mut rng = HmacDrbg::from_seed_u64(seed);
@@ -155,8 +131,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn cap_tables_are_total_and_consistent(perm in arb_perm()) {
+    fn cap_tables_are_total_and_consistent(perm in perms()) {
         // Every permission either has a CAP or downgrades to one that does.
         for is_dir in [true, false] {
             let direct_ok = if is_dir { dir_cap(perm).is_ok() } else { file_cap(perm).is_ok() };
@@ -172,8 +147,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn dir_cap_monotonicity(perm in arb_perm()) {
+    fn dir_cap_monotonicity(perm in perms()) {
         // If a permission grants the signing key, it must also grant the
         // table key (writers re-encrypt), and rwx must be Full.
         if let Ok(cap) = dir_cap(perm) {
@@ -187,26 +161,29 @@ proptest! {
         }
     }
 
-    #[test]
-    fn sealed_object_roundtrips(ct in prop::collection::vec(any::<u8>(), 0..512), sig in prop::option::of(prop::collection::vec(any::<u8>(), 0..128))) {
+    fn sealed_object_roundtrips(
+        ct in gen::vecs(gen::u8s(), 0..512),
+        sig in gen::option_of(gen::vecs(gen::u8s(), 0..128)),
+    ) {
         let obj = SealedObject { ciphertext: ct, signature: sig };
         prop_assert_eq!(SealedObject::from_wire(&obj.to_wire()).unwrap(), obj);
     }
 
-    #[test]
-    fn split_entry_roundtrips(view in any::<[u8; 16]>(), mek in prop::option::of(any::<[u8; 16]>())) {
+    fn split_entry_roundtrips(
+        view in gen::byte_arrays::<16>(),
+        mek in gen::option_of(gen::byte_arrays::<16>()),
+    ) {
         let entry = SplitEntry { view, mek: mek.map(SymKey), mvk: None };
         prop_assert_eq!(SplitEntry::from_wire(&entry.to_wire()).unwrap(), entry);
     }
 
-    #[test]
     fn continuation_covers_every_population_member(
-        parent_owner in 0u32..6,
-        parent_group in 1u32..4,
-        parent_mode in 0u32..0o1000,
-        child_owner in 0u32..6,
-        child_group in 1u32..4,
-        class_idx in 0usize..3,
+        parent_owner in gen::in_range(0u32..6),
+        parent_group in gen::in_range(1u32..4),
+        parent_mode in gen::in_range(0u32..0o1000),
+        child_owner in gen::in_range(0u32..6),
+        child_group in gen::in_range(1u32..4),
+        class_idx in gen::in_range(0usize..3),
     ) {
         // THE Scheme-2 routing invariant: for any parent class, every user
         // in its population either follows the row continuation or appears
@@ -237,7 +214,7 @@ proptest! {
         };
         let parent = ObjectAttrs::new(
             10,
-            sharoes_fs::NodeKind::Dir,
+            NodeKind::Dir,
             Uid(parent_owner),
             Gid(parent_group),
             Mode::from_octal(parent_mode & 0o777),
@@ -272,8 +249,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn hostile_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+    fn hostile_bytes_never_panic(bytes in gen::vecs(gen::u8s(), 0..512)) {
         let _ = MetadataBody::from_wire(&bytes);
         let _ = DirTable::from_wire(&bytes);
         let _ = SealedObject::from_wire(&bytes);
@@ -281,13 +257,12 @@ proptest! {
         let _ = Superblock::from_wire(&bytes);
     }
 
-    #[test]
     fn superblock_roundtrips(
-        root_inode in any::<u64>(),
-        root_view in any::<[u8; 16]>(),
-        mek in prop::option::of(any::<[u8; 16]>()),
-        block_size in 1u32..1_000_000,
-        scheme_tag in 0u8..2,
+        root_inode in gen::u64s(),
+        root_view in gen::byte_arrays::<16>(),
+        mek in gen::option_of(gen::byte_arrays::<16>()),
+        block_size in gen::in_range(1u32..1_000_000),
+        scheme_tag in gen::in_range(0u8..2),
     ) {
         let sb = Superblock {
             root_inode,

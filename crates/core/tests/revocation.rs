@@ -94,11 +94,7 @@ fn acl_grant_gives_named_user_access() {
         alice.set_acl("/home/alice/notes.txt", acl).unwrap();
 
         let mut carol2 = world.client(CAROL);
-        assert_eq!(
-            carol2.read("/home/alice/notes.txt").unwrap(),
-            b"alice's notes",
-            "{scheme:?}"
-        );
+        assert_eq!(carol2.read("/home/alice/notes.txt").unwrap(), b"alice's notes", "{scheme:?}");
         // bob still locked out.
         let mut bob = world.client(BOB);
         assert!(bob.read("/home/alice/notes.txt").is_err());

@@ -51,10 +51,7 @@ fn ssp_stores_no_plaintext_under_sharoes() {
     // Directory names are likewise invisible in the parent's stored bytes.
     let parent_inode = alice.getattr("/home/alice").unwrap().inode;
     for blob in fetch_all_known(&world, parent_inode) {
-        assert!(
-            !blob.windows(9).any(|w| w == b"notes.txt"),
-            "entry name visible at the SSP"
-        );
+        assert!(!blob.windows(9).any(|w| w == b"notes.txt"), "entry name visible at the SSP");
     }
 }
 
@@ -67,11 +64,7 @@ fn no_enc_baseline_leaks_everything_by_design() {
     // Per-user layout for baselines.
     let view = sharoes_core::ViewId::User(ALICE.0).tag(inode);
     let dview = sharoes_core::ids::data_view(inode, 0);
-    let block = world
-        .server
-        .store()
-        .get(&ObjectKey::data(inode, dview, 0))
-        .expect("block exists");
+    let block = world.server.store().get(&ObjectKey::data(inode, dview, 0)).expect("block exists");
     assert!(block.windows(13).any(|w| w == b"alice's notes"));
     let _ = view;
 }
@@ -107,10 +100,7 @@ fn tampered_metadata_detected() {
 
     let mut bob = world.client(BOB);
     let err = bob.getattr("/home/alice/notes.txt").unwrap_err();
-    assert!(
-        matches!(err, CoreError::TamperDetected(_) | CoreError::Corrupt(_)),
-        "{err}"
-    );
+    assert!(matches!(err, CoreError::TamperDetected(_) | CoreError::Corrupt(_)), "{err}");
 }
 
 #[test]
@@ -148,7 +138,8 @@ fn reader_forging_write_is_detected() {
     // the strongest reader attack: replace ciphertext, keep the old
     // signature envelope.
     let blob = world.server.store().get(&key).unwrap();
-    let mut sealed = <sharoes_core::SealedObject as sharoes_net::WireRead>::from_wire(&blob).unwrap();
+    let mut sealed =
+        <sharoes_core::SealedObject as sharoes_net::WireRead>::from_wire(&blob).unwrap();
     // Forge: flip ciphertext bits (the reader could also produce a fully
     // valid AES-CTR encryption of chosen text; either way the signature
     // cannot match).
@@ -156,16 +147,10 @@ fn reader_forging_write_is_detected() {
         let mid = sealed.ciphertext.len() / 2;
         sealed.ciphertext[mid] ^= 0xAA;
     }
-    world
-        .server
-        .store()
-        .put(key, sharoes_net::WireWrite::to_wire(&sealed));
+    world.server.store().put(key, sharoes_net::WireWrite::to_wire(&sealed));
 
     let mut bob = world.client(BOB);
-    assert!(matches!(
-        bob.read("/home/alice/notes.txt").unwrap_err(),
-        CoreError::TamperDetected(_)
-    ));
+    assert!(matches!(bob.read("/home/alice/notes.txt").unwrap_err(), CoreError::TamperDetected(_)));
 }
 
 #[test]
@@ -188,10 +173,7 @@ fn block_reordering_within_a_file_detected() {
     world.server.store().put(k1, b0);
 
     let mut bob = world.client(BOB);
-    assert!(matches!(
-        bob.read("/home/alice/big.bin").unwrap_err(),
-        CoreError::TamperDetected(_)
-    ));
+    assert!(matches!(bob.read("/home/alice/big.bin").unwrap_err(), CoreError::TamperDetected(_)));
 }
 
 #[test]
@@ -209,10 +191,7 @@ fn replayed_manifest_with_fresh_blocks_detected() {
     world.server.store().put(ObjectKey::data(inode, dview, 0), old_block);
 
     let mut bob = world.client(BOB);
-    assert!(matches!(
-        bob.read("/home/alice/notes.txt").unwrap_err(),
-        CoreError::TamperDetected(_)
-    ));
+    assert!(matches!(bob.read("/home/alice/notes.txt").unwrap_err(), CoreError::TamperDetected(_)));
 }
 
 #[test]
@@ -231,18 +210,13 @@ fn metadata_rollback_detected_within_session() {
     let stale = world.server.store().get(&key).unwrap();
 
     // Owner rewrites metadata (version bumps) and re-reads it (records v+1).
-    alice
-        .chmod("/home/alice/notes.txt", sharoes_fs::Mode::from_octal(0o640))
-        .unwrap();
+    alice.chmod("/home/alice/notes.txt", sharoes_fs::Mode::from_octal(0o640)).unwrap();
     alice.getattr("/home/alice/notes.txt").unwrap();
 
     // SSP replays the stale replica.
     world.server.store().put(key, stale);
     let err = alice.getattr("/home/alice/notes.txt").unwrap_err();
-    assert!(
-        matches!(&err, CoreError::TamperDetected(msg) if msg.contains("rolled back")),
-        "{err}"
-    );
+    assert!(matches!(&err, CoreError::TamperDetected(msg) if msg.contains("rolled back")), "{err}");
 }
 
 #[test]
@@ -266,10 +240,7 @@ fn manifest_rollback_detected_within_session() {
     world.server.store().put(mkey, stale_manifest);
     world.server.store().put(ObjectKey::data(inode, dview, 0), stale_block);
     let err = alice.read("/home/alice/notes.txt").unwrap_err();
-    assert!(
-        matches!(&err, CoreError::TamperDetected(msg) if msg.contains("rolled back")),
-        "{err}"
-    );
+    assert!(matches!(&err, CoreError::TamperDetected(msg) if msg.contains("rolled back")), "{err}");
 
     // A FRESH session has no ledger and accepts the replay — exactly the
     // residual gap the paper defers to SUNDR-style fork consistency.

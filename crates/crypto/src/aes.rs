@@ -31,11 +31,7 @@ fn tables() -> &'static Tables {
         let mut sbox = [0u8; 256];
         let mut inv_sbox = [0u8; 256];
         for b in 0..256usize {
-            let inv = if b == 0 {
-                0
-            } else {
-                alog[(255 - log[b] as usize) % 255]
-            };
+            let inv = if b == 0 { 0 } else { alog[(255 - log[b] as usize) % 255] };
             let s = inv
                 ^ inv.rotate_left(1)
                 ^ inv.rotate_left(2)

@@ -188,11 +188,8 @@ impl BigUint {
 
     /// `self + other`.
     pub fn add(&self, other: &Self) -> Self {
-        let (a, b) = if self.limbs.len() >= other.limbs.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (a, b) =
+            if self.limbs.len() >= other.limbs.len() { (self, other) } else { (other, self) };
         let mut limbs = Vec::with_capacity(a.limbs.len() + 1);
         let mut carry = 0u64;
         for i in 0..a.limbs.len() {
@@ -233,8 +230,7 @@ impl BigUint {
 
     /// `self - other`, panicking on underflow.
     pub fn sub(&self, other: &Self) -> Self {
-        self.checked_sub(other)
-            .expect("BigUint::sub underflow: minuend smaller than subtrahend")
+        self.checked_sub(other).expect("BigUint::sub underflow: minuend smaller than subtrahend")
     }
 
     /// `self * other`.
@@ -282,9 +278,7 @@ impl BigUint {
         let z1 = a0.add(&a1).mul(&b0.add(&b1)).sub(&z0).sub(&z2);
 
         // result = z2 << (2*half*64) + z1 << (half*64) + z0
-        z2.shl_limbs(2 * half)
-            .add(&z1.shl_limbs(half))
-            .add(&z0)
+        z2.shl_limbs(2 * half).add(&z1.shl_limbs(half)).add(&z0)
     }
 
     fn split_at(&self, limbs: usize) -> (Self, Self) {
@@ -411,8 +405,7 @@ impl BigUint {
             let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = numer / v_top as u128;
             let mut rhat = numer % v_top as u128;
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_top as u128;
@@ -596,11 +589,7 @@ impl BigUint {
         }
         let (mag, neg) = t0;
         let mag = mag.rem(modulus);
-        Some(if neg && !mag.is_zero() {
-            modulus.sub(&mag)
-        } else {
-            mag
-        })
+        Some(if neg && !mag.is_zero() { modulus.sub(&mag) } else { mag })
     }
 
     /// Uniform random value in `[0, bound)` using the supplied generator.

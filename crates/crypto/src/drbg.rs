@@ -20,13 +20,42 @@ pub trait RandomSource {
     }
 }
 
-/// OS-backed randomness (thread-local generator from the `rand` crate).
-pub struct SystemRandom(rand::rngs::ThreadRng);
+/// OS-backed randomness.
+///
+/// Reads `/dev/urandom` where available; on platforms without it, falls back
+/// to an [`HmacDrbg`] seeded from process-unique entropy (clock, pid, thread
+/// id, stack address). The fallback is not suitable for production key
+/// material, but every production path can inject its own [`RandomSource`].
+pub struct SystemRandom(SystemSource);
+
+enum SystemSource {
+    Dev(std::fs::File),
+    Fallback(HmacDrbg),
+}
 
 impl SystemRandom {
-    /// Creates a new handle to the thread-local generator.
+    /// Opens a handle to the OS generator (or the seeded fallback).
     pub fn new() -> Self {
-        SystemRandom(rand::rng())
+        match std::fs::File::open("/dev/urandom") {
+            Ok(f) => SystemRandom(SystemSource::Dev(f)),
+            Err(_) => SystemRandom(SystemSource::Fallback(Self::fallback_drbg())),
+        }
+    }
+
+    fn fallback_drbg() -> HmacDrbg {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let mut seed = Vec::with_capacity(64);
+        let now =
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap_or_default();
+        seed.extend_from_slice(&now.as_nanos().to_be_bytes());
+        seed.extend_from_slice(&std::process::id().to_be_bytes());
+        let stack_probe = 0u8;
+        seed.extend_from_slice(&(&stack_probe as *const u8 as usize).to_be_bytes());
+        seed.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_be_bytes());
+        let tid = std::thread::current().id();
+        seed.extend_from_slice(format!("{tid:?}").as_bytes());
+        HmacDrbg::new(&seed)
     }
 }
 
@@ -38,7 +67,19 @@ impl Default for SystemRandom {
 
 impl RandomSource for SystemRandom {
     fn fill_bytes(&mut self, buf: &mut [u8]) {
-        rand::Rng::fill_bytes(&mut self.0, buf);
+        match &mut self.0 {
+            SystemSource::Dev(f) => {
+                use std::io::Read;
+                if f.read_exact(buf).is_err() {
+                    // A torn read from /dev/urandom should be impossible;
+                    // degrade to the fallback rather than panic.
+                    let mut drbg = Self::fallback_drbg();
+                    drbg.fill_bytes(buf);
+                    self.0 = SystemSource::Fallback(drbg);
+                }
+            }
+            SystemSource::Fallback(drbg) => drbg.fill_bytes(buf),
+        }
     }
 }
 
@@ -153,10 +194,12 @@ mod tests {
         let mut r = SystemRandom::new();
         let mut buf = [0u8; 64];
         r.fill_bytes(&mut buf);
-        assert!(buf.iter().any(|&b| b != 0) || {
-            // Astronomically unlikely; retry once to avoid a flaky test.
-            r.fill_bytes(&mut buf);
-            buf.iter().any(|&b| b != 0)
-        });
+        assert!(
+            buf.iter().any(|&b| b != 0) || {
+                // Astronomically unlikely; retry once to avoid a flaky test.
+                r.fill_bytes(&mut buf);
+                buf.iter().any(|&b| b != 0)
+            }
+        );
     }
 }

@@ -45,9 +45,6 @@ mod tests {
             "invalid ciphertext: too short"
         );
         assert_eq!(CryptoError::InvalidPadding.to_string(), "invalid padding");
-        assert_eq!(
-            CryptoError::SignatureInvalid.to_string(),
-            "signature verification failed"
-        );
+        assert_eq!(CryptoError::SignatureInvalid.to_string(), "signature verification failed");
     }
 }

@@ -196,7 +196,9 @@ impl EsignPrivateKey {
             };
             let t = w.rem(&self.p).mul_mod(&inv, &self.p);
             let s = r.add(&t.mul(&self.pq)).rem(&pk.n);
-            debug_assert!(pk.verify(msg, &s.to_bytes_be_padded(pk.signature_len()).unwrap()).is_ok());
+            debug_assert!(pk
+                .verify(msg, &s.to_bytes_be_padded(pk.signature_len()).unwrap())
+                .is_ok());
             return s
                 .to_bytes_be_padded(pk.signature_len())
                 .expect("s < n fits in signature length");
@@ -225,12 +227,7 @@ impl EsignPrivateKey {
         let pq = p.mul(&q);
         let n = p.square().mul(&q);
         let (shift, hash_bits) = window_params(&n, p.bit_len());
-        Ok(EsignPrivateKey {
-            public: EsignPublicKey { n, e, shift, hash_bits },
-            p,
-            q,
-            pq,
-        })
+        Ok(EsignPrivateKey { public: EsignPublicKey { n, e, shift, hash_bits }, p, q, pq })
     }
 }
 
@@ -264,10 +261,7 @@ mod tests {
         let key = test_key();
         let mut rng = HmacDrbg::from_seed_u64(2);
         let sig = key.sign(&mut rng, b"original");
-        assert_eq!(
-            key.public_key().verify(b"tampered", &sig),
-            Err(CryptoError::SignatureInvalid)
-        );
+        assert_eq!(key.public_key().verify(b"tampered", &sig), Err(CryptoError::SignatureInvalid));
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl Md5 {
             d = c;
             c = b;
             b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
+                a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]).rotate_left(S[i]),
             );
             a = tmp;
         }
@@ -152,14 +149,9 @@ mod tests {
         assert_eq!(hex(&Md5::digest(b"")), "d41d8cd98f00b204e9800998ecf8427e");
         assert_eq!(hex(&Md5::digest(b"a")), "0cc175b9c0f1b6a831c399e269772661");
         assert_eq!(hex(&Md5::digest(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex(&Md5::digest(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
         assert_eq!(
-            hex(&Md5::digest(b"message digest")),
-            "f96b697d7cb7938d525a2f31aaf161d0"
-        );
-        assert_eq!(
-            hex(&Md5::digest(
-                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
-            )),
+            hex(&Md5::digest(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
             "d174ab98d277d9f5a5611c2c9f419d9f"
         );
     }

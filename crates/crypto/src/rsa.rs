@@ -136,10 +136,7 @@ impl RsaPublicKey {
         if s.cmp_ref(&self.n) != std::cmp::Ordering::Less {
             return Err(CryptoError::SignatureInvalid);
         }
-        let em = self
-            .raw(&s)
-            .to_bytes_be_padded(self.k)
-            .ok_or(CryptoError::SignatureInvalid)?;
+        let em = self.raw(&s).to_bytes_be_padded(self.k).ok_or(CryptoError::SignatureInvalid)?;
         let expected = signature_em(&self.n, msg);
         if crate::hmac::ct_eq(&em, &expected) {
             Ok(())
@@ -217,15 +214,7 @@ impl RsaPrivateKey {
             };
             let (p, q) = (p, q);
             let k = n.bit_len().div_ceil(8);
-            return Ok(RsaPrivateKey {
-                public: RsaPublicKey { n, e, k },
-                d,
-                p,
-                q,
-                dp,
-                dq,
-                qinv,
-            });
+            return Ok(RsaPrivateKey { public: RsaPublicKey { n, e, k }, d, p, q, dp, dq, qinv });
         }
         Err(CryptoError::KeyGeneration("RSA keygen retries exhausted"))
     }
@@ -262,10 +251,7 @@ impl RsaPrivateKey {
         if em[0] != 0x00 || em[1] != 0x02 {
             return Err(CryptoError::InvalidPadding);
         }
-        let sep = em[2..]
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or(CryptoError::InvalidPadding)?;
+        let sep = em[2..].iter().position(|&b| b == 0).ok_or(CryptoError::InvalidPadding)?;
         if sep < 8 {
             return Err(CryptoError::InvalidPadding); // padding too short
         }
@@ -289,9 +275,7 @@ impl RsaPrivateKey {
     pub fn sign(&self, msg: &[u8]) -> Vec<u8> {
         let em = signature_em(&self.public.n, msg);
         let m = BigUint::from_bytes_be(&em);
-        self.raw(&m)
-            .to_bytes_be_padded(self.public.k)
-            .expect("signature fits in k bytes")
+        self.raw(&m).to_bytes_be_padded(self.public.k).expect("signature fits in k bytes")
     }
 
     /// Serializes the private key (all CRT components).
@@ -324,15 +308,7 @@ impl RsaPrivateKey {
             return Err(CryptoError::MalformedKey("RSA n != p*q"));
         }
         let k = n.bit_len().div_ceil(8);
-        Ok(RsaPrivateKey {
-            public: RsaPublicKey { n, e, k },
-            d,
-            p,
-            q,
-            dp,
-            dq,
-            qinv,
-        })
+        Ok(RsaPrivateKey { public: RsaPublicKey { n, e, k }, d, p, q, dp, dq, qinv })
     }
 }
 
@@ -367,10 +343,7 @@ mod tests {
         let key = test_key();
         let mut rng = HmacDrbg::from_seed_u64(2);
         let too_long = vec![1u8; key.public_key().max_plaintext_len() + 1];
-        assert_eq!(
-            key.public_key().encrypt(&mut rng, &too_long),
-            Err(CryptoError::MessageTooLong)
-        );
+        assert_eq!(key.public_key().encrypt(&mut rng, &too_long), Err(CryptoError::MessageTooLong));
     }
 
     #[test]

@@ -1,48 +1,23 @@
 //! Property tests for RSA and ESIGN: round-trip laws, cross-key rejection,
 //! and malleability resistance, with small keys and few cases (prime
-//! generation is expensive).
+//! generation is expensive). Keys come from the shared fixed-seed pools in
+//! `sharoes_testkit::keys` so keygen cost is paid once per process.
 
-use proptest::prelude::*;
-use sharoes_crypto::{EsignPrivateKey, HmacDrbg, RsaPrivateKey};
-use std::sync::OnceLock;
+use sharoes_testkit::keys::{esign768, rsa512};
+use sharoes_testkit::prelude::*;
 
-/// A few fixed keys shared across cases (keygen dominates otherwise).
-fn rsa_keys() -> &'static [RsaPrivateKey; 2] {
-    static KEYS: OnceLock<[RsaPrivateKey; 2]> = OnceLock::new();
-    KEYS.get_or_init(|| {
-        let mut rng = HmacDrbg::from_seed_u64(0xA11);
-        [
-            RsaPrivateKey::generate(512, &mut rng).unwrap(),
-            RsaPrivateKey::generate(512, &mut rng).unwrap(),
-        ]
-    })
-}
+prop! {
+    #![cases(48)]
 
-fn esign_keys() -> &'static [EsignPrivateKey; 2] {
-    static KEYS: OnceLock<[EsignPrivateKey; 2]> = OnceLock::new();
-    KEYS.get_or_init(|| {
-        let mut rng = HmacDrbg::from_seed_u64(0xE5);
-        [
-            EsignPrivateKey::generate(768, &mut rng).unwrap(),
-            EsignPrivateKey::generate(768, &mut rng).unwrap(),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn rsa_encrypt_decrypt_roundtrip(msg in prop::collection::vec(any::<u8>(), 0..53), seed in any::<u64>()) {
-        let key = &rsa_keys()[0];
+    fn rsa_encrypt_decrypt_roundtrip(msg in gen::vecs(gen::u8s(), 0..53), seed in gen::u64s()) {
+        let key = &rsa512()[0];
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let ct = key.public_key().encrypt(&mut rng, &msg).unwrap();
         prop_assert_eq!(key.decrypt(&ct).unwrap(), msg);
     }
 
-    #[test]
-    fn rsa_wrong_key_fails_or_garbles(msg in prop::collection::vec(any::<u8>(), 1..53), seed in any::<u64>()) {
-        let [k1, k2] = rsa_keys();
+    fn rsa_wrong_key_fails_or_garbles(msg in gen::vecs(gen::u8s(), 1..53), seed in gen::u64s()) {
+        let [k1, k2] = rsa512();
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let ct = k1.public_key().encrypt(&mut rng, &msg).unwrap();
         match k2.decrypt(&ct) {
@@ -51,17 +26,15 @@ proptest! {
         }
     }
 
-    #[test]
-    fn rsa_blob_roundtrip(blob in prop::collection::vec(any::<u8>(), 0..400), seed in any::<u64>()) {
-        let key = &rsa_keys()[0];
+    fn rsa_blob_roundtrip(blob in gen::vecs(gen::u8s(), 0..400), seed in gen::u64s()) {
+        let key = &rsa512()[0];
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let ct = key.public_key().encrypt_blob(&mut rng, &blob).unwrap();
         prop_assert_eq!(key.decrypt_blob(&ct).unwrap(), blob);
     }
 
-    #[test]
-    fn rsa_sign_verify_laws(msg in prop::collection::vec(any::<u8>(), 0..256)) {
-        let [k1, k2] = rsa_keys();
+    fn rsa_sign_verify_laws(msg in gen::vecs(gen::u8s(), 0..256)) {
+        let [k1, k2] = rsa512();
         let sig = k1.sign(&msg);
         k1.public_key().verify(&msg, &sig).unwrap();
         // Other key rejects.
@@ -72,18 +45,20 @@ proptest! {
         prop_assert!(k1.public_key().verify(&other, &sig).is_err());
     }
 
-    #[test]
-    fn rsa_signature_bitflip_rejected(msg in prop::collection::vec(any::<u8>(), 0..64), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
-        let key = &rsa_keys()[0];
+    fn rsa_signature_bitflip_rejected(
+        msg in gen::vecs(gen::u8s(), 0..64),
+        pos in gen::indices(),
+        bit in gen::in_range(0u8..8),
+    ) {
+        let key = &rsa512()[0];
         let mut sig = key.sign(&msg);
         let i = pos.index(sig.len());
         sig[i] ^= 1 << bit;
         prop_assert!(key.public_key().verify(&msg, &sig).is_err());
     }
 
-    #[test]
-    fn esign_sign_verify_laws(msg in prop::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
-        let [k1, k2] = esign_keys();
+    fn esign_sign_verify_laws(msg in gen::vecs(gen::u8s(), 0..256), seed in gen::u64s()) {
+        let [k1, k2] = esign768();
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let sig = k1.sign(&mut rng, &msg);
         k1.public_key().verify(&msg, &sig).unwrap();
@@ -93,9 +68,13 @@ proptest! {
         prop_assert!(k1.public_key().verify(&other, &sig).is_err());
     }
 
-    #[test]
-    fn esign_signature_bitflip_rejected(msg in prop::collection::vec(any::<u8>(), 0..64), pos in any::<prop::sample::Index>(), bit in 0u8..8, seed in any::<u64>()) {
-        let key = &esign_keys()[0];
+    fn esign_signature_bitflip_rejected(
+        msg in gen::vecs(gen::u8s(), 0..64),
+        pos in gen::indices(),
+        bit in gen::in_range(0u8..8),
+        seed in gen::u64s(),
+    ) {
+        let key = &esign768()[0];
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let mut sig = key.sign(&mut rng, &msg);
         let i = pos.index(sig.len());

@@ -4,49 +4,43 @@
 //! inverse law) are what RSA/ESIGN correctness ultimately rests on, so we
 //! hammer them with random multi-limb operands.
 
-use proptest::prelude::*;
 use sharoes_crypto::BigUint;
+use sharoes_testkit::prelude::*;
 
-fn biguint_strategy(max_limbs: usize) -> impl Strategy<Value = BigUint> {
-    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+fn biguints(max_limbs: usize) -> Gen<BigUint> {
+    gen::vecs(gen::u64s(), 0..max_limbs + 1).map(BigUint::from_limbs)
 }
 
-fn nonzero_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
-    biguint_strategy(max_limbs).prop_filter("nonzero", |v| !v.is_zero())
+fn nonzero_biguints(max_limbs: usize) -> Gen<BigUint> {
+    biguints(max_limbs).filter("nonzero", |v| !v.is_zero())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+prop! {
+    #![cases(256)]
 
-    #[test]
-    fn add_is_commutative(a in biguint_strategy(8), b in biguint_strategy(8)) {
+    fn add_is_commutative(a in biguints(8), b in biguints(8)) {
         prop_assert_eq!(a.add(&b), b.add(&a));
     }
 
-    #[test]
-    fn add_is_associative(a in biguint_strategy(6), b in biguint_strategy(6), c in biguint_strategy(6)) {
+    fn add_is_associative(a in biguints(6), b in biguints(6), c in biguints(6)) {
         prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
     }
 
-    #[test]
-    fn add_then_sub_roundtrips(a in biguint_strategy(8), b in biguint_strategy(8)) {
+    fn add_then_sub_roundtrips(a in biguints(8), b in biguints(8)) {
         prop_assert_eq!(a.add(&b).sub(&b), a);
     }
 
-    #[test]
-    fn mul_is_commutative(a in biguint_strategy(8), b in biguint_strategy(8)) {
+    fn mul_is_commutative(a in biguints(8), b in biguints(8)) {
         prop_assert_eq!(a.mul(&b), b.mul(&a));
     }
 
-    #[test]
-    fn mul_distributes_over_add(a in biguint_strategy(5), b in biguint_strategy(5), c in biguint_strategy(5)) {
+    fn mul_distributes_over_add(a in biguints(5), b in biguints(5), c in biguints(5)) {
         prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
     }
 
-    #[test]
     fn karatsuba_agrees_with_schoolbook(
-        a in prop::collection::vec(any::<u64>(), 24..40).prop_map(BigUint::from_limbs),
-        b in prop::collection::vec(any::<u64>(), 24..40).prop_map(BigUint::from_limbs),
+        a in gen::vecs(gen::u64s(), 24..40).map(BigUint::from_limbs),
+        b in gen::vecs(gen::u64s(), 24..40).map(BigUint::from_limbs),
     ) {
         // Karatsuba path triggers at >= 24 limbs per operand; verify against
         // small-operand splits that take the schoolbook path.
@@ -65,30 +59,25 @@ proptest! {
         prop_assert_eq!(a.mul(&b), expected);
     }
 
-    #[test]
-    fn division_identity(a in biguint_strategy(10), b in nonzero_biguint(6)) {
+    fn division_identity(a in biguints(10), b in nonzero_biguints(6)) {
         let (q, r) = a.div_rem(&b);
         prop_assert!(r.cmp_ref(&b) == std::cmp::Ordering::Less);
         prop_assert_eq!(q.mul(&b).add(&r), a);
     }
 
-    #[test]
-    fn shift_roundtrip(a in biguint_strategy(8), n in 0usize..200) {
+    fn shift_roundtrip(a in biguints(8), n in gen::in_range(0usize..200)) {
         prop_assert_eq!(a.shl(n).shr(n), a);
     }
 
-    #[test]
-    fn bytes_roundtrip(a in biguint_strategy(8)) {
+    fn bytes_roundtrip(a in biguints(8)) {
         prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
     }
 
-    #[test]
-    fn hex_roundtrip(a in biguint_strategy(8)) {
+    fn hex_roundtrip(a in biguints(8)) {
         prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
     }
 
-    #[test]
-    fn mod_inv_law(a in nonzero_biguint(4), m in nonzero_biguint(4)) {
+    fn mod_inv_law(a in nonzero_biguints(4), m in nonzero_biguints(4)) {
         if let Some(inv) = a.mod_inv(&m) {
             prop_assert_eq!(a.mul(&inv).rem(&m), BigUint::one().rem(&m));
             prop_assert!(inv.cmp_ref(&m) == std::cmp::Ordering::Less);
@@ -99,9 +88,12 @@ proptest! {
         }
     }
 
-    #[test]
-    fn mod_pow_matches_repeated_mul(a in biguint_strategy(3), e in 0u64..48, m in nonzero_biguint(3)) {
-        prop_assume!(!m.is_one());
+    fn mod_pow_matches_repeated_mul(
+        a in biguints(3),
+        e in gen::in_range(0u64..48),
+        m in nonzero_biguints(3),
+    ) {
+        prop_assume!(!m.is_one(), "modulus 1 is degenerate");
         let fast = a.mod_pow(&BigUint::from_u64(e), &m);
         let mut slow = BigUint::one().rem(&m);
         for _ in 0..e {
@@ -110,16 +102,14 @@ proptest! {
         prop_assert_eq!(fast, slow);
     }
 
-    #[test]
-    fn gcd_divides_both(a in nonzero_biguint(5), b in nonzero_biguint(5)) {
+    fn gcd_divides_both(a in nonzero_biguints(5), b in nonzero_biguints(5)) {
         let g = a.gcd(&b);
         prop_assert!(!g.is_zero());
         prop_assert!(a.rem(&g).is_zero());
         prop_assert!(b.rem(&g).is_zero());
     }
 
-    #[test]
-    fn cmp_is_consistent_with_sub(a in biguint_strategy(6), b in biguint_strategy(6)) {
+    fn cmp_is_consistent_with_sub(a in biguints(6), b in biguints(6)) {
         match a.cmp_ref(&b) {
             std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
             _ => prop_assert!(a.checked_sub(&b).is_some()),

@@ -1,34 +1,39 @@
 //! Property-based tests for AES modes, HMAC, and sealed-blob behaviour.
 
-use proptest::prelude::*;
 use sharoes_crypto::aes::Aes128;
 use sharoes_crypto::hmac::{hmac, hmac_sha256};
 use sharoes_crypto::modes::{cbc_open, cbc_seal, ctr_open, ctr_seal};
 use sharoes_crypto::sha1::Sha1;
 use sharoes_crypto::sha256::Sha256;
-use sharoes_crypto::{Digest, HmacDrbg, SymKey};
+use sharoes_crypto::{Digest, SymKey};
+use sharoes_testkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+prop! {
+    #![cases(128)]
 
-    #[test]
-    fn ctr_roundtrip(key in any::<[u8; 16]>(), pt in prop::collection::vec(any::<u8>(), 0..2048), seed in any::<u64>()) {
+    fn ctr_roundtrip(
+        key in gen::byte_arrays::<16>(),
+        pt in gen::vecs(gen::u8s(), 0..2048),
+        seed in gen::u64s(),
+    ) {
         let aes = Aes128::new(&key);
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let blob = ctr_seal(&aes, &mut rng, &pt);
         prop_assert_eq!(ctr_open(&aes, &blob).unwrap(), pt);
     }
 
-    #[test]
-    fn cbc_roundtrip(key in any::<[u8; 16]>(), pt in prop::collection::vec(any::<u8>(), 0..1024), seed in any::<u64>()) {
+    fn cbc_roundtrip(
+        key in gen::byte_arrays::<16>(),
+        pt in gen::vecs(gen::u8s(), 0..1024),
+        seed in gen::u64s(),
+    ) {
         let aes = Aes128::new(&key);
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let blob = cbc_seal(&aes, &mut rng, &pt);
         prop_assert_eq!(cbc_open(&aes, &blob).unwrap(), pt);
     }
 
-    #[test]
-    fn block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+    fn block_roundtrip(key in gen::byte_arrays::<16>(), block in gen::byte_arrays::<16>()) {
         let aes = Aes128::new(&key);
         let mut b = block;
         aes.encrypt_block(&mut b);
@@ -36,16 +41,22 @@ proptest! {
         prop_assert_eq!(b, block);
     }
 
-    #[test]
-    fn ciphertext_differs_from_plaintext(key in any::<[u8; 16]>(), pt in prop::collection::vec(any::<u8>(), 16..256), seed in any::<u64>()) {
+    fn ciphertext_differs_from_plaintext(
+        key in gen::byte_arrays::<16>(),
+        pt in gen::vecs(gen::u8s(), 16..256),
+        seed in gen::u64s(),
+    ) {
         let aes = Aes128::new(&key);
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let blob = ctr_seal(&aes, &mut rng, &pt);
         prop_assert_ne!(&blob[16..], &pt[..]);
     }
 
-    #[test]
-    fn fresh_ivs_give_distinct_ciphertexts(key in any::<[u8; 16]>(), pt in prop::collection::vec(any::<u8>(), 1..128), seed in any::<u64>()) {
+    fn fresh_ivs_give_distinct_ciphertexts(
+        key in gen::byte_arrays::<16>(),
+        pt in gen::vecs(gen::u8s(), 1..128),
+        seed in gen::u64s(),
+    ) {
         let aes = Aes128::new(&key);
         let mut rng = HmacDrbg::from_seed_u64(seed);
         let b1 = ctr_seal(&aes, &mut rng, &pt);
@@ -53,10 +64,9 @@ proptest! {
         prop_assert_ne!(b1, b2);
     }
 
-    #[test]
     fn hmac_is_deterministic_and_key_sensitive(
-        key in prop::collection::vec(any::<u8>(), 0..100),
-        msg in prop::collection::vec(any::<u8>(), 0..500),
+        key in gen::vecs(gen::u8s(), 0..100),
+        msg in gen::vecs(gen::u8s(), 0..500),
     ) {
         let a = hmac_sha256(&key, &msg);
         let b = hmac_sha256(&key, &msg);
@@ -66,14 +76,15 @@ proptest! {
         prop_assert_ne!(hmac_sha256(&key2, &msg), a);
     }
 
-    #[test]
-    fn hmac_sha1_and_sha256_lengths(key in prop::collection::vec(any::<u8>(), 0..40), msg in prop::collection::vec(any::<u8>(), 0..200)) {
+    fn hmac_sha1_and_sha256_lengths(
+        key in gen::vecs(gen::u8s(), 0..40),
+        msg in gen::vecs(gen::u8s(), 0..200),
+    ) {
         prop_assert_eq!(hmac::<Sha256>(&key, &msg).len(), 32);
         prop_assert_eq!(hmac::<Sha1>(&key, &msg).len(), 20);
     }
 
-    #[test]
-    fn digest_split_invariance(data in prop::collection::vec(any::<u8>(), 0..1000), split in any::<prop::sample::Index>()) {
+    fn digest_split_invariance(data in gen::vecs(gen::u8s(), 0..1000), split in gen::indices()) {
         let cut = split.index(data.len() + 1);
         let mut h = Sha256::new();
         h.update(&data[..cut]);
@@ -81,8 +92,11 @@ proptest! {
         prop_assert_eq!(h.finalize_vec(), Sha256::digest(&data).to_vec());
     }
 
-    #[test]
-    fn symkey_derive_injective_on_labels(parent in any::<[u8; 16]>(), a in "[a-z]{1,20}", b in "[a-z]{1,20}") {
+    fn symkey_derive_injective_on_labels(
+        parent in gen::byte_arrays::<16>(),
+        a in gen::string_of(gen::LOWER, 1..21),
+        b in gen::string_of(gen::LOWER, 1..21),
+    ) {
         prop_assume!(a != b);
         let parent = SymKey(parent);
         prop_assert_ne!(SymKey::derive(&parent, a.as_bytes()), SymKey::derive(&parent, b.as_bytes()));

@@ -168,9 +168,7 @@ impl LocalFs {
                     needed: "exec (traverse)",
                 });
             }
-            cur = *entries
-                .get(comp)
-                .ok_or_else(|| FsError::NotFound(path::join(&parts[..=i])))?;
+            cur = *entries.get(comp).ok_or_else(|| FsError::NotFound(path::join(&parts[..=i])))?;
         }
         Ok(cur)
     }
@@ -228,7 +226,10 @@ impl LocalFs {
         // Adding/removing entries needs write; the traversal to get here
         // already checked exec on ancestors, but write requires exec too.
         if !(perm.write && perm.exec) {
-            return Err(FsError::PermissionDenied { path: p.to_string(), needed: "write+exec on parent" });
+            return Err(FsError::PermissionDenied {
+                path: p.to_string(),
+                needed: "write+exec on parent",
+            });
         }
         Ok(())
     }
@@ -260,10 +261,7 @@ impl LocalFs {
             NodeKind::File => Content::File(Vec::new()),
             NodeKind::Dir => Content::Dir(BTreeMap::new()),
         };
-        self.nodes.insert(
-            ino.0,
-            Node { attr: Attr::new(ino, kind, uid, group, mode), content },
-        );
+        self.nodes.insert(ino.0, Node { attr: Attr::new(ino, kind, uid, group, mode), content });
         let name = name.to_string();
         let parent_node = self.node_mut(parent);
         let Content::Dir(entries) = &mut parent_node.content else { unreachable!() };
@@ -368,9 +366,8 @@ impl LocalFs {
         let Content::Dir(from_entries) = &self.node(from_parent).content else {
             return Err(FsError::NotADirectory(from.to_string()));
         };
-        let &ino = from_entries
-            .get(from_name)
-            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        let &ino =
+            from_entries.get(from_name).ok_or_else(|| FsError::NotFound(from.to_string()))?;
         let Content::Dir(to_entries) = &self.node(to_parent).content else {
             return Err(FsError::NotADirectory(to.to_string()));
         };
@@ -419,10 +416,16 @@ impl LocalFs {
         let attr = &self.node(ino).attr;
         if uid != ROOT_UID {
             if uid != attr.owner || owner != attr.owner {
-                return Err(FsError::PermissionDenied { path: p.to_string(), needed: "root (chown)" });
+                return Err(FsError::PermissionDenied {
+                    path: p.to_string(),
+                    needed: "root (chown)",
+                });
             }
             if !self.users.is_member(uid, group) {
-                return Err(FsError::PermissionDenied { path: p.to_string(), needed: "group membership" });
+                return Err(FsError::PermissionDenied {
+                    path: p.to_string(),
+                    needed: "group membership",
+                });
             }
         }
         let node = self.node_mut(ino);
@@ -447,7 +450,12 @@ impl LocalFs {
         out
     }
 
-    fn walk_rec<'a>(&'a self, ino: InodeId, comps: &mut Vec<&'a str>, out: &mut Vec<(String, Attr)>) {
+    fn walk_rec<'a>(
+        &'a self,
+        ino: InodeId,
+        comps: &mut Vec<&'a str>,
+        out: &mut Vec<(String, Attr)>,
+    ) {
         let node = self.node(ino);
         out.push((path::join(comps), node.attr.clone()));
         if let Content::Dir(entries) = &node.content {
@@ -470,9 +478,7 @@ impl LocalFs {
     /// Directory entries by inode (trusted; used by the migration tool).
     pub fn dir_entries(&self, ino: InodeId) -> Option<Vec<(String, InodeId)>> {
         match &self.nodes.get(&ino.0)?.content {
-            Content::Dir(entries) => {
-                Some(entries.iter().map(|(n, &i)| (n.clone(), i)).collect())
-            }
+            Content::Dir(entries) => Some(entries.iter().map(|(n, &i)| (n.clone(), i)).collect()),
             Content::File(_) => None,
         }
     }
@@ -600,8 +606,14 @@ mod tests {
         setup_home(&mut fs);
         fs.mkdir(ALICE, "/home/alice/d", Mode::from_octal(0o755)).unwrap();
         fs.create(ALICE, "/home/alice/d/f", Mode::from_octal(0o644)).unwrap();
-        assert_eq!(fs.rmdir(ALICE, "/home/alice/d"), Err(FsError::NotEmpty("/home/alice/d".into())));
-        assert_eq!(fs.unlink(ALICE, "/home/alice/d"), Err(FsError::IsADirectory("/home/alice/d".into())));
+        assert_eq!(
+            fs.rmdir(ALICE, "/home/alice/d"),
+            Err(FsError::NotEmpty("/home/alice/d".into()))
+        );
+        assert_eq!(
+            fs.unlink(ALICE, "/home/alice/d"),
+            Err(FsError::IsADirectory("/home/alice/d".into()))
+        );
         fs.unlink(ALICE, "/home/alice/d/f").unwrap();
         fs.rmdir(ALICE, "/home/alice/d").unwrap();
         assert!(matches!(fs.getattr(ALICE, "/home/alice/d"), Err(FsError::NotFound(_))));

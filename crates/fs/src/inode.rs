@@ -52,16 +52,7 @@ pub struct Attr {
 impl Attr {
     /// Creates attributes for a fresh object.
     pub fn new(inode: InodeId, kind: NodeKind, owner: Uid, group: Gid, mode: Mode) -> Self {
-        Attr {
-            inode,
-            kind,
-            owner,
-            group,
-            mode,
-            acl: Acl::empty(),
-            size: 0,
-            version: 1,
-        }
+        Attr { inode, kind, owner, group, mode, acl: Acl::empty(), size: 0, version: 1 }
     }
 }
 

@@ -39,11 +39,7 @@ impl Perm {
 
     /// Builds from the low three bits of `v` (`0o7` = rwx).
     pub fn from_bits(v: u32) -> Perm {
-        Perm {
-            read: v & 0o4 != 0,
-            write: v & 0o2 != 0,
-            exec: v & 0o1 != 0,
-        }
+        Perm { read: v & 0o4 != 0, write: v & 0o2 != 0, exec: v & 0o1 != 0 }
     }
 
     /// The low-three-bits encoding.
@@ -173,13 +169,7 @@ pub enum AclClass {
 }
 
 /// Classifies `uid` with ACLs (first-match; see [`AclClass`]).
-pub fn classify_with_acl(
-    uid: Uid,
-    owner: Uid,
-    group: Gid,
-    acl: &Acl,
-    db: &UserDb,
-) -> AclClass {
+pub fn classify_with_acl(uid: Uid, owner: Uid, group: Gid, acl: &Acl, db: &UserDb) -> AclClass {
     if uid == owner {
         return AclClass::Owner;
     }
@@ -293,10 +283,7 @@ mod tests {
         // bob is in the owning group, which matches before the ACL group
         // entry (first-match semantics): he gets r--.
         assert_eq!(effective_perm(Uid(2), Uid(1), Gid(10), mode, &acl, &db), Perm::R);
-        assert_eq!(
-            classify_with_acl(Uid(2), Uid(1), Gid(10), &acl, &db),
-            AclClass::Group
-        );
+        assert_eq!(classify_with_acl(Uid(2), Uid(1), Gid(10), &acl, &db), AclClass::Group);
         // carol: only in ops, so the named-group entry applies.
         assert_eq!(effective_perm(Uid(3), Uid(1), Gid(10), mode, &acl, &db), Perm::X);
         assert_eq!(
@@ -317,15 +304,9 @@ mod tests {
         );
         // Owner beats everything, even a named-user entry for the owner.
         acl.set_user(Uid(1), Perm::NONE);
-        assert_eq!(
-            classify_with_acl(Uid(1), Uid(1), Gid(10), &acl, &db),
-            AclClass::Owner
-        );
+        assert_eq!(classify_with_acl(Uid(1), Uid(1), Gid(10), &acl, &db), AclClass::Owner);
         // Unrelated user: other.
-        assert_eq!(
-            classify_with_acl(Uid(3), Uid(1), Gid(10), &acl, &db),
-            AclClass::Other
-        );
+        assert_eq!(classify_with_acl(Uid(3), Uid(1), Gid(10), &acl, &db), AclClass::Other);
         // class_perm_with_acl agrees with effective_perm everywhere.
         let mode = Mode::from_octal(0o754);
         for uid in [Uid(1), Uid(2), Uid(3)] {

@@ -44,8 +44,7 @@ pub fn split(path: &str) -> Result<Vec<&str>, PathError> {
 
 /// Validates a single file or directory name.
 pub fn validate_name(name: &str) -> Result<(), PathError> {
-    if name.is_empty() || name == "." || name == ".." || name.contains('/') || name.contains('\0')
-    {
+    if name.is_empty() || name == "." || name == ".." || name.contains('/') || name.contains('\0') {
         return Err(PathError::BadComponent(name.to_string()));
     }
     Ok(())

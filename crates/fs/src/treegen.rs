@@ -185,7 +185,8 @@ pub fn generate(spec: &TreeSpec) -> Result<(LocalFs, TreeStats), FsError> {
                 // (e.g. 0444), just like a real archive restore would.
                 fs.create(uid, &file, Mode::from_octal(0o600))?;
                 let size = rng.range(spec.file_size.0, spec.file_size.1);
-                let body: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_mul(31).wrapping_add(u as u8)).collect();
+                let body: Vec<u8> =
+                    (0..size).map(|i| (i as u8).wrapping_mul(31).wrapping_add(u as u8)).collect();
                 fs.write(uid, &file, &body)?;
                 fs.chmod(uid, &file, spec.mix.pick(&mut rng, false))?;
                 stats.files += 1;

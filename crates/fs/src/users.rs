@@ -91,10 +91,7 @@ impl UserDb {
         if self.groups.contains_key(&gid) || self.group_names.contains_key(name) {
             return Err(UserDbError::Duplicate(format!("group {name}/{gid}")));
         }
-        self.groups.insert(
-            gid,
-            Group { gid, name: name.to_string(), members: BTreeSet::new() },
-        );
+        self.groups.insert(gid, Group { gid, name: name.to_string(), members: BTreeSet::new() });
         self.group_names.insert(name.to_string(), gid);
         Ok(())
     }
@@ -109,8 +106,7 @@ impl UserDb {
             .get_mut(&primary_gid)
             .ok_or_else(|| UserDbError::NotFound(format!("{primary_gid}")))?;
         group.members.insert(uid);
-        self.users
-            .insert(uid, User { uid, name: name.to_string(), primary_gid });
+        self.users.insert(uid, User { uid, name: name.to_string(), primary_gid });
         self.names.insert(name.to_string(), uid);
         Ok(())
     }
@@ -120,20 +116,16 @@ impl UserDb {
         if !self.users.contains_key(&uid) {
             return Err(UserDbError::NotFound(format!("{uid}")));
         }
-        let group = self
-            .groups
-            .get_mut(&gid)
-            .ok_or_else(|| UserDbError::NotFound(format!("{gid}")))?;
+        let group =
+            self.groups.get_mut(&gid).ok_or_else(|| UserDbError::NotFound(format!("{gid}")))?;
         group.members.insert(uid);
         Ok(())
     }
 
     /// Removes `uid` from `gid` (membership revocation; paper §IV footnote 5).
     pub fn remove_member(&mut self, gid: Gid, uid: Uid) -> Result<(), UserDbError> {
-        let group = self
-            .groups
-            .get_mut(&gid)
-            .ok_or_else(|| UserDbError::NotFound(format!("{gid}")))?;
+        let group =
+            self.groups.get_mut(&gid).ok_or_else(|| UserDbError::NotFound(format!("{gid}")))?;
         if !group.members.remove(&uid) {
             return Err(UserDbError::NotFound(format!("{uid} in {gid}")));
         }
@@ -167,11 +159,7 @@ impl UserDb {
 
     /// All groups `uid` belongs to.
     pub fn groups_of(&self, uid: Uid) -> Vec<Gid> {
-        self.groups
-            .values()
-            .filter(|g| g.members.contains(&uid))
-            .map(|g| g.gid)
-            .collect()
+        self.groups.values().filter(|g| g.members.contains(&uid)).map(|g| g.gid).collect()
     }
 
     /// All users, ordered by uid.

@@ -1,19 +1,17 @@
 //! Property tests for the filesystem model: permission-evaluation
 //! invariants that the cryptographic CAPs depend on, and path parsing.
 
-use proptest::prelude::*;
 use sharoes_fs::prelude::*;
+use sharoes_testkit::prelude::*;
 
-fn arb_perm() -> impl Strategy<Value = Perm> {
-    (any::<bool>(), any::<bool>(), any::<bool>())
-        .prop_map(|(read, write, exec)| Perm { read, write, exec })
+fn perms() -> Gen<Perm> {
+    Gen::from_fn(|t| Ok(Perm { read: t.bool(), write: t.bool(), exec: t.bool() }))
 }
 
-fn arb_mode() -> impl Strategy<Value = Mode> {
-    (arb_perm(), arb_perm(), arb_perm()).prop_map(|(owner, group, other)| Mode {
-        owner,
-        group,
-        other,
+fn modes() -> Gen<Mode> {
+    let perm = perms();
+    Gen::from_fn(move |t| {
+        Ok(Mode { owner: perm.sample(t)?, group: perm.sample(t)?, other: perm.sample(t)? })
     })
 }
 
@@ -30,35 +28,37 @@ fn db() -> UserDb {
     db
 }
 
-fn arb_acl() -> impl Strategy<Value = Acl> {
-    prop::collection::vec((0u32..5, arb_perm(), any::<bool>()), 0..4).prop_map(|entries| {
+fn acls() -> Gen<Acl> {
+    let perm = perms();
+    Gen::from_fn(move |t| {
+        let n = t.usize_in(0, 4);
         let mut acl = Acl::empty();
-        for (id, perm, is_group) in entries {
-            if is_group {
-                acl.set_group(Gid(1 + id % 2), perm);
+        for _ in 0..n {
+            let id = t.u64_in(0, 5) as u32;
+            let p = perm.sample(t)?;
+            if t.bool() {
+                acl.set_group(Gid(1 + id % 2), p);
             } else {
-                acl.set_user(Uid(id), perm);
+                acl.set_user(Uid(id), p);
             }
         }
-        acl
+        Ok(acl)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+prop! {
+    #![cases(256)]
 
-    #[test]
-    fn mode_octal_roundtrip(mode in arb_mode()) {
+    fn mode_octal_roundtrip(mode in modes()) {
         prop_assert_eq!(Mode::from_octal(mode.octal()), mode);
         prop_assert!(mode.octal() <= 0o777);
     }
 
-    #[test]
     fn every_user_lands_in_exactly_one_class(
-        owner in 0u32..5,
-        group in 1u32..3,
-        acl in arb_acl(),
-        uid in 0u32..5,
+        owner in gen::in_range(0u32..5),
+        group in gen::in_range(1u32..3),
+        acl in acls(),
+        uid in gen::in_range(0u32..5),
     ) {
         let db = db();
         let class = classify_with_acl(Uid(uid), Uid(owner), Gid(group), &acl, &db);
@@ -75,13 +75,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn effective_perm_equals_class_perm(
-        owner in 0u32..5,
-        group in 1u32..3,
-        mode in arb_mode(),
-        acl in arb_acl(),
-        uid in 0u32..5,
+        owner in gen::in_range(0u32..5),
+        group in gen::in_range(1u32..3),
+        mode in modes(),
+        acl in acls(),
+        uid in gen::in_range(0u32..5),
     ) {
         // The factored evaluation (classify, then class perm) must agree
         // with the direct one — this equivalence is exactly what lets CAPs
@@ -94,8 +93,7 @@ proptest! {
         );
     }
 
-    #[test]
-    fn perm_covers_is_a_partial_order(a in arb_perm(), b in arb_perm(), c in arb_perm()) {
+    fn perm_covers_is_a_partial_order(a in perms(), b in perms(), c in perms()) {
         prop_assert!(a.covers(a));
         if a.covers(b) && b.covers(a) {
             prop_assert_eq!(a, b);
@@ -105,9 +103,10 @@ proptest! {
         }
     }
 
-    #[test]
-    fn path_split_join_roundtrip(parts in prop::collection::vec("[a-zA-Z0-9_.-]{1,12}", 0..6)) {
-        // Filter accidental "." / ".." components the regex can produce.
+    fn path_split_join_roundtrip(
+        parts in gen::vecs(gen::string_of(gen::NAMEY, 1..13), 0..6),
+    ) {
+        // Filter accidental "." / ".." components the alphabet can produce.
         prop_assume!(parts.iter().all(|p| p != "." && p != ".."));
         let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
         let joined = sharoes_fs::path::join(&refs);
@@ -115,14 +114,12 @@ proptest! {
         prop_assert_eq!(reparsed, refs);
     }
 
-    #[test]
-    fn path_split_never_panics(s in "\\PC{0,64}") {
+    fn path_split_never_panics(s in gen::any_strings(0..65)) {
         let _ = sharoes_fs::path::split(&s);
         let _ = sharoes_fs::path::validate_name(&s);
     }
 
-    #[test]
-    fn local_fs_owner_roundtrip(content in prop::collection::vec(any::<u8>(), 0..2048)) {
+    fn local_fs_owner_roundtrip(content in gen::vecs(gen::u8s(), 0..2048)) {
         let mut fs = LocalFs::new(db(), Gid(1), Mode::from_octal(0o755));
         fs.mkdir(Uid(0), "/d", Mode::from_octal(0o777)).unwrap();
         fs.create(Uid(1), "/d/f", Mode::from_octal(0o600)).unwrap();
@@ -133,8 +130,7 @@ proptest! {
         prop_assert!(fs.read(Uid(2), "/d/f").is_err());
     }
 
-    #[test]
-    fn treegen_deterministic_across_seeds(seed in any::<u64>()) {
+    fn treegen_deterministic_across_seeds(seed in gen::u64s()) {
         use sharoes_fs::treegen::{generate, TreeSpec};
         let spec = TreeSpec { users: 2, dirs_per_user: 2, files_per_dir: 1, seed, ..Default::default() };
         let (a, sa) = generate(&spec).unwrap();

@@ -168,7 +168,8 @@ mod tests {
 
     #[test]
     fn plus_sums() {
-        let a = CostSample { bytes_up: 1, bytes_down: 2, round_trips: 3, crypto_ns: 4, other_ns: 5 };
+        let a =
+            CostSample { bytes_up: 1, bytes_down: 2, round_trips: 3, crypto_ns: 4, other_ns: 5 };
         let b = a.plus(&a);
         assert_eq!(b.bytes_up, 2);
         assert_eq!(b.other_ns, 10);

@@ -83,9 +83,8 @@ impl NetModel {
     /// `cpu_scale` rescales measured local CPU time to a reference machine
     /// (1.0 = this machine).
     pub fn total_time(&self, cost: &CostSample, cpu_scale: f64) -> Duration {
-        let cpu = Duration::from_nanos(
-            ((cost.crypto_ns + cost.other_ns) as f64 * cpu_scale) as u64,
-        );
+        let cpu =
+            Duration::from_nanos(((cost.crypto_ns + cost.other_ns) as f64 * cpu_scale) as u64);
         self.network_time(cost) + cpu
     }
 
@@ -131,7 +130,8 @@ mod tests {
     #[test]
     fn cpu_scale_applies_to_crypto_only_components() {
         let m = NetModel::lan();
-        let cost = CostSample { crypto_ns: 1_000_000_000, other_ns: 500_000_000, ..Default::default() };
+        let cost =
+            CostSample { crypto_ns: 1_000_000_000, other_ns: 500_000_000, ..Default::default() };
         let t1 = m.total_time(&cost, 1.0);
         let t2 = m.total_time(&cost, 2.0);
         assert!((t2.as_secs_f64() - 2.0 * t1.as_secs_f64()).abs() < 1e-6);
@@ -143,7 +143,12 @@ mod tests {
 
     #[test]
     fn faster_links_are_faster() {
-        let cost = CostSample { bytes_up: 100_000, bytes_down: 100_000, round_trips: 5, ..Default::default() };
+        let cost = CostSample {
+            bytes_up: 100_000,
+            bytes_down: 100_000,
+            round_trips: 5,
+            ..Default::default()
+        };
         let dsl = NetModel::paper_dsl().network_time(&cost);
         let wan = NetModel::enterprise_wan().network_time(&cost);
         let lan = NetModel::lan().network_time(&cost);

@@ -64,8 +64,7 @@ impl Transport for InMemoryTransport {
         let parsed = Request::from_wire(&req_bytes)?;
         let response = self.handler.handle(parsed);
         let resp_bytes = response.to_wire();
-        self.meter
-            .charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
+        self.meter.charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
         Response::from_wire(&resp_bytes)
     }
 
@@ -118,8 +117,7 @@ impl Transport for TcpTransport {
         let req_bytes = request.to_wire();
         write_frame(&mut self.stream, &req_bytes)?;
         let resp_bytes = read_frame(&mut self.stream)?;
-        self.meter
-            .charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
+        self.meter.charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
         Response::from_wire(&resp_bytes)
     }
 
@@ -132,8 +130,8 @@ impl Transport for TcpTransport {
 mod tests {
     use super::*;
     use crate::message::ObjectKey;
-    use parking_lot::Mutex;
     use std::collections::HashMap;
+    use std::sync::Mutex;
 
     /// Toy handler used by transport tests.
     struct EchoStore(Mutex<HashMap<ObjectKey, Vec<u8>>>);
@@ -143,10 +141,10 @@ mod tests {
             match request {
                 Request::Ping => Response::Pong,
                 Request::Put { key, value } => {
-                    self.0.lock().insert(key, value);
+                    self.0.lock().unwrap().insert(key, value);
                     Response::Ok
                 }
-                Request::Get { key } => Response::Object(self.0.lock().get(&key).cloned()),
+                Request::Get { key } => Response::Object(self.0.lock().unwrap().get(&key).cloned()),
                 _ => Response::Error("unsupported in test".into()),
             }
         }
@@ -159,10 +157,7 @@ mod tests {
         assert_eq!(t.call(&Request::Ping).unwrap(), Response::Pong);
         let key = ObjectKey::metadata(1, [0; 16]);
         t.call(&Request::Put { key, value: vec![9; 100] }).unwrap();
-        assert_eq!(
-            t.call(&Request::Get { key }).unwrap(),
-            Response::Object(Some(vec![9; 100]))
-        );
+        assert_eq!(t.call(&Request::Get { key }).unwrap(), Response::Object(Some(vec![9; 100])));
         let s = t.meter().sample();
         assert_eq!(s.round_trips, 3);
         assert!(s.bytes_up > 100, "upload should include the 100-byte payload");

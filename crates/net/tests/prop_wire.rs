@@ -2,71 +2,82 @@
 //! hostile-input safety (the SSP is untrusted; the client parses whatever
 //! comes back).
 
-use proptest::prelude::*;
 use sharoes_net::{Cursor, KeySpace, ObjectKey, Request, Response, WireRead, WireWrite};
+use sharoes_testkit::prelude::*;
 
-fn arb_keyspace() -> impl Strategy<Value = KeySpace> {
-    prop_oneof![
-        Just(KeySpace::Metadata),
-        Just(KeySpace::Data),
-        Just(KeySpace::Superblock),
-        Just(KeySpace::GroupKey),
-    ]
+fn keyspaces() -> Gen<KeySpace> {
+    gen::one_of(vec![
+        Gen::constant(KeySpace::Metadata),
+        Gen::constant(KeySpace::Data),
+        Gen::constant(KeySpace::Superblock),
+        Gen::constant(KeySpace::GroupKey),
+    ])
 }
 
-fn arb_key() -> impl Strategy<Value = ObjectKey> {
-    (arb_keyspace(), any::<u64>(), any::<[u8; 16]>(), any::<u32>()).prop_map(
-        |(space, inode, view, block)| ObjectKey { space, inode, view, block },
-    )
+fn keys() -> Gen<ObjectKey> {
+    let space = keyspaces();
+    Gen::from_fn(move |t| {
+        Ok(ObjectKey {
+            space: space.sample(t)?,
+            inode: t.u64(),
+            view: gen::byte_arrays::<16>().sample(t)?,
+            block: t.u32(),
+        })
+    })
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    prop_oneof![
-        Just(Request::Ping),
-        Just(Request::Stats),
-        (arb_key(), prop::collection::vec(any::<u8>(), 0..256))
-            .prop_map(|(key, value)| Request::Put { key, value }),
-        arb_key().prop_map(|key| Request::Get { key }),
-        arb_key().prop_map(|key| Request::Delete { key }),
-        prop::collection::vec(arb_key(), 0..8).prop_map(|keys| Request::GetMany { keys }),
-        prop::collection::vec(arb_key(), 0..8).prop_map(|keys| Request::DeleteMany { keys }),
-        prop::collection::vec((arb_key(), prop::collection::vec(any::<u8>(), 0..64)), 0..6)
-            .prop_map(|items| Request::PutMany { items }),
-        (any::<u64>(), any::<[u8; 16]>())
-            .prop_map(|(inode, view)| Request::DeleteBlocks { inode, view }),
-    ]
+fn requests() -> Gen<Request> {
+    let key = keys();
+    let small_blob = gen::vecs(gen::u8s(), 0..64);
+    gen::one_of(vec![
+        Gen::constant(Request::Ping),
+        Gen::constant(Request::Stats),
+        {
+            let key = key.clone();
+            let value = gen::vecs(gen::u8s(), 0..256);
+            Gen::from_fn(move |t| Ok(Request::Put { key: key.sample(t)?, value: value.sample(t)? }))
+        },
+        key.clone().map(|key| Request::Get { key }),
+        key.clone().map(|key| Request::Delete { key }),
+        gen::vecs(key.clone(), 0..8).map(|keys| Request::GetMany { keys }),
+        gen::vecs(key.clone(), 0..8).map(|keys| Request::DeleteMany { keys }),
+        {
+            let key = key.clone();
+            let blob = small_blob.clone();
+            let item = Gen::from_fn(move |t| Ok((key.sample(t)?, blob.sample(t)?)));
+            gen::vecs(item, 0..6).map(|items| Request::PutMany { items })
+        },
+        Gen::from_fn(|t| {
+            Ok(Request::DeleteBlocks { inode: t.u64(), view: gen::byte_arrays::<16>().sample(t)? })
+        }),
+    ])
 }
 
-fn arb_response() -> impl Strategy<Value = Response> {
-    prop_oneof![
-        Just(Response::Pong),
-        Just(Response::Ok),
-        prop::option::of(prop::collection::vec(any::<u8>(), 0..256))
-            .prop_map(Response::Object),
-        prop::collection::vec(prop::option::of(prop::collection::vec(any::<u8>(), 0..64)), 0..6)
-            .prop_map(Response::Objects),
-        (any::<u64>(), any::<u64>()).prop_map(|(objects, bytes)| Response::Stats { objects, bytes }),
-        "[ -~]{0,64}".prop_map(Response::Error),
-    ]
+fn responses() -> Gen<Response> {
+    gen::one_of(vec![
+        Gen::constant(Response::Pong),
+        Gen::constant(Response::Ok),
+        gen::option_of(gen::vecs(gen::u8s(), 0..256)).map(Response::Object),
+        gen::vecs(gen::option_of(gen::vecs(gen::u8s(), 0..64)), 0..6).map(Response::Objects),
+        Gen::from_fn(|t| Ok(Response::Stats { objects: t.u64(), bytes: t.u64() })),
+        gen::ascii_strings(0..65).map(Response::Error),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+prop! {
+    #![cases(256)]
 
-    #[test]
-    fn requests_roundtrip(req in arb_request()) {
+    fn requests_roundtrip(req in requests()) {
         let bytes = req.to_wire();
         prop_assert_eq!(Request::from_wire(&bytes).unwrap(), req);
     }
 
-    #[test]
-    fn responses_roundtrip(resp in arb_response()) {
+    fn responses_roundtrip(resp in responses()) {
         let bytes = resp.to_wire();
         prop_assert_eq!(Response::from_wire(&bytes).unwrap(), resp);
     }
 
-    #[test]
-    fn keys_roundtrip_and_order_is_total(a in arb_key(), b in arb_key()) {
+    fn keys_roundtrip_and_order_is_total(a in keys(), b in keys()) {
         prop_assert_eq!(ObjectKey::from_wire(&a.to_wire()).unwrap(), a);
         // Hash/Eq consistency.
         if a == b {
@@ -74,8 +85,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn arbitrary_bytes_never_panic_request(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+    fn arbitrary_bytes_never_panic_request(bytes in gen::vecs(gen::u8s(), 0..512)) {
         // Decoding hostile bytes must return Err, never panic or hang.
         let _ = Request::from_wire(&bytes);
         let _ = Response::from_wire(&bytes);
@@ -84,8 +94,7 @@ proptest! {
         let _ = Vec::<Option<Vec<u8>>>::read(&mut cur);
     }
 
-    #[test]
-    fn truncations_of_valid_messages_fail_cleanly(req in arb_request(), cut in any::<prop::sample::Index>()) {
+    fn truncations_of_valid_messages_fail_cleanly(req in requests(), cut in gen::indices()) {
         let bytes = req.to_wire();
         let cut = cut.index(bytes.len());
         if cut < bytes.len() {
@@ -97,8 +106,10 @@ proptest! {
         }
     }
 
-    #[test]
-    fn valid_message_with_trailing_garbage_fails(req in arb_request(), junk in 1u8..=255) {
+    fn valid_message_with_trailing_garbage_fails(
+        req in requests(),
+        junk in gen::in_range_incl(1u8..=255),
+    ) {
         let mut bytes = req.to_wire();
         bytes.push(junk);
         prop_assert!(Request::from_wire(&bytes).is_err());

@@ -91,14 +91,8 @@ mod tests {
         let server = SspServer::new();
         assert_eq!(server.handle(Request::Ping), Response::Pong);
         let key = ObjectKey::metadata(1, [0; 16]);
-        assert_eq!(
-            server.handle(Request::Put { key, value: vec![1, 2] }),
-            Response::Ok
-        );
-        assert_eq!(
-            server.handle(Request::Get { key }),
-            Response::Object(Some(vec![1, 2]))
-        );
+        assert_eq!(server.handle(Request::Put { key, value: vec![1, 2] }), Response::Ok);
+        assert_eq!(server.handle(Request::Get { key }), Response::Object(Some(vec![1, 2])));
         assert_eq!(
             server.handle(Request::Get { key: ObjectKey::metadata(2, [0; 16]) }),
             Response::Object(None)
@@ -125,18 +119,9 @@ mod tests {
     #[test]
     fn stats_reflect_store() {
         let server = SspServer::new();
-        server.handle(Request::Put {
-            key: ObjectKey::superblock([1; 16]),
-            value: vec![0; 64],
-        });
-        assert_eq!(
-            server.handle(Request::Stats),
-            Response::Stats { objects: 1, bytes: 64 }
-        );
+        server.handle(Request::Put { key: ObjectKey::superblock([1; 16]), value: vec![0; 64] });
+        assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 1, bytes: 64 });
         server.handle(Request::Delete { key: ObjectKey::superblock([1; 16]) });
-        assert_eq!(
-            server.handle(Request::Stats),
-            Response::Stats { objects: 0, bytes: 0 }
-        );
+        assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 0, bytes: 0 });
     }
 }

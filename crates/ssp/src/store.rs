@@ -5,7 +5,6 @@
 //! objects and encrypted data blocks." The store never inspects values; keys
 //! are the composite [`ObjectKey`] index.
 
-use parking_lot::RwLock;
 use sharoes_net::{Cursor, KeySpace, NetError, ObjectKey, WireRead, WireWrite};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -13,6 +12,7 @@ use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Magic + version prefix of the snapshot file format.
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAROES1";
@@ -49,7 +49,7 @@ impl ObjectStore {
 
     /// Stores (or replaces) an object.
     pub fn put(&self, key: ObjectKey, value: Vec<u8>) {
-        let mut shard = self.shard(&key).write();
+        let mut shard = self.shard(&key).write().unwrap_or_else(|e| e.into_inner());
         let new_len = value.len() as u64;
         match shard.insert(key, value) {
             Some(old) => {
@@ -64,12 +64,12 @@ impl ObjectStore {
 
     /// Fetches an object.
     pub fn get(&self, key: &ObjectKey) -> Option<Vec<u8>> {
-        self.shard(key).read().get(key).cloned()
+        self.shard(key).read().unwrap_or_else(|e| e.into_inner()).get(key).cloned()
     }
 
     /// Deletes an object; returns whether it existed.
     pub fn delete(&self, key: &ObjectKey) -> bool {
-        match self.shard(key).write().remove(key) {
+        match self.shard(key).write().unwrap_or_else(|e| e.into_inner()).remove(key) {
             Some(old) => {
                 self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
                 true
@@ -82,7 +82,7 @@ impl ObjectStore {
     pub fn delete_blocks(&self, inode: u64, view: [u8; 16]) -> usize {
         let mut removed = 0;
         for shard in &self.shards {
-            let mut map = shard.write();
+            let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
             let doomed: Vec<ObjectKey> = map
                 .keys()
                 .filter(|k| k.space == KeySpace::Data && k.inode == inode && k.view == view)
@@ -100,7 +100,7 @@ impl ObjectStore {
 
     /// Number of stored objects.
     pub fn object_count(&self) -> u64 {
-        self.shards.iter().map(|s| s.read().len() as u64).sum()
+        self.shards.iter().map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len() as u64).sum()
     }
 
     /// Total stored bytes.
@@ -119,7 +119,7 @@ impl ObjectStore {
         // Stable iteration isn't required: the store is unordered.
         let mut entries: Vec<(ObjectKey, Vec<u8>)> = Vec::new();
         for shard in &self.shards {
-            for (k, v) in shard.read().iter() {
+            for (k, v) in shard.read().unwrap_or_else(|e| e.into_inner()).iter() {
                 entries.push((*k, v.clone()));
             }
         }
@@ -169,7 +169,7 @@ impl ObjectStore {
     pub fn bytes_by_space(&self) -> HashMap<KeySpace, u64> {
         let mut out = HashMap::new();
         for shard in &self.shards {
-            for (key, value) in shard.read().iter() {
+            for (key, value) in shard.read().unwrap_or_else(|e| e.into_inner()).iter() {
                 *out.entry(key.space).or_insert(0) += value.len() as u64;
             }
         }
@@ -253,14 +253,8 @@ mod tests {
         let restored = ObjectStore::from_snapshot(&bytes).unwrap();
         assert_eq!(restored.object_count(), s.object_count());
         assert_eq!(restored.byte_count(), s.byte_count());
-        assert_eq!(
-            restored.get(&ObjectKey::superblock([9; 16])).unwrap(),
-            vec![42; 100]
-        );
-        assert_eq!(
-            restored.get(&ObjectKey::data(7, [7; 16], 7)).unwrap(),
-            vec![7u8; 8]
-        );
+        assert_eq!(restored.get(&ObjectKey::superblock([9; 16])).unwrap(), vec![42; 100]);
+        assert_eq!(restored.get(&ObjectKey::data(7, [7; 16], 7)).unwrap(), vec![7u8; 8]);
     }
 
     #[test]

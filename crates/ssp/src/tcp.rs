@@ -108,9 +108,7 @@ mod tests {
                     let mut transport = TcpTransport::connect(&addr).unwrap();
                     for i in 0..20u32 {
                         let key = ObjectKey::data(t, [t as u8; 16], i);
-                        transport
-                            .call(&Request::Put { key, value: vec![t as u8; 32] })
-                            .unwrap();
+                        transport.call(&Request::Put { key, value: vec![t as u8; 32] }).unwrap();
                     }
                     let key = ObjectKey::data(t, [t as u8; 16], 7);
                     assert_eq!(

@@ -1,0 +1,226 @@
+//! Wall-clock micro-benchmark harness for `harness = false` bench targets.
+//!
+//! The shape mirrors the common group/function bench API: a
+//! [`BenchRunner`] owns CLI filtering, a [`BenchGroup`] namespaces related
+//! functions and can attach a throughput denominator, and a [`Bencher`]
+//! measures the closure handed to it. Each measurement warms up, sizes the
+//! per-sample iteration count to a target sample duration, collects N
+//! samples, and reports min/median/p95 per-iteration times (plus MiB/s when
+//! a throughput is set).
+//!
+//! Environment knobs: `SHAROES_BENCH_SAMPLES` (default 25) and
+//! `SHAROES_BENCH_SAMPLE_MS` (default 5) trade precision for speed.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level bench harness state: name filter plus report sink.
+pub struct BenchRunner {
+    filter: Option<String>,
+    samples: usize,
+    sample_nanos: f64,
+    ran: usize,
+}
+
+impl BenchRunner {
+    /// Builds a runner from `std::env::args`, skipping cargo's `--bench`
+    /// flag; the first free argument is a substring filter.
+    pub fn from_args(title: &str) -> BenchRunner {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let samples = env_usize("SHAROES_BENCH_SAMPLES", 25).max(2);
+        let sample_ms = env_usize("SHAROES_BENCH_SAMPLE_MS", 5).max(1);
+        println!("== {title} ==");
+        BenchRunner { filter, samples, sample_nanos: sample_ms as f64 * 1e6, ran: 0 }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup { runner: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Benches a single ungrouped function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.run_one(name, None, f);
+    }
+
+    fn run_one(
+        &mut self,
+        full_name: &str,
+        throughput: Option<u64>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            sample_nanos: self.sample_nanos,
+            per_iter_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        self.ran += 1;
+        report(full_name, throughput, &mut bencher);
+    }
+
+    /// Prints the summary footer; call last.
+    pub fn finish(self) {
+        println!("-- {} benchmark(s) run --", self.ran);
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// A named collection of benchmarks sharing an optional throughput.
+pub struct BenchGroup<'a> {
+    runner: &'a mut BenchRunner,
+    name: String,
+    throughput: Option<u64>,
+}
+
+impl BenchGroup<'_> {
+    /// Sets the bytes-processed-per-iteration denominator for subsequent
+    /// functions in this group.
+    pub fn throughput(&mut self, bytes: u64) {
+        self.throughput = Some(bytes);
+    }
+
+    /// Benches `f` under `group/name`.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let throughput = self.throughput;
+        self.runner.run_one(&full, throughput, f);
+    }
+
+    /// Ends the group (drop also suffices; kept for call-site symmetry).
+    pub fn finish(self) {}
+}
+
+/// Measures one closure. Handed to the function under
+/// [`BenchGroup::bench_function`]; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] exactly once.
+pub struct Bencher {
+    samples: usize,
+    sample_nanos: f64,
+    per_iter_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, which is run back-to-back many times per sample.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Estimate a single-iteration cost to size the sample batches.
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().as_nanos().max(1) as f64;
+        let iters = (self.sample_nanos / estimate).clamp(1.0, 1e7) as u64;
+        self.iters_per_sample = iters;
+        // One untimed warmup batch stabilizes caches and branch predictors.
+        for _ in 0..iters.min(1024) {
+            black_box(f());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over per-iteration states built by the untimed
+    /// `setup` (for operations that consume or mutate their input).
+    pub fn iter_batched<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        // Setup may dwarf the routine, so batches stay small and each
+        // routine invocation is timed individually.
+        let iters = 4u64;
+        self.iters_per_sample = iters;
+        black_box(routine(setup())); // warmup
+        for _ in 0..self.samples {
+            let mut elapsed = 0f64;
+            for _ in 0..iters {
+                let state = setup();
+                let start = Instant::now();
+                black_box(routine(state));
+                elapsed += start.elapsed().as_nanos() as f64;
+            }
+            self.per_iter_ns.push(elapsed / iters as f64);
+        }
+    }
+}
+
+fn report(name: &str, throughput: Option<u64>, bencher: &mut Bencher) {
+    let xs = &mut bencher.per_iter_ns;
+    assert!(!xs.is_empty(), "bench {name}: closure never called iter()/iter_batched()");
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let min = xs[0];
+    let median = xs[xs.len() / 2];
+    let p95 = xs[(xs.len() as f64 * 0.95) as usize % xs.len()];
+    let mut line = format!(
+        "{name:<44} min {:>9}  med {:>9}  p95 {:>9}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(p95)
+    );
+    if let Some(bytes) = throughput {
+        let mibs = bytes as f64 / (median * 1e-9) / (1024.0 * 1024.0);
+        line.push_str(&format!("  {mibs:>9.1} MiB/s"));
+    }
+    line.push_str(&format!("  ({} samples x {} iters)", bencher.samples, bencher.iters_per_sample));
+    println!("{line}");
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12.0ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50us");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000s");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b =
+            Bencher { samples: 3, sample_nanos: 1e5, per_iter_ns: Vec::new(), iters_per_sample: 0 };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.per_iter_ns.len(), 3);
+        assert!(b.per_iter_ns.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b =
+            Bencher { samples: 2, sample_nanos: 1e5, per_iter_ns: Vec::new(), iters_per_sample: 0 };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len());
+        assert_eq!(b.per_iter_ns.len(), 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! Value generators over the entropy [`Tape`].
+//!
+//! A [`Gen<T>`] is a pure function from tape bytes to a value. Composition
+//! is ordinary function composition ([`Gen::map`], [`Gen::from_fn`] calling
+//! [`Gen::sample`] on sub-generators), and shrinking comes for free from the
+//! tape representation — no per-type shrinker implementations exist.
+//!
+//! Conventions that make tape-shrinking effective:
+//!
+//! * an all-zero tape produces the simplest value (`0`, `""`, `[]`, `None`,
+//!   first `one_of` variant);
+//! * length draws come before element draws, so deleting a tape suffix
+//!   shortens collections.
+
+use crate::tape::Tape;
+use std::rc::Rc;
+
+/// Why a generator (or a `prop_assume!`) discarded the case.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected(pub &'static str);
+
+/// Result of sampling: a value, or a discarded case.
+pub type GenResult<T> = Result<T, Rejected>;
+
+/// A generator of `T` values.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Tape) -> GenResult<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a sampling function. The function may draw from
+    /// sub-generators via [`Gen::sample`] and propagate rejections with `?`.
+    pub fn from_fn(f: impl Fn(&mut Tape) -> GenResult<T> + 'static) -> Gen<T> {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Draws one value from the tape.
+    pub fn sample(&self, t: &mut Tape) -> GenResult<T> {
+        (self.f)(t)
+    }
+
+    /// A generator that always yields `value`.
+    pub fn constant(value: T) -> Gen<T>
+    where
+        T: Clone,
+    {
+        Gen::from_fn(move |_| Ok(value.clone()))
+    }
+
+    /// Applies `g` to every generated value.
+    pub fn map<U: 'static>(self, g: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::from_fn(move |t| self.sample(t).map(&g))
+    }
+
+    /// Keeps only values satisfying `pred`, redrawing a bounded number of
+    /// times before rejecting the whole case.
+    pub fn filter(self, label: &'static str, pred: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        Gen::from_fn(move |t| {
+            for _ in 0..64 {
+                let v = self.sample(t)?;
+                if pred(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejected(label))
+        })
+    }
+}
+
+/// Any `bool`.
+pub fn bools() -> Gen<bool> {
+    Gen::from_fn(|t| Ok(t.bool()))
+}
+
+/// Any `u8`.
+pub fn u8s() -> Gen<u8> {
+    Gen::from_fn(|t| Ok(t.u8()))
+}
+
+/// Any `u16`.
+pub fn u16s() -> Gen<u16> {
+    Gen::from_fn(|t| Ok(t.u16()))
+}
+
+/// Any `u32`.
+pub fn u32s() -> Gen<u32> {
+    Gen::from_fn(|t| Ok(t.u32()))
+}
+
+/// Any `u64`.
+pub fn u64s() -> Gen<u64> {
+    Gen::from_fn(|t| Ok(t.u64()))
+}
+
+/// Any `usize`.
+pub fn usizes() -> Gen<usize> {
+    Gen::from_fn(|t| Ok(t.u64() as usize))
+}
+
+/// Integer types that [`in_range`] can sample uniformly.
+pub trait UniformInt: Copy + 'static {
+    /// Converts to the `u64` sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty),*) => {
+        $(impl UniformInt for $ty {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $ty }
+        })*
+    };
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+/// A draw in the half-open range `[lo, hi)`.
+pub fn in_range<T: UniformInt>(range: std::ops::Range<T>) -> Gen<T> {
+    let (lo, hi) = (range.start.to_u64(), range.end.to_u64());
+    assert!(lo < hi, "in_range requires a non-empty range");
+    Gen::from_fn(move |t| Ok(T::from_u64(t.u64_in(lo, hi))))
+}
+
+/// A draw in the closed range `[lo, hi]`.
+pub fn in_range_incl<T: UniformInt>(range: std::ops::RangeInclusive<T>) -> Gen<T> {
+    let (lo, hi) = (range.start().to_u64(), range.end().to_u64());
+    assert!(lo <= hi, "in_range_incl requires a non-empty range");
+    Gen::from_fn(move |t| {
+        // hi may be T::MAX; sample the span size with wrap-safe arithmetic.
+        if lo == 0 && hi == u64::MAX {
+            return Ok(T::from_u64(t.u64()));
+        }
+        Ok(T::from_u64(t.u64_in(lo, hi + 1)))
+    })
+}
+
+/// A vector of `len_range.start..len_range.end` elements.
+pub fn vecs<T: 'static>(elem: Gen<T>, len_range: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    let (lo, hi) = (len_range.start, len_range.end);
+    Gen::from_fn(move |t| {
+        let len = t.usize_in(lo, hi);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(elem.sample(t)?);
+        }
+        Ok(out)
+    })
+}
+
+/// A byte array filled from the tape.
+pub fn byte_arrays<const N: usize>() -> Gen<[u8; N]> {
+    Gen::from_fn(|t| {
+        let mut out = [0u8; N];
+        t.fill(&mut out);
+        Ok(out)
+    })
+}
+
+/// `Some(value)` roughly three times out of four; a zero tape gives `None`.
+pub fn option_of<T: 'static>(inner: Gen<T>) -> Gen<Option<T>> {
+    Gen::from_fn(move |t| if t.u8() % 4 == 0 { Ok(None) } else { Ok(Some(inner.sample(t)?)) })
+}
+
+/// Picks one of the variants uniformly; a zero tape picks the first.
+pub fn one_of<T: 'static>(variants: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!variants.is_empty(), "one_of requires at least one variant");
+    Gen::from_fn(move |t| {
+        let i = t.usize_in(0, variants.len());
+        variants[i].sample(t)
+    })
+}
+
+/// A string of characters drawn from `alphabet`.
+pub fn string_of(alphabet: &'static str, len_range: std::ops::Range<usize>) -> Gen<String> {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty(), "string_of requires a non-empty alphabet");
+    let (lo, hi) = (len_range.start, len_range.end);
+    Gen::from_fn(move |t| {
+        let len = t.usize_in(lo, hi);
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            s.push(chars[t.usize_in(0, chars.len())]);
+        }
+        Ok(s)
+    })
+}
+
+/// Lowercase `[a-z]`.
+pub const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+
+/// `[a-zA-Z0-9_.-]` — the filesystem-name alphabet used across the suites.
+pub const NAMEY: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+
+/// Printable ASCII `[ -~]` strings.
+pub fn ascii_strings(len_range: std::ops::Range<usize>) -> Gen<String> {
+    let (lo, hi) = (len_range.start, len_range.end);
+    Gen::from_fn(move |t| {
+        let len = t.usize_in(lo, hi);
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            s.push((0x20 + t.u8() % 0x5F) as char);
+        }
+        Ok(s)
+    })
+}
+
+/// Arbitrary printable characters, ASCII-biased with a multibyte tail —
+/// hostile-ish input for parsers (stands in for proptest's `\PC`).
+pub fn any_strings(len_range: std::ops::Range<usize>) -> Gen<String> {
+    const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ω', '→', '中', '日', 'й', '🦀', '\u{200b}', '�', '­'];
+    let (lo, hi) = (len_range.start, len_range.end);
+    Gen::from_fn(move |t| {
+        let len = t.usize_in(lo, hi);
+        let mut s = String::new();
+        for _ in 0..len {
+            let b = t.u8();
+            if b < 0xE0 {
+                s.push((0x20 + b % 0x5F) as char);
+            } else {
+                s.push(EXOTIC[(b - 0xE0) as usize % EXOTIC.len()]);
+            }
+        }
+        Ok(s)
+    })
+}
+
+/// An abstract index into collections whose length is only known later
+/// (mirrors `proptest::sample::Index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(pub u64);
+
+impl Index {
+    /// Resolves to a concrete index in `[0, len)`; `0` when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// Any [`Index`].
+pub fn indices() -> Gen<Index> {
+    Gen::from_fn(|t| Ok(Index(t.u64())))
+}
+
+/// A map with unique keys, rendered as a sorted entry vector.
+pub fn entry_maps<K: Ord + 'static, V: 'static>(
+    keys: Gen<K>,
+    values: Gen<V>,
+    count_range: std::ops::Range<usize>,
+) -> Gen<Vec<(K, V)>> {
+    let (lo, hi) = (count_range.start, count_range.end);
+    Gen::from_fn(move |t| {
+        let want = t.usize_in(lo, hi);
+        let mut map = std::collections::BTreeMap::new();
+        // Duplicate keys collapse; bounded extra draws top the map up.
+        for _ in 0..want * 2 {
+            if map.len() >= want {
+                break;
+            }
+            map.insert(keys.sample(t)?, values.sample(t)?);
+        }
+        Ok(map.into_iter().collect())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_crypto::HmacDrbg;
+
+    fn fresh() -> Tape {
+        Tape::recording(HmacDrbg::from_seed_u64(0xF00))
+    }
+
+    #[test]
+    fn zero_tape_gives_minimal_values() {
+        let mut t = Tape::replay(vec![]);
+        assert_eq!(vecs(u8s(), 0..10).sample(&mut t).unwrap(), Vec::<u8>::new());
+        assert_eq!(in_range(5u32..50).sample(&mut t).unwrap(), 5);
+        assert_eq!(option_of(u64s()).sample(&mut t).unwrap(), None);
+        assert_eq!(string_of(LOWER, 0..8).sample(&mut t).unwrap(), "");
+        assert!(!bools().sample(&mut t).unwrap());
+    }
+
+    #[test]
+    fn filter_rejects_impossible_predicates() {
+        let mut t = fresh();
+        let g = u8s().filter("never", |_| false);
+        assert!(g.sample(&mut t).is_err());
+    }
+
+    #[test]
+    fn filter_passes_satisfiable_predicates() {
+        let mut t = fresh();
+        let g = u8s().filter("odd", |v| v % 2 == 1);
+        for _ in 0..50 {
+            assert_eq!(g.sample(&mut t).unwrap() % 2, 1);
+        }
+    }
+
+    #[test]
+    fn in_range_incl_covers_full_u8_domain() {
+        let mut t = fresh();
+        let g = in_range_incl(1u8..=255);
+        for _ in 0..100 {
+            assert!(g.sample(&mut t).unwrap() >= 1);
+        }
+        let full = in_range_incl(0u64..=u64::MAX);
+        full.sample(&mut t).unwrap();
+    }
+
+    #[test]
+    fn entry_maps_have_unique_sorted_keys() {
+        let mut t = fresh();
+        let g = entry_maps(in_range(0u8..6), u8s(), 0..12);
+        for _ in 0..50 {
+            let m = g.sample(&mut t).unwrap();
+            for pair in m.windows(2) {
+                assert!(pair[0].0 < pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn strings_respect_alphabet_and_length() {
+        let mut t = fresh();
+        let g = string_of(NAMEY, 1..25);
+        for _ in 0..50 {
+            let s = g.sample(&mut t).unwrap();
+            assert!((1..25).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| NAMEY.contains(c)));
+        }
+    }
+}

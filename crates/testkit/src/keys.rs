@@ -1,0 +1,59 @@
+//! Fixed-seed cached asymmetric keys for tests and benches.
+//!
+//! RSA/ESIGN key generation is prime search — by far the slowest thing a
+//! test can do. These pools generate a handful of keys once per process
+//! from fixed seeds (independent of `SHAROES_TEST_SEED`, so cached keys
+//! never change the meaning of a seed sweep) and hand out references.
+
+use sharoes_crypto::{EsignPrivateKey, HmacDrbg, RsaPrivateKey};
+use std::sync::OnceLock;
+
+/// Two 512-bit RSA keys (test-sized; production uses 2048).
+pub fn rsa512() -> &'static [RsaPrivateKey; 2] {
+    static KEYS: OnceLock<[RsaPrivateKey; 2]> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = HmacDrbg::new(b"sharoes-testkit rsa512 pool");
+        [
+            RsaPrivateKey::generate(512, &mut rng).expect("rsa keygen"),
+            RsaPrivateKey::generate(512, &mut rng).expect("rsa keygen"),
+        ]
+    })
+}
+
+/// Two 768-bit ESIGN keys (test-sized).
+pub fn esign768() -> &'static [EsignPrivateKey; 2] {
+    static KEYS: OnceLock<[EsignPrivateKey; 2]> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = HmacDrbg::new(b"sharoes-testkit esign768 pool");
+        [
+            EsignPrivateKey::generate(768, &mut rng).expect("esign keygen"),
+            EsignPrivateKey::generate(768, &mut rng).expect("esign keygen"),
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharoes_crypto::RandomSource;
+
+    #[test]
+    fn pools_are_cached_and_usable() {
+        let a = rsa512();
+        let b = rsa512();
+        assert!(std::ptr::eq(a, b), "second call must reuse the pool");
+        let mut rng = HmacDrbg::from_seed_u64(9);
+        let ct = a[0].public_key().encrypt(&mut rng, b"pooled").unwrap();
+        assert_eq!(a[0].decrypt(&ct).unwrap(), b"pooled");
+        let sig = {
+            let mut r = HmacDrbg::from_seed_u64(10);
+            let mut buf = [0u8; 4];
+            r.fill_bytes(&mut buf);
+            esign768()[0].sign(&mut r, &buf)
+        };
+        let mut r = HmacDrbg::from_seed_u64(10);
+        let mut buf = [0u8; 4];
+        r.fill_bytes(&mut buf);
+        esign768()[0].public_key().verify(&buf, &sig).unwrap();
+    }
+}

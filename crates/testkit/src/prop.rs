@@ -1,0 +1,489 @@
+//! The property-test runner: deterministic case generation, failure
+//! detection, and greedy tape shrinking.
+//!
+//! [`crate::prop!`] expands each property into a `#[test]` that calls
+//! [`run`]. Cases are generated from a DRBG derived from
+//! `(seed, test name, case index)`, so two consecutive `cargo test` runs
+//! with the same seed execute byte-identical cases. On failure the recorded
+//! entropy tape is minimized (delete chunks, zero chunks, shrink bytes) and
+//! the property is re-run on the minimal tape to report the shrunk
+//! counterexample values.
+
+use crate::tape::Tape;
+use sharoes_crypto::HmacDrbg;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// How a single case concluded unsuccessfully.
+#[derive(Debug)]
+pub enum CaseError {
+    /// The case was discarded (`prop_assume!` or generator filter).
+    Reject(&'static str),
+    /// The property was falsified.
+    Fail(String),
+}
+
+/// What a property body returns.
+pub type CaseResult = Result<(), CaseError>;
+
+impl From<crate::gen::Rejected> for CaseError {
+    fn from(r: crate::gen::Rejected) -> Self {
+        CaseError::Reject(r.0)
+    }
+}
+
+/// Runner configuration. `#![cases(n)]` inside [`crate::prop!`] maps to the
+/// [`Config::cases`] builder; `SHAROES_PROP_CASES` overrides every suite.
+#[derive(Clone, Debug)]
+pub struct Config {
+    cases: u32,
+    cases_pinned_by_env: bool,
+    max_rejects: u32,
+    max_shrink_runs: u32,
+    seed: u64,
+}
+
+/// The default number of cases when neither the suite nor the environment
+/// says otherwise.
+pub const DEFAULT_CASES: u32 = 64;
+
+impl Default for Config {
+    fn default() -> Config {
+        let (cases, pinned) = match std::env::var("SHAROES_PROP_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+        {
+            Some(n) => (n.max(1), true),
+            None => (DEFAULT_CASES, false),
+        };
+        Config {
+            cases,
+            cases_pinned_by_env: pinned,
+            max_rejects: 4096,
+            max_shrink_runs: 512,
+            seed: crate::rng::test_seed(),
+        }
+    }
+}
+
+impl Config {
+    /// Sets the case count (unless `SHAROES_PROP_CASES` pinned it).
+    pub fn cases(mut self, n: u32) -> Config {
+        if !self.cases_pinned_by_env {
+            self.cases = n.max(1);
+        }
+        self
+    }
+
+    /// Sets the reject budget before the runner gives up.
+    pub fn max_rejects(mut self, n: u32) -> Config {
+        self.max_rejects = n;
+        self
+    }
+
+    /// Sets the shrink-run budget.
+    pub fn max_shrink_runs(mut self, n: u32) -> Config {
+        self.max_shrink_runs = n;
+        self
+    }
+
+    /// Overrides the seed (tests normally inherit `SHAROES_TEST_SEED`).
+    pub fn seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+}
+
+fn case_drbg(seed: u64, name: &str, index: u64) -> HmacDrbg {
+    let mut material = Vec::with_capacity(16 + name.len());
+    material.extend_from_slice(&seed.to_be_bytes());
+    material.extend_from_slice(name.as_bytes());
+    material.extend_from_slice(&index.to_be_bytes());
+    HmacDrbg::new(&material)
+}
+
+/// Extracts a displayable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Suppresses default panic-hook output while shrink replays intentionally
+/// panic. Installed process-wide once; counts engaged silencers so
+/// concurrent prop tests compose.
+struct PanicSilencer;
+
+static SILENCED: AtomicUsize = AtomicUsize::new(0);
+static INSTALL_HOOK: Once = Once::new();
+
+impl PanicSilencer {
+    fn engage() -> PanicSilencer {
+        INSTALL_HOOK.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if SILENCED.load(Ordering::SeqCst) == 0 {
+                    previous(info);
+                }
+            }));
+        });
+        SILENCED.fetch_add(1, Ordering::SeqCst);
+        PanicSilencer
+    }
+}
+
+impl Drop for PanicSilencer {
+    fn drop(&mut self) {
+        SILENCED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A case function: draws values from the tape and evaluates the property.
+/// When `collect` is set it also returns `name = value` display strings for
+/// the generated arguments.
+pub type CaseFn<'a> = &'a dyn Fn(&mut Tape, bool) -> (Option<Vec<String>>, CaseResult);
+
+/// Runs a property to completion, panicking with a shrunk counterexample on
+/// falsification.
+pub fn run(name: &str, cfg: Config, case: CaseFn<'_>) {
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < cfg.cases {
+        let mut tape = Tape::recording(case_drbg(cfg.seed, name, case_index));
+        case_index += 1;
+        match case(&mut tape, false).1 {
+            Ok(()) => passed += 1,
+            Err(CaseError::Reject(label)) => {
+                rejected += 1;
+                if rejected > cfg.max_rejects {
+                    panic!(
+                        "[{name}] gave up after {rejected} rejected cases \
+                         ({passed} passed; last filter: {label:?})"
+                    );
+                }
+            }
+            Err(CaseError::Fail(first_msg)) => {
+                report_failure(name, &cfg, case, tape.recorded(), case_index - 1, &first_msg)
+            }
+        }
+    }
+}
+
+fn report_failure(
+    name: &str,
+    cfg: &Config,
+    case: CaseFn<'_>,
+    tape_data: &[u8],
+    case_index: u64,
+    first_msg: &str,
+) -> ! {
+    let replay_fails = |data: &[u8]| {
+        let mut t = Tape::replay(data.to_vec());
+        matches!(case(&mut t, false).1, Err(CaseError::Fail(_)))
+    };
+    let (minimal, shrink_runs) = {
+        let _quiet = PanicSilencer::engage();
+        shrink(tape_data, cfg.max_shrink_runs, &replay_fails)
+    };
+    let (reprs, final_result) = {
+        let _quiet = PanicSilencer::engage();
+        let mut t = Tape::replay(minimal.clone());
+        case(&mut t, true)
+    };
+    let message = match final_result {
+        Err(CaseError::Fail(m)) => m,
+        // Shrinking is validated by `replay_fails`, so the minimal tape
+        // must fail; fall back defensively to the original message.
+        _ => first_msg.to_string(),
+    };
+    let args = reprs
+        .unwrap_or_default()
+        .into_iter()
+        .map(|line| format!("\n    {line}"))
+        .collect::<String>();
+    panic!(
+        "[{name}] property falsified (case {case_index}, seed {seed:#018x}):\n  \
+         {message}\n  minimal input after {shrink_runs} shrink runs:{args}\n  \
+         rerun with SHAROES_TEST_SEED={seed} to reproduce",
+        seed = cfg.seed,
+    );
+}
+
+/// Greedy tape minimization: repeatedly applies the first simplifying edit
+/// (chunk deletion, chunk zeroing, byte shrinking) that still falsifies the
+/// property, until a fixpoint or the run budget is exhausted.
+pub fn shrink(data: &[u8], max_runs: u32, still_fails: &dyn Fn(&[u8]) -> bool) -> (Vec<u8>, u32) {
+    let mut best = data.to_vec();
+    trim_zero_tail(&mut best);
+    let mut runs = 0u32;
+    'passes: loop {
+        // Chunk deletion and zeroing, coarse to fine.
+        let mut size = best.len().max(1);
+        while size >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                let end = (start + size).min(best.len());
+                // Delete [start, end).
+                if runs >= max_runs {
+                    break 'passes;
+                }
+                let mut candidate = best.clone();
+                candidate.drain(start..end);
+                runs += 1;
+                if still_fails(&candidate) {
+                    best = candidate;
+                    trim_zero_tail(&mut best);
+                    continue 'passes;
+                }
+                // Zero [start, end) when it isn't already zero.
+                if best[start..end].iter().any(|&b| b != 0) {
+                    if runs >= max_runs {
+                        break 'passes;
+                    }
+                    let mut candidate = best.clone();
+                    candidate[start..end].iter_mut().for_each(|b| *b = 0);
+                    runs += 1;
+                    if still_fails(&candidate) {
+                        best = candidate;
+                        trim_zero_tail(&mut best);
+                        continue 'passes;
+                    }
+                }
+                start += size;
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+        // Per-byte value shrinking toward zero.
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            for replacement in [best[i] / 2, best[i] - 1] {
+                if runs >= max_runs {
+                    break 'passes;
+                }
+                let mut candidate = best.clone();
+                candidate[i] = replacement;
+                runs += 1;
+                if still_fails(&candidate) {
+                    best = candidate;
+                    trim_zero_tail(&mut best);
+                    continue 'passes;
+                }
+            }
+        }
+        break;
+    }
+    (best, runs)
+}
+
+/// Trailing zeros replay identically to an exhausted tape; dropping them is
+/// free simplification needing no verification run.
+fn trim_zero_tail(data: &mut Vec<u8>) {
+    while data.last() == Some(&0) {
+        data.pop();
+    }
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use sharoes_testkit::prelude::*;
+///
+/// sharoes_testkit::prop! {
+///     #![cases(32)]
+///     fn addition_commutes(a in gen::u32s(), b in gen::u32s()) {
+///         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+///     }
+/// }
+/// # fn main() {}
+/// ```
+///
+/// Each `fn` becomes a `#[test]`. Arguments use `name in generator` syntax;
+/// bodies may use [`crate::prop_assert!`], [`crate::prop_assert_eq!`],
+/// [`crate::prop_assert_ne!`], [`crate::prop_assume!`], or plain panics.
+#[macro_export]
+macro_rules! prop {
+    // Internal muncher rules first; the public entry rule is last because
+    // it matches any token stream. Config attrs are peeled one at a time
+    // and carried along (macro_rules cannot reference an outer repetition
+    // inside a sibling one).
+    (@munch ($($cfg_key:ident($cfg_val:expr),)*)
+        #![$key:ident($val:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::prop!(@munch ($($cfg_key($cfg_val),)* $key($val),) $($rest)*);
+    };
+    (@munch ($($cfg_key:ident($cfg_val:expr),)*)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut)]
+            let mut __cfg = $crate::prop::Config::default();
+            $(__cfg = __cfg.$cfg_key($cfg_val);)*
+            $crate::prop::run(
+                stringify!($name),
+                __cfg,
+                &|__tape: &mut $crate::tape::Tape, __collect: bool| {
+                    $(
+                        let $arg = match ($gen).sample(__tape) {
+                            Ok(v) => v,
+                            Err(r) => {
+                                return (None, Err($crate::prop::CaseError::from(r)))
+                            }
+                        };
+                    )+
+                    let __reprs = if __collect {
+                        Some(vec![$(
+                            format!("{} = {:?}", stringify!($arg), &$arg)
+                        ),+])
+                    } else {
+                        None
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> $crate::prop::CaseResult {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
+                    let __result = match __outcome {
+                        Ok(r) => r,
+                        Err(payload) => Err($crate::prop::CaseError::Fail(
+                            $crate::prop::panic_message(payload),
+                        )),
+                    };
+                    (__reprs, __result)
+                },
+            );
+        }
+        $crate::prop!(@munch ($($cfg_key($cfg_val),)*) $($rest)*);
+    };
+    (@munch ($($cfg_key:ident($cfg_val:expr),)*)) => {};
+    ($($all:tt)+) => {
+        $crate::prop!(@munch () $($all)+);
+    };
+}
+
+/// Asserts a condition inside a [`crate::prop!`] body, failing the case
+/// (and triggering shrinking) instead of aborting the whole runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`crate::prop!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "{}\n    left: {:?}\n   right: {:?}",
+                format!($($fmt)*),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`crate::prop!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n    both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "{}\n    both: {:?}",
+                format!($($fmt)*),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $label:literal $(,)?) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Reject($label));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_minimizes_a_threshold_failure() {
+        // Property: "fails when the first byte is >= 10". Minimal failing
+        // tape should be a single byte of exactly 10.
+        let failing = vec![200u8, 77, 3, 9, 250, 1];
+        let (min, _) = shrink(&failing, 4096, &|d| !d.is_empty() && d[0] >= 10);
+        assert_eq!(min, vec![10]);
+    }
+
+    #[test]
+    fn shrink_respects_budget() {
+        let failing = vec![255u8; 64];
+        let (_, runs) = shrink(&failing, 7, &|d| d.iter().any(|&b| b > 0));
+        assert!(runs <= 7);
+    }
+
+    #[test]
+    fn shrink_handles_always_failing_property() {
+        let (min, _) = shrink(&[1, 2, 3], 4096, &|_| true);
+        assert!(min.is_empty());
+    }
+}

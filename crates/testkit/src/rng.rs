@@ -1,0 +1,67 @@
+//! Seeded randomness facade for tests and benches.
+//!
+//! All test entropy flows through the HMAC-DRBG (NIST SP 800-90A over
+//! SHA-256) from `sharoes-crypto`, so a run is a pure function of the seed.
+//! The default seed is a fixed constant; set `SHAROES_TEST_SEED` (decimal or
+//! `0x`-prefixed hex) to explore a different universe of generated inputs.
+
+pub use sharoes_crypto::{HmacDrbg, RandomSource};
+
+/// The fixed default seed for deterministic runs.
+pub const DEFAULT_SEED: u64 = 0x5AA0_E55E_EDED_0001;
+
+/// The seed in force: `SHAROES_TEST_SEED` if set and parseable, otherwise
+/// [`DEFAULT_SEED`].
+pub fn test_seed() -> u64 {
+    match std::env::var("SHAROES_TEST_SEED") {
+        Ok(s) => parse_seed(&s)
+            .unwrap_or_else(|| panic!("SHAROES_TEST_SEED={s:?} is not a decimal or 0x-hex u64")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// A fresh DRBG seeded from [`test_seed`].
+pub fn test_rng() -> HmacDrbg {
+    HmacDrbg::from_seed_u64(test_seed())
+}
+
+/// A fresh DRBG derived from the test seed and a label, so independent
+/// fixtures draw from independent (but reproducible) streams.
+pub fn test_rng_for(label: &str) -> HmacDrbg {
+    let mut seed = Vec::with_capacity(8 + label.len());
+    seed.extend_from_slice(&test_seed().to_be_bytes());
+    seed.extend_from_slice(label.as_bytes());
+    HmacDrbg::new(&seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed(" 0X10 "), Some(16));
+        assert_eq!(parse_seed("nope"), None);
+    }
+
+    #[test]
+    fn labeled_rngs_differ_but_reproduce() {
+        let mut a1 = test_rng_for("a");
+        let mut a2 = test_rng_for("a");
+        let mut b = test_rng_for("b");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        let mut a = test_rng_for("a");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

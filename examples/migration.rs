@@ -7,8 +7,8 @@
 //! cargo run --example migration
 //! ```
 
-use sharoes::prelude::*;
 use sharoes::fs::treegen::{generate, TreeSpec};
+use sharoes::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -19,17 +19,10 @@ fn main() {
     println!("sharoes-sspd listening on {addr}");
 
     // --------------------------------------- the enterprise (local) side
-    let (local, stats) = generate(&TreeSpec {
-        users: 3,
-        dirs_per_user: 3,
-        files_per_dir: 2,
-        ..Default::default()
-    })
-    .expect("tree generation");
-    println!(
-        "local tree: {} dirs, {} files, {} bytes",
-        stats.dirs, stats.files, stats.bytes
-    );
+    let (local, stats) =
+        generate(&TreeSpec { users: 3, dirs_per_user: 3, files_per_dir: 2, ..Default::default() })
+            .expect("tree generation");
+    println!("local tree: {} dirs, {} files, {} bytes", stats.dirs, stats.files, stats.bytes);
 
     let mut rng = HmacDrbg::from_seed_u64(1234);
     println!("creating cryptographic infrastructure (user/group RSA keys) ...");
@@ -55,7 +48,10 @@ fn main() {
     println!(
         "migration complete: {} records / {} bytes shipped over TCP; \
          {} superblocks, {} group key blocks, {} split entries",
-        report.records, report.bytes, report.superblocks, report.group_key_blocks,
+        report.records,
+        report.bytes,
+        report.superblocks,
+        report.group_key_blocks,
         report.split_entries
     );
 
@@ -85,10 +81,7 @@ fn main() {
     let remote = client.read(path).expect("read over TCP");
     let local_copy = local.read(uid, path).expect("local read");
     assert_eq!(remote, local_copy, "migrated content must match the original");
-    println!(
-        "\nverified {path}: {} bytes identical to the pre-migration original",
-        remote.len()
-    );
+    println!("\nverified {path}: {} bytes identical to the pre-migration original", remote.len());
 
     let meter = client.meter().sample();
     println!(

@@ -23,12 +23,8 @@ fn main() {
     let mut local = LocalFs::new(db, Gid(0), Mode::from_octal(0o755));
     local.mkdir(Uid(0), "/projects", Mode::from_octal(0o775)).unwrap();
     local.chown(Uid(0), "/projects", Uid(0), Gid(100)).unwrap();
-    local
-        .create(Uid(1), "/projects/design.md", Mode::from_octal(0o664))
-        .unwrap();
-    local
-        .write(Uid(1), "/projects/design.md", b"# Design\nEncrypt everything.\n")
-        .unwrap();
+    local.create(Uid(1), "/projects/design.md", Mode::from_octal(0o664)).unwrap();
+    local.write(Uid(1), "/projects/design.md", b"# Design\nEncrypt everything.\n").unwrap();
     println!("local tree ready: {} inodes", local.inode_count());
 
     // --------------------------------------- 2. keys, SSP, and migration
@@ -86,8 +82,7 @@ fn main() {
     println!("bob reads design.md: {:?}", String::from_utf8_lossy(&text));
 
     // bob edits it (0664: group-writable), alice sees the change.
-    bob.write_file("/projects/design.md", b"# Design v2\nSigned and sealed.\n")
-        .unwrap();
+    bob.write_file("/projects/design.md", b"# Design v2\nSigned and sealed.\n").unwrap();
     let text = alice.read("/projects/design.md").unwrap();
     println!("alice reads back:  {:?}", String::from_utf8_lossy(&text));
 

@@ -38,14 +38,7 @@ fn deploy() -> (Arc<SspServer>, Arc<UserDb>, Arc<Pki>, Keyring, Arc<SigKeyPool>,
     Migrator { fs: &local, config: &config, ring: &ring, pool: &pool, downgrade_unsupported: true }
         .migrate(&mut transport, &mut rng)
         .unwrap();
-    (
-        server,
-        Arc::new(local.users().clone()),
-        Arc::new(ring.public_directory()),
-        ring,
-        pool,
-        config,
-    )
+    (server, Arc::new(local.users().clone()), Arc::new(ring.public_directory()), ring, pool, config)
 }
 
 fn main() {
@@ -106,9 +99,7 @@ fn main() {
     println!("(a revoked reader with a cached DEK could still decrypt the old ciphertext)");
 
     let before = alice_lazy.meter().sample();
-    alice_lazy
-        .write_file("/shared/roadmap.txt", b"2027: world domination (revised)")
-        .unwrap();
+    alice_lazy.write_file("/shared/roadmap.txt", b"2027: world domination (revised)").unwrap();
     let cost = alice_lazy.meter().sample().since(&before);
     let st = alice_lazy.getattr("/shared/roadmap.txt").unwrap();
     println!(

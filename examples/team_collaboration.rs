@@ -94,15 +94,13 @@ fn main() {
     println!("== exec-only dropbox (mode 711) ==");
     alice.mkdir("/home/alice/dropbox", Mode::from_octal(0o711)).unwrap();
     alice.create("/home/alice/dropbox/for-bob.txt", Mode::from_octal(0o644)).unwrap();
-    alice
-        .write_file("/home/alice/dropbox/for-bob.txt", b"psst, the demo is friday")
-        .unwrap();
+    alice.write_file("/home/alice/dropbox/for-bob.txt", b"psst, the demo is friday").unwrap();
 
-    println!("bob lists dropbox      -> {:?}", bob.readdir("/home/alice/dropbox").err().map(|e| e.to_string()));
     println!(
-        "bob fetches exact name -> {}",
-        show(bob.read("/home/alice/dropbox/for-bob.txt"))
+        "bob lists dropbox      -> {:?}",
+        bob.readdir("/home/alice/dropbox").err().map(|e| e.to_string())
     );
+    println!("bob fetches exact name -> {}", show(bob.read("/home/alice/dropbox/for-bob.txt")));
     println!(
         "bob guesses a name     -> {}",
         show(bob.read("/home/alice/dropbox/secret-plans.txt"))
@@ -151,8 +149,5 @@ fn main() {
     let mut bob_fresh = world.mount(BOB);
     println!("bob after revoke: {}", show(bob_fresh.read("/home/alice/notes.md")));
     let st = alice.getattr("/home/alice/notes.md").unwrap();
-    println!(
-        "file re-keyed: generation {} (data re-encrypted under a fresh DEK)",
-        st.generation
-    );
+    println!("file re-keyed: generation {} (data re-encrypted under a fresh DEK)", st.generation);
 }

@@ -107,9 +107,7 @@ fn concurrent_clients_share_one_ssp() {
                 for i in 0..4 {
                     let path = format!("{dir}/f{i}");
                     client.create(&path, Mode::from_octal(0o644)).expect("create");
-                    client
-                        .write_file(&path, format!("user{u} file{i}").as_bytes())
-                        .expect("write");
+                    client.write_file(&path, format!("user{u} file{i}").as_bytes()).expect("write");
                 }
                 for i in 0..4 {
                     let path = format!("{dir}/f{i}");
@@ -127,10 +125,7 @@ fn concurrent_clients_share_one_ssp() {
 
     // Cross-visibility: user0 reads user1's 0644 files through a fresh mount.
     let mut reader = world.mount(Uid(1000));
-    assert_eq!(
-        reader.read("/home/user1/ws/f0").expect("cross read"),
-        b"user1 file0"
-    );
+    assert_eq!(reader.read("/home/user1/ws/f0").expect("cross read"), b"user1 file0");
     // The handle shuts down on drop (Arc-owned here).
 }
 
@@ -138,7 +133,8 @@ fn concurrent_clients_share_one_ssp() {
 fn treegen_permission_mix_respected_remotely() {
     // Generated trees include exec-only (711) and owner-only (700) dirs;
     // verify a non-owner experiences the right semantics through Sharoes.
-    let spec = TreeSpec { users: 2, dirs_per_user: 4, files_per_dir: 1, seed: 9, ..Default::default() };
+    let spec =
+        TreeSpec { users: 2, dirs_per_user: 4, files_per_dir: 1, seed: 9, ..Default::default() };
     let world = deploy_over_tcp(&spec);
     let owner = Uid(1000);
     let other = Uid(1001);

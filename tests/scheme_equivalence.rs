@@ -73,8 +73,7 @@ fn observe(client: &mut SharoesClient, path: &str, kind: NodeKind) -> Observatio
             Err(_) => Observation::Hidden,
             Ok(_) => Observation::Dir {
                 listing: client.readdir(path).ok().map(|mut entries| {
-                    let mut names: Vec<String> =
-                        entries.drain(..).map(|e| e.name).collect();
+                    let mut names: Vec<String> = entries.drain(..).map(|e| e.name).collect();
                     names.sort();
                     names
                 }),
@@ -133,17 +132,15 @@ fn schemes_are_observably_equivalent() {
     // Sanity: the tree's permission mix must actually exercise both sides.
     assert!(probes > 50, "tree too small to be meaningful ({probes} probes)");
     assert!(denials > 0, "no denials observed — permission mix too permissive");
-    assert!(
-        denials < probes,
-        "everything denied — permission mix too restrictive"
-    );
+    assert!(denials < probes, "everything denied — permission mix too restrictive");
 }
 
 #[test]
 fn schemes_equivalent_after_mutations() {
     // Run the same mutation script against both schemes and require
     // identical end states for every user.
-    let spec = TreeSpec { users: 2, dirs_per_user: 2, files_per_dir: 1, seed: 77, ..Default::default() };
+    let spec =
+        TreeSpec { users: 2, dirs_per_user: 2, files_per_dir: 1, seed: 77, ..Default::default() };
     let (fs, _) = generate(&spec).expect("treegen");
     let mut rng = HmacDrbg::from_seed_u64(0x5EED2);
     let ring1 = Keyring::generate(fs.users(), 512, &mut rng).unwrap();
@@ -163,9 +160,9 @@ fn schemes_equivalent_after_mutations() {
 
     let other = Uid(1001);
     for path in [
-        "/home/user0/newdir",            // exec-only dir: list denied
+        "/home/user0/newdir",             // exec-only dir: list denied
         "/home/user0/newdir/renamed.txt", // reachable by exact name
-        "/home/user0/proj0/file0.dat",   // revoked: read denied
+        "/home/user0/proj0/file0.dat",    // revoked: read denied
     ] {
         let mut c1 = w1.mount(other);
         let mut c2 = w2.mount(other);
@@ -182,10 +179,7 @@ fn schemes_equivalent_after_mutations() {
     }
     // And the positive outcome is the expected one in both.
     let mut c2 = w2.mount(other);
-    assert_eq!(
-        c2.read("/home/user0/newdir/renamed.txt").unwrap(),
-        b"both schemes"
-    );
+    assert_eq!(c2.read("/home/user0/newdir/renamed.txt").unwrap(), b"both schemes");
     let mut c2b = w2.mount(other);
     assert!(c2b.read("/home/user0/proj0/file0.dat").is_err());
 }
