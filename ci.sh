@@ -20,4 +20,7 @@ cargo check --offline --workspace --all-targets
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== chaos suite at pinned seed (fault injection + snapshot recovery)"
+SHAROES_TEST_SEED=0xC4A05EED cargo test -q --offline --test chaos
+
 echo "CI OK"

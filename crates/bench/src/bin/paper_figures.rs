@@ -81,7 +81,7 @@ fn print_help() {
          \x20 fig12      Andrew cumulative table (Figure 12)\n\
          \x20 fig13      Filesystem operation cost breakdown (Figure 13)\n\
          \x20 storage    Scheme-1/2 storage overhead (§III-D.1, E6)\n\
-         \x20 ablations  A1 scheme fan-out, A2 revocation, A3 ESIGN vs RSA, A4 net sweep\n\
+         \x20 ablations  A1 scheme fan-out, A2 revocation, A3 ESIGN vs RSA, A4 net sweep, A5 fault overhead\n\
          \x20 summary    headline speedups (E7)\n\
          \x20 all        everything above"
     );
@@ -281,6 +281,21 @@ fn ablations_report(opts: &BenchOpts, quick: bool) {
         ]);
     }
     table.print();
+
+    println!("\n== A5: resilient-transport overhead vs injected fault rate ==");
+    let ops = if quick { 4 } else { 12 };
+    let mut table = Table::new(&["fault rate", "round trips", "retries", "reconnects", "faults"]);
+    for p in ablations::fault_overhead(ops, &[0.0, 0.05, 0.20], opts) {
+        table.row(vec![
+            format!("{:.0}%", p.rate * 100.0),
+            p.round_trips.to_string(),
+            p.retries.to_string(),
+            p.reconnects.to_string(),
+            p.faults_injected.to_string(),
+        ]);
+    }
+    table.print();
+    println!("workload completes at every rate; the deltas are pure retry traffic");
 }
 
 fn summary(fig9_results: &[createlist::CreateListResult]) {

@@ -1,9 +1,11 @@
-//! Ablations A1–A4: design-choice studies called out in DESIGN.md.
+//! Ablations A1–A5: design-choice studies called out in DESIGN.md.
 //!
 //! * A1 — Scheme-1 vs Scheme-2: update fan-out and access latency.
 //! * A2 — immediate vs lazy revocation: chmod cost vs next-write cost.
 //! * A3 — ESIGN vs RSA for DSK/MSK signing: create-phase crypto.
 //! * A4 — network sweep: SHAROES vs PUB-OPT across link qualities.
+//! * A5 — op-cost overhead of the resilient transport vs injected fault
+//!   rate: the workload always completes; only retry traffic grows.
 
 use crate::harness::{content, Bench, BenchOpts, PhaseTimer, BENCH_USER};
 use crate::workloads::createlist::{self, CreateListSpec};
@@ -193,6 +195,73 @@ pub fn net_sweep(files: usize, opts: &BenchOpts) -> Vec<NetSweepPoint> {
     out
 }
 
+/// A5 result for one injected fault rate.
+#[derive(Clone, Debug)]
+pub struct FaultOverheadPoint {
+    /// Probability that any single SSP call is faulted.
+    pub rate: f64,
+    /// Wire round trips the workload needed (retries included).
+    pub round_trips: u64,
+    /// Retries the resilient transport performed.
+    pub retries: u64,
+    /// Reconnections after torn connections.
+    pub reconnects: u64,
+    /// Faults the injector introduced.
+    pub faults_injected: u64,
+}
+
+/// A5: how much op-cost the fault rate adds. A seeded fault schedule breaks
+/// calls at `rate`; the resilient transport retries/reconnects around every
+/// fault, so the create+write+read workload completes at each point and the
+/// deltas are pure retry overhead.
+pub fn fault_overhead(n: usize, rates: &[f64], opts: &BenchOpts) -> Vec<FaultOverheadPoint> {
+    use sharoes_net::{
+        CostMeter, FaultConfig, FaultInjector, FaultSchedule, InMemoryTransport, NetError,
+        RequestHandler, ResilientTransport, RetryPolicy, Transport,
+    };
+    use std::sync::Arc;
+    let mut out = Vec::new();
+    for &rate in rates {
+        let bench = Bench::new(CryptoPolicy::Sharoes, Scheme::SharedCaps, opts, n + 4);
+        let schedule = FaultSchedule::shared(FaultConfig::at_rate(rate), 0xA5);
+        let meter = CostMeter::new_shared();
+        let handler = Arc::clone(&bench.server) as Arc<dyn RequestHandler>;
+        let meter2 = Arc::clone(&meter);
+        let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            let inner = InMemoryTransport::with_meter(Arc::clone(&handler), Arc::clone(&meter2));
+            Ok(Box::new(FaultInjector::new(inner, Arc::clone(&schedule))))
+        });
+        let transport =
+            ResilientTransport::connect(connector, RetryPolicy::fast(10)).expect("connect");
+        let identity = bench.ring.identity(BENCH_USER).expect("identity");
+        let mut client = sharoes_core::SharoesClient::with_rng(
+            Box::new(transport),
+            bench.config.clone(),
+            Arc::clone(&bench.db),
+            Arc::clone(&bench.pki),
+            identity,
+            Arc::clone(&bench.pool),
+            sharoes_crypto::HmacDrbg::from_seed_u64(0xA5),
+        );
+        client.mount().expect("mount");
+        for i in 0..n {
+            let path = format!("/bench/r{i}");
+            client.create(&path, Mode::from_octal(0o644)).expect("create");
+            client.write_file(&path, &content(2048, i as u64)).expect("write");
+            client.read(&path).expect("read");
+        }
+        let s = meter.sample();
+        out.push(FaultOverheadPoint {
+            rate,
+            round_trips: s.round_trips,
+            retries: s.retries,
+            reconnects: s.reconnects,
+            faults_injected: s.faults_injected,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +309,24 @@ mod tests {
             "ESIGN crypto {:?} must beat RSA {:?}",
             esign.crypto,
             rsa.crypto
+        );
+    }
+
+    #[test]
+    fn a5_overhead_grows_with_fault_rate_and_workload_completes() {
+        let _serial = crate::workloads::wall_clock_lock();
+        let points = fault_overhead(3, &[0.0, 0.2], &quick());
+        let clean = &points[0];
+        let faulty = &points[1];
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.faults_injected, 0);
+        assert!(faulty.faults_injected > 0, "20% rate must inject faults");
+        assert!(faulty.retries > 0, "faults must force retries");
+        assert!(
+            faulty.round_trips > clean.round_trips,
+            "retry traffic must show up in round trips: {} vs {}",
+            faulty.round_trips,
+            clean.round_trips
         );
     }
 

@@ -120,6 +120,7 @@ mod tests {
 
     #[test]
     fn sharoes_crypto_share_is_small() {
+        let _serial = crate::workloads::wall_clock_lock();
         let opts = BenchOpts { users: 2, crypto: CryptoParams::test(), ..Default::default() };
         let costs = run(CryptoPolicy::Sharoes, 2, &opts);
         assert_eq!(costs.len(), 6);

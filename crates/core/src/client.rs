@@ -112,6 +112,10 @@ pub struct SharoesClient {
     /// the rollback half of the paper's §VIII "integrity mechanisms" future
     /// work (full fork consistency is SUNDR's, §VI).
     freshness: HashMap<FreshKey, u64>,
+    /// True after a call exhausted its transport's retries: the SSP is
+    /// unreachable and the client is serving what it can from cache.
+    /// Cleared by the next successful call.
+    degraded: bool,
 }
 
 /// Keys of the session freshness ledger.
@@ -173,6 +177,7 @@ impl SharoesClient {
             mount: None,
             pending: HashMap::new(),
             freshness: HashMap::new(),
+            degraded: false,
         }
     }
 
@@ -196,6 +201,15 @@ impl SharoesClient {
         self.cache.stats()
     }
 
+    /// True while the SSP is unreachable and the client is degraded to
+    /// serving cached reads. Operations that need the network return
+    /// [`CoreError::SspUnavailable`]; cache-resident `getattr`/`read`/
+    /// `readdir` keep working. Cleared by the next call that reaches the
+    /// SSP.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     fn layout(&self) -> Layout<'_> {
         Layout {
             scheme: self.config.effective_scheme(),
@@ -217,9 +231,24 @@ impl SharoesClient {
     // ---------------------------------------------------------------- I/O
 
     fn call(&mut self, req: &Request) -> Result<Response> {
-        match self.transport.call(req)? {
-            Response::Error(msg) => Err(CoreError::Net(sharoes_net::NetError::Remote(msg))),
-            other => Ok(other),
+        use sharoes_net::ErrorClass;
+        let to_core = |this: &mut Self, err: sharoes_net::NetError| match err.class() {
+            // Retries exhausted on a retryable failure = connectivity loss.
+            // Flag degraded mode and surface a typed, non-panicking error;
+            // cache-resident reads keep working around it.
+            ErrorClass::Retryable => {
+                this.degraded = true;
+                Err(CoreError::SspUnavailable(err.to_string()))
+            }
+            ErrorClass::Fatal => Err(CoreError::Net(err)),
+        };
+        match self.transport.call(req) {
+            Ok(Response::Error(msg)) => to_core(self, sharoes_net::NetError::Remote(msg)),
+            Ok(other) => {
+                self.degraded = false;
+                Ok(other)
+            }
+            Err(e) => to_core(self, e),
         }
     }
 

@@ -41,6 +41,10 @@ pub enum CoreError {
     Crypto(CryptoError),
     /// Transport failure.
     Net(NetError),
+    /// The SSP is unreachable (retries exhausted). The client stays usable
+    /// in degraded mode: cached reads succeed, everything else returns
+    /// this error instead of panicking.
+    SspUnavailable(String),
     /// Malformed path.
     BadPath(sharoes_fs::path::PathError),
     /// Stored object bytes failed to parse (treated as tampering-adjacent).
@@ -67,6 +71,9 @@ impl fmt::Display for CoreError {
             CoreError::NotMounted => write!(f, "filesystem not mounted"),
             CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
             CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::SspUnavailable(why) => {
+                write!(f, "ssp unavailable (degraded mode): {why}")
+            }
             CoreError::BadPath(e) => write!(f, "{e}"),
             CoreError::Corrupt(what) => write!(f, "corrupt stored object: {what}"),
             CoreError::UnknownPrincipal(who) => write!(f, "no key material for {who}"),

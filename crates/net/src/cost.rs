@@ -17,6 +17,9 @@ pub struct CostMeter {
     round_trips: AtomicU64,
     crypto_ns: AtomicU64,
     other_ns: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 /// A snapshot of accumulated costs, or the delta between two snapshots.
@@ -32,6 +35,12 @@ pub struct CostSample {
     pub crypto_ns: u64,
     /// Nanoseconds spent in other local processing.
     pub other_ns: u64,
+    /// Requests re-sent by the resilience layer after a retryable failure.
+    pub retries: u64,
+    /// Fresh connections established after a connection was torn down.
+    pub reconnects: u64,
+    /// Faults a fault-injecting transport deliberately introduced.
+    pub faults_injected: u64,
 }
 
 impl CostSample {
@@ -43,6 +52,9 @@ impl CostSample {
             round_trips: self.round_trips.saturating_sub(earlier.round_trips),
             crypto_ns: self.crypto_ns.saturating_sub(earlier.crypto_ns),
             other_ns: self.other_ns.saturating_sub(earlier.other_ns),
+            retries: self.retries.saturating_sub(earlier.retries),
+            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
         }
     }
 
@@ -54,6 +66,9 @@ impl CostSample {
             round_trips: self.round_trips + other.round_trips,
             crypto_ns: self.crypto_ns + other.crypto_ns,
             other_ns: self.other_ns + other.other_ns,
+            retries: self.retries + other.retries,
+            reconnects: self.reconnects + other.reconnects,
+            faults_injected: self.faults_injected + other.faults_injected,
         }
     }
 }
@@ -69,6 +84,21 @@ impl CostMeter {
         self.bytes_up.fetch_add(up, Ordering::Relaxed);
         self.bytes_down.fetch_add(down, Ordering::Relaxed);
         self.round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request retry.
+    pub fn charge_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one reconnect.
+    pub fn charge_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one deliberately injected fault.
+    pub fn charge_fault(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds already-measured crypto time.
@@ -105,6 +135,9 @@ impl CostMeter {
             round_trips: self.round_trips.load(Ordering::Relaxed),
             crypto_ns: self.crypto_ns.load(Ordering::Relaxed),
             other_ns: self.other_ns.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -115,6 +148,9 @@ impl CostMeter {
         self.round_trips.store(0, Ordering::Relaxed);
         self.crypto_ns.store(0, Ordering::Relaxed);
         self.other_ns.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.reconnects.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
     }
 }
 
@@ -168,11 +204,40 @@ mod tests {
 
     #[test]
     fn plus_sums() {
-        let a =
-            CostSample { bytes_up: 1, bytes_down: 2, round_trips: 3, crypto_ns: 4, other_ns: 5 };
+        let a = CostSample {
+            bytes_up: 1,
+            bytes_down: 2,
+            round_trips: 3,
+            crypto_ns: 4,
+            other_ns: 5,
+            retries: 6,
+            reconnects: 7,
+            faults_injected: 8,
+        };
         let b = a.plus(&a);
         assert_eq!(b.bytes_up, 2);
         assert_eq!(b.other_ns, 10);
+        assert_eq!(b.retries, 12);
+        assert_eq!(b.faults_injected, 16);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_and_delta() {
+        let m = CostMeter::default();
+        m.charge_retry();
+        m.charge_retry();
+        m.charge_reconnect();
+        m.charge_fault();
+        let before = m.sample();
+        assert_eq!(before.retries, 2);
+        assert_eq!(before.reconnects, 1);
+        assert_eq!(before.faults_injected, 1);
+        m.charge_retry();
+        let delta = m.sample().since(&before);
+        assert_eq!(delta.retries, 1);
+        assert_eq!(delta.reconnects, 0);
+        m.reset();
+        assert_eq!(m.sample(), CostSample::default());
     }
 
     #[test]

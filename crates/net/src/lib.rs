@@ -11,19 +11,27 @@
 //!   format.
 //! * [`cost`] / [`netmodel`] — the NETWORK/CRYPTO/OTHER accounting and the
 //!   paper's DSL link model that converts byte counts to seconds.
+//! * [`fault`] — deterministic, seed-replayable fault injection for chaos
+//!   testing any transport.
+//! * [`resilient`] — retrying/reconnecting transport decorator built on the
+//!   [`error::ErrorClass`] taxonomy.
 
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod message;
 pub mod netmodel;
+pub mod resilient;
 pub mod transport;
 pub mod wire;
 
 pub use cost::{CostMeter, CostSample};
-pub use error::NetError;
+pub use error::{ErrorClass, NetError, TRANSIENT_ERROR_PREFIX};
+pub use fault::{FaultConfig, FaultCounts, FaultInjector, FaultKind, FaultSchedule, OpClass};
 pub use message::{KeySpace, ObjectKey, Request, Response};
 pub use netmodel::NetModel;
+pub use resilient::{Connector, ResilientTransport, RetryPolicy};
 pub use transport::{InMemoryTransport, RequestHandler, TcpTransport, Transport};
 pub use wire::{Cursor, WireRead, WireWrite};

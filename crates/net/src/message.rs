@@ -146,6 +146,37 @@ pub enum Request {
     Stats,
 }
 
+impl Request {
+    /// True when `response` is a plausible reply to this request.
+    ///
+    /// The protocol carries no sequence numbers, so after a timeout a late
+    /// reply can desynchronize a connection by one frame. The resilient
+    /// transport uses this shape check to detect such stale/duplicate
+    /// replies and recover by reconnecting. (A stale reply of the *same*
+    /// shape — an old `Object` for a different `Get` — is indistinguishable
+    /// here by design; that is the rollback-detection problem the client's
+    /// signed-version freshness ledger handles.)
+    pub fn matches_response(&self, response: &Response) -> bool {
+        match (self, response) {
+            // Errors are a valid reply to anything.
+            (_, Response::Error(_)) => true,
+            (Request::Ping, Response::Pong) => true,
+            (
+                Request::Put { .. }
+                | Request::PutMany { .. }
+                | Request::Delete { .. }
+                | Request::DeleteBlocks { .. }
+                | Request::DeleteMany { .. },
+                Response::Ok,
+            ) => true,
+            (Request::Get { .. }, Response::Object(_)) => true,
+            (Request::GetMany { keys }, Response::Objects(vs)) => vs.len() == keys.len(),
+            (Request::Stats, Response::Stats { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
 /// An SSP response.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -307,6 +338,23 @@ mod tests {
     fn unknown_tags_rejected() {
         assert!(Request::from_wire(&[99]).is_err());
         assert!(Response::from_wire(&[99]).is_err());
+    }
+
+    #[test]
+    fn response_shape_matching() {
+        let key = ObjectKey::metadata(1, [0; 16]);
+        assert!(Request::Ping.matches_response(&Response::Pong));
+        assert!(!Request::Ping.matches_response(&Response::Ok));
+        assert!(Request::Put { key, value: vec![] }.matches_response(&Response::Ok));
+        assert!(!Request::Put { key, value: vec![] }.matches_response(&Response::Pong));
+        assert!(Request::Get { key }.matches_response(&Response::Object(None)));
+        assert!(!Request::Get { key }.matches_response(&Response::Objects(vec![])));
+        // GetMany checks arity, so a stale shorter reply is detectable.
+        let two = Request::GetMany { keys: vec![key, key] };
+        assert!(two.matches_response(&Response::Objects(vec![None, None])));
+        assert!(!two.matches_response(&Response::Objects(vec![None])));
+        // Errors match anything.
+        assert!(two.matches_response(&Response::Error("x".into())));
     }
 
     #[test]

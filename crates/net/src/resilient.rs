@@ -1,0 +1,439 @@
+//! A retrying, reconnecting transport decorator.
+//!
+//! [`ResilientTransport`] wraps a [`Connector`] (a factory producing fresh
+//! connections) and gives the client a single durable channel to the SSP:
+//!
+//! * **Bounded retries with exponential backoff.** A call that fails with a
+//!   [`ErrorClass::Retryable`] error is retried up to
+//!   [`RetryPolicy::max_attempts`] times, sleeping `base_backoff * 2^n`
+//!   (capped at [`RetryPolicy::max_backoff`]) plus deterministic jitter
+//!   between attempts. [`ErrorClass::Fatal`] errors surface immediately.
+//! * **Automatic reconnect.** Connection-level failures (I/O errors, torn
+//!   or garbled frames) drop the current connection; the next attempt asks
+//!   the connector for a new one. Transient server errors retry on the same
+//!   connection — the stream is still synchronized.
+//! * **Desync detection.** A reply whose shape does not match the request
+//!   (see [`Request::matches_response`]) means the stream slipped by a
+//!   frame (a late reply after a timeout). The connection is dropped and
+//!   the call retried on a fresh one.
+//!
+//! Retrying is safe because every SSP operation is an idempotent put / get /
+//! delete of client-sealed blobs (see [`crate::error::ErrorClass`] for the
+//! full argument); the decorator only ever resends the same request.
+//!
+//! Jitter is drawn from a seeded HMAC-DRBG, so backoff sequences — like
+//! everything else in the test/bench harness — are a pure function of the
+//! seed.
+
+use crate::cost::CostMeter;
+use crate::error::{ErrorClass, NetError};
+use crate::message::{Request, Response};
+use crate::transport::Transport;
+use sharoes_crypto::{HmacDrbg, RandomSource};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A factory producing fresh connections to the SSP.
+///
+/// Implemented for any `FnMut() -> Result<Box<dyn Transport>, NetError>`,
+/// e.g. a closure around [`crate::transport::TcpTransport::connect_with`]
+/// or one building a [`crate::fault::FaultInjector`] over a shared fault
+/// schedule.
+pub trait Connector: Send {
+    /// Opens a new connection.
+    fn connect(&mut self) -> Result<Box<dyn Transport>, NetError>;
+}
+
+impl<F> Connector for F
+where
+    F: FnMut() -> Result<Box<dyn Transport>, NetError> + Send,
+{
+    fn connect(&mut self) -> Result<Box<dyn Transport>, NetError> {
+        self()
+    }
+}
+
+/// Retry/backoff parameters.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts per call (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0x5AA0_E55E_0BAC_0FF5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with zero backoff, for tests and chaos runs where wall-clock
+    /// sleeping only slows the suite down.
+    pub fn fast(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before attempt `n` (0-based: attempt 0 never sleeps),
+    /// with `jitter` in `0..=100` adding up to +100% of the base delay.
+    fn backoff(&self, n: u32, jitter_pct: u64) -> Duration {
+        if n == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.base_backoff.saturating_mul(1u32 << (n - 1).min(16));
+        let capped = exp.min(self.max_backoff);
+        capped + capped.mul_f64(jitter_pct as f64 / 100.0)
+    }
+}
+
+/// A transport that retries, backs off, and reconnects.
+pub struct ResilientTransport {
+    connector: Box<dyn Connector>,
+    policy: RetryPolicy,
+    conn: Option<Box<dyn Transport>>,
+    jitter: HmacDrbg,
+    meter: Arc<CostMeter>,
+}
+
+impl ResilientTransport {
+    /// Builds the decorator and eagerly opens the first connection so the
+    /// shared meter (and early reachability errors) surface at build time.
+    pub fn connect(
+        mut connector: Box<dyn Connector>,
+        policy: RetryPolicy,
+    ) -> Result<Self, NetError> {
+        let conn = connector.connect()?;
+        let meter = Arc::clone(conn.meter());
+        let jitter = HmacDrbg::from_seed_u64(policy.jitter_seed);
+        Ok(ResilientTransport { connector, policy, conn: Some(conn), jitter, meter })
+    }
+
+    /// True while no live connection is held (the last attempt tore it
+    /// down and no call has re-established one yet).
+    pub fn is_disconnected(&self) -> bool {
+        self.conn.is_none()
+    }
+
+    /// Returns the live connection, reconnecting if necessary.
+    fn ensure_conn(&mut self) -> Result<&mut Box<dyn Transport>, NetError> {
+        if self.conn.is_none() {
+            let conn = self.connector.connect()?;
+            self.meter.charge_reconnect();
+            self.conn = Some(conn);
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+
+    fn sleep_before(&mut self, attempt: u32) {
+        let jitter_pct = self.jitter.next_u64() % 101;
+        let d = self.policy.backoff(attempt, jitter_pct);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+impl Transport for ResilientTransport {
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.meter.charge_retry();
+                self.sleep_before(attempt);
+            }
+            let conn = match self.ensure_conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    // Connect failures are connectivity loss: retryable.
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match conn.call(request) {
+                Ok(response) => {
+                    if let Response::Error(msg) = &response {
+                        let err = NetError::Remote(msg.clone());
+                        if err.class() == ErrorClass::Fatal {
+                            return Err(err);
+                        }
+                        // Transient server error: the stream is still in
+                        // sync, so retry on the same connection.
+                        last_err = Some(err);
+                        continue;
+                    }
+                    if !request.matches_response(&response) {
+                        // Desynchronized stream (a late reply slipped in):
+                        // this connection can no longer be trusted to pair
+                        // frames correctly. Drop it and retry fresh.
+                        self.conn = None;
+                        last_err = Some(NetError::Codec("response does not match request"));
+                        continue;
+                    }
+                    return Ok(response);
+                }
+                Err(e) => match e.class() {
+                    ErrorClass::Fatal => return Err(e),
+                    ErrorClass::Retryable => {
+                        // Connection-level failure: the stream state is
+                        // unknown, so reconnect before the next attempt.
+                        self.conn = None;
+                        last_err = Some(e);
+                    }
+                },
+            }
+        }
+        Err(last_err.unwrap_or(NetError::Closed))
+    }
+
+    fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultInjector, FaultSchedule};
+    use crate::message::ObjectKey;
+    use crate::transport::{InMemoryTransport, RequestHandler};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    struct MapStore(Mutex<HashMap<ObjectKey, Vec<u8>>>);
+
+    impl RequestHandler for MapStore {
+        fn handle(&self, request: Request) -> Response {
+            match request {
+                Request::Ping => Response::Pong,
+                Request::Put { key, value } => {
+                    self.0.lock().unwrap().insert(key, value);
+                    Response::Ok
+                }
+                Request::Get { key } => Response::Object(self.0.lock().unwrap().get(&key).cloned()),
+                _ => Response::Error("unsupported in test".into()),
+            }
+        }
+    }
+
+    /// A connector over a shared in-memory store + shared fault schedule:
+    /// the same shape the chaos suite uses.
+    fn faulty_connector(
+        handler: Arc<MapStore>,
+        schedule: Arc<Mutex<FaultSchedule>>,
+        meter: Arc<CostMeter>,
+    ) -> Box<dyn Connector> {
+        Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            let inner = InMemoryTransport::with_meter(
+                Arc::clone(&handler) as Arc<dyn RequestHandler>,
+                Arc::clone(&meter),
+            );
+            Ok(Box::new(FaultInjector::new(inner, Arc::clone(&schedule))))
+        })
+    }
+
+    #[test]
+    fn clean_path_passes_through() {
+        let handler = Arc::new(MapStore(Mutex::new(HashMap::new())));
+        let schedule = FaultSchedule::shared(FaultConfig::at_rate(0.0), 1);
+        let meter = CostMeter::new_shared();
+        let mut t = ResilientTransport::connect(
+            faulty_connector(handler, schedule, meter),
+            RetryPolicy::fast(3),
+        )
+        .unwrap();
+        assert_eq!(t.call(&Request::Ping).unwrap(), Response::Pong);
+        let s = t.meter().sample();
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.reconnects, 0);
+    }
+
+    #[test]
+    fn survives_heavy_fault_rates() {
+        // At a 40% fault rate, 8 attempts make per-call failure vanishingly
+        // unlikely (0.4^8 ≈ 0.07%), and the seed pins the exact schedule.
+        let handler = Arc::new(MapStore(Mutex::new(HashMap::new())));
+        let schedule = FaultSchedule::shared(FaultConfig::at_rate(0.4), 42);
+        let meter = CostMeter::new_shared();
+        let mut t = ResilientTransport::connect(
+            faulty_connector(Arc::clone(&handler), schedule, meter),
+            RetryPolicy::fast(8),
+        )
+        .unwrap();
+        for i in 0..50u64 {
+            let key = ObjectKey::metadata(i, [0; 16]);
+            assert_eq!(
+                t.call(&Request::Put { key, value: vec![i as u8; 64] }).unwrap(),
+                Response::Ok
+            );
+            assert_eq!(
+                t.call(&Request::Get { key }).unwrap(),
+                Response::Object(Some(vec![i as u8; 64]))
+            );
+        }
+        let s = t.meter().sample();
+        assert!(s.retries > 0, "a 40% fault rate must force retries");
+        assert!(s.faults_injected > 0);
+    }
+
+    #[test]
+    fn fatal_errors_surface_immediately() {
+        let handler = Arc::new(MapStore(Mutex::new(HashMap::new())));
+        let schedule = FaultSchedule::shared(FaultConfig::at_rate(0.0), 2);
+        let meter = CostMeter::new_shared();
+        let mut t = ResilientTransport::connect(
+            faulty_connector(handler, schedule, meter),
+            RetryPolicy::fast(5),
+        )
+        .unwrap();
+        // MapStore answers Stats with a non-transient error: fatal, no retries.
+        let err = t.call(&Request::Stats).unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)));
+        assert_eq!(err.class(), ErrorClass::Fatal);
+        assert_eq!(t.meter().sample().retries, 0);
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        // A connector whose every connection always fails: the call must
+        // give up after max_attempts, not spin forever.
+        struct DeadTransport(Arc<CostMeter>);
+        impl Transport for DeadTransport {
+            fn call(&mut self, _request: &Request) -> Result<Response, NetError> {
+                Err(NetError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionReset)))
+            }
+            fn meter(&self) -> &Arc<CostMeter> {
+                &self.0
+            }
+        }
+        let meter = CostMeter::new_shared();
+        let dials = Arc::new(AtomicU64::new(0));
+        let dials2 = Arc::clone(&dials);
+        let meter2 = Arc::clone(&meter);
+        let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            dials2.fetch_add(1, Ordering::SeqCst);
+            Ok(Box::new(DeadTransport(Arc::clone(&meter2))) as Box<dyn Transport>)
+        });
+        let mut t = ResilientTransport::connect(connector, RetryPolicy::fast(4)).unwrap();
+        let err = t.call(&Request::Ping).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Retryable);
+        assert!(t.is_disconnected());
+        let s = t.meter().sample();
+        assert_eq!(s.retries, 3, "4 attempts = 3 retries");
+        // Initial dial + 3 redials (each failed attempt drops the conn).
+        assert_eq!(dials.load(Ordering::SeqCst), 4);
+        assert_eq!(s.reconnects, 3);
+    }
+
+    #[test]
+    fn reconnects_after_disconnect_faults() {
+        let handler = Arc::new(MapStore(Mutex::new(HashMap::new())));
+        // Only disconnect faults, always.
+        let mut config = FaultConfig::at_rate(1.0);
+        config.weights = [0, 0, 1, 0, 0, 0, 0];
+        let schedule = FaultSchedule::shared(config, 3);
+        let meter = CostMeter::new_shared();
+        let mut t = ResilientTransport::connect(
+            faulty_connector(Arc::clone(&handler), Arc::clone(&schedule), meter),
+            RetryPolicy::fast(3),
+        )
+        .unwrap();
+        // Every attempt disconnects; retries are bounded.
+        assert!(t.call(&Request::Ping).is_err());
+        assert!(t.meter().sample().reconnects >= 2);
+        // Quiet the schedule; the next call dials a fresh connection and
+        // succeeds.
+        schedule.lock().unwrap().config.rate = 0.0;
+        assert_eq!(t.call(&Request::Ping).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn desync_detected_and_recovered() {
+        let handler = Arc::new(MapStore(Mutex::new(HashMap::new())));
+        // Only stale-response faults, always (injectable only when the
+        // remembered reply has a mismatched shape, i.e. guaranteed desync).
+        let mut config = FaultConfig::at_rate(1.0);
+        config.weights = [0, 0, 0, 0, 0, 1, 0];
+        let schedule = FaultSchedule::shared(config, 4);
+        let meter = CostMeter::new_shared();
+        let mut t = ResilientTransport::connect(
+            faulty_connector(Arc::clone(&handler), Arc::clone(&schedule), meter),
+            RetryPolicy::fast(4),
+        )
+        .unwrap();
+        let key = ObjectKey::metadata(1, [1; 16]);
+        // First call has nothing to replay: clean.
+        assert_eq!(t.call(&Request::Put { key, value: vec![7] }).unwrap(), Response::Ok);
+        // The Get draws the stale `Ok`; the decorator detects the shape
+        // mismatch, reconnects, and the retry (whose replay of the same-shape
+        // `Object` reply is refused by the injector) succeeds.
+        assert_eq!(t.call(&Request::Get { key }).unwrap(), Response::Object(Some(vec![7])));
+        let s = t.meter().sample();
+        assert!(s.retries >= 1, "desync must trigger a retry");
+        assert!(s.reconnects >= 1, "desync must drop the connection");
+    }
+
+    #[test]
+    fn transient_server_errors_retry_without_reconnect() {
+        // A handler that sheds the first two calls, then recovers.
+        struct Flaky(AtomicU64);
+        impl RequestHandler for Flaky {
+            fn handle(&self, _request: Request) -> Response {
+                if self.0.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Response::Error("transient: warming up".into())
+                } else {
+                    Response::Pong
+                }
+            }
+        }
+        let handler = Arc::new(Flaky(AtomicU64::new(0)));
+        let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            Ok(Box::new(InMemoryTransport::new(Arc::clone(&handler) as Arc<dyn RequestHandler>)))
+        });
+        let mut t = ResilientTransport::connect(connector, RetryPolicy::fast(5)).unwrap();
+        assert_eq!(t.call(&Request::Ping).unwrap(), Response::Pong);
+        let s = t.meter().sample();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.reconnects, 0, "transient errors keep the connection");
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_capped_and_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            jitter_seed: 9,
+        };
+        // Without jitter: 0, 10, 20, 40, 40 (capped), 40 …
+        assert_eq!(policy.backoff(0, 0), Duration::ZERO);
+        assert_eq!(policy.backoff(1, 0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2, 0), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3, 0), Duration::from_millis(40));
+        assert_eq!(policy.backoff(4, 0), Duration::from_millis(40));
+        // Jitter adds at most +100% of the capped delay.
+        assert_eq!(policy.backoff(2, 100), Duration::from_millis(40));
+        // The jitter stream is a pure function of the seed.
+        let mut a = HmacDrbg::from_seed_u64(policy.jitter_seed);
+        let mut b = HmacDrbg::from_seed_u64(policy.jitter_seed);
+        let da: Vec<u64> = (0..8).map(|_| a.next_u64() % 101).collect();
+        let db: Vec<u64> = (0..8).map(|_| b.next_u64() % 101).collect();
+        assert_eq!(da, db);
+    }
+}

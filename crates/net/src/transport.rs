@@ -20,6 +20,11 @@ use std::sync::Arc;
 /// Upper bound on a single frame (64 MiB) to bound hostile allocations.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
+/// Frame-read chunk size: memory is committed only as payload bytes
+/// actually arrive, so a hostile length prefix alone cannot force a large
+/// allocation.
+const READ_CHUNK: usize = 64 << 10;
+
 /// Something that can serve SSP requests in-process.
 ///
 /// Implemented by the `sharoes-ssp` server; defined here so transports do
@@ -92,8 +97,13 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, NetError> {
     if len > MAX_FRAME_LEN {
         return Err(NetError::FrameTooLarge(len));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
+    while body.len() < len {
+        let take = (len - body.len()).min(READ_CHUNK);
+        let start = body.len();
+        body.resize(start + take, 0);
+        r.read_exact(&mut body[start..])?;
+    }
     Ok(body)
 }
 
@@ -106,9 +116,26 @@ pub struct TcpTransport {
 impl TcpTransport {
     /// Connects to an SSP server at `addr` (e.g. `"127.0.0.1:7070"`).
     pub fn connect(addr: &str) -> Result<Self, NetError> {
+        Self::connect_with(addr, None, None, CostMeter::new_shared())
+    }
+
+    /// Connects with socket deadlines and a caller-supplied meter.
+    ///
+    /// Read/write timeouts bound how long one `call` can stall on a dead
+    /// or wedged peer (a timed-out read surfaces as a retryable
+    /// [`NetError::Io`]). Sharing a meter lets a reconnecting caller (the
+    /// resilient transport) accumulate costs across connections.
+    pub fn connect_with(
+        addr: &str,
+        read_timeout: Option<std::time::Duration>,
+        write_timeout: Option<std::time::Duration>,
+        meter: Arc<CostMeter>,
+    ) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream, meter: CostMeter::new_shared() })
+        stream.set_read_timeout(read_timeout)?;
+        stream.set_write_timeout(write_timeout)?;
+        Ok(TcpTransport { stream, meter })
     }
 }
 
@@ -186,6 +213,54 @@ mod tests {
         evil.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut cursor = std::io::Cursor::new(evil);
         assert!(matches!(read_frame(&mut cursor), Err(NetError::FrameTooLarge(_))));
+    }
+
+    /// A reader claiming a huge frame and then delivering ~0 payload bytes.
+    /// Records the largest buffer a single `read` call was handed: chunked
+    /// frame reads must never ask for (or allocate) the full claimed length
+    /// up front.
+    struct HugeClaimReader {
+        prefix: Vec<u8>,
+        sent: usize,
+        max_read_buf: usize,
+    }
+
+    impl Read for HugeClaimReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.sent < self.prefix.len() {
+                let n = buf.len().min(self.prefix.len() - self.sent);
+                buf[..n].copy_from_slice(&self.prefix[self.sent..self.sent + n]);
+                self.sent += n;
+                return Ok(n);
+            }
+            self.max_read_buf = self.max_read_buf.max(buf.len());
+            Ok(0) // EOF: the payload never arrives
+        }
+    }
+
+    #[test]
+    fn huge_length_prefix_does_not_preallocate() {
+        // Claim a maximum-size frame, send no payload. The old code did
+        // `vec![0u8; len]` (64 MiB) before reading a byte; the chunked
+        // reader must fail at EOF having requested at most one chunk.
+        let claimed = (MAX_FRAME_LEN as u32).to_be_bytes().to_vec();
+        let mut r = HugeClaimReader { prefix: claimed, sent: 0, max_read_buf: 0 };
+        assert!(matches!(read_frame(&mut r), Err(NetError::Io(_))));
+        assert!(
+            r.max_read_buf <= 64 << 10,
+            "read buffer {} exceeds the 64 KiB chunk bound",
+            r.max_read_buf
+        );
+    }
+
+    #[test]
+    fn chunked_reads_reassemble_large_frames() {
+        // A frame spanning several chunks round-trips intact.
+        let body: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), body);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! snapshotted back every 30 seconds — the SSP's "faithfully store/retrieve"
 //! obligation of paper §VII. All persisted bytes are client-encrypted blobs.
 
-use sharoes_ssp::{serve, ObjectStore, SspServer};
+use sharoes_ssp::{backup_path, serve, ObjectStore, SnapshotSource, SspServer};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,21 +29,31 @@ fn main() {
     }
 
     let store = match &data {
-        Some(path) if path.exists() => match ObjectStore::load_from(path) {
-            Ok(store) => {
-                eprintln!(
-                    "sharoes-sspd: restored {} objects ({} bytes) from {}",
-                    store.object_count(),
-                    store.byte_count(),
-                    path.display()
-                );
-                Arc::new(store)
+        Some(path) if path.exists() || backup_path(path).exists() => {
+            // Prefer the primary snapshot; fall back to the previous
+            // generation if the primary is torn or corrupt (e.g. the
+            // process was killed mid-checkpoint).
+            match ObjectStore::load_with_recovery(path) {
+                Ok((store, source)) => {
+                    let from = match source {
+                        SnapshotSource::Primary => path.display().to_string(),
+                        SnapshotSource::Backup => {
+                            format!("{} (primary corrupt/torn)", backup_path(path).display())
+                        }
+                    };
+                    eprintln!(
+                        "sharoes-sspd: restored {} objects ({} bytes) from {from}",
+                        store.object_count(),
+                        store.byte_count(),
+                    );
+                    Arc::new(store)
+                }
+                Err(e) => {
+                    eprintln!("sharoes-sspd: failed to load {}: {e}", path.display());
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("sharoes-sspd: failed to load {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        },
+        }
         _ => Arc::new(ObjectStore::new()),
     };
 

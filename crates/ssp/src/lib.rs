@@ -19,5 +19,5 @@ pub mod store;
 pub mod tcp;
 
 pub use server::SspServer;
-pub use store::ObjectStore;
-pub use tcp::{serve, TcpServerHandle};
+pub use store::{backup_path, ObjectStore, SnapshotSource};
+pub use tcp::{serve, serve_with, ServeOptions, TcpServerHandle};

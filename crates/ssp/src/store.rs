@@ -5,20 +5,44 @@
 //! objects and encrypted data blocks." The store never inspects values; keys
 //! are the composite [`ObjectKey`] index.
 
+use sharoes_crypto::Sha256;
 use sharoes_net::{Cursor, KeySpace, NetError, ObjectKey, WireRead, WireWrite};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-/// Magic + version prefix of the snapshot file format.
-const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAROES1";
+/// Magic + version prefix of the current (checksummed) snapshot format.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAROES2";
+
+/// Magic of the legacy trailer-less format; still readable.
+const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"SHAROES1";
+
+/// Trailer: the body length (u64 BE) followed by SHA-256 of the body.
+const TRAILER_LEN: usize = 8 + 32;
 
 /// Number of lock shards; power of two.
 const SHARDS: usize = 16;
+
+/// Where [`ObjectStore::load_with_recovery`] found a valid snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnapshotSource {
+    /// The primary snapshot file was intact.
+    Primary,
+    /// The primary was missing or corrupt; the previous generation
+    /// (`<path>.bak`) was used.
+    Backup,
+}
+
+/// The previous-generation path for a snapshot at `path` (`<path>.bak`).
+pub fn backup_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".bak");
+    PathBuf::from(os)
+}
 
 /// Sharded, thread-safe blob store.
 pub struct ObjectStore {
@@ -113,6 +137,12 @@ impl ObjectStore {
     /// The SSP's "faithful storage" obligation (paper §VII) includes
     /// durability; this is the persistence hook the `sharoes-sspd` binary
     /// uses. Contents remain exactly the encrypted blobs clients uploaded.
+    ///
+    /// Layout: a body (`SHAROES2` magic, entry count, entries) followed by a
+    /// 40-byte trailer holding the body length and the body's SHA-256. A
+    /// torn write truncates the trailer or leaves a length mismatch; a bit
+    /// flip breaks the hash — either way [`Self::from_snapshot`] rejects the
+    /// file instead of restoring silently corrupted state.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.byte_count() as usize);
         out.extend_from_slice(SNAPSHOT_MAGIC);
@@ -128,15 +158,36 @@ impl ObjectStore {
             key.write(&mut out);
             value.write(&mut out);
         }
+        let body_len = out.len() as u64;
+        out.extend_from_slice(&body_len.to_be_bytes());
+        let digest = Sha256::digest(&out[..body_len as usize]);
+        out.extend_from_slice(&digest);
         out
     }
 
-    /// Restores a store from snapshot bytes.
+    /// Restores a store from snapshot bytes, verifying the integrity
+    /// trailer. Legacy `SHAROES1` (trailer-less) snapshots remain readable.
     pub fn from_snapshot(bytes: &[u8]) -> Result<ObjectStore, NetError> {
-        if bytes.len() < 8 || &bytes[..8] != SNAPSHOT_MAGIC {
+        let body = if bytes.starts_with(SNAPSHOT_MAGIC_V1) {
+            &bytes[..]
+        } else if bytes.starts_with(SNAPSHOT_MAGIC) {
+            if bytes.len() < 8 + TRAILER_LEN {
+                return Err(NetError::Codec("snapshot truncated (no trailer)"));
+            }
+            let body_end = bytes.len() - TRAILER_LEN;
+            let mut len_buf = [0u8; 8];
+            len_buf.copy_from_slice(&bytes[body_end..body_end + 8]);
+            if u64::from_be_bytes(len_buf) != body_end as u64 {
+                return Err(NetError::Codec("snapshot length mismatch (torn write)"));
+            }
+            if Sha256::digest(&bytes[..body_end]) != bytes[body_end + 8..] {
+                return Err(NetError::Codec("snapshot checksum mismatch"));
+            }
+            &bytes[..body_end]
+        } else {
             return Err(NetError::Codec("bad snapshot magic"));
-        }
-        let mut cur = Cursor::new(&bytes[8..]);
+        };
+        let mut cur = Cursor::new(&body[8..]);
         let count = u64::read(&mut cur)?;
         let store = ObjectStore::new();
         for _ in 0..count {
@@ -148,12 +199,17 @@ impl ObjectStore {
         Ok(store)
     }
 
-    /// Writes a snapshot to `path` atomically (write-then-rename).
+    /// Writes a snapshot to `path` atomically (write-then-rename), keeping
+    /// the previous on-disk generation at `<path>.bak` so a snapshot that
+    /// turns out corrupt (torn write, disk bit rot) has a fallback.
     pub fn save_to(&self, path: &Path) -> Result<(), NetError> {
         let tmp = path.with_extension("tmp");
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(&self.snapshot())?;
         file.sync_all()?;
+        if path.exists() {
+            std::fs::rename(path, backup_path(path))?;
+        }
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
@@ -163,6 +219,23 @@ impl ObjectStore {
         let mut bytes = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
         Self::from_snapshot(&bytes)
+    }
+
+    /// Loads the newest valid snapshot generation: `path` if its trailer
+    /// verifies, else `<path>.bak`. This is the crash-recovery entry point
+    /// `sharoes-sspd` uses — a kill mid-checkpoint can leave the primary
+    /// torn, but the rename dance in [`Self::save_to`] guarantees the
+    /// backup is a complete earlier generation.
+    pub fn load_with_recovery(path: &Path) -> Result<(ObjectStore, SnapshotSource), NetError> {
+        let primary_err = match Self::load_from(path) {
+            Ok(store) => return Ok((store, SnapshotSource::Primary)),
+            Err(e) => e,
+        };
+        match Self::load_from(&backup_path(path)) {
+            Ok(store) => Ok((store, SnapshotSource::Backup)),
+            // The primary's failure is the interesting one to report.
+            Err(_) => Err(primary_err),
+        }
     }
 
     /// Bytes stored per keyspace (storage-overhead accounting, bench E6).
@@ -268,6 +341,93 @@ mod tests {
         let mut trailing = s.snapshot();
         trailing.push(0);
         assert!(ObjectStore::from_snapshot(&trailing).is_err());
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let s = ObjectStore::new();
+        for i in 0..5u32 {
+            s.put(k(i as u64, i), vec![i as u8; 9]);
+        }
+        let good = s.snapshot();
+        assert!(ObjectStore::from_snapshot(&good).is_ok());
+        for pos in 0..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x41;
+            assert!(
+                ObjectStore::from_snapshot(&bad).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_detected() {
+        let s = ObjectStore::new();
+        s.put(k(1, 0), vec![3; 30]);
+        let good = s.snapshot();
+        for keep in 0..good.len() {
+            assert!(
+                ObjectStore::from_snapshot(&good[..keep]).is_err(),
+                "truncation to {keep} bytes went undetected"
+            );
+        }
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(ObjectStore::from_snapshot(&padded).is_err(), "trailing garbage accepted");
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_still_load() {
+        // Hand-build a trailer-less SHAROES1 snapshot.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SHAROES1");
+        1u64.write(&mut bytes);
+        k(4, 2).write(&mut bytes);
+        vec![9u8; 12].write(&mut bytes);
+        let s = ObjectStore::from_snapshot(&bytes).unwrap();
+        assert_eq!(s.get(&k(4, 2)).unwrap(), vec![9; 12]);
+        // Saving re-emits the current format.
+        assert!(s.snapshot().starts_with(b"SHAROES2"));
+    }
+
+    #[test]
+    fn save_keeps_previous_generation_and_recovery_falls_back() {
+        let dir = std::env::temp_dir().join(format!("sharoes-store-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.snap");
+
+        let s = ObjectStore::new();
+        s.put(k(1, 0), b"generation one".to_vec());
+        s.save_to(&path).unwrap();
+        s.put(k(1, 0), b"generation two".to_vec());
+        s.save_to(&path).unwrap();
+        assert!(backup_path(&path).exists(), "previous generation must be kept");
+
+        // Intact primary wins.
+        let (fresh, src) = ObjectStore::load_with_recovery(&path).unwrap();
+        assert_eq!(src, SnapshotSource::Primary);
+        assert_eq!(fresh.get(&k(1, 0)).unwrap(), b"generation two");
+
+        // Corrupt the primary (single byte mid-file): fall back to gen one.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (fresh, src) = ObjectStore::load_with_recovery(&path).unwrap();
+        assert_eq!(src, SnapshotSource::Backup);
+        assert_eq!(fresh.get(&k(1, 0)).unwrap(), b"generation one");
+
+        // Torn write (truncated primary): same fallback.
+        let good = std::fs::read(backup_path(&path)).unwrap();
+        std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+        let (_, src) = ObjectStore::load_with_recovery(&path).unwrap();
+        assert_eq!(src, SnapshotSource::Backup);
+
+        // Both generations bad: the primary's error surfaces.
+        std::fs::write(backup_path(&path), b"junk").unwrap();
+        assert!(ObjectStore::load_with_recovery(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,17 +1,47 @@
 //! TCP serving loop for the SSP.
 //!
 //! One thread per connection; frames are length-prefixed (see
-//! `sharoes_net::transport`). Malformed frames get an error response where
-//! possible and otherwise close the connection — the SSP must stay up under
-//! hostile clients.
+//! `sharoes_net::transport`). The SSP must stay up under hostile or flaky
+//! clients, so the loop is hardened:
+//!
+//! * Oversized length prefixes get a `Response::Error("frame too large…")`
+//!   before the connection closes, instead of a silent hangup.
+//! * Each connection carries a read timeout ([`ServeOptions::read_timeout`])
+//!   so wedged or half-open peers cannot pin a thread forever.
+//! * Concurrent connections are bounded ([`ServeOptions::max_connections`]);
+//!   excess connections are shed with a *transient* error so resilient
+//!   clients back off and retry.
+//! * The accept loop polls a stop flag on a nonblocking listener, so
+//!   [`TcpServerHandle::shutdown`] never hangs waiting for one more
+//!   connection — even when the listener is bound on `0.0.0.0` and the
+//!   loopback "poke" cannot reach it.
 
 use crate::server::SspServer;
 use sharoes_net::transport::{read_frame, write_frame};
 use sharoes_net::{NetError, Request, RequestHandler, Response, WireRead, WireWrite};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop re-checks the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Serving knobs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Per-connection read timeout; `None` waits forever (discouraged).
+    pub read_timeout: Option<Duration>,
+    /// Maximum concurrent connections before new ones are shed.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { read_timeout: Some(Duration::from_secs(30)), max_connections: 256 }
+    }
+}
 
 /// A running TCP server, stoppable and joinable.
 pub struct TcpServerHandle {
@@ -27,10 +57,26 @@ impl TcpServerHandle {
     }
 
     /// Requests shutdown and waits for the accept loop to exit.
+    ///
+    /// Idempotent with [`Drop`]: whichever runs first joins the accept
+    /// thread; the other is a no-op.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
         self.stop.store(true, Ordering::SeqCst);
-        // Poke the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Best-effort poke so a parked accept wakes immediately. The loop is
+        // nonblocking and polls the stop flag, so a failed poke (e.g. no
+        // route to a `0.0.0.0` binding) only costs one poll interval.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_millis(50));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -39,33 +85,54 @@ impl TcpServerHandle {
 
 impl Drop for TcpServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.stop_and_join();
     }
 }
 
-/// Starts serving `server` on `addr` (use port 0 for an ephemeral port).
+/// Starts serving `server` on `addr` with default [`ServeOptions`]
+/// (use port 0 for an ephemeral port).
 pub fn serve(server: Arc<SspServer>, addr: &str) -> Result<TcpServerHandle, NetError> {
+    serve_with(server, addr, ServeOptions::default())
+}
+
+/// Starts serving `server` on `addr` with explicit [`ServeOptions`].
+pub fn serve_with(
+    server: Arc<SspServer>,
+    addr: &str,
+    options: ServeOptions,
+) -> Result<TcpServerHandle, NetError> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let live = Arc::new(AtomicUsize::new(0));
 
     let accept_thread = std::thread::Builder::new()
         .name("sspd-accept".into())
         .spawn(move || {
-            for conn in listener.incoming() {
+            while !stop2.load(Ordering::SeqCst) {
+                let sock = match listener.accept() {
+                    Ok((sock, _)) => sock,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                        continue;
+                    }
+                    Err(_) => continue,
+                };
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(sock) = conn else { continue };
+                let slot = ConnSlot::claim(&live, options.max_connections);
+                let Some(slot) = slot else {
+                    shed_connection(sock);
+                    continue;
+                };
                 let server = Arc::clone(&server);
+                let read_timeout = options.read_timeout;
                 let _ = std::thread::Builder::new()
                     .name("sspd-conn".into())
-                    .spawn(move || serve_connection(server, sock));
+                    .spawn(move || serve_connection(server, sock, read_timeout, slot));
             }
         })
         .expect("spawn accept thread");
@@ -73,12 +140,52 @@ pub fn serve(server: Arc<SspServer>, addr: &str) -> Result<TcpServerHandle, NetE
     Ok(TcpServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
 }
 
-fn serve_connection(server: Arc<SspServer>, mut sock: TcpStream) {
+/// A claimed slot in the connection budget; released on drop.
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl ConnSlot {
+    fn claim(live: &Arc<AtomicUsize>, max: usize) -> Option<ConnSlot> {
+        let prev = live.fetch_add(1, Ordering::SeqCst);
+        if prev >= max {
+            live.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(ConnSlot(Arc::clone(live)))
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Rejects a connection over the budget. The error is marked transient so
+/// resilient clients back off and retry instead of failing permanently.
+fn shed_connection(mut sock: TcpStream) {
+    let reply = Response::Error("transient: server at connection capacity".into());
+    let _ = write_frame(&mut sock, &reply.to_wire());
+}
+
+fn serve_connection(
+    server: Arc<SspServer>,
+    mut sock: TcpStream,
+    read_timeout: Option<Duration>,
+    _slot: ConnSlot,
+) {
     let _ = sock.set_nodelay(true);
+    let _ = sock.set_read_timeout(read_timeout);
     loop {
         let frame = match read_frame(&mut sock) {
             Ok(f) => f,
-            Err(_) => return, // disconnect or oversized frame
+            Err(NetError::FrameTooLarge(n)) => {
+                // Tell the client why before hanging up; the stream is no
+                // longer framable (the body was never read), so close.
+                let reply = Response::Error(format!("frame too large: {n} bytes"));
+                let _ = write_frame(&mut sock, &reply.to_wire());
+                return;
+            }
+            Err(_) => return, // disconnect or idle timeout
         };
         let response = match Request::from_wire(&frame) {
             Ok(req) => server.handle(req),
@@ -93,7 +200,9 @@ fn serve_connection(server: Arc<SspServer>, mut sock: TcpStream) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sharoes_net::transport::MAX_FRAME_LEN;
     use sharoes_net::{ObjectKey, TcpTransport, Transport};
+    use std::io::Write;
 
     #[test]
     fn serves_multiple_clients() {
@@ -140,6 +249,82 @@ mod tests {
     }
 
     #[test]
+    fn oversized_frame_gets_error_before_close() {
+        let server = SspServer::new().into_shared();
+        let handle = serve(server, "127.0.0.1:0").unwrap();
+        let mut sock = TcpStream::connect(handle.addr()).unwrap();
+        // Claim a frame one byte over the limit; send no body.
+        sock.write_all(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes()).unwrap();
+        sock.flush().unwrap();
+        let resp = read_frame(&mut sock).unwrap();
+        match Response::from_wire(&resp).unwrap() {
+            Response::Error(msg) => {
+                assert!(msg.contains("frame too large"), "unexpected error: {msg}");
+                // Non-transient: a resilient client must not retry this.
+                assert_eq!(NetError::Remote(msg).class(), sharoes_net::ErrorClass::Fatal);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The connection is then closed.
+        assert!(read_frame(&mut sock).is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_budget_sheds_excess_with_transient_error() {
+        let server = SspServer::new().into_shared();
+        let options = ServeOptions { max_connections: 1, ..ServeOptions::default() };
+        let handle = serve_with(server, "127.0.0.1:0", options).unwrap();
+        let addr = handle.addr().to_string();
+
+        // First client occupies the only slot.
+        let mut first = TcpTransport::connect(&addr).unwrap();
+        assert_eq!(first.call(&Request::Ping).unwrap(), Response::Pong);
+
+        // Second client is shed with a transient (retryable) error.
+        let mut sock = TcpStream::connect(handle.addr()).unwrap();
+        let resp = read_frame(&mut sock).unwrap();
+        match Response::from_wire(&resp).unwrap() {
+            Response::Error(msg) => {
+                assert_eq!(NetError::Remote(msg).class(), sharoes_net::ErrorClass::Retryable);
+            }
+            other => panic!("expected shed error, got {other:?}"),
+        }
+
+        // Releasing the first slot lets a new client in (the conn thread
+        // needs a moment to notice the hangup and free the slot).
+        drop(first);
+        let mut ok = false;
+        for _ in 0..100 {
+            let mut t = TcpTransport::connect(&addr).unwrap();
+            if matches!(t.call(&Request::Ping), Ok(Response::Pong)) {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(ok, "slot never freed after first client disconnected");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_time_out() {
+        let server = SspServer::new().into_shared();
+        let options = ServeOptions {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ServeOptions::default()
+        };
+        let handle = serve_with(server, "127.0.0.1:0", options).unwrap();
+        let mut sock = TcpStream::connect(handle.addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Send nothing; the server must hang up on us, not wait forever.
+        let mut buf = [0u8; 1];
+        let n = std::io::Read::read(&mut sock, &mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "expected EOF from server-side idle timeout");
+        handle.shutdown();
+    }
+
+    #[test]
     fn shutdown_stops_accepting() {
         let server = SspServer::new().into_shared();
         let handle = serve(server, "127.0.0.1:0").unwrap();
@@ -153,5 +338,26 @@ mod tests {
                 assert!(read_frame(&mut sock).is_err());
             }
         }
+    }
+
+    #[test]
+    fn shutdown_terminates_even_when_bound_on_all_interfaces() {
+        // The old shutdown poked `0.0.0.0:port` directly, which is not a
+        // connectable address on every platform; the nonblocking accept
+        // loop must join regardless.
+        let server = SspServer::new().into_shared();
+        let handle = serve(server, "0.0.0.0:0").unwrap();
+        let start = std::time::Instant::now();
+        handle.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(2), "shutdown hung");
+    }
+
+    #[test]
+    fn drop_after_shutdown_is_idempotent() {
+        let server = SspServer::new().into_shared();
+        let mut handle = serve(server, "127.0.0.1:0").unwrap();
+        handle.stop_and_join();
+        handle.stop_and_join(); // second call is a no-op
+        drop(handle); // Drop after explicit stop must not hang or panic
     }
 }

@@ -75,6 +75,9 @@ pub mod prelude {
     };
     pub use sharoes_crypto::{HmacDrbg, SystemRandom};
     pub use sharoes_fs::prelude::*;
-    pub use sharoes_net::{InMemoryTransport, NetModel, TcpTransport, Transport};
-    pub use sharoes_ssp::{serve, SspServer};
+    pub use sharoes_net::{
+        FaultConfig, FaultInjector, FaultSchedule, InMemoryTransport, NetModel, ResilientTransport,
+        RetryPolicy, TcpTransport, Transport,
+    };
+    pub use sharoes_ssp::{serve, serve_with, ServeOptions, SspServer};
 }
