@@ -23,4 +23,7 @@ cargo test -q --offline --workspace
 echo "== chaos suite at pinned seed (fault injection + snapshot recovery)"
 SHAROES_TEST_SEED=0xC4A05EED cargo test -q --offline --test chaos
 
+echo "== chaos + cluster failover at second pinned seed"
+SHAROES_TEST_SEED=0xC1057E42 cargo test -q --offline --test chaos --test cluster
+
 echo "CI OK"

@@ -296,6 +296,40 @@ fn ablations_report(opts: &BenchOpts, quick: bool) {
     }
     table.print();
     println!("workload completes at every rate; the deltas are pure retry traffic");
+
+    println!("\n== A6: cluster cost/availability vs N, R, per-node fault rate ==");
+    let blobs = if quick { 8 } else { 40 };
+    let points: &[(usize, usize, f64)] = if quick {
+        &[(3, 1, 0.0), (3, 2, 0.0), (3, 2, 0.15)]
+    } else {
+        &[(3, 1, 0.0), (3, 2, 0.0), (3, 2, 0.15), (5, 3, 0.0), (5, 3, 0.15)]
+    };
+    let mut table = Table::new(&[
+        "N",
+        "R",
+        "fault rate",
+        "avail",
+        "round trips",
+        "retries",
+        "failovers",
+        "repairs",
+        "op (s)",
+    ]);
+    for p in ablations::cluster_ablation(blobs, points, opts) {
+        table.row(vec![
+            p.nodes.to_string(),
+            p.replication.to_string(),
+            format!("{:.0}%", p.rate * 100.0),
+            format!("{:.1}%", p.availability() * 100.0),
+            p.round_trips.to_string(),
+            p.retries.to_string(),
+            p.failovers.to_string(),
+            p.read_repairs.to_string(),
+            fmt_secs(p.op_secs),
+        ]);
+    }
+    table.print();
+    println!("replication buys availability under faults; the price is write fan-out");
 }
 
 fn summary(fig9_results: &[createlist::CreateListResult]) {

@@ -1,4 +1,4 @@
-//! Ablations A1–A5: design-choice studies called out in DESIGN.md.
+//! Ablations A1–A6: design-choice studies called out in DESIGN.md.
 //!
 //! * A1 — Scheme-1 vs Scheme-2: update fan-out and access latency.
 //! * A2 — immediate vs lazy revocation: chmod cost vs next-write cost.
@@ -6,6 +6,8 @@
 //! * A4 — network sweep: SHAROES vs PUB-OPT across link qualities.
 //! * A5 — op-cost overhead of the resilient transport vs injected fault
 //!   rate: the workload always completes; only retry traffic grows.
+//! * A6 — cluster op cost and availability vs node count, replication
+//!   factor, and per-node fault rate.
 
 use crate::harness::{content, Bench, BenchOpts, PhaseTimer, BENCH_USER};
 use crate::workloads::createlist::{self, CreateListSpec};
@@ -262,6 +264,124 @@ pub fn fault_overhead(n: usize, rates: &[f64], opts: &BenchOpts) -> Vec<FaultOve
     out
 }
 
+/// A6 result for one (nodes, replication, fault-rate) configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterAblationPoint {
+    /// Cluster size N.
+    pub nodes: usize,
+    /// Replication factor R.
+    pub replication: usize,
+    /// Probability that any single node call is faulted.
+    pub rate: f64,
+    /// Blob operations attempted (puts + gets + deletes).
+    pub attempts: u64,
+    /// Operations that failed even after retries/failover.
+    pub failures: u64,
+    /// Wire round trips across all replicas (retries included).
+    pub round_trips: u64,
+    /// Retries the per-node resilient transports performed.
+    pub retries: u64,
+    /// Faults the injectors introduced.
+    pub faults_injected: u64,
+    /// Reads that failed over past the preferred replica.
+    pub failovers: u64,
+    /// Replica copies rewritten by read repair.
+    pub read_repairs: u64,
+    /// Virtual seconds for the whole workload under `opts.net`.
+    pub op_secs: f64,
+}
+
+impl ClusterAblationPoint {
+    /// Fraction of blob operations that succeeded.
+    pub fn availability(&self) -> f64 {
+        if self.attempts == 0 {
+            return 1.0;
+        }
+        (self.attempts - self.failures) as f64 / self.attempts as f64
+    }
+}
+
+/// A6: the cluster layer under load. For each `(nodes, replication, rate)`
+/// point, a put/get/delete workload of `ops` blobs runs through a
+/// [`ClusterTransport`](sharoes_cluster::ClusterTransport) whose node links
+/// each carry a seeded fault injector behind a resilient transport. More
+/// replicas buy availability under faults and cost extra write fan-out;
+/// the meter and cluster stats make both sides of that trade visible.
+pub fn cluster_ablation(
+    ops: usize,
+    points: &[(usize, usize, f64)],
+    opts: &BenchOpts,
+) -> Vec<ClusterAblationPoint> {
+    use sharoes_cluster::{ClusterOpts, ClusterTransport};
+    use sharoes_net::{
+        CostMeter, FaultConfig, FaultInjector, FaultSchedule, InMemoryTransport, NetError,
+        ObjectKey, Request, RequestHandler, ResilientTransport, RetryPolicy, Transport,
+    };
+    use sharoes_ssp::SspServer;
+    use std::sync::Arc;
+
+    let key = |i: u64| ObjectKey::data(i, [(i % 251) as u8; 16], 0);
+    let blob = |i: u64| vec![(i % 251) as u8; 64 + (i % 7) as usize];
+
+    let mut out = Vec::new();
+    for &(nodes, replication, rate) in points {
+        let meter = CostMeter::new_shared();
+        // W=1 so a write survives any single-node outage; the read path's
+        // failover + read repair covers the resulting shortfalls.
+        let cluster_opts = ClusterOpts { replication, write_quorum: 1, ..ClusterOpts::default() };
+        let mut cluster = ClusterTransport::with_meter(cluster_opts, Arc::clone(&meter));
+        for idx in 0..nodes {
+            let handler = SspServer::new().into_shared() as Arc<dyn RequestHandler>;
+            let schedule = FaultSchedule::shared(FaultConfig::at_rate(rate), 0xA600 + idx as u64);
+            let node_meter = Arc::clone(&meter);
+            let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+                let inner =
+                    InMemoryTransport::with_meter(Arc::clone(&handler), Arc::clone(&node_meter));
+                Ok(Box::new(FaultInjector::new(inner, Arc::clone(&schedule))))
+            });
+            let link =
+                ResilientTransport::connect(connector, RetryPolicy::fast(8)).expect("connect");
+            cluster.add_node(&format!("node{idx}"), Box::new(link));
+        }
+        let stats = cluster.stats_handle();
+
+        let mut attempts = 0u64;
+        let mut failures = 0u64;
+        let mut run = |req: Request| {
+            attempts += 1;
+            if cluster.call(&req).is_err() {
+                failures += 1;
+            }
+        };
+        for i in 0..ops as u64 {
+            run(Request::Put { key: key(i), value: blob(i) });
+        }
+        for i in 0..ops as u64 {
+            run(Request::Get { key: key(i) });
+        }
+        for i in 0..ops as u64 {
+            run(Request::Delete { key: key(i) });
+        }
+
+        let cost = meter.sample();
+        let cluster_stats = stats.sample();
+        out.push(ClusterAblationPoint {
+            nodes,
+            replication,
+            rate,
+            attempts,
+            failures,
+            round_trips: cost.round_trips,
+            retries: cost.retries,
+            faults_injected: cost.faults_injected,
+            failovers: cluster_stats.failovers,
+            read_repairs: cluster_stats.read_repairs,
+            op_secs: opts.net.total_time(&cost, opts.cpu_scale).as_secs_f64(),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +447,38 @@ mod tests {
             "retry traffic must show up in round trips: {} vs {}",
             faulty.round_trips,
             clean.round_trips
+        );
+    }
+
+    #[test]
+    fn a6_replication_buys_availability_and_costs_fanout() {
+        let points = cluster_ablation(8, &[(3, 1, 0.0), (3, 2, 0.0), (3, 2, 0.25)], &quick());
+        let [r1_clean, r2_clean, r2_faulty] = points.as_slice() else {
+            panic!("expected 3 points")
+        };
+        // Fault-free runs complete fully at either replication factor.
+        assert_eq!(r1_clean.failures, 0);
+        assert_eq!(r2_clean.failures, 0);
+        assert_eq!(r1_clean.faults_injected, 0);
+        // Extra replicas cost extra write fan-out.
+        assert!(
+            r2_clean.round_trips > r1_clean.round_trips,
+            "R=2 must fan out more than R=1: {} vs {}",
+            r2_clean.round_trips,
+            r1_clean.round_trips
+        );
+        // Under faults the retry/failover machinery engages and the
+        // workload still completes.
+        assert!(r2_faulty.faults_injected > 0, "25% rate must inject faults");
+        assert!(
+            r2_faulty.retries > 0 || r2_faulty.failovers > 0,
+            "faults must force retries or failovers"
+        );
+        assert_eq!(r2_faulty.failures, 0, "R=2/W=1 must ride out a 25% per-node fault rate");
+        assert!((r2_faulty.availability() - 1.0).abs() < f64::EPSILON);
+        assert!(
+            r2_faulty.round_trips > r2_clean.round_trips,
+            "fault recovery traffic must show up in round trips"
         );
     }
 

@@ -4,25 +4,32 @@
 //! same operation set, driven from a prompt instead of the VFS.
 //!
 //! ```sh
-//! sharoes-shell          # in-process demo deployment
-//! sharoes-shell --tcp    # same, over loopback TCP
+//! sharoes-shell              # in-process demo deployment
+//! sharoes-shell --tcp        # same, over loopback TCP
+//! sharoes-shell --cluster 3  # same, replicated over 3 in-process SSP nodes
 //! ```
 //!
 //! Type `help` at the prompt for commands.
 
+use sharoes_cluster::{ClusterOpts, ClusterStats, ClusterTransport};
 use sharoes_core::{
     ClientConfig, CryptoParams, CryptoPolicy, Keyring, Migrator, Pki, Scheme, SharoesClient,
     SigKeyPool,
 };
 use sharoes_crypto::HmacDrbg;
 use sharoes_fs::{Acl, Gid, LocalFs, Mode, Perm, Uid, UserDb, ROOT_UID};
-use sharoes_net::{InMemoryTransport, TcpTransport, Transport};
+use sharoes_net::{InMemoryTransport, RequestHandler, TcpTransport, Transport};
 use sharoes_ssp::{serve, SspServer, TcpServerHandle};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 struct Shell {
-    server: Arc<SspServer>,
+    /// One entry in single-SSP mode, N named nodes in `--cluster N` mode.
+    servers: Vec<(String, Arc<SspServer>)>,
+    /// Set in cluster mode: placement options shared by every mount.
+    cluster: Option<ClusterOpts>,
+    /// Behavior counters of the *current* mount's cluster transport.
+    cluster_stats: Option<Arc<ClusterStats>>,
     tcp: Option<TcpServerHandle>,
     db: Arc<UserDb>,
     pki: Arc<Pki>,
@@ -34,7 +41,27 @@ struct Shell {
     cwd: String,
 }
 
-fn demo_world() -> (Arc<SspServer>, UserDb, Keyring, Arc<SigKeyPool>, ClientConfig) {
+/// Builds the cluster transport every cluster-mode mount (and the initial
+/// migration) uses: one in-memory channel per node, shared placement opts.
+fn cluster_transport(servers: &[(String, Arc<SspServer>)], opts: ClusterOpts) -> ClusterTransport {
+    let mut cluster = ClusterTransport::new(opts);
+    for (name, server) in servers {
+        let handler: Arc<dyn RequestHandler> = Arc::clone(server) as _;
+        cluster.add_node(name, Box::new(InMemoryTransport::new(handler)));
+    }
+    cluster
+}
+
+fn demo_world(
+    cluster_n: usize,
+) -> (
+    Vec<(String, Arc<SspServer>)>,
+    Option<ClusterOpts>,
+    UserDb,
+    Keyring,
+    Arc<SigKeyPool>,
+    ClientConfig,
+) {
     let mut db = UserDb::new();
     db.add_group(Gid(0), "wheel").unwrap();
     db.add_group(Gid(100), "eng").unwrap();
@@ -68,24 +95,46 @@ fn demo_world() -> (Arc<SspServer>, UserDb, Keyring, Arc<SigKeyPool>, ClientConf
     };
     let pool = Arc::new(SigKeyPool::new(config.crypto));
     pool.prefill_parallel(32, 11);
-    let server = SspServer::new().into_shared();
-    let mut transport = InMemoryTransport::new(Arc::clone(&server) as _);
-    Migrator { fs: &local, config: &config, ring: &ring, pool: &pool, downgrade_unsupported: true }
-        .migrate(&mut transport, &mut rng)
-        .unwrap();
-    eprintln!(
-        "[demo] SSP holds {} encrypted objects ({} bytes)",
-        server.store().object_count(),
-        server.store().byte_count()
-    );
-    (server, local.users().clone(), ring, pool, config)
+    let (servers, cluster): (Vec<(String, Arc<SspServer>)>, Option<ClusterOpts>) = if cluster_n >= 2
+    {
+        let servers =
+            (0..cluster_n).map(|i| (format!("node{i}"), SspServer::new().into_shared())).collect();
+        (servers, Some(ClusterOpts { replication: 2, ..Default::default() }))
+    } else {
+        (vec![("ssp".to_string(), SspServer::new().into_shared())], None)
+    };
+    let migrator = Migrator {
+        fs: &local,
+        config: &config,
+        ring: &ring,
+        pool: &pool,
+        downgrade_unsupported: true,
+    };
+    match cluster {
+        Some(opts) => {
+            let mut transport = cluster_transport(&servers, opts);
+            migrator.migrate(&mut transport, &mut rng).unwrap();
+        }
+        None => {
+            let mut transport = InMemoryTransport::new(Arc::clone(&servers[0].1) as _);
+            migrator.migrate(&mut transport, &mut rng).unwrap();
+        }
+    }
+    for (name, server) in &servers {
+        eprintln!(
+            "[demo] {name} holds {} encrypted objects ({} bytes)",
+            server.store().object_count(),
+            server.store().byte_count()
+        );
+    }
+    (servers, cluster, local.users().clone(), ring, pool, config)
 }
 
 impl Shell {
-    fn new(use_tcp: bool) -> Shell {
-        let (server, db, ring, pool, config) = demo_world();
+    fn new(use_tcp: bool, cluster_n: usize) -> Shell {
+        let (servers, cluster, db, ring, pool, config) = demo_world(cluster_n);
         let tcp = if use_tcp {
-            let handle = serve(Arc::clone(&server), "127.0.0.1:0").expect("bind tcp");
+            let handle = serve(Arc::clone(&servers[0].1), "127.0.0.1:0").expect("bind tcp");
             eprintln!("[demo] SSP serving on tcp://{}", handle.addr());
             Some(handle)
         } else {
@@ -93,10 +142,13 @@ impl Shell {
         };
         let db = Arc::new(db);
         let pki = Arc::new(ring.public_directory());
-        let client = Self::mount_user(&server, &tcp, &db, &pki, &ring, &pool, &config, "alice")
-            .expect("mount alice");
+        let (client, cluster_stats) =
+            Self::mount_user(&servers, cluster, &tcp, &db, &pki, &ring, &pool, &config, "alice")
+                .expect("mount alice");
         Shell {
-            server,
+            servers,
+            cluster,
+            cluster_stats,
             tcp,
             db,
             pki,
@@ -111,7 +163,8 @@ impl Shell {
 
     #[allow(clippy::too_many_arguments)]
     fn mount_user(
-        server: &Arc<SspServer>,
+        servers: &[(String, Arc<SspServer>)],
+        cluster: Option<ClusterOpts>,
         tcp: &Option<TcpServerHandle>,
         db: &Arc<UserDb>,
         pki: &Arc<Pki>,
@@ -119,13 +172,21 @@ impl Shell {
         pool: &Arc<SigKeyPool>,
         config: &ClientConfig,
         name: &str,
-    ) -> Result<SharoesClient, String> {
+    ) -> Result<(SharoesClient, Option<Arc<ClusterStats>>), String> {
         let user = db.user_by_name(name).ok_or_else(|| format!("no such user: {name}"))?;
-        let transport: Box<dyn Transport> = match tcp {
-            Some(handle) => Box::new(
+        let mut cluster_stats = None;
+        let transport: Box<dyn Transport> = match (cluster, tcp) {
+            (Some(opts), _) => {
+                // The client mounts through the cluster unchanged — same
+                // Transport trait, now with R replicas behind it.
+                let cluster = cluster_transport(servers, opts);
+                cluster_stats = Some(cluster.stats_handle());
+                Box::new(cluster)
+            }
+            (None, Some(handle)) => Box::new(
                 TcpTransport::connect(&handle.addr().to_string()).map_err(|e| e.to_string())?,
             ),
-            None => Box::new(InMemoryTransport::new(Arc::clone(server) as _)),
+            (None, None) => Box::new(InMemoryTransport::new(Arc::clone(&servers[0].1) as _)),
         };
         let identity = ring.identity(user.uid).map_err(|e| e.to_string())?;
         let mut client = SharoesClient::new(
@@ -137,7 +198,7 @@ impl Shell {
             Arc::clone(pool),
         );
         client.mount().map_err(|e| e.to_string())?;
-        Ok(client)
+        Ok((client, cluster_stats))
     }
 
     fn abspath(&self, arg: &str) -> String {
@@ -174,6 +235,7 @@ impl Shell {
                      \x20 su NAME           remount as another user (alice, bob, root)\n\
                      \x20 whoami            current user\n\
                      \x20 ssp               show what the provider stores\n\
+                     \x20 cluster-status    nodes, replication, and repair counters\n\
                      \x20 costs             traffic/crypto counters for this mount\n\
                      \x20 exit              quit"
                 );
@@ -332,7 +394,8 @@ impl Shell {
             },
             "su" => match args {
                 [name] => match Self::mount_user(
-                    &self.server,
+                    &self.servers,
+                    self.cluster,
                     &self.tcp,
                     &self.db,
                     &self.pki,
@@ -341,8 +404,9 @@ impl Shell {
                     &self.config,
                     name,
                 ) {
-                    Ok(client) => {
+                    Ok((client, cluster_stats)) => {
                         self.client = client;
+                        self.cluster_stats = cluster_stats;
                         self.user = name.to_string();
                         self.cwd = "/".into();
                         println!("now {name}");
@@ -353,14 +417,49 @@ impl Shell {
                 _ => Err("usage: su NAME".into()),
             },
             "ssp" => {
+                let objects: u64 = self.servers.iter().map(|(_, s)| s.store().object_count()).sum();
+                let bytes: u64 = self.servers.iter().map(|(_, s)| s.store().byte_count()).sum();
                 println!(
-                    "the provider stores {} opaque encrypted objects, {} bytes total — \
-                     no names, no keys, no plaintext",
-                    self.server.store().object_count(),
-                    self.server.store().byte_count()
+                    "the provider stores {objects} opaque encrypted objects, {bytes} bytes total \
+                     across {} node(s) — no names, no keys, no plaintext",
+                    self.servers.len(),
                 );
                 Ok(())
             }
+            "cluster-status" => match self.cluster {
+                Some(opts) => {
+                    let w = if opts.write_quorum == 0 {
+                        opts.replication / 2 + 1
+                    } else {
+                        opts.write_quorum
+                    };
+                    println!(
+                        "cluster: {} nodes, R={}, W={}, {} vnodes/node, seed {:#x}",
+                        self.servers.len(),
+                        opts.replication,
+                        w,
+                        opts.vnodes,
+                        opts.seed
+                    );
+                    for (name, server) in &self.servers {
+                        println!(
+                            "  {name:>8}: {:>6} objects  {:>10} bytes",
+                            server.store().object_count(),
+                            server.store().byte_count()
+                        );
+                    }
+                    if let Some(stats) = &self.cluster_stats {
+                        let s = stats.sample();
+                        println!(
+                            "  this mount: {} failovers, {} read repairs, {} quorum shortfalls, \
+                             {} node errors",
+                            s.failovers, s.read_repairs, s.quorum_shortfalls, s.node_errors
+                        );
+                    }
+                    Ok(())
+                }
+                None => Err("not in cluster mode (start with --cluster N)".into()),
+            },
             "costs" => {
                 let s = self.client.meter().sample();
                 println!(
@@ -410,8 +509,33 @@ impl Shell {
 }
 
 fn main() {
-    let use_tcp = std::env::args().any(|a| a == "--tcp");
-    let mut shell = Shell::new(use_tcp);
+    let mut use_tcp = false;
+    let mut cluster_n = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => use_tcp = true,
+            "--cluster" => {
+                cluster_n = args.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("sharoes-shell: --cluster needs a node count (e.g. --cluster 3)");
+                    std::process::exit(2);
+                });
+                if cluster_n < 2 {
+                    eprintln!("sharoes-shell: --cluster needs at least 2 nodes");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("sharoes-shell: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if use_tcp && cluster_n > 0 {
+        eprintln!("sharoes-shell: --tcp and --cluster are mutually exclusive");
+        std::process::exit(2);
+    }
+    let mut shell = Shell::new(use_tcp, cluster_n);
     println!("sharoes shell — type `help` for commands, `exit` to quit");
     let stdin = std::io::stdin();
     loop {

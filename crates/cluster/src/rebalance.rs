@@ -1,0 +1,177 @@
+//! Rebalancing and replica auditing: restoring the placement invariant
+//! after the ring changes.
+//!
+//! The invariant: every stored key lives on exactly the R ring replicas of
+//! its point, byte-identical everywhere. Node joins, crashes (retirement),
+//! and missed W<R writes all break it; [`ClusterTransport::rebalance`]
+//! restores it by streaming the key index off every node (the `Scan` op)
+//! and moving what is misplaced, and [`ClusterTransport::audit`] proves it
+//! held. Both are client-driven — nodes never talk to each other, keeping
+//! the SSP as dumb (and as untrusted) as the paper requires.
+
+use crate::transport::ClusterTransport;
+use sharoes_net::{NetError, ObjectKey, Request, Response};
+use std::collections::BTreeMap;
+
+/// What a rebalance pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Distinct keys examined.
+    pub keys: u64,
+    /// Replica copies created on nodes that lacked them.
+    pub copied: u64,
+    /// Stale divergent copies overwritten with the reconciled value.
+    pub refreshed: u64,
+    /// Copies deleted from nodes no longer responsible for the key.
+    pub dropped: u64,
+}
+
+/// What a replica audit found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Distinct keys examined.
+    pub keys: u64,
+    /// Keys present and byte-identical on all R target replicas.
+    pub fully_replicated: u64,
+    /// Keys missing from at least one target replica.
+    pub under_replicated: u64,
+    /// Keys whose target replicas disagree on content.
+    pub divergent: u64,
+    /// Keys with copies parked on non-replica nodes.
+    pub misplaced: u64,
+}
+
+impl AuditReport {
+    /// True when every key satisfies the placement invariant.
+    pub fn clean(&self) -> bool {
+        self.keys == self.fully_replicated
+            && self.under_replicated == 0
+            && self.divergent == 0
+            && self.misplaced == 0
+    }
+}
+
+impl ClusterTransport {
+    /// Streams the full key index of one node through the paged `Scan` op.
+    fn scan_node(&mut self, idx: usize, page: u32) -> Result<Vec<ObjectKey>, NetError> {
+        let mut keys = Vec::new();
+        let mut after: Option<ObjectKey> = None;
+        loop {
+            match self.node_call(idx, &Request::Scan { after, limit: page })? {
+                Response::Keys { keys: batch, done } => {
+                    after = batch.last().copied().or(after);
+                    keys.extend(batch);
+                    if done {
+                        return Ok(keys);
+                    }
+                }
+                _ => return Err(NetError::Codec("unexpected scan response shape")),
+            }
+        }
+    }
+
+    /// Builds the global `key → holder nodes` map from every active node.
+    /// Nodes that fail to scan are skipped (their copies are invisible this
+    /// round and will be found by a later pass).
+    fn holders_map(&mut self, page: u32) -> BTreeMap<ObjectKey, Vec<usize>> {
+        let mut holders: BTreeMap<ObjectKey, Vec<usize>> = BTreeMap::new();
+        for idx in 0..self.node_count() {
+            if !self.is_active(idx) {
+                continue;
+            }
+            if let Ok(keys) = self.scan_node(idx, page) {
+                for key in keys {
+                    holders.entry(key).or_default().push(idx);
+                }
+            }
+        }
+        holders
+    }
+
+    /// Reads `key` from each of `nodes`, returning `(node, value)` pairs
+    /// for the nodes that answered.
+    fn survey(&mut self, key: &ObjectKey, nodes: &[usize]) -> Vec<(usize, Option<Vec<u8>>)> {
+        let mut out = Vec::with_capacity(nodes.len());
+        for idx in nodes {
+            if let Ok(Response::Object(v)) = self.node_call(*idx, &Request::Get { key: *key }) {
+                out.push((*idx, v));
+            }
+        }
+        out
+    }
+
+    /// Moves every key onto exactly its R ring replicas, `page` keys per
+    /// scan round trip. Idempotent: a second pass over a settled cluster
+    /// reports all zeros.
+    pub fn rebalance(&mut self, page: u32) -> Result<RebalanceReport, NetError> {
+        let page = page.max(1);
+        let mut report = RebalanceReport::default();
+        let holders = self.holders_map(page);
+        for (key, holding) in holders {
+            report.keys += 1;
+            let targets = self.replica_indices(&key);
+            // Reconcile the value across current holders (presence wins,
+            // majority, ring order) before propagating it.
+            let responses = self.survey(&key, &holding);
+            let Some(value) = ClusterTransport::reconcile(&responses) else {
+                continue; // deleted under our feet: nothing to place
+            };
+            for target in &targets {
+                let held = responses.iter().find(|(idx, _)| idx == target).map(|(_, v)| v);
+                match held {
+                    Some(Some(v)) if *v == value => {}
+                    Some(Some(_)) | Some(None) | None => {
+                        let fresh = matches!(held, Some(Some(_)));
+                        if self
+                            .node_call(*target, &Request::Put { key, value: value.clone() })
+                            .is_ok()
+                        {
+                            if fresh {
+                                report.refreshed += 1;
+                            } else {
+                                report.copied += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            for idx in holding {
+                if !targets.contains(&idx) && self.node_call(idx, &Request::Delete { key }).is_ok()
+                {
+                    report.dropped += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Verifies the placement invariant without mutating anything: every
+    /// key present on all R replicas, byte-identical, and nowhere else.
+    pub fn audit(&mut self, page: u32) -> Result<AuditReport, NetError> {
+        let page = page.max(1);
+        let mut report = AuditReport::default();
+        let holders = self.holders_map(page);
+        for (key, holding) in holders {
+            report.keys += 1;
+            let targets = self.replica_indices(&key);
+            let responses = self.survey(&key, &targets);
+            let present: Vec<&Vec<u8>> = responses.iter().filter_map(|(_, v)| v.as_ref()).collect();
+            let missing = targets.len() - present.len();
+            let identical = present.windows(2).all(|w| w[0] == w[1]);
+            let misplaced = holding.iter().any(|idx| !targets.contains(idx));
+            if missing > 0 {
+                report.under_replicated += 1;
+            }
+            if !identical {
+                report.divergent += 1;
+            }
+            if misplaced {
+                report.misplaced += 1;
+            }
+            if missing == 0 && identical && !misplaced {
+                report.fully_replicated += 1;
+            }
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,288 @@
+//! Blob-level cluster semantics against real SSP stores: replication
+//! placement, quorum enforcement, failover reads, read repair, and
+//! rebalancing after ring changes.
+
+use sharoes_cluster::{ClusterOpts, ClusterTransport};
+use sharoes_net::{
+    CostMeter, InMemoryTransport, NetError, ObjectKey, Request, RequestHandler, Response, Transport,
+};
+use sharoes_ssp::{ObjectStore, SspServer};
+use std::sync::Arc;
+
+/// A cluster over in-process SSP nodes whose stores stay inspectable.
+struct World {
+    cluster: ClusterTransport,
+    stores: Vec<Arc<ObjectStore>>,
+}
+
+fn world(names: &[&str], opts: ClusterOpts) -> World {
+    let mut cluster = ClusterTransport::new(opts);
+    let mut stores = Vec::new();
+    for name in names {
+        let store = Arc::new(ObjectStore::new());
+        let server: Arc<dyn RequestHandler> = Arc::new(SspServer::with_store(Arc::clone(&store)));
+        cluster.add_node(name, Box::new(InMemoryTransport::new(server)));
+        stores.push(store);
+    }
+    World { cluster, stores }
+}
+
+/// A node whose transport always fails (a crashed SSP).
+struct DeadTransport(Arc<CostMeter>);
+
+impl Transport for DeadTransport {
+    fn call(&mut self, _request: &Request) -> Result<Response, NetError> {
+        Err(NetError::Closed)
+    }
+    fn meter(&self) -> &Arc<CostMeter> {
+        &self.0
+    }
+}
+
+fn key(i: u64) -> ObjectKey {
+    ObjectKey::data(i, [(i % 251) as u8; 16], 0)
+}
+
+fn blob(i: u64) -> Vec<u8> {
+    vec![(i % 251) as u8; 8 + (i % 5) as usize]
+}
+
+/// How many node stores physically hold `k`.
+fn holders(w: &World, k: &ObjectKey) -> usize {
+    w.stores.iter().filter(|s| s.get(k).is_some()).count()
+}
+
+#[test]
+fn writes_land_on_exactly_r_replicas() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    for i in 0..40 {
+        assert_eq!(
+            w.cluster.call(&Request::Put { key: key(i), value: blob(i) }).unwrap(),
+            Response::Ok
+        );
+    }
+    for i in 0..40 {
+        assert_eq!(holders(&w, &key(i)), 2, "key {i} not on exactly R=2 nodes");
+    }
+    // Reads come back through the quorum path.
+    for i in 0..40 {
+        assert_eq!(
+            w.cluster.call(&Request::Get { key: key(i) }).unwrap(),
+            Response::Object(Some(blob(i)))
+        );
+    }
+    // Deletes clear every replica.
+    for i in 0..40 {
+        w.cluster.call(&Request::Delete { key: key(i) }).unwrap();
+        assert_eq!(holders(&w, &key(i)), 0, "key {i} survived delete");
+    }
+}
+
+#[test]
+fn batch_writes_replicate_like_single_writes() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    let items: Vec<(ObjectKey, Vec<u8>)> = (0..30).map(|i| (key(i), blob(i))).collect();
+    w.cluster.call(&Request::PutMany { items }).unwrap();
+    for i in 0..30 {
+        assert_eq!(holders(&w, &key(i)), 2);
+    }
+    let got = w.cluster.call(&Request::GetMany { keys: (0..30).map(key).collect() }).unwrap();
+    assert_eq!(got, Response::Objects((0..30).map(|i| Some(blob(i))).collect()));
+    w.cluster.call(&Request::DeleteMany { keys: (0..30).map(key).collect() }).unwrap();
+    assert_eq!((0..30).map(|i| holders(&w, &key(i))).sum::<usize>(), 0);
+}
+
+#[test]
+fn read_fails_over_and_repairs_a_missing_replica() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    let stats = w.cluster.stats_handle();
+    w.cluster.call(&Request::Put { key: key(7), value: blob(7) }).unwrap();
+    // Knock the blob off one replica behind the cluster's back.
+    let victim = w.stores.iter().position(|s| s.get(&key(7)).is_some()).unwrap();
+    w.stores[victim].delete(&key(7));
+    assert_eq!(holders(&w, &key(7)), 1);
+    // The read still sees the surviving copy (presence wins)…
+    assert_eq!(
+        w.cluster.call(&Request::Get { key: key(7) }).unwrap(),
+        Response::Object(Some(blob(7)))
+    );
+    // …and repaired the hole on its way out.
+    assert_eq!(holders(&w, &key(7)), 2, "read repair must restore the replica");
+    assert_eq!(stats.sample().read_repairs, 1);
+}
+
+#[test]
+fn divergent_replicas_reconcile_and_repair() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    w.cluster.call(&Request::Put { key: key(3), value: blob(3) }).unwrap();
+    // Corrupt one replica with a different (stale) value.
+    let victim = w.stores.iter().position(|s| s.get(&key(3)).is_some()).unwrap();
+    w.stores[victim].put(key(3), b"stale".to_vec());
+    let got = w.cluster.call(&Request::Get { key: key(3) }).unwrap();
+    // Majority can't decide 1-vs-1; ring order picks a winner
+    // deterministically, and both replicas converge on it.
+    let Response::Object(Some(winner)) = got else { panic!("lost the blob") };
+    let values: Vec<Vec<u8>> = w.stores.iter().filter_map(|s| s.get(&key(3))).collect();
+    assert_eq!(values.len(), 2);
+    assert!(values.iter().all(|v| *v == winner), "replicas must converge after repair");
+}
+
+#[test]
+fn batched_reads_also_fail_over_and_repair() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    let keys: Vec<ObjectKey> = (0..20).map(key).collect();
+    for (i, k) in keys.iter().enumerate() {
+        w.cluster.call(&Request::Put { key: *k, value: blob(i as u64) }).unwrap();
+    }
+    // Drop every key from one (arbitrary) holding store.
+    for k in &keys {
+        let victim = w.stores.iter().position(|s| s.get(k).is_some()).unwrap();
+        w.stores[victim].delete(k);
+    }
+    let got = w.cluster.call(&Request::GetMany { keys: keys.clone() }).unwrap();
+    assert_eq!(got, Response::Objects((0..20).map(|i| Some(blob(i))).collect()));
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(holders(&w, k), 2, "key {i} not repaired by batched read");
+    }
+}
+
+#[test]
+fn write_quorum_gates_success() {
+    // Two nodes, R=2: with W=2 a dead node fails every write; with W=1 the
+    // same cluster stays available.
+    for (quorum, expect_ok) in [(2usize, false), (1usize, true)] {
+        let mut cluster = ClusterTransport::new(ClusterOpts {
+            replication: 2,
+            write_quorum: quorum,
+            ..Default::default()
+        });
+        let store = Arc::new(ObjectStore::new());
+        let server: Arc<dyn RequestHandler> = Arc::new(SspServer::with_store(Arc::clone(&store)));
+        cluster.add_node("live", Box::new(InMemoryTransport::new(server)));
+        cluster.add_node("dead", Box::new(DeadTransport(CostMeter::new_shared())));
+        let outcome = cluster.call(&Request::Put { key: key(1), value: blob(1) });
+        assert_eq!(outcome.is_ok(), expect_ok, "W={quorum}");
+        if expect_ok {
+            // The surviving ack landed, and the shortfall was recorded.
+            assert!(cluster.stats_handle().sample().quorum_shortfalls >= 1);
+        }
+    }
+}
+
+#[test]
+fn cluster_scan_merges_and_dedupes_replicas() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    let mut expect: Vec<ObjectKey> = (0..25).map(key).collect();
+    for k in &expect {
+        w.cluster.call(&Request::Put { key: *k, value: vec![1] }).unwrap();
+    }
+    expect.sort_unstable();
+    // Page through the merged global index.
+    let mut seen = Vec::new();
+    let mut after = None;
+    loop {
+        let Response::Keys { keys, done } =
+            w.cluster.call(&Request::Scan { after, limit: 7 }).unwrap()
+        else {
+            panic!("wrong response shape")
+        };
+        assert!(keys.len() <= 7);
+        after = keys.last().copied().or(after);
+        seen.extend(keys);
+        if done {
+            break;
+        }
+    }
+    // Each key appears once despite living on two nodes.
+    assert_eq!(seen, expect);
+}
+
+#[test]
+fn rebalance_after_join_restores_placement() {
+    let mut w = world(&["a", "b"], ClusterOpts { replication: 2, ..Default::default() });
+    for i in 0..60 {
+        w.cluster.call(&Request::Put { key: key(i), value: blob(i) }).unwrap();
+    }
+    // A third node joins empty: placement now disagrees with reality.
+    let store = Arc::new(ObjectStore::new());
+    let server: Arc<dyn RequestHandler> = Arc::new(SspServer::with_store(Arc::clone(&store)));
+    w.cluster.add_node("c", Box::new(InMemoryTransport::new(server)));
+    w.stores.push(store);
+    assert!(!w.cluster.audit(16).unwrap().clean(), "join must disturb placement");
+
+    let report = w.cluster.rebalance(16).unwrap();
+    assert_eq!(report.keys, 60);
+    assert!(report.copied > 0, "the new node must receive keys");
+    assert!(report.dropped > 0, "old over-placed copies must be dropped");
+
+    let audit = w.cluster.audit(16).unwrap();
+    assert!(audit.clean(), "after rebalance: {audit:?}");
+    assert_eq!(audit.keys, 60);
+    // And the data still reads back.
+    for i in 0..60 {
+        assert_eq!(
+            w.cluster.call(&Request::Get { key: key(i) }).unwrap(),
+            Response::Object(Some(blob(i)))
+        );
+    }
+    // A second pass is a no-op.
+    assert_eq!(
+        w.cluster.rebalance(16).unwrap(),
+        sharoes_cluster::RebalanceReport { keys: 60, ..Default::default() }
+    );
+}
+
+#[test]
+fn rebalance_after_retire_restores_replication() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    for i in 0..60 {
+        w.cluster.call(&Request::Put { key: key(i), value: blob(i) }).unwrap();
+    }
+    assert!(w.cluster.retire_node("b"));
+    assert!(!w.cluster.retire_node("b"), "double retire must report false");
+    assert_eq!(w.cluster.active_nodes(), vec!["a", "c"]);
+
+    // Keys that had a copy on b are now under-replicated.
+    let audit = w.cluster.audit(16).unwrap();
+    assert!(audit.under_replicated > 0, "retiring a node must cost replicas: {audit:?}");
+
+    w.cluster.rebalance(16).unwrap();
+    let audit = w.cluster.audit(16).unwrap();
+    assert!(audit.clean(), "after rebalance: {audit:?}");
+    assert_eq!(audit.keys, 60);
+    for i in 0..60 {
+        assert_eq!(
+            w.cluster.call(&Request::Get { key: key(i) }).unwrap(),
+            Response::Object(Some(blob(i)))
+        );
+    }
+}
+
+#[test]
+fn delete_blocks_fans_out_to_every_node() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    let view = [9u8; 16];
+    for b in 0..12u32 {
+        let k = ObjectKey::data(77, view, b);
+        w.cluster.call(&Request::Put { key: k, value: vec![b as u8; 4] }).unwrap();
+    }
+    w.cluster.call(&Request::Put { key: ObjectKey::metadata(77, view), value: vec![1] }).unwrap();
+    w.cluster.call(&Request::DeleteBlocks { inode: 77, view }).unwrap();
+    for b in 0..12u32 {
+        assert_eq!(holders(&w, &ObjectKey::data(77, view, b)), 0, "block {b} survived");
+    }
+    // Metadata is untouched by a block wipe.
+    assert_eq!(holders(&w, &ObjectKey::metadata(77, view)), 2);
+}
+
+#[test]
+fn stats_aggregate_physical_storage() {
+    let mut w = world(&["a", "b", "c"], ClusterOpts { replication: 2, ..Default::default() });
+    w.cluster.call(&Request::Put { key: key(1), value: vec![0; 100] }).unwrap();
+    // R=2 copies → 200 physical bytes, 2 physical objects.
+    assert_eq!(
+        w.cluster.call(&Request::Stats).unwrap(),
+        Response::Stats { objects: 2, bytes: 200 }
+    );
+    assert_eq!(w.cluster.call(&Request::Ping).unwrap(), Response::Pong);
+}

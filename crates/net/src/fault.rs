@@ -55,7 +55,8 @@ impl OpClass {
     pub fn of(request: &Request) -> Self {
         match request {
             Request::Ping => OpClass::Ping,
-            Request::Get { .. } | Request::GetMany { .. } => OpClass::Get,
+            // Scans are read-only index walks; class them with the reads.
+            Request::Get { .. } | Request::GetMany { .. } | Request::Scan { .. } => OpClass::Get,
             Request::Put { .. } | Request::PutMany { .. } => OpClass::Put,
             Request::Delete { .. } | Request::DeleteBlocks { .. } | Request::DeleteMany { .. } => {
                 OpClass::Delete

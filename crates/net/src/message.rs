@@ -144,6 +144,15 @@ pub enum Request {
     },
     /// Storage accounting (bench E6 uses this).
     Stats,
+    /// Pages through stored keys in `ObjectKey` order (cluster rebalancing
+    /// and replica audits). Content stays opaque: only the index is listed,
+    /// which the SSP already knows.
+    Scan {
+        /// Resume after this key (exclusive); `None` starts from the front.
+        after: Option<ObjectKey>,
+        /// Maximum keys per page.
+        limit: u32,
+    },
 }
 
 impl Request {
@@ -172,6 +181,9 @@ impl Request {
             (Request::Get { .. }, Response::Object(_)) => true,
             (Request::GetMany { keys }, Response::Objects(vs)) => vs.len() == keys.len(),
             (Request::Stats, Response::Stats { .. }) => true,
+            (Request::Scan { limit, .. }, Response::Keys { keys, .. }) => {
+                keys.len() <= *limit as usize
+            }
             _ => false,
         }
     }
@@ -194,6 +206,14 @@ pub enum Response {
         objects: u64,
         /// Total stored bytes.
         bytes: u64,
+    },
+    /// One page of a key scan.
+    Keys {
+        /// Keys in `ObjectKey` order, all strictly after the request's
+        /// `after` cursor.
+        keys: Vec<ObjectKey>,
+        /// True when no keys remain beyond this page.
+        done: bool,
     },
     /// Server-side failure.
     Error(String),
@@ -234,6 +254,11 @@ impl WireWrite for Request {
                 keys.write(out);
             }
             Request::Stats => 7u8.write(out),
+            Request::Scan { after, limit } => {
+                9u8.write(out);
+                after.write(out);
+                limit.write(out);
+            }
         }
     }
 }
@@ -250,6 +275,7 @@ impl WireRead for Request {
             6 => Request::DeleteBlocks { inode: u64::read(r)?, view: <[u8; 16]>::read(r)? },
             7 => Request::Stats,
             8 => Request::DeleteMany { keys: Vec::read(r)? },
+            9 => Request::Scan { after: Option::read(r)?, limit: u32::read(r)? },
             _ => return Err(NetError::Codec("unknown request tag")),
         })
     }
@@ -277,6 +303,11 @@ impl WireWrite for Response {
                 5u8.write(out);
                 msg.write(out);
             }
+            Response::Keys { keys, done } => {
+                6u8.write(out);
+                keys.write(out);
+                done.write(out);
+            }
         }
     }
 }
@@ -290,6 +321,7 @@ impl WireRead for Response {
             3 => Response::Objects(Vec::read(r)?),
             4 => Response::Stats { objects: u64::read(r)?, bytes: u64::read(r)? },
             5 => Response::Error(String::read(r)?),
+            6 => Response::Keys { keys: Vec::read(r)?, done: bool::read(r)? },
             _ => return Err(NetError::Codec("unknown response tag")),
         })
     }
@@ -321,6 +353,8 @@ mod tests {
         roundtrip_req(Request::DeleteBlocks { inode: 5, view: [9; 16] });
         roundtrip_req(Request::DeleteMany { keys: vec![key, ObjectKey::superblock([2; 16])] });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Scan { after: None, limit: 128 });
+        roundtrip_req(Request::Scan { after: Some(key), limit: 0 });
     }
 
     #[test]
@@ -332,6 +366,11 @@ mod tests {
         roundtrip_resp(Response::Objects(vec![None, Some(vec![])]));
         roundtrip_resp(Response::Stats { objects: 10, bytes: 12345 });
         roundtrip_resp(Response::Error("boom".into()));
+        roundtrip_resp(Response::Keys { keys: vec![], done: true });
+        roundtrip_resp(Response::Keys {
+            keys: vec![ObjectKey::metadata(1, [4; 16]), ObjectKey::data(2, [5; 16], 7)],
+            done: false,
+        });
     }
 
     #[test]
@@ -355,6 +394,11 @@ mod tests {
         assert!(!two.matches_response(&Response::Objects(vec![None])));
         // Errors match anything.
         assert!(two.matches_response(&Response::Error("x".into())));
+        // Scan checks the page limit, so an oversized stale reply is detectable.
+        let scan = Request::Scan { after: None, limit: 1 };
+        assert!(scan.matches_response(&Response::Keys { keys: vec![key], done: true }));
+        assert!(!scan.matches_response(&Response::Keys { keys: vec![key, key], done: false }));
+        assert!(!scan.matches_response(&Response::Ok));
     }
 
     #[test]

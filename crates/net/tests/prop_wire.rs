@@ -50,6 +50,10 @@ fn requests() -> Gen<Request> {
         Gen::from_fn(|t| {
             Ok(Request::DeleteBlocks { inode: t.u64(), view: gen::byte_arrays::<16>().sample(t)? })
         }),
+        {
+            let after = gen::option_of(key.clone());
+            Gen::from_fn(move |t| Ok(Request::Scan { after: after.sample(t)?, limit: t.u32() }))
+        },
     ])
 }
 
@@ -61,6 +65,10 @@ fn responses() -> Gen<Response> {
         gen::vecs(gen::option_of(gen::vecs(gen::u8s(), 0..64)), 0..6).map(Response::Objects),
         Gen::from_fn(|t| Ok(Response::Stats { objects: t.u64(), bytes: t.u64() })),
         gen::ascii_strings(0..65).map(Response::Error),
+        {
+            let keys = gen::vecs(keys(), 0..8);
+            Gen::from_fn(move |t| Ok(Response::Keys { keys: keys.sample(t)?, done: t.bool() }))
+        },
     ])
 }
 

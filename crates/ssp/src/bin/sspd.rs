@@ -1,32 +1,89 @@
 //! `sharoes-sspd` — standalone SSP server.
 //!
-//! Usage: `sharoes-sspd [ADDR] [--data FILE]`
+//! Usage: `sharoes-sspd [ADDR] [--data FILE] [--cluster FILE --node NAME]`
 //! (default `127.0.0.1:7070`, in-memory only).
 //!
 //! With `--data`, the store is loaded from FILE at startup (if present) and
 //! snapshotted back every 30 seconds — the SSP's "faithfully store/retrieve"
 //! obligation of paper §VII. All persisted bytes are client-encrypted blobs.
+//!
+//! With `--cluster CONFIG --node NAME`, the daemon runs as the named member
+//! of a cluster config (see `sharoes-cluster`): the bind address comes from
+//! the config's `node NAME ADDR` line, and — unless `--data` is given — the
+//! snapshot defaults to `<NAME>.snap` so each member persists separately.
+//! Nodes never talk to each other; replication is entirely client-driven.
 
+use sharoes_cluster::ClusterConfig;
 use sharoes_ssp::{backup_path, serve, ObjectStore, SnapshotSource, SspServer};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let mut addr = "127.0.0.1:7070".to_string();
+    let mut addr: Option<String> = None;
     let mut data: Option<PathBuf> = None;
+    let mut cluster: Option<PathBuf> = None;
+    let mut node: Option<String> = None;
     let mut args = std::env::args().skip(1);
+    let missing = |flag: &str| -> String {
+        eprintln!("sharoes-sspd: {flag} needs a value");
+        std::process::exit(2);
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--data" => {
-                data = Some(PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("sharoes-sspd: --data needs a file path");
-                    std::process::exit(2);
-                })));
+                data = Some(PathBuf::from(args.next().unwrap_or_else(|| missing("--data"))))
             }
-            other => addr = other.to_string(),
+            "--cluster" => {
+                cluster = Some(PathBuf::from(args.next().unwrap_or_else(|| missing("--cluster"))))
+            }
+            "--node" => node = Some(args.next().unwrap_or_else(|| missing("--node"))),
+            other => addr = Some(other.to_string()),
         }
     }
+
+    if let Some(config_path) = &cluster {
+        let Some(name) = &node else {
+            eprintln!("sharoes-sspd: --cluster requires --node NAME");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(config_path).unwrap_or_else(|e| {
+            eprintln!("sharoes-sspd: cannot read {}: {e}", config_path.display());
+            std::process::exit(1);
+        });
+        let config = ClusterConfig::parse(&text).unwrap_or_else(|e| {
+            eprintln!("sharoes-sspd: bad cluster config {}: {e}", config_path.display());
+            std::process::exit(1);
+        });
+        let Some(spec) = config.node(name) else {
+            let known: Vec<&str> = config.nodes.iter().map(|n| n.name.as_str()).collect();
+            eprintln!("sharoes-sspd: node {name:?} not in config (members: {known:?})");
+            std::process::exit(1);
+        };
+        if let Some(explicit) = &addr {
+            if *explicit != spec.addr {
+                eprintln!(
+                    "sharoes-sspd: ADDR {explicit} conflicts with config address {} for {name}",
+                    spec.addr
+                );
+                std::process::exit(2);
+            }
+        }
+        addr = Some(spec.addr.clone());
+        if data.is_none() {
+            data = Some(PathBuf::from(format!("{name}.snap")));
+        }
+        eprintln!(
+            "sharoes-sspd: cluster member {name} (R={}, W={}, {} nodes)",
+            config.replication,
+            config.write_quorum,
+            config.nodes.len()
+        );
+    } else if node.is_some() {
+        eprintln!("sharoes-sspd: --node requires --cluster FILE");
+        std::process::exit(2);
+    }
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:7070".to_string());
 
     let store = match &data {
         Some(path) if path.exists() || backup_path(path).exists() => {

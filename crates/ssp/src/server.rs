@@ -77,6 +77,10 @@ impl RequestHandler for SspServer {
                 objects: self.store.object_count(),
                 bytes: self.store.byte_count(),
             },
+            Request::Scan { after, limit } => {
+                let (keys, done) = self.store.scan_keys(after.as_ref(), limit as usize);
+                Response::Keys { keys, done }
+            }
         }
     }
 }
@@ -113,6 +117,23 @@ mod tests {
         assert_eq!(
             server.handle(Request::GetMany { keys: vec![k1, k2] }),
             Response::Objects(vec![None, None])
+        );
+    }
+
+    #[test]
+    fn scan_pages_through_keys() {
+        let server = SspServer::new();
+        let keys: Vec<ObjectKey> = (0..5).map(|b| ObjectKey::data(1, [0; 16], b)).collect();
+        for k in &keys {
+            server.handle(Request::Put { key: *k, value: vec![1] });
+        }
+        assert_eq!(
+            server.handle(Request::Scan { after: None, limit: 3 }),
+            Response::Keys { keys: keys[..3].to_vec(), done: false }
+        );
+        assert_eq!(
+            server.handle(Request::Scan { after: Some(keys[2]), limit: 3 }),
+            Response::Keys { keys: keys[3..].to_vec(), done: true }
         );
     }
 

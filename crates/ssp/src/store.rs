@@ -8,7 +8,7 @@
 use sharoes_crypto::Sha256;
 use sharoes_net::{Cursor, KeySpace, NetError, ObjectKey, WireRead, WireWrite};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -239,14 +239,38 @@ impl ObjectStore {
     }
 
     /// Bytes stored per keyspace (storage-overhead accounting, bench E6).
-    pub fn bytes_by_space(&self) -> HashMap<KeySpace, u64> {
-        let mut out = HashMap::new();
+    ///
+    /// A `BTreeMap` so iteration order is deterministic — `HashMap` ordering
+    /// has already produced one real bug in this repo (PR 1, `scheme.rs`),
+    /// and stats output feeds the determinism tests.
+    pub fn bytes_by_space(&self) -> BTreeMap<KeySpace, u64> {
+        let mut out = BTreeMap::new();
         for shard in &self.shards {
             for (key, value) in shard.read().unwrap_or_else(|e| e.into_inner()).iter() {
                 *out.entry(key.space).or_insert(0) += value.len() as u64;
             }
         }
         out
+    }
+
+    /// One page of the key index in `ObjectKey` order, strictly after the
+    /// `after` cursor. Returns the page and whether the scan is complete.
+    ///
+    /// This is the cluster rebalancer's view of a node: keys only, never
+    /// content, so it reveals nothing the SSP doesn't already index. The
+    /// snapshot is not atomic across pages — keys written or deleted between
+    /// pages may be missed or duplicated, which rebalancing tolerates
+    /// (re-placing a key is idempotent).
+    pub fn scan_keys(&self, after: Option<&ObjectKey>, limit: usize) -> (Vec<ObjectKey>, bool) {
+        let mut keys: Vec<ObjectKey> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().unwrap_or_else(|e| e.into_inner());
+            keys.extend(map.keys().filter(|k| after.map_or(true, |a| *k > a)).copied());
+        }
+        keys.sort_unstable();
+        let done = keys.len() <= limit;
+        keys.truncate(limit);
+        (keys, done)
     }
 }
 
@@ -294,6 +318,107 @@ mod tests {
     }
 
     #[test]
+    fn delete_blocks_on_empty_store_and_foreign_views() {
+        let s = ObjectStore::new();
+        assert_eq!(s.delete_blocks(1, [7; 16]), 0);
+        // Only non-matching entries present: nothing removed, bytes intact.
+        s.put(ObjectKey::data(1, [8; 16], 0), vec![0; 10]); // other view
+        s.put(ObjectKey::data(2, [7; 16], 0), vec![0; 20]); // other inode
+        s.put(ObjectKey::metadata(1, [7; 16]), vec![0; 30]); // other space
+        assert_eq!(s.delete_blocks(1, [7; 16]), 0);
+        assert_eq!(s.object_count(), 3);
+        assert_eq!(s.byte_count(), 60);
+    }
+
+    #[test]
+    fn delete_blocks_updates_byte_accounting() {
+        let s = ObjectStore::new();
+        for b in 0..4 {
+            s.put(k(3, b), vec![0; 25]);
+        }
+        s.put(ObjectKey::metadata(3, [7; 16]), vec![0; 11]);
+        assert_eq!(s.byte_count(), 111);
+        assert_eq!(s.delete_blocks(3, [7; 16]), 4);
+        assert_eq!(s.byte_count(), 11);
+        // Idempotent: a second sweep finds nothing.
+        assert_eq!(s.delete_blocks(3, [7; 16]), 0);
+        assert_eq!(s.byte_count(), 11);
+    }
+
+    #[test]
+    fn scan_keys_pages_in_order() {
+        let s = ObjectStore::new();
+        // Insert out of order across spaces, inodes, and blocks.
+        let mut expect: Vec<ObjectKey> = Vec::new();
+        for i in (0..7u64).rev() {
+            for b in [2u32, 0, 1] {
+                let key = ObjectKey::data(i, [i as u8; 16], b);
+                s.put(key, vec![1]);
+                expect.push(key);
+            }
+            let key = ObjectKey::metadata(i, [i as u8; 16]);
+            s.put(key, vec![2]);
+            expect.push(key);
+        }
+        expect.sort_unstable();
+
+        // Full scan in one page.
+        let (all, done) = s.scan_keys(None, 1000);
+        assert!(done);
+        assert_eq!(all, expect);
+
+        // Page through with a small limit; pages concatenate to the full set.
+        let mut paged: Vec<ObjectKey> = Vec::new();
+        let mut cursor: Option<ObjectKey> = None;
+        loop {
+            let (page, done) = s.scan_keys(cursor.as_ref(), 5);
+            assert!(page.len() <= 5);
+            paged.extend_from_slice(&page);
+            cursor = page.last().copied();
+            if done {
+                break;
+            }
+        }
+        assert_eq!(paged, expect);
+
+        // Exact-boundary page: limit == remaining reports done.
+        let (page, done) = s.scan_keys(None, expect.len());
+        assert_eq!(page.len(), expect.len());
+        assert!(done);
+        let (page, done) = s.scan_keys(None, expect.len() - 1);
+        assert_eq!(page.len(), expect.len() - 1);
+        assert!(!done);
+
+        // A cursor past the end yields an empty, done page.
+        let (page, done) = s.scan_keys(expect.last(), 5);
+        assert!(page.is_empty());
+        assert!(done);
+    }
+
+    #[test]
+    fn poisoned_shard_locks_recover() {
+        let s = std::sync::Arc::new(ObjectStore::new());
+        s.put(k(1, 0), vec![1, 2, 3]);
+        // Poison every shard: a thread panics while holding all write guards
+        // (simulating a connection thread dying mid-request).
+        let poisoner = std::sync::Arc::clone(&s);
+        let _ = std::thread::spawn(move || {
+            let _guards: Vec<_> = poisoner.shards.iter().map(|sh| sh.write().unwrap()).collect();
+            panic!("poison all shards");
+        })
+        .join();
+        assert!(s.shards.iter().any(|sh| sh.is_poisoned()), "test setup must poison the locks");
+        // The request path recovers instead of wedging the server.
+        assert_eq!(s.get(&k(1, 0)).unwrap(), vec![1, 2, 3]);
+        s.put(k(2, 0), vec![4]);
+        assert_eq!(s.get(&k(2, 0)).unwrap(), vec![4]);
+        assert!(s.delete(&k(2, 0)));
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.scan_keys(None, 10).0, vec![k(1, 0)]);
+        assert!(!s.snapshot().is_empty());
+    }
+
+    #[test]
     fn keys_with_same_inode_different_views_coexist() {
         let s = ObjectStore::new();
         s.put(ObjectKey::metadata(1, [1; 16]), vec![1]);
@@ -313,6 +438,9 @@ mod tests {
         assert_eq!(by[&KeySpace::Metadata], 10);
         assert_eq!(by[&KeySpace::Data], 90);
         assert_eq!(by[&KeySpace::Superblock], 5);
+        // Iteration order is the KeySpace order, not hasher-dependent.
+        let spaces: Vec<KeySpace> = by.keys().copied().collect();
+        assert_eq!(spaces, vec![KeySpace::Metadata, KeySpace::Data, KeySpace::Superblock]);
     }
 
     #[test]
@@ -427,6 +555,37 @@ mod tests {
         // Both generations bad: the primary's error surfaces.
         std::fs::write(backup_path(&path), b"junk").unwrap();
         assert!(ObjectStore::load_with_recovery(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_prefers_primary_even_when_backup_is_newer() {
+        // Recovery order is positional (primary, then `.bak`), never
+        // timestamp-based: a valid primary wins even if the backup file was
+        // written afterwards, and the backup is only consulted when the
+        // primary is missing or fails verification.
+        let dir = std::env::temp_dir().join(format!("sharoes-store-order-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.snap");
+
+        let older = ObjectStore::new();
+        older.put(k(1, 0), b"primary".to_vec());
+        std::fs::write(&path, older.snapshot()).unwrap();
+
+        // Write a *newer* valid snapshot directly to the backup slot.
+        let newer = ObjectStore::new();
+        newer.put(k(1, 0), b"backup-written-later".to_vec());
+        std::fs::write(backup_path(&path), newer.snapshot()).unwrap();
+
+        let (s, src) = ObjectStore::load_with_recovery(&path).unwrap();
+        assert_eq!(src, SnapshotSource::Primary);
+        assert_eq!(s.get(&k(1, 0)).unwrap(), b"primary");
+
+        // Primary missing entirely: the newer backup is used.
+        std::fs::remove_file(&path).unwrap();
+        let (s, src) = ObjectStore::load_with_recovery(&path).unwrap();
+        assert_eq!(src, SnapshotSource::Backup);
+        assert_eq!(s.get(&k(1, 0)).unwrap(), b"backup-written-later");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,6 +12,9 @@
 //! * [`fs`] — the local *nix filesystem model (the thing you migrate).
 //! * [`net`] — wire protocol, transports, and the WAN cost model.
 //! * [`ssp`] — the untrusted Storage Service Provider.
+//! * [`cluster`] — client-driven replication over several SSP nodes:
+//!   consistent-hash placement, quorum writes, failover reads with read
+//!   repair, and rebalancing after ring changes.
 //! * [`core`] — CAPs, metadata/directory-table layouts, Scheme-1/2, the
 //!   client filesystem, and the migration tool.
 //!
@@ -60,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub use sharoes_cluster as cluster;
 pub use sharoes_core as core;
 pub use sharoes_crypto as crypto;
 pub use sharoes_fs as fs;
@@ -68,6 +72,7 @@ pub use sharoes_ssp as ssp;
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
+    pub use sharoes_cluster::{ClusterConfig, ClusterOpts, ClusterTransport};
     pub use sharoes_core::client::{FileStat, ReadDirEntry};
     pub use sharoes_core::{
         ClientConfig, CoreError, CryptoParams, CryptoPolicy, Keyring, MigrationReport, Migrator,

@@ -1,0 +1,261 @@
+//! Cluster chaos suite: the full client stack mounted through a
+//! `ClusterTransport` over N=3 SSP nodes at R=2, with a seeded fault
+//! injector on every node link and one node killed permanently
+//! mid-workload.
+//!
+//! The workload must complete byte-identically to the fault-free run, and
+//! after retiring the dead node and rebalancing, the replica audit must
+//! show every live key on R replicas. Everything is a pure function of the
+//! printed seed; replay with `SHAROES_TEST_SEED=<seed> cargo test --test
+//! cluster`.
+
+use sharoes::cluster::{ClusterOpts, ClusterTransport};
+use sharoes::fs::treegen::{generate, TreeSpec};
+use sharoes::net::{
+    CostMeter, FaultConfig, FaultCounts, FaultInjector, FaultSchedule, NetError, Request,
+    RequestHandler, ResilientTransport, Response, RetryPolicy, Transport,
+};
+use sharoes::prelude::*;
+use sharoes::ssp::SspServer;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const NODE_NAMES: [&str; 3] = ["a", "b", "c"];
+
+/// A transport that serves `calls_left` requests and then fails every call
+/// forever — a node crash. The budget is shared across reconnect attempts,
+/// so the resilient transport cannot revive the node either.
+struct KillSwitch {
+    inner: Box<dyn Transport>,
+    calls_left: Arc<AtomicI64>,
+}
+
+impl Transport for KillSwitch {
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        if self.calls_left.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Err(NetError::Closed);
+        }
+        self.inner.call(request)
+    }
+    fn meter(&self) -> &Arc<CostMeter> {
+        self.inner.meter()
+    }
+}
+
+struct World {
+    servers: Vec<Arc<SspServer>>,
+    db: Arc<UserDb>,
+    pki: Arc<Pki>,
+    ring: Keyring,
+    pool: Arc<SigKeyPool>,
+    config: ClientConfig,
+}
+
+fn cluster_opts() -> ClusterOpts {
+    // W=1: a write succeeds on one ack, so losing one of three nodes never
+    // blocks the workload; read repair + rebalance restore full replication.
+    ClusterOpts { replication: 2, write_quorum: 1, ..ClusterOpts::default() }
+}
+
+/// A cluster transport over `servers`. Each node link is a resilient
+/// transport around a seeded fault injector (per-node fault seed), and the
+/// node at `kill` carries a shared call budget after which it is dead.
+fn make_cluster(
+    servers: &[Arc<SspServer>],
+    rate: f64,
+    fault_seed: u64,
+    kill: Option<(usize, Arc<AtomicI64>)>,
+) -> (ClusterTransport, Vec<Arc<Mutex<FaultSchedule>>>, Vec<Arc<CostMeter>>) {
+    let mut cluster = ClusterTransport::new(cluster_opts());
+    let mut schedules = Vec::new();
+    let mut meters = Vec::new();
+    for (idx, server) in servers.iter().enumerate() {
+        let schedule =
+            FaultSchedule::shared(FaultConfig::at_rate(rate), fault_seed ^ (idx as u64) << 8);
+        let meter = CostMeter::new_shared();
+        let handler = Arc::clone(server) as Arc<dyn RequestHandler>;
+        let fuse = kill.as_ref().filter(|(k, _)| *k == idx).map(|(_, f)| Arc::clone(f));
+        let schedule2 = Arc::clone(&schedule);
+        let meter2 = Arc::clone(&meter);
+        let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            let inner = InMemoryTransport::with_meter(Arc::clone(&handler), Arc::clone(&meter2));
+            let faulty = FaultInjector::new(inner, Arc::clone(&schedule2));
+            Ok(match &fuse {
+                Some(f) => {
+                    Box::new(KillSwitch { inner: Box::new(faulty), calls_left: Arc::clone(f) })
+                }
+                None => Box::new(faulty) as Box<dyn Transport>,
+            })
+        });
+        let link = ResilientTransport::connect(connector, RetryPolicy::fast(12)).expect("connect");
+        cluster.add_node(NODE_NAMES[idx], Box::new(link));
+        schedules.push(schedule);
+        meters.push(meter);
+    }
+    (cluster, schedules, meters)
+}
+
+/// Builds a 3-node deployment that is a pure function of `seed`: the local
+/// tree is migrated through the cluster transport itself, so objects land
+/// placed and replicated from the start.
+fn deploy(seed: u64) -> World {
+    let spec =
+        TreeSpec { users: 2, dirs_per_user: 1, files_per_dir: 1, seed, ..Default::default() };
+    let (local, _) = generate(&spec).expect("treegen");
+    let mut rng = HmacDrbg::from_seed_u64(seed);
+    let ring = Keyring::generate(local.users(), 512, &mut rng).unwrap();
+    let config = ClientConfig::test_with(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let pool = Arc::new(SigKeyPool::new(config.crypto));
+    let servers: Vec<Arc<SspServer>> =
+        (0..NODE_NAMES.len()).map(|_| SspServer::new().into_shared()).collect();
+    let (mut cluster, _, _) = make_cluster(&servers, 0.0, 0, None);
+    Migrator { fs: &local, config: &config, ring: &ring, pool: &pool, downgrade_unsupported: true }
+        .migrate(&mut cluster, &mut rng)
+        .expect("migration");
+    World {
+        servers,
+        db: Arc::new(local.users().clone()),
+        pki: Arc::new(ring.public_directory()),
+        ring,
+        pool,
+        config,
+    }
+}
+
+fn client_over(world: &World, cluster: ClusterTransport, session_seed: u64) -> SharoesClient {
+    SharoesClient::with_rng(
+        Box::new(cluster),
+        world.config.clone(),
+        Arc::clone(&world.db),
+        Arc::clone(&world.pki),
+        world.ring.identity(Uid(1000)).unwrap(),
+        Arc::clone(&world.pool),
+        HmacDrbg::from_seed_u64(session_seed),
+    )
+}
+
+/// The chaos workload: create/write/chmod/unlink/read across several files.
+/// Returns every byte read back, for cross-run comparison.
+fn run_workload(client: &mut SharoesClient) -> Vec<Vec<u8>> {
+    client.mount().expect("mount");
+    client.mkdir("/home/user0/cluster", Mode::from_octal(0o755)).expect("mkdir");
+    for i in 0..6u32 {
+        let path = format!("/home/user0/cluster/f{i}");
+        client.create(&path, Mode::from_octal(0o644)).expect("create");
+        let body = format!("replicated payload {i} ").repeat(15 + i as usize);
+        client.write_file(&path, body.as_bytes()).expect("write");
+    }
+    client.chmod("/home/user0/cluster/f0", Mode::from_octal(0o600)).expect("chmod");
+    client.unlink("/home/user0/cluster/f5").expect("unlink");
+    let mut reads = Vec::new();
+    for i in 0..5u32 {
+        let path = format!("/home/user0/cluster/f{i}");
+        client.getattr(&path).expect("getattr");
+        reads.push(client.read(&path).expect("read"));
+    }
+    let mut listing: Vec<String> = client
+        .readdir("/home/user0/cluster")
+        .expect("readdir")
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    listing.sort();
+    reads.push(listing.join(",").into_bytes());
+    reads
+}
+
+/// A fault-free baseline run; returns the read-backs and how many calls the
+/// to-be-killed node served (used to aim the kill at mid-workload).
+fn baseline(seed: u64, victim: usize) -> (Vec<Vec<u8>>, u64) {
+    let world = deploy(seed);
+    let (cluster, _, meters) = make_cluster(&world.servers, 0.0, 0, None);
+    let mut client = client_over(&world, cluster, seed ^ 0x5E55);
+    let reads = run_workload(&mut client);
+    (reads, meters[victim].sample().round_trips)
+}
+
+#[test]
+fn cluster_survives_node_death_mid_workload_and_rebalances_to_full_replication() {
+    let seed = sharoes_testkit::rng::test_seed();
+    println!("cluster seed: {seed:#x} (set SHAROES_TEST_SEED to replay)");
+    let victim = 2; // node "c"
+
+    // Fault-free baseline, plus calibration for the kill point.
+    let (baseline_reads, victim_calls) = baseline(seed, victim);
+    assert!(victim_calls > 4, "node c must participate in the baseline ({victim_calls} calls)");
+    let fuse = (victim_calls / 2) as i64;
+
+    // Chaos run on an identical deployment: every link faulted at 10%, and
+    // node c dies for good halfway through its baseline call count.
+    let world = deploy(seed);
+    let calls_left = Arc::new(AtomicI64::new(fuse));
+    let (cluster, schedules, _) =
+        make_cluster(&world.servers, 0.10, seed ^ 0xFA17, Some((victim, Arc::clone(&calls_left))));
+    let mut client = client_over(&world, cluster, seed ^ 0x5E55);
+    let reads = run_workload(&mut client);
+
+    assert_eq!(reads, baseline_reads, "read-backs diverged from the fault-free run");
+    assert!(calls_left.load(Ordering::SeqCst) <= 0, "the kill switch never fired");
+    let injected: u64 =
+        schedules.iter().map(|s| s.lock().unwrap().counts()).map(|c: FaultCounts| c.total()).sum();
+    assert!(injected > 0, "10% rate injected nothing — schedule broken");
+    assert!(!client.is_degraded(), "workload completed, client must not be degraded");
+
+    // Operator phase: retire the dead node, stream misplaced/missing keys
+    // back to R replicas, and audit the result.
+    let (mut ops, _, _) = make_cluster(&world.servers, 0.0, 0, None);
+    assert!(ops.retire_node(NODE_NAMES[victim]));
+    let report = ops.rebalance(64).expect("rebalance");
+    assert!(report.keys > 0, "rebalance must see the surviving keys");
+    let audit = ops.audit(64).expect("audit");
+    assert!(audit.clean(), "post-rebalance audit must be clean: {audit:?}");
+    assert_eq!(
+        audit.fully_replicated, audit.keys,
+        "every live key must sit on R replicas: {audit:?}"
+    );
+    assert!(audit.keys > 0);
+
+    // A second rebalance pass is a no-op: the protocol is idempotent.
+    let again = ops.rebalance(64).expect("second rebalance");
+    assert_eq!((again.copied, again.refreshed, again.dropped), (0, 0, 0), "{again:?}");
+
+    // A fresh client mounted over just the survivors reads everything back.
+    let live: Vec<Arc<SspServer>> = world
+        .servers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(_, s)| Arc::clone(s))
+        .collect();
+    let mut survivors = ClusterTransport::new(cluster_opts());
+    for (idx, server) in live.iter().enumerate() {
+        let name = NODE_NAMES.iter().filter(|n| **n != NODE_NAMES[victim]).nth(idx).unwrap();
+        survivors.add_node(name, Box::new(InMemoryTransport::new(Arc::clone(server) as _)));
+    }
+    let mut reader = client_over(&world, survivors, seed ^ 0x0BB5);
+    reader.mount().expect("mount over survivors");
+    for (i, expected) in baseline_reads.iter().take(5).enumerate() {
+        let got = reader.read(&format!("/home/user0/cluster/f{i}")).expect("survivor read");
+        assert_eq!(&got, expected, "f{i} diverged after failover + rebalance");
+    }
+}
+
+#[test]
+fn cluster_chaos_is_replayable_from_seed() {
+    let seed = sharoes_testkit::rng::test_seed();
+    let run = |victim: usize| {
+        let world = deploy(seed);
+        let calls_left = Arc::new(AtomicI64::new(20));
+        let (cluster, schedules, _) =
+            make_cluster(&world.servers, 0.15, seed ^ 0xFA17, Some((victim, calls_left)));
+        let mut client = client_over(&world, cluster, seed ^ 0x5E55);
+        let reads = run_workload(&mut client);
+        let counts: Vec<FaultCounts> =
+            schedules.iter().map(|s| s.lock().unwrap().counts()).collect();
+        (reads, counts)
+    };
+    let (reads_a, counts_a) = run(1);
+    let (reads_b, counts_b) = run(1);
+    assert_eq!(counts_a, counts_b, "same seed must inject the same faults");
+    assert_eq!(reads_a, reads_b);
+}
