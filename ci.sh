@@ -1,29 +1,61 @@
 #!/bin/sh
-# Hermetic CI gate: formatting, offline release build, offline tests.
+# Hermetic CI gate: formatting, lints, offline release build, offline tests,
+# pinned-seed chaos runs, and the metrics-determinism gate.
 #
 # Everything runs with --offline against the vendored-free, path-only
 # workspace — if any step reaches for the network or a registry, that is
 # itself a CI failure (the hermetic-build policy in DESIGN.md).
+#
+# Each step is wall-clock timed; a summary table prints at the end so a slow
+# step shows up as a number, not a feeling.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check"
-cargo fmt --check
+STEP_TIMINGS=""
 
-echo "== cargo build --release --offline"
-cargo build --release --offline --workspace
+# step NAME CMD... — announce, run, and record wall-clock seconds.
+step() {
+    _name=$1
+    shift
+    echo "== $_name"
+    _t0=$(date +%s)
+    "$@"
+    _t1=$(date +%s)
+    STEP_TIMINGS="${STEP_TIMINGS}$((_t1 - _t0))s\t${_name}\n"
+}
 
-echo "== cargo check --offline (benches, examples, bins)"
-cargo check --offline --workspace --all-targets
+step "cargo fmt --check" \
+    cargo fmt --check
 
-echo "== cargo test -q --offline"
-cargo test -q --offline --workspace
+step "cargo clippy -D warnings (lints are errors)" \
+    cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== chaos suite at pinned seed (fault injection + snapshot recovery)"
-SHAROES_TEST_SEED=0xC4A05EED cargo test -q --offline --test chaos
+step "cargo build --release --offline" \
+    cargo build --release --offline --workspace
 
-echo "== chaos + cluster failover at second pinned seed"
-SHAROES_TEST_SEED=0xC1057E42 cargo test -q --offline --test chaos --test cluster
+step "cargo check --offline (benches, examples, bins)" \
+    cargo check --offline --workspace --all-targets
 
+step "cargo test -q --offline" \
+    cargo test -q --offline --workspace
+
+step "chaos suite at pinned seed (fault injection + snapshot recovery)" \
+    env SHAROES_TEST_SEED=0xC4A05EED cargo test -q --offline --test chaos
+
+step "chaos + cluster failover at second pinned seed" \
+    env SHAROES_TEST_SEED=0xC1057E42 cargo test -q --offline --test chaos --test cluster
+
+step "chaos + cluster + metrics-determinism gate at third pinned seed" \
+    env SHAROES_TEST_SEED=0x0B5EED42 \
+    cargo test -q --offline --test chaos --test cluster --test obs_gate
+
+# The obs_gate test exports the registry delta of each identical seeded pass;
+# diff them here as a check independent of the in-test assertion.
+step "metrics determinism: diff exported registry deltas" \
+    diff target/metrics-determinism-a.txt target/metrics-determinism-b.txt
+
+echo ""
+echo "== step timings"
+printf "%b" "$STEP_TIMINGS"
 echo "CI OK"

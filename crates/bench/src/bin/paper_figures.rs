@@ -229,6 +229,7 @@ fn storage_report(opts: &BenchOpts, quick: bool) {
 }
 
 fn ablations_report(opts: &BenchOpts, quick: bool) {
+    let obs_start = sharoes_obs::global().snapshot();
     let n = if quick { 10 } else { 50 };
     println!("\n== A1: Scheme-1 vs Scheme-2 ({n} creates, {} users) ==", opts.users);
     let mut table = Table::new(&["scheme", "create (s)", "stat (s)", "SSP bytes"]);
@@ -330,6 +331,25 @@ fn ablations_report(opts: &BenchOpts, quick: bool) {
     }
     table.print();
     println!("replication buys availability under faults; the price is write fan-out");
+
+    // The same process-wide registry that `sharoes-cli stats` exports: the
+    // ablations above and the live-metrics view report identical numbers.
+    let delta = sharoes_obs::global().snapshot().delta(&obs_start);
+    println!("\n== A1–A6 registry totals (sharoes-obs, this run) ==");
+    for key in [
+        "net_round_trips_total",
+        "net_tx_bytes_total",
+        "net_rx_bytes_total",
+        "net_retries_total",
+        "net_reconnects_total",
+        "net_faults_injected_total",
+        "cluster_failovers_total",
+        "cluster_read_repairs_total",
+        "core_cache_hits_total",
+        "core_cache_misses_total",
+    ] {
+        println!("{key} {}", delta.get(key));
+    }
 }
 
 fn summary(fig9_results: &[createlist::CreateListResult]) {

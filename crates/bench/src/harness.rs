@@ -188,12 +188,22 @@ impl Bench {
 /// A virtual-clock phase timer over a client's meter.
 pub struct PhaseTimer {
     start: CostSample,
+    obs_start: sharoes_obs::Snapshot,
 }
 
 impl PhaseTimer {
     /// Starts timing from the client's current meter state.
     pub fn start(client: &SharoesClient) -> PhaseTimer {
-        PhaseTimer { start: client.meter().sample() }
+        PhaseTimer { start: client.meter().sample(), obs_start: sharoes_obs::global().snapshot() }
+    }
+
+    /// Registry counters accumulated since `start` — the same process-wide
+    /// registry the net/ssp/cluster/core layers feed and `sharoes-cli
+    /// stats` exports, so figure phases and live metrics report identical
+    /// numbers. Exact in the single-threaded `paper-figures` binary;
+    /// under parallel test runs other threads' activity folds in.
+    pub fn registry_delta(&self) -> sharoes_obs::Snapshot {
+        sharoes_obs::global().snapshot().delta(&self.obs_start)
     }
 
     /// The cost accumulated since `start`.

@@ -7,6 +7,7 @@
 //! sharoes-shell              # in-process demo deployment
 //! sharoes-shell --tcp        # same, over loopback TCP
 //! sharoes-shell --cluster 3  # same, replicated over 3 in-process SSP nodes
+//! sharoes-shell stats ADDR   # dump a running sspd's live metrics and exit
 //! ```
 //!
 //! Type `help` at the prompt for commands.
@@ -18,7 +19,7 @@ use sharoes_core::{
 };
 use sharoes_crypto::HmacDrbg;
 use sharoes_fs::{Acl, Gid, LocalFs, Mode, Perm, Uid, UserDb, ROOT_UID};
-use sharoes_net::{InMemoryTransport, RequestHandler, TcpTransport, Transport};
+use sharoes_net::{InMemoryTransport, Request, RequestHandler, Response, TcpTransport, Transport};
 use sharoes_ssp::{serve, SspServer, TcpServerHandle};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -52,16 +53,18 @@ fn cluster_transport(servers: &[(String, Arc<SspServer>)], opts: ClusterOpts) ->
     cluster
 }
 
-fn demo_world(
-    cluster_n: usize,
-) -> (
+/// Everything [`demo_world`] builds: named SSP nodes, cluster placement
+/// options (cluster mode only), and the shared key/config material.
+type DemoWorld = (
     Vec<(String, Arc<SspServer>)>,
     Option<ClusterOpts>,
     UserDb,
     Keyring,
     Arc<SigKeyPool>,
     ClientConfig,
-) {
+);
+
+fn demo_world(cluster_n: usize) -> DemoWorld {
     let mut db = UserDb::new();
     db.add_group(Gid(0), "wheel").unwrap();
     db.add_group(Gid(100), "eng").unwrap();
@@ -237,6 +240,7 @@ impl Shell {
                      \x20 ssp               show what the provider stores\n\
                      \x20 cluster-status    nodes, replication, and repair counters\n\
                      \x20 costs             traffic/crypto counters for this mount\n\
+                     \x20 stats             full metrics registry (counters, histograms)\n\
                      \x20 exit              quit"
                 );
                 Ok(())
@@ -456,6 +460,17 @@ impl Shell {
                             s.failovers, s.read_repairs, s.quorum_shortfalls, s.node_errors
                         );
                     }
+                    // Process-wide totals across every mount this shell made.
+                    let snap = sharoes_obs::global().snapshot();
+                    println!(
+                        "  all mounts: {} failovers, {} read repairs, {} quorum shortfalls, \
+                         {} node errors, {} rebalanced keys",
+                        snap.get("cluster_failovers_total"),
+                        snap.get("cluster_read_repairs_total"),
+                        snap.get("cluster_quorum_shortfalls_total"),
+                        snap.get("cluster_node_errors_total"),
+                        snap.get("cluster_rebalance_keys_total"),
+                    );
                     Ok(())
                 }
                 None => Err("not in cluster mode (start with --cluster N)".into()),
@@ -470,6 +485,13 @@ impl Shell {
                     s.crypto_ns as f64 / 1e6,
                     s.other_ns as f64 / 1e6
                 );
+                Ok(())
+            }
+            "stats" => {
+                // Everything this shell talks to is in-process (including
+                // the --tcp server), so the global registry holds both the
+                // client- and server-side series.
+                print!("{}", sharoes_obs::global().render());
                 Ok(())
             }
             "exit" | "quit" => return false,
@@ -508,12 +530,58 @@ impl Shell {
     }
 }
 
+/// `sharoes-shell stats ADDR`: pull live stats + metrics off a running
+/// sspd over TCP and print them, non-interactively (for scripts and CI).
+fn remote_stats(addr: &str) -> i32 {
+    let mut transport = match TcpTransport::connect(addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sharoes-shell: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    match transport.call(&Request::Stats) {
+        Ok(Response::Stats { objects, bytes }) => {
+            println!("# sspd {addr}: {objects} objects, {bytes} bytes");
+        }
+        Ok(other) => {
+            eprintln!("sharoes-shell: unexpected Stats response: {other:?}");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("sharoes-shell: Stats call failed: {e}");
+            return 1;
+        }
+    }
+    match transport.call(&Request::Metrics) {
+        Ok(Response::Metrics { text }) => {
+            print!("{text}");
+            0
+        }
+        Ok(other) => {
+            eprintln!("sharoes-shell: unexpected Metrics response: {other:?}");
+            1
+        }
+        Err(e) => {
+            eprintln!("sharoes-shell: Metrics call failed: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let mut use_tcp = false;
     let mut cluster_n = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "stats" => {
+                let Some(addr) = args.next() else {
+                    eprintln!("sharoes-shell: stats needs an address (host:port)");
+                    std::process::exit(2);
+                };
+                std::process::exit(remote_stats(&addr));
+            }
             "--tcp" => use_tcp = true,
             "--cluster" => {
                 cluster_n = args.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| {

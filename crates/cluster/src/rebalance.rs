@@ -104,6 +104,7 @@ impl ClusterTransport {
     /// scan round trip. Idempotent: a second pass over a settled cluster
     /// reports all zeros.
     pub fn rebalance(&mut self, page: u32) -> Result<RebalanceReport, NetError> {
+        let _span = sharoes_obs::span!("cluster.rebalance", page);
         let page = page.max(1);
         let mut report = RebalanceReport::default();
         let holders = self.holders_map(page);
@@ -142,6 +143,11 @@ impl ClusterTransport {
                 }
             }
         }
+        let m = sharoes_obs::global();
+        m.counter("cluster_rebalance_keys_total").add(report.keys);
+        m.counter("cluster_rebalance_copied_total").add(report.copied);
+        m.counter("cluster_rebalance_refreshed_total").add(report.refreshed);
+        m.counter("cluster_rebalance_dropped_total").add(report.dropped);
         Ok(report)
     }
 

@@ -24,9 +24,29 @@ use crate::ring::HashRing;
 use sharoes_net::{
     CostMeter, NetError, ObjectKey, Request, Response, Transport, TRANSIENT_ERROR_PREFIX,
 };
+use sharoes_obs::Counter;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Global mirrors of [`ClusterStats`], so `sharoes-cli stats` and the CI
+/// metrics gate see cluster behavior without holding a stats handle.
+struct ClusterMetrics {
+    failovers: Counter,
+    read_repairs: Counter,
+    quorum_shortfalls: Counter,
+    node_errors: Counter,
+}
+
+fn cluster_metrics() -> &'static ClusterMetrics {
+    static METRICS: OnceLock<ClusterMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ClusterMetrics {
+        failovers: sharoes_obs::counter("cluster_failovers_total"),
+        read_repairs: sharoes_obs::counter("cluster_read_repairs_total"),
+        quorum_shortfalls: sharoes_obs::counter("cluster_quorum_shortfalls_total"),
+        node_errors: sharoes_obs::counter("cluster_node_errors_total"),
+    })
+}
 
 /// Placement and quorum parameters for a [`ClusterTransport`].
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +92,28 @@ pub struct ClusterStatsSample {
 }
 
 impl ClusterStats {
+    // The bump_* helpers mirror every increment into the global registry so
+    // both views (per-cluster sample, process-wide exposition) stay in sync.
+    fn bump_failovers(&self, n: u64) {
+        self.failovers.fetch_add(n, Ordering::Relaxed);
+        cluster_metrics().failovers.add(n);
+    }
+
+    fn bump_read_repairs(&self, n: u64) {
+        self.read_repairs.fetch_add(n, Ordering::Relaxed);
+        cluster_metrics().read_repairs.add(n);
+    }
+
+    fn bump_quorum_shortfalls(&self) {
+        self.quorum_shortfalls.fetch_add(1, Ordering::Relaxed);
+        cluster_metrics().quorum_shortfalls.inc();
+    }
+
+    fn bump_node_errors(&self) {
+        self.node_errors.fetch_add(1, Ordering::Relaxed);
+        cluster_metrics().node_errors.inc();
+    }
+
     /// Current totals.
     pub fn sample(&self) -> ClusterStatsSample {
         ClusterStatsSample {
@@ -215,7 +257,7 @@ impl ClusterTransport {
             other => other,
         };
         if outcome.is_err() {
-            self.stats.node_errors.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump_node_errors();
         }
         outcome
     }
@@ -284,7 +326,7 @@ impl ClusterTransport {
             acks.iter().zip(&replica_sets).all(|(a, replicas)| *a >= need.min(replicas.len()));
         if satisfied {
             if acks.iter().zip(&replica_sets).any(|(a, replicas)| *a < replicas.len()) {
-                self.stats.quorum_shortfalls.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump_quorum_shortfalls();
             }
             Ok(Response::Ok)
         } else {
@@ -307,7 +349,7 @@ impl ClusterTransport {
     ) -> Result<Response, NetError> {
         if acks >= need {
             if acks < total {
-                self.stats.quorum_shortfalls.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump_quorum_shortfalls();
             }
             Ok(Response::Ok)
         } else {
@@ -362,7 +404,7 @@ impl ClusterTransport {
             return Err(last_err.unwrap_or_else(Self::no_nodes_err));
         }
         if primary_failed {
-            self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump_failovers(1);
         }
         let winner = Self::reconcile(&responses);
         if let Some(value) = &winner {
@@ -375,7 +417,7 @@ impl ClusterTransport {
                 // Best effort: a failed repair leaves the replica for the
                 // next divergent read or the rebalancer.
                 if self.node_call(idx, &Request::Put { key: *key, value: value.clone() }).is_ok() {
-                    self.stats.read_repairs.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bump_read_repairs(1);
                 }
             }
         }
@@ -441,11 +483,11 @@ impl ClusterTransport {
             }
             out.push(winner);
         }
-        self.stats.failovers.fetch_add(failovers, Ordering::Relaxed);
+        self.stats.bump_failovers(failovers);
         for (idx, items) in repairs {
             let count = items.len() as u64;
             if self.node_call(idx, &Request::PutMany { items }).is_ok() {
-                self.stats.read_repairs.fetch_add(count, Ordering::Relaxed);
+                self.stats.bump_read_repairs(count);
             }
         }
         Ok(Response::Objects(out))
@@ -511,7 +553,7 @@ impl ClusterTransport {
             match self.node_call(*idx, &Request::Ping) {
                 Ok(Response::Pong) => {
                     if pos > 0 {
-                        self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bump_failovers(1);
                     }
                     return Ok(Response::Pong);
                 }
@@ -543,6 +585,32 @@ impl ClusterTransport {
         }
         if any_ok {
             Ok(Response::Stats { objects, bytes })
+        } else {
+            Err(last_err.unwrap_or_else(Self::no_nodes_err))
+        }
+    }
+
+    /// Metrics exposition fanned out to every active node, concatenated with
+    /// `# node <name>` section headers so per-node series stay attributable.
+    fn metrics_call(&mut self) -> Result<Response, NetError> {
+        let active = self.active_indices();
+        let mut text = String::new();
+        let mut any_ok = false;
+        let mut last_err = None;
+        for idx in active {
+            let name = self.nodes[idx].name.clone();
+            match self.node_call(idx, &Request::Metrics) {
+                Ok(Response::Metrics { text: node_text }) => {
+                    text.push_str(&format!("# node {name}\n"));
+                    text.push_str(&node_text);
+                    any_ok = true;
+                }
+                Ok(_) => last_err = Some(NetError::Codec("unexpected metrics response shape")),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if any_ok {
+            Ok(Response::Metrics { text })
         } else {
             Err(last_err.unwrap_or_else(Self::no_nodes_err))
         }
@@ -581,6 +649,7 @@ impl Transport for ClusterTransport {
                 self.fanout_all(request, need)
             }
             Request::Stats => self.stats_call(),
+            Request::Metrics => self.metrics_call(),
             Request::Scan { after, limit } => {
                 let (after, limit) = (*after, *limit);
                 self.scan(&after, limit)

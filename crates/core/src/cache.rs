@@ -5,7 +5,25 @@
 //! the SSP and it is decrypted again" (§V-B). The Postmark figure sweeps
 //! this capacity as a percentage of the workload footprint.
 
+use sharoes_obs::Counter;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Process-wide mirrors of [`CacheStats`] for the metrics exposition.
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: sharoes_obs::counter("core_cache_hits_total"),
+        misses: sharoes_obs::counter("core_cache_misses_total"),
+        evictions: sharoes_obs::counter("core_cache_evictions_total"),
+    })
+}
 
 /// What a cache slot holds.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -67,10 +85,12 @@ impl ClientCache {
             Some(slot) => {
                 slot.stamp = self.clock;
                 self.stats.hits += 1;
+                cache_metrics().hits.inc();
                 Some(slot.value.clone())
             }
             None => {
                 self.stats.misses += 1;
+                cache_metrics().misses.inc();
                 None
             }
         }
@@ -121,6 +141,7 @@ impl ClientCache {
                     if let Some(slot) = self.slots.remove(&k) {
                         self.bytes -= slot.value.len() as u64;
                         self.stats.evictions += 1;
+                        cache_metrics().evictions.inc();
                     }
                 }
                 None => break,

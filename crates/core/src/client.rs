@@ -237,6 +237,10 @@ impl SharoesClient {
             // Flag degraded mode and surface a typed, non-panicking error;
             // cache-resident reads keep working around it.
             ErrorClass::Retryable => {
+                if !this.degraded {
+                    sharoes_obs::counter("core_degraded_entries_total").inc();
+                    sharoes_obs::obs_event!(sharoes_obs::Level::Warn, "core.degraded");
+                }
                 this.degraded = true;
                 Err(CoreError::SspUnavailable(err.to_string()))
             }
@@ -304,9 +308,13 @@ impl SharoesClient {
 
     /// Runs `f`, charging its wall time to the CRYPTO cost component.
     fn timed_crypto<T>(meter: &CostMeter, f: impl FnOnce() -> T) -> T {
+        use std::sync::OnceLock;
+        static CRYPTO_NS: OnceLock<sharoes_obs::Histogram> = OnceLock::new();
         let t0 = Instant::now();
         let out = f();
-        meter.charge_crypto_ns(t0.elapsed().as_nanos() as u64);
+        let ns = t0.elapsed().as_nanos() as u64;
+        meter.charge_crypto_ns(ns);
+        CRYPTO_NS.get_or_init(|| sharoes_obs::histogram_ns("core_crypto_op_ns")).observe(ns);
         out
     }
 
@@ -316,6 +324,7 @@ impl SharoesClient {
     /// private key (the one-time public-key operation of §III-C) and
     /// recovers group keys in-band (§II-A).
     pub fn mount(&mut self) -> Result<()> {
+        let _span = sharoes_obs::span!("core.mount");
         let uid = self.identity.uid;
         let sb_key = ObjectKey::superblock(ids::superblock_view(uid));
         let blob = self
@@ -561,6 +570,7 @@ impl SharoesClient {
 
     /// `stat`: attributes of the object at `path` (Figure 8 `getattr`).
     pub fn getattr(&mut self, path: &str) -> Result<FileStat> {
+        let _span = sharoes_obs::span!("core.getattr", path);
         let (_, body) = self.resolve(path)?;
         Ok(FileStat {
             inode: body.inode,
@@ -717,6 +727,7 @@ impl SharoesClient {
 
     /// Reads a whole file (Figure 8 `read`: obtain data and decrypt).
     pub fn read(&mut self, path: &str) -> Result<Vec<u8>> {
+        let _span = sharoes_obs::span!("core.read", path);
         // Unflushed local writes are visible to the writer.
         if let Some(p) = self.pending.get(path) {
             return Ok(p.content.clone());
@@ -916,6 +927,7 @@ impl SharoesClient {
 
     /// Convenience: write + close in one call.
     pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<()> {
+        let _span = sharoes_obs::span!("core.write_file", path);
         self.write(path, data)?;
         self.close(path)
     }

@@ -6,8 +6,40 @@
 //! so results are independent of the machine the reproduction runs on.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Cached global-registry handles mirrored by every [`CostMeter`] charge
+/// point. Meters are per-link/per-client; these are the process-wide
+/// totals a running `sspd` exports over `Request::Metrics`.
+struct WireMetrics {
+    round_trips: sharoes_obs::Counter,
+    tx_bytes: sharoes_obs::Counter,
+    rx_bytes: sharoes_obs::Counter,
+    frame_tx_bytes: sharoes_obs::Histogram,
+    frame_rx_bytes: sharoes_obs::Histogram,
+    retries: sharoes_obs::Counter,
+    reconnects: sharoes_obs::Counter,
+    faults: sharoes_obs::Counter,
+    crypto_ns: sharoes_obs::Counter,
+    other_ns: sharoes_obs::Counter,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: OnceLock<WireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| WireMetrics {
+        round_trips: sharoes_obs::counter("net_round_trips_total"),
+        tx_bytes: sharoes_obs::counter("net_tx_bytes_total"),
+        rx_bytes: sharoes_obs::counter("net_rx_bytes_total"),
+        frame_tx_bytes: sharoes_obs::histogram_bytes("net_frame_tx_bytes"),
+        frame_rx_bytes: sharoes_obs::histogram_bytes("net_frame_rx_bytes"),
+        retries: sharoes_obs::counter("net_retries_total"),
+        reconnects: sharoes_obs::counter("net_reconnects_total"),
+        faults: sharoes_obs::counter("net_faults_injected_total"),
+        crypto_ns: sharoes_obs::counter("net_crypto_ns"),
+        other_ns: sharoes_obs::counter("net_other_ns"),
+    })
+}
 
 /// Shared, thread-safe accumulator of operation costs.
 #[derive(Debug, Default)]
@@ -84,31 +116,42 @@ impl CostMeter {
         self.bytes_up.fetch_add(up, Ordering::Relaxed);
         self.bytes_down.fetch_add(down, Ordering::Relaxed);
         self.round_trips.fetch_add(1, Ordering::Relaxed);
+        let wire = wire_metrics();
+        wire.round_trips.inc();
+        wire.tx_bytes.add(up);
+        wire.rx_bytes.add(down);
+        wire.frame_tx_bytes.observe(up);
+        wire.frame_rx_bytes.observe(down);
     }
 
     /// Counts one request retry.
     pub fn charge_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+        wire_metrics().retries.inc();
     }
 
     /// Counts one reconnect.
     pub fn charge_reconnect(&self) {
         self.reconnects.fetch_add(1, Ordering::Relaxed);
+        wire_metrics().reconnects.inc();
     }
 
     /// Counts one deliberately injected fault.
     pub fn charge_fault(&self) {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        wire_metrics().faults.inc();
     }
 
     /// Adds already-measured crypto time.
     pub fn charge_crypto_ns(&self, ns: u64) {
         self.crypto_ns.fetch_add(ns, Ordering::Relaxed);
+        wire_metrics().crypto_ns.add(ns);
     }
 
     /// Adds already-measured other-processing time.
     pub fn charge_other_ns(&self, ns: u64) {
         self.other_ns.fetch_add(ns, Ordering::Relaxed);
+        wire_metrics().other_ns.add(ns);
     }
 
     /// Runs `f`, attributing its wall time to the CRYPTO component.

@@ -33,7 +33,25 @@ use crate::message::{Request, Response};
 use crate::transport::Transport;
 use crate::wire::{WireRead, WireWrite};
 use sharoes_crypto::{HmacDrbg, RandomSource};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cached global-registry counters, one per [`FaultKind`] (in
+/// `FaultKind::ALL` order). The total lives in `net_faults_injected_total`
+/// via [`CostMeter::charge_fault`].
+fn fault_counters() -> &'static [sharoes_obs::Counter; 7] {
+    static COUNTERS: OnceLock<[sharoes_obs::Counter; 7]> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        [
+            sharoes_obs::counter("net_fault_requests_lost_total"),
+            sharoes_obs::counter("net_fault_responses_lost_total"),
+            sharoes_obs::counter("net_fault_disconnects_total"),
+            sharoes_obs::counter("net_fault_corrupt_frames_total"),
+            sharoes_obs::counter("net_fault_truncated_frames_total"),
+            sharoes_obs::counter("net_fault_stale_responses_total"),
+            sharoes_obs::counter("net_fault_transient_errors_total"),
+        ]
+    })
+}
 
 /// Operation classes for per-op fault probabilities.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,7 +64,7 @@ pub enum OpClass {
     Put,
     /// `Request::Delete` / `Request::DeleteBlocks` / `Request::DeleteMany`.
     Delete,
-    /// `Request::Stats`.
+    /// `Request::Stats` / `Request::Metrics` (operational introspection).
     Stats,
 }
 
@@ -61,7 +79,7 @@ impl OpClass {
             Request::Delete { .. } | Request::DeleteBlocks { .. } | Request::DeleteMany { .. } => {
                 OpClass::Delete
             }
-            Request::Stats => OpClass::Stats,
+            Request::Stats | Request::Metrics => OpClass::Stats,
         }
     }
 }
@@ -285,6 +303,9 @@ impl<T: Transport> Transport for FaultInjector<T> {
             let mut s = self.schedule.lock().unwrap_or_else(|e| e.into_inner());
             s.counts.bump(kind);
         }
+        let pos = FaultKind::ALL.iter().position(|k| *k == kind).expect("kind is in ALL");
+        fault_counters()[pos].inc();
+        sharoes_obs::obs_event!(sharoes_obs::Level::Trace, "net.fault", kind);
         self.inner.meter().charge_fault();
         match kind {
             FaultKind::RequestLost => Err(Self::io(std::io::ErrorKind::TimedOut, "request lost")),

@@ -32,6 +32,8 @@ pub use error::{ErrorClass, NetError, TRANSIENT_ERROR_PREFIX};
 pub use fault::{FaultConfig, FaultCounts, FaultInjector, FaultKind, FaultSchedule, OpClass};
 pub use message::{KeySpace, ObjectKey, Request, Response};
 pub use netmodel::NetModel;
-pub use resilient::{Connector, ResilientTransport, RetryPolicy};
+pub use resilient::{
+    Connector, FakeSleeper, ResilientTransport, RetryPolicy, Sleeper, WallClockSleeper,
+};
 pub use transport::{InMemoryTransport, RequestHandler, TcpTransport, Transport};
 pub use wire::{Cursor, WireRead, WireWrite};

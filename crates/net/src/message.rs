@@ -144,6 +144,10 @@ pub enum Request {
     },
     /// Storage accounting (bench E6 uses this).
     Stats,
+    /// Live observability export: the serving process renders its global
+    /// metrics registry (Prometheus text format). Content-oblivious like
+    /// everything else — operational counters only, never stored data.
+    Metrics,
     /// Pages through stored keys in `ObjectKey` order (cluster rebalancing
     /// and replica audits). Content stays opaque: only the index is listed,
     /// which the SSP already knows.
@@ -181,6 +185,7 @@ impl Request {
             (Request::Get { .. }, Response::Object(_)) => true,
             (Request::GetMany { keys }, Response::Objects(vs)) => vs.len() == keys.len(),
             (Request::Stats, Response::Stats { .. }) => true,
+            (Request::Metrics, Response::Metrics { .. }) => true,
             (Request::Scan { limit, .. }, Response::Keys { keys, .. }) => {
                 keys.len() <= *limit as usize
             }
@@ -214,6 +219,11 @@ pub enum Response {
         keys: Vec<ObjectKey>,
         /// True when no keys remain beyond this page.
         done: bool,
+    },
+    /// Rendered metrics registry (Prometheus text exposition format).
+    Metrics {
+        /// The export text.
+        text: String,
     },
     /// Server-side failure.
     Error(String),
@@ -259,6 +269,7 @@ impl WireWrite for Request {
                 after.write(out);
                 limit.write(out);
             }
+            Request::Metrics => 10u8.write(out),
         }
     }
 }
@@ -276,6 +287,7 @@ impl WireRead for Request {
             7 => Request::Stats,
             8 => Request::DeleteMany { keys: Vec::read(r)? },
             9 => Request::Scan { after: Option::read(r)?, limit: u32::read(r)? },
+            10 => Request::Metrics,
             _ => return Err(NetError::Codec("unknown request tag")),
         })
     }
@@ -308,6 +320,10 @@ impl WireWrite for Response {
                 keys.write(out);
                 done.write(out);
             }
+            Response::Metrics { text } => {
+                7u8.write(out);
+                text.write(out);
+            }
         }
     }
 }
@@ -322,6 +338,7 @@ impl WireRead for Response {
             4 => Response::Stats { objects: u64::read(r)?, bytes: u64::read(r)? },
             5 => Response::Error(String::read(r)?),
             6 => Response::Keys { keys: Vec::read(r)?, done: bool::read(r)? },
+            7 => Response::Metrics { text: String::read(r)? },
             _ => return Err(NetError::Codec("unknown response tag")),
         })
     }
@@ -353,6 +370,7 @@ mod tests {
         roundtrip_req(Request::DeleteBlocks { inode: 5, view: [9; 16] });
         roundtrip_req(Request::DeleteMany { keys: vec![key, ObjectKey::superblock([2; 16])] });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Scan { after: None, limit: 128 });
         roundtrip_req(Request::Scan { after: Some(key), limit: 0 });
     }
@@ -365,6 +383,8 @@ mod tests {
         roundtrip_resp(Response::Object(Some(vec![5, 6])));
         roundtrip_resp(Response::Objects(vec![None, Some(vec![])]));
         roundtrip_resp(Response::Stats { objects: 10, bytes: 12345 });
+        roundtrip_resp(Response::Metrics { text: String::new() });
+        roundtrip_resp(Response::Metrics { text: "a_total 1\nb_ns_count 2\n".into() });
         roundtrip_resp(Response::Error("boom".into()));
         roundtrip_resp(Response::Keys { keys: vec![], done: true });
         roundtrip_resp(Response::Keys {
@@ -399,6 +419,10 @@ mod tests {
         assert!(scan.matches_response(&Response::Keys { keys: vec![key], done: true }));
         assert!(!scan.matches_response(&Response::Keys { keys: vec![key, key], done: false }));
         assert!(!scan.matches_response(&Response::Ok));
+        // Metrics pairs only with a Metrics reply (or an error).
+        assert!(Request::Metrics.matches_response(&Response::Metrics { text: "x".into() }));
+        assert!(!Request::Metrics.matches_response(&Response::Stats { objects: 0, bytes: 0 }));
+        assert!(!Request::Stats.matches_response(&Response::Metrics { text: "x".into() }));
     }
 
     #[test]

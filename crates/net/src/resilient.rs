@@ -30,8 +30,73 @@ use crate::error::{ErrorClass, NetError};
 use crate::message::{Request, Response};
 use crate::transport::Transport;
 use sharoes_crypto::{HmacDrbg, RandomSource};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// How a [`ResilientTransport`] waits out a backoff delay.
+///
+/// The default [`WallClockSleeper`] actually sleeps. Tests and chaos
+/// suites inject a [`FakeSleeper`] instead, so realistic backoff policies
+/// (real `base_backoff`, real jitter arithmetic) can be exercised without
+/// paying wall-clock time — the requested durations are still recorded and
+/// observable.
+pub trait Sleeper: Send {
+    /// Waits (or pretends to wait) for `d`.
+    fn sleep(&mut self, d: Duration);
+}
+
+/// The production sleeper: `std::thread::sleep`.
+#[derive(Debug, Default)]
+pub struct WallClockSleeper;
+
+impl Sleeper for WallClockSleeper {
+    fn sleep(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A sleeper that only records what it was asked to sleep, never blocking.
+/// Clone-shared via [`FakeSleeper::total_ns`] so a test can assert on the
+/// virtual time a retry schedule would have cost.
+#[derive(Clone, Debug, Default)]
+pub struct FakeSleeper {
+    slept_ns: Arc<AtomicU64>,
+}
+
+impl FakeSleeper {
+    /// A fresh recording sleeper.
+    pub fn new() -> Self {
+        FakeSleeper::default()
+    }
+
+    /// Handle to the accumulated virtual sleep time (nanoseconds).
+    pub fn total_ns(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.slept_ns)
+    }
+}
+
+impl Sleeper for FakeSleeper {
+    fn sleep(&mut self, d: Duration) {
+        self.slept_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Cached global-registry handles for the resilience-layer metrics.
+struct ResilienceMetrics {
+    backoff_sleeps: sharoes_obs::Counter,
+    backoff_slept_ns: sharoes_obs::Counter,
+    desyncs: sharoes_obs::Counter,
+}
+
+fn resilience_metrics() -> &'static ResilienceMetrics {
+    static METRICS: OnceLock<ResilienceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ResilienceMetrics {
+        backoff_sleeps: sharoes_obs::counter("net_backoff_sleeps_total"),
+        backoff_slept_ns: sharoes_obs::counter("net_backoff_slept_ns"),
+        desyncs: sharoes_obs::counter("net_desyncs_total"),
+    })
+}
 
 /// A factory producing fresh connections to the SSP.
 ///
@@ -108,19 +173,28 @@ pub struct ResilientTransport {
     conn: Option<Box<dyn Transport>>,
     jitter: HmacDrbg,
     meter: Arc<CostMeter>,
+    sleeper: Box<dyn Sleeper>,
 }
 
 impl ResilientTransport {
     /// Builds the decorator and eagerly opens the first connection so the
     /// shared meter (and early reachability errors) surface at build time.
-    pub fn connect(
+    /// Backoff delays really sleep; see [`Self::connect_with_sleeper`].
+    pub fn connect(connector: Box<dyn Connector>, policy: RetryPolicy) -> Result<Self, NetError> {
+        Self::connect_with_sleeper(connector, policy, Box::new(WallClockSleeper))
+    }
+
+    /// Like [`Self::connect`] but with an injected [`Sleeper`], so chaos
+    /// suites can run realistic backoff policies without wall-clock waits.
+    pub fn connect_with_sleeper(
         mut connector: Box<dyn Connector>,
         policy: RetryPolicy,
+        sleeper: Box<dyn Sleeper>,
     ) -> Result<Self, NetError> {
         let conn = connector.connect()?;
         let meter = Arc::clone(conn.meter());
         let jitter = HmacDrbg::from_seed_u64(policy.jitter_seed);
-        Ok(ResilientTransport { connector, policy, conn: Some(conn), jitter, meter })
+        Ok(ResilientTransport { connector, policy, conn: Some(conn), jitter, meter, sleeper })
     }
 
     /// True while no live connection is held (the last attempt tore it
@@ -143,7 +217,10 @@ impl ResilientTransport {
         let jitter_pct = self.jitter.next_u64() % 101;
         let d = self.policy.backoff(attempt, jitter_pct);
         if !d.is_zero() {
-            std::thread::sleep(d);
+            let m = resilience_metrics();
+            m.backoff_sleeps.inc();
+            m.backoff_slept_ns.add(d.as_nanos() as u64);
+            self.sleeper.sleep(d);
         }
     }
 }
@@ -182,6 +259,8 @@ impl Transport for ResilientTransport {
                         // this connection can no longer be trusted to pair
                         // frames correctly. Drop it and retry fresh.
                         self.conn = None;
+                        resilience_metrics().desyncs.inc();
+                        sharoes_obs::obs_event!(sharoes_obs::Level::Warn, "net.desync", attempt);
                         last_err = Some(NetError::Codec("response does not match request"));
                         continue;
                     }
@@ -411,6 +490,51 @@ mod tests {
         let s = t.meter().sample();
         assert_eq!(s.retries, 2);
         assert_eq!(s.reconnects, 0, "transient errors keep the connection");
+    }
+
+    #[test]
+    fn fake_sleeper_absorbs_real_backoff_policies() {
+        // A policy with real (wall-clock-visible) backoff, driven through a
+        // recording sleeper: the call path must not actually block, but the
+        // virtual time it would have slept must be observable and exact.
+        // Shed the first three calls so three backoffs fire.
+        struct Flaky(AtomicU64);
+        impl RequestHandler for Flaky {
+            fn handle(&self, _request: Request) -> Response {
+                if self.0.fetch_add(1, Ordering::SeqCst) < 3 {
+                    Response::Error("transient: shedding".into())
+                } else {
+                    Response::Pong
+                }
+            }
+        }
+        let flaky = Arc::new(Flaky(AtomicU64::new(0)));
+        let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            Ok(Box::new(InMemoryTransport::new(Arc::clone(&flaky) as Arc<dyn RequestHandler>)))
+        });
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 11,
+        };
+        let sleeper = FakeSleeper::new();
+        let slept = sleeper.total_ns();
+        let start = std::time::Instant::now();
+        let mut t =
+            ResilientTransport::connect_with_sleeper(connector, policy.clone(), Box::new(sleeper))
+                .unwrap();
+        assert_eq!(t.call(&Request::Ping).unwrap(), Response::Pong);
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "fake sleeper must not block for the backoff"
+        );
+        // Expected virtual sleep: the same jitter stream the transport drew.
+        let mut jitter = HmacDrbg::from_seed_u64(policy.jitter_seed);
+        let expect: u64 =
+            (1..=3u32).map(|n| policy.backoff(n, jitter.next_u64() % 101).as_nanos() as u64).sum();
+        assert_eq!(slept.load(Ordering::SeqCst), expect);
+        assert_eq!(t.meter().sample().retries, 3);
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn requests() -> Gen<Request> {
     gen::one_of(vec![
         Gen::constant(Request::Ping),
         Gen::constant(Request::Stats),
+        Gen::constant(Request::Metrics),
         {
             let key = key.clone();
             let value = gen::vecs(gen::u8s(), 0..256);
@@ -64,6 +65,7 @@ fn responses() -> Gen<Response> {
         gen::option_of(gen::vecs(gen::u8s(), 0..256)).map(Response::Object),
         gen::vecs(gen::option_of(gen::vecs(gen::u8s(), 0..64)), 0..6).map(Response::Objects),
         Gen::from_fn(|t| Ok(Response::Stats { objects: t.u64(), bytes: t.u64() })),
+        gen::ascii_strings(0..129).map(|text| Response::Metrics { text }),
         gen::ascii_strings(0..65).map(Response::Error),
         {
             let keys = gen::vecs(keys(), 0..8);

@@ -1,0 +1,422 @@
+//! Span tracing: a `span!`-macro facade over a bounded ring-buffer event
+//! log, with `SHAROES_LOG`-style level/target filtering and a
+//! seeded-deterministic mode whose rendering is byte-stable across runs.
+//!
+//! A span's *target* is the prefix of its name before the first `.`
+//! (`span!("ssp.get", ..)` has target `ssp`), which is what filter specs
+//! select on: `SHAROES_LOG=net=trace,ssp=debug,off`.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Verbosity levels, most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable trouble.
+    Error,
+    /// Survivable trouble (retries, sheds, failovers).
+    Warn,
+    /// Milestones (mounts, snapshots, rebalances).
+    Info,
+    /// Per-operation spans.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses one level token; `Ok(None)` means "off".
+    fn parse(s: &str) -> Result<Option<Level>, ()> {
+        Ok(Some(match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Level::Error,
+            "warn" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            "off" | "none" => return Ok(None),
+            _ => return Err(()),
+        }))
+    }
+}
+
+/// A parsed `SHAROES_LOG` spec: a default level plus per-target overrides.
+///
+/// Grammar (comma-separated, later entries win):
+/// `LEVEL` sets the default; `TARGET=LEVEL` overrides one target;
+/// unparseable tokens are ignored (env filters must never crash a run).
+#[derive(Clone, Debug, Default)]
+pub struct Filter {
+    default_level: Option<Level>,
+    targets: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    /// Everything disabled.
+    pub fn off() -> Filter {
+        Filter::default()
+    }
+
+    /// Parses a spec like `"info"`, `"net=trace,ssp=debug"`, or
+    /// `"debug,cluster=off"`.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            match token.split_once('=') {
+                Some((target, level)) => {
+                    if let Ok(level) = Level::parse(level) {
+                        let target = target.trim().to_string();
+                        filter.targets.retain(|(t, _)| *t != target);
+                        filter.targets.push((target, level));
+                    }
+                }
+                None => {
+                    if let Ok(level) = Level::parse(token) {
+                        filter.default_level = level;
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    /// True when events at `level` for `target` should be recorded.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        let effective = self
+            .targets
+            .iter()
+            .find(|(t, _)| *t == target)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default_level);
+        match effective {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+}
+
+/// What a recorded event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened.
+    Enter,
+    /// Span closed; carries the span's duration (0 in deterministic mode).
+    Exit,
+    /// A point event.
+    Instant,
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (never reused, survives ring eviction).
+    pub seq: u64,
+    /// Nanoseconds since the log's epoch — or the sequence number itself in
+    /// deterministic mode, so renderings are byte-stable under a seed.
+    pub time_ns: u64,
+    /// Span nesting depth at the time of the event (thread-local).
+    pub depth: u16,
+    /// Severity.
+    pub level: Level,
+    /// Span/event name, e.g. `ssp.get`.
+    pub name: &'static str,
+    /// Rendered `key=value` fields.
+    pub fields: String,
+    /// Enter/exit/instant.
+    pub kind: EventKind,
+}
+
+struct LogInner {
+    filter: Filter,
+    deterministic: bool,
+    events: VecDeque<TraceEvent>,
+    seq: u64,
+    dropped: u64,
+    cap: usize,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s behind a filter.
+pub struct EventLog {
+    epoch: Instant,
+    inner: Mutex<LogInner>,
+}
+
+thread_local! {
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+impl EventLog {
+    /// A log keeping at most `cap` events, filter taken from `filter`.
+    pub fn new(cap: usize, filter: Filter) -> EventLog {
+        EventLog {
+            epoch: Instant::now(),
+            inner: Mutex::new(LogInner {
+                filter,
+                deterministic: false,
+                events: VecDeque::new(),
+                seq: 0,
+                dropped: 0,
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    /// Replaces the filter (tests and the CLI's `trace` toggles use this).
+    pub fn set_filter(&self, filter: Filter) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).filter = filter;
+    }
+
+    /// In deterministic mode timestamps are sequence numbers and span
+    /// durations render as 0, so a seeded run's rendering is byte-stable.
+    pub fn set_deterministic(&self, on: bool) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).deterministic = on;
+    }
+
+    /// True when events at `level` for `target` would be recorded.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).filter.enabled(target, level)
+    }
+
+    fn record(&self, level: Level, name: &'static str, fields: String, kind: EventKind) {
+        let depth = DEPTH.with(|d| d.get());
+        let now_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.seq;
+        inner.seq += 1;
+        let time_ns = if inner.deterministic { seq } else { now_ns };
+        if inner.events.len() == inner.cap {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(TraceEvent { seq, time_ns, depth, level, name, fields, kind });
+    }
+
+    /// Records a point event if the filter enables it (the `obs_event!`
+    /// macro pre-checks `enabled` only to skip field formatting).
+    pub fn event(&self, level: Level, name: &'static str, fields: String) {
+        let target = name.split('.').next().unwrap_or(name);
+        if !self.enabled(target, level) {
+            return;
+        }
+        self.record(level, name, fields, EventKind::Instant);
+    }
+
+    /// Drains and returns all buffered events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.drain(..).collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Renders the buffered events, one line each, without draining:
+    /// `seq time level |>..| name fields` with `|>` nesting markers.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for e in &inner.events {
+            let marker = match e.kind {
+                EventKind::Enter => ">",
+                EventKind::Exit => "<",
+                EventKind::Instant => "-",
+            };
+            let indent = "  ".repeat(e.depth as usize);
+            let _ = write!(
+                out,
+                "[{:06}] {:>5} {} {}{} {}",
+                e.seq,
+                e.level.name(),
+                e.time_ns,
+                indent,
+                marker,
+                e.name
+            );
+            if !e.fields.is_empty() {
+                let _ = write!(out, " {}", e.fields);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII guard for one span: records `Enter` on creation and `Exit` (with
+/// duration) on drop. Use via the [`span!`](crate::span) macro.
+pub struct SpanGuard {
+    active: Option<SpanActive>,
+}
+
+struct SpanActive {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` (target = prefix before the first `.`)
+    /// against the global log. `fields` is only evaluated when the filter
+    /// enables the span, keeping disabled spans nearly free.
+    pub fn enter(name: &'static str, fields: impl FnOnce() -> String) -> SpanGuard {
+        let log = crate::tracer();
+        let target = name.split('.').next().unwrap_or(name);
+        if !log.enabled(target, Level::Debug) {
+            return SpanGuard { active: None };
+        }
+        log.record(Level::Debug, name, fields(), EventKind::Enter);
+        DEPTH.with(|d| d.set(d.get().saturating_add(1)));
+        SpanGuard { active: Some(SpanActive { name, start: Instant::now() }) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let log = crate::tracer();
+        let elapsed = active.start.elapsed().as_nanos() as u64;
+        let deterministic = log.inner.lock().unwrap_or_else(|e| e.into_inner()).deterministic;
+        let fields = if deterministic { String::new() } else { format!("elapsed_ns={elapsed}") };
+        log.record(Level::Debug, active.name, fields, EventKind::Exit);
+    }
+}
+
+/// Opens a span against the global event log; returns a guard that closes
+/// it on drop. Extra arguments are captured as `name=value` fields
+/// (rendered with `Debug`), evaluated only if the span is enabled.
+///
+/// ```
+/// let key = 42;
+/// let _span = sharoes_obs::span!("ssp.get", key);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name, String::new)
+    };
+    ($name:expr, $($field:expr),+ $(,)?) => {
+        $crate::trace::SpanGuard::enter($name, || {
+            let mut s = String::new();
+            $(
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                s.push_str(stringify!($field));
+                s.push('=');
+                s.push_str(&format!("{:?}", &$field));
+            )+
+            s
+        })
+    };
+}
+
+/// Records a point event at an explicit [`Level`](crate::Level) if the
+/// filter enables it.
+#[macro_export]
+macro_rules! obs_event {
+    ($level:expr, $name:expr) => {{
+        let name: &'static str = $name;
+        let target = name.split('.').next().unwrap_or(name);
+        let log = $crate::tracer();
+        if log.enabled(target, $level) {
+            log.event($level, name, String::new());
+        }
+    }};
+    ($level:expr, $name:expr, $($field:expr),+ $(,)?) => {{
+        let name: &'static str = $name;
+        let target = name.split('.').next().unwrap_or(name);
+        let log = $crate::tracer();
+        if log.enabled(target, $level) {
+            let mut s = String::new();
+            $(
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                s.push_str(stringify!($field));
+                s.push('=');
+                s.push_str(&format!("{:?}", &$field));
+            )+
+            log.event($level, name, s);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing_defaults_and_overrides() {
+        let f = Filter::parse("info");
+        assert!(f.enabled("net", Level::Info));
+        assert!(!f.enabled("net", Level::Debug));
+
+        let f = Filter::parse("net=trace,ssp=debug");
+        assert!(f.enabled("net", Level::Trace));
+        assert!(f.enabled("ssp", Level::Debug));
+        assert!(!f.enabled("ssp", Level::Trace));
+        assert!(!f.enabled("core", Level::Error), "no default means off");
+
+        let f = Filter::parse("debug,cluster=off");
+        assert!(f.enabled("core", Level::Debug));
+        assert!(!f.enabled("cluster", Level::Error));
+
+        // Later entries win; junk is ignored.
+        let f = Filter::parse("net=info,net=trace,garbage,also=bad=worse");
+        assert!(f.enabled("net", Level::Trace));
+
+        let f = Filter::parse("");
+        assert!(!f.enabled("net", Level::Error));
+    }
+
+    #[test]
+    fn ring_buffer_bounds_and_counts_drops() {
+        let log = EventLog::new(3, Filter::parse("trace"));
+        for _ in 0..5 {
+            log.event(Level::Info, "t.x", String::new());
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let events = log.take();
+        assert_eq!(events.len(), 3);
+        // Sequence numbers survive eviction: the oldest surviving is seq 2.
+        assert_eq!(events[0].seq, 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn disabled_targets_record_nothing() {
+        let log = EventLog::new(8, Filter::parse("ssp=debug"));
+        log.event(Level::Debug, "net.retry", String::new());
+        assert!(log.is_empty());
+        log.event(Level::Debug, "ssp.get", String::new());
+        assert_eq!(log.len(), 1);
+    }
+}

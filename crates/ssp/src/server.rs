@@ -2,7 +2,46 @@
 
 use crate::store::ObjectStore;
 use sharoes_net::{Request, RequestHandler, Response};
-use std::sync::Arc;
+use sharoes_obs::Histogram;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Per-op service-time histograms, one per protocol verb. The histogram's
+/// `_count` series doubles as the op counter, so there is no separate
+/// `ssp_op_*_total` family to keep in sync.
+struct SspMetrics {
+    ping: Histogram,
+    put: Histogram,
+    put_many: Histogram,
+    get: Histogram,
+    get_many: Histogram,
+    delete: Histogram,
+    delete_blocks: Histogram,
+    delete_many: Histogram,
+    stats: Histogram,
+    scan: Histogram,
+    metrics: Histogram,
+}
+
+fn ssp_metrics() -> &'static SspMetrics {
+    static METRICS: OnceLock<SspMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let h = sharoes_obs::histogram_ns;
+        SspMetrics {
+            ping: h("ssp_op_ping_ns"),
+            put: h("ssp_op_put_ns"),
+            put_many: h("ssp_op_put_many_ns"),
+            get: h("ssp_op_get_ns"),
+            get_many: h("ssp_op_get_many_ns"),
+            delete: h("ssp_op_delete_ns"),
+            delete_blocks: h("ssp_op_delete_blocks_ns"),
+            delete_many: h("ssp_op_delete_many_ns"),
+            stats: h("ssp_op_stats_ns"),
+            scan: h("ssp_op_scan_ns"),
+            metrics: h("ssp_op_metrics_ns"),
+        }
+    })
+}
 
 /// The SSP data-serving component (paper §IV, "SSP Server").
 ///
@@ -43,7 +82,23 @@ impl SspServer {
 
 impl RequestHandler for SspServer {
     fn handle(&self, request: Request) -> Response {
-        match request {
+        let m = ssp_metrics();
+        let (op, hist) = match &request {
+            Request::Ping => ("ping", &m.ping),
+            Request::Put { .. } => ("put", &m.put),
+            Request::PutMany { .. } => ("put_many", &m.put_many),
+            Request::Get { .. } => ("get", &m.get),
+            Request::GetMany { .. } => ("get_many", &m.get_many),
+            Request::Delete { .. } => ("delete", &m.delete),
+            Request::DeleteBlocks { .. } => ("delete_blocks", &m.delete_blocks),
+            Request::DeleteMany { .. } => ("delete_many", &m.delete_many),
+            Request::Stats => ("stats", &m.stats),
+            Request::Scan { .. } => ("scan", &m.scan),
+            Request::Metrics => ("metrics", &m.metrics),
+        };
+        let _span = sharoes_obs::span!("ssp.op", op);
+        let start = Instant::now();
+        let response = match request {
             Request::Ping => Response::Pong,
             Request::Put { key, value } => {
                 self.store.put(key, value);
@@ -81,7 +136,10 @@ impl RequestHandler for SspServer {
                 let (keys, done) = self.store.scan_keys(after.as_ref(), limit as usize);
                 Response::Keys { keys, done }
             }
-        }
+            Request::Metrics => Response::Metrics { text: sharoes_obs::global().render() },
+        };
+        hist.observe(start.elapsed().as_nanos() as u64);
+        response
     }
 }
 
@@ -144,5 +202,17 @@ mod tests {
         assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 1, bytes: 64 });
         server.handle(Request::Delete { key: ObjectKey::superblock([1; 16]) });
         assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 0, bytes: 0 });
+    }
+
+    #[test]
+    fn metrics_request_returns_exposition_text() {
+        let server = SspServer::new();
+        server.handle(Request::Put { key: ObjectKey::metadata(7, [3; 16]), value: vec![9] });
+        match server.handle(Request::Metrics) {
+            Response::Metrics { text } => {
+                assert!(text.contains("ssp_op_put_ns_count"), "missing put count in:\n{text}");
+            }
+            other => panic!("expected Metrics response, got {other:?}"),
+        }
     }
 }

@@ -169,7 +169,7 @@ impl ObjectStore {
     /// trailer. Legacy `SHAROES1` (trailer-less) snapshots remain readable.
     pub fn from_snapshot(bytes: &[u8]) -> Result<ObjectStore, NetError> {
         let body = if bytes.starts_with(SNAPSHOT_MAGIC_V1) {
-            &bytes[..]
+            bytes
         } else if bytes.starts_with(SNAPSHOT_MAGIC) {
             if bytes.len() < 8 + TRAILER_LEN {
                 return Err(NetError::Codec("snapshot truncated (no trailer)"));
@@ -203,6 +203,7 @@ impl ObjectStore {
     /// the previous on-disk generation at `<path>.bak` so a snapshot that
     /// turns out corrupt (torn write, disk bit rot) has a fallback.
     pub fn save_to(&self, path: &Path) -> Result<(), NetError> {
+        let _span = sharoes_obs::span!("ssp.snapshot_save");
         let tmp = path.with_extension("tmp");
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(&self.snapshot())?;
@@ -211,6 +212,7 @@ impl ObjectStore {
             std::fs::rename(path, backup_path(path))?;
         }
         std::fs::rename(&tmp, path)?;
+        sharoes_obs::counter("ssp_snapshot_saves_total").inc();
         Ok(())
     }
 
@@ -228,11 +230,18 @@ impl ObjectStore {
     /// backup is a complete earlier generation.
     pub fn load_with_recovery(path: &Path) -> Result<(ObjectStore, SnapshotSource), NetError> {
         let primary_err = match Self::load_from(path) {
-            Ok(store) => return Ok((store, SnapshotSource::Primary)),
+            Ok(store) => {
+                sharoes_obs::counter("ssp_recover_primary_total").inc();
+                return Ok((store, SnapshotSource::Primary));
+            }
             Err(e) => e,
         };
         match Self::load_from(&backup_path(path)) {
-            Ok(store) => Ok((store, SnapshotSource::Backup)),
+            Ok(store) => {
+                sharoes_obs::counter("ssp_recover_backup_total").inc();
+                sharoes_obs::obs_event!(sharoes_obs::Level::Warn, "ssp.recover_from_backup");
+                Ok((store, SnapshotSource::Backup))
+            }
             // The primary's failure is the interesting one to report.
             Err(_) => Err(primary_err),
         }
@@ -265,7 +274,7 @@ impl ObjectStore {
         let mut keys: Vec<ObjectKey> = Vec::new();
         for shard in &self.shards {
             let map = shard.read().unwrap_or_else(|e| e.into_inner());
-            keys.extend(map.keys().filter(|k| after.map_or(true, |a| *k > a)).copied());
+            keys.extend(map.keys().filter(|k| after.is_none_or(|a| *k > a)).copied());
         }
         keys.sort_unstable();
         let done = keys.len() <= limit;

@@ -19,11 +19,32 @@
 use crate::server::SspServer;
 use sharoes_net::transport::{read_frame, write_frame};
 use sharoes_net::{NetError, Request, RequestHandler, Response, WireRead, WireWrite};
+use sharoes_obs::{Counter, Gauge};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Connection-lifecycle metrics for the serving loop.
+struct ConnMetrics {
+    accepted: Counter,
+    shed: Counter,
+    active: Gauge,
+    frames_too_large: Counter,
+    bad_requests: Counter,
+}
+
+fn conn_metrics() -> &'static ConnMetrics {
+    static METRICS: OnceLock<ConnMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ConnMetrics {
+        accepted: sharoes_obs::counter("ssp_conns_accepted_total"),
+        shed: sharoes_obs::counter("ssp_conns_shed_total"),
+        active: sharoes_obs::gauge("ssp_conns_active"),
+        frames_too_large: sharoes_obs::counter("ssp_frames_too_large_total"),
+        bad_requests: sharoes_obs::counter("ssp_bad_requests_total"),
+    })
+}
 
 /// How often the accept loop re-checks the stop flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -125,9 +146,12 @@ pub fn serve_with(
                 }
                 let slot = ConnSlot::claim(&live, options.max_connections);
                 let Some(slot) = slot else {
+                    conn_metrics().shed.inc();
+                    sharoes_obs::obs_event!(sharoes_obs::Level::Warn, "ssp.conn_shed");
                     shed_connection(sock);
                     continue;
                 };
+                conn_metrics().accepted.inc();
                 let server = Arc::clone(&server);
                 let read_timeout = options.read_timeout;
                 let _ = std::thread::Builder::new()
@@ -150,6 +174,7 @@ impl ConnSlot {
             live.fetch_sub(1, Ordering::SeqCst);
             return None;
         }
+        conn_metrics().active.add(1);
         Some(ConnSlot(Arc::clone(live)))
     }
 }
@@ -157,6 +182,7 @@ impl ConnSlot {
 impl Drop for ConnSlot {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
+        conn_metrics().active.sub(1);
     }
 }
 
@@ -181,6 +207,7 @@ fn serve_connection(
             Err(NetError::FrameTooLarge(n)) => {
                 // Tell the client why before hanging up; the stream is no
                 // longer framable (the body was never read), so close.
+                conn_metrics().frames_too_large.inc();
                 let reply = Response::Error(format!("frame too large: {n} bytes"));
                 let _ = write_frame(&mut sock, &reply.to_wire());
                 return;
@@ -189,7 +216,10 @@ fn serve_connection(
         };
         let response = match Request::from_wire(&frame) {
             Ok(req) => server.handle(req),
-            Err(e) => Response::Error(format!("bad request: {e}")),
+            Err(e) => {
+                conn_metrics().bad_requests.inc();
+                Response::Error(format!("bad request: {e}"))
+            }
         };
         if write_frame(&mut sock, &response.to_wire()).is_err() {
             return;

@@ -22,9 +22,12 @@ pub struct Rejected(pub &'static str);
 /// Result of sampling: a value, or a discarded case.
 pub type GenResult<T> = Result<T, Rejected>;
 
+/// The sampling function a [`Gen`] wraps.
+type SampleFn<T> = dyn Fn(&mut Tape) -> GenResult<T>;
+
 /// A generator of `T` values.
 pub struct Gen<T> {
-    f: Rc<dyn Fn(&mut Tape) -> GenResult<T>>,
+    f: Rc<SampleFn<T>>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -214,7 +217,8 @@ pub fn ascii_strings(len_range: std::ops::Range<usize>) -> Gen<String> {
 /// Arbitrary printable characters, ASCII-biased with a multibyte tail —
 /// hostile-ish input for parsers (stands in for proptest's `\PC`).
 pub fn any_strings(len_range: std::ops::Range<usize>) -> Gen<String> {
-    const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ω', '→', '中', '日', 'й', '🦀', '\u{200b}', '�', '­'];
+    const EXOTIC: &[char] =
+        &['é', 'ß', 'λ', 'Ω', '→', '中', '日', 'й', '🦀', '\u{200b}', '�', '\u{AD}'];
     let (lo, hi) = (len_range.start, len_range.end);
     Gen::from_fn(move |t| {
         let len = t.usize_in(lo, hi);

@@ -17,6 +17,10 @@
 //!   repair, and rebalancing after ring changes.
 //! * [`core`] — CAPs, metadata/directory-table layouts, Scheme-1/2, the
 //!   client filesystem, and the migration tool.
+//! * [`obs`] — zero-dependency observability: the process-wide metrics
+//!   registry (counters, gauges, latency/size histograms) every layer above
+//!   feeds, plus the `span!`/`obs_event!` tracing facade gated by the
+//!   `SHAROES_LOG` environment variable.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +72,7 @@ pub use sharoes_core as core;
 pub use sharoes_crypto as crypto;
 pub use sharoes_fs as fs;
 pub use sharoes_net as net;
+pub use sharoes_obs as obs;
 pub use sharoes_ssp as ssp;
 
 /// Everything needed for typical use, in one import.

@@ -8,8 +8,8 @@
 
 use sharoes::fs::treegen::{generate, TreeSpec};
 use sharoes::net::{
-    CostMeter, FaultConfig, FaultCounts, FaultInjector, FaultSchedule, NetError, ObjectKey,
-    RequestHandler, ResilientTransport, RetryPolicy, Transport, WireRead, WireWrite,
+    CostMeter, FakeSleeper, FaultConfig, FaultCounts, FaultInjector, FaultSchedule, NetError,
+    ObjectKey, RequestHandler, ResilientTransport, RetryPolicy, Transport, WireRead, WireWrite,
 };
 use sharoes::prelude::*;
 use sharoes::ssp::{backup_path, ObjectStore, SnapshotSource, SspServer};
@@ -87,7 +87,13 @@ fn chaos_client(
     });
     // 12 attempts: at a 20% fault rate a call fails only with probability
     // 0.2^12 ≈ 4e-9, and the seeded schedule pins the exact outcome anyway.
-    let transport = ResilientTransport::connect(connector, RetryPolicy::fast(12)).expect("connect");
+    // Production-shaped exponential backoff runs against a FakeSleeper, so
+    // the retry/backoff/jitter path is fully exercised without the suite
+    // ever sleeping for real.
+    let policy = RetryPolicy { max_attempts: 12, ..RetryPolicy::default() };
+    let transport =
+        ResilientTransport::connect_with_sleeper(connector, policy, Box::new(FakeSleeper::new()))
+            .expect("connect");
     let client = SharoesClient::with_rng(
         Box::new(transport),
         world.config.clone(),
@@ -126,9 +132,12 @@ fn run_workload(client: &mut SharoesClient) -> Vec<Vec<u8>> {
     reads
 }
 
-/// One full chaos run at `rate`; returns the read-backs, the final store
-/// entries, and the injector tallies.
-fn run_at_rate(seed: u64, rate: f64) -> (Vec<Vec<u8>>, Vec<(Vec<u8>, Vec<u8>)>, FaultCounts) {
+/// What one chaos run yields: read-backs, final store entries, injector
+/// tallies.
+type RunOutcome = (Vec<Vec<u8>>, Vec<(Vec<u8>, Vec<u8>)>, FaultCounts);
+
+/// One full chaos run at `rate`.
+fn run_at_rate(seed: u64, rate: f64) -> RunOutcome {
     let world = deploy(seed);
     let (mut client, schedule) = chaos_client(&world, rate, seed ^ 0xFA17, seed ^ 0x5E55);
     let reads = run_workload(&mut client);

@@ -57,6 +57,9 @@ fn cluster_opts() -> ClusterOpts {
     ClusterOpts { replication: 2, write_quorum: 1, ..ClusterOpts::default() }
 }
 
+/// Per-node observability handles a [`make_cluster`] call hands back.
+type NodeHandles = (ClusterTransport, Vec<Arc<Mutex<FaultSchedule>>>, Vec<Arc<CostMeter>>);
+
 /// A cluster transport over `servers`. Each node link is a resilient
 /// transport around a seeded fault injector (per-node fault seed), and the
 /// node at `kill` carries a shared call budget after which it is dead.
@@ -65,7 +68,7 @@ fn make_cluster(
     rate: f64,
     fault_seed: u64,
     kill: Option<(usize, Arc<AtomicI64>)>,
-) -> (ClusterTransport, Vec<Arc<Mutex<FaultSchedule>>>, Vec<Arc<CostMeter>>) {
+) -> NodeHandles {
     let mut cluster = ClusterTransport::new(cluster_opts());
     let mut schedules = Vec::new();
     let mut meters = Vec::new();

@@ -71,8 +71,8 @@ fn sorted_entries(server: &SspServer) -> Vec<(Vec<u8>, Vec<u8>)> {
 
 #[test]
 fn identically_seeded_migrations_store_identical_objects() {
-    let a = deploy(0xD5EE_D);
-    let b = deploy(0xD5EE_D);
+    let a = deploy(0xD5EED);
+    let b = deploy(0xD5EED);
     let ea = sorted_entries(&a.server);
     let eb = sorted_entries(&b.server);
     assert!(!ea.is_empty(), "migration stored nothing");

@@ -1,0 +1,162 @@
+//! Metrics-determinism gate: the same seeded chaos workload, run twice in
+//! one process, must move the observability registry by byte-identical
+//! deltas (for the deterministic subset — everything that is not wall-clock
+//! time). This is what makes the metrics trustworthy for regression
+//! comparison: a counter that drifts across identical runs is a bug in the
+//! instrumentation, not signal.
+//!
+//! The two per-pass exports are also written to
+//! `target/metrics-determinism-{a,b}.txt` so CI can `diff` them as an
+//! independent check (and a human can eyeball what the registry carries).
+
+use sharoes::cluster::{ClusterOpts, ClusterTransport};
+use sharoes::fs::treegen::{generate, TreeSpec};
+use sharoes::net::{
+    CostMeter, FakeSleeper, FaultConfig, FaultInjector, FaultSchedule, NetError, RequestHandler,
+    ResilientTransport, RetryPolicy, Transport,
+};
+use sharoes::prelude::*;
+use sharoes::ssp::SspServer;
+use std::sync::Arc;
+
+const NODE_NAMES: [&str; 3] = ["a", "b", "c"];
+
+struct World {
+    servers: Vec<Arc<SspServer>>,
+    db: Arc<UserDb>,
+    pki: Arc<Pki>,
+    ring: Keyring,
+    pool: Arc<SigKeyPool>,
+    config: ClientConfig,
+}
+
+/// A 3-node cluster link set: each node behind a seeded fault injector and
+/// a resilient transport with production-shaped backoff virtualized through
+/// a [`FakeSleeper`] (the backoff path runs; the suite never sleeps).
+fn make_cluster(servers: &[Arc<SspServer>], rate: f64, fault_seed: u64) -> ClusterTransport {
+    let opts = ClusterOpts { replication: 2, write_quorum: 1, ..ClusterOpts::default() };
+    let mut cluster = ClusterTransport::new(opts);
+    for (idx, server) in servers.iter().enumerate() {
+        let schedule =
+            FaultSchedule::shared(FaultConfig::at_rate(rate), fault_seed ^ (idx as u64) << 8);
+        let meter = CostMeter::new_shared();
+        let handler = Arc::clone(server) as Arc<dyn RequestHandler>;
+        let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            let inner = InMemoryTransport::with_meter(Arc::clone(&handler), Arc::clone(&meter));
+            Ok(Box::new(FaultInjector::new(inner, Arc::clone(&schedule))))
+        });
+        let policy = RetryPolicy { max_attempts: 12, ..RetryPolicy::default() };
+        let link = ResilientTransport::connect_with_sleeper(
+            connector,
+            policy,
+            Box::new(FakeSleeper::new()),
+        )
+        .expect("connect");
+        cluster.add_node(NODE_NAMES[idx], Box::new(link));
+    }
+    cluster
+}
+
+/// Builds a replicated deployment that is a pure function of `seed`.
+fn deploy(seed: u64) -> World {
+    let spec =
+        TreeSpec { users: 2, dirs_per_user: 1, files_per_dir: 1, seed, ..Default::default() };
+    let (local, _) = generate(&spec).expect("treegen");
+    let mut rng = HmacDrbg::from_seed_u64(seed);
+    let ring = Keyring::generate(local.users(), 512, &mut rng).unwrap();
+    let config = ClientConfig::test_with(CryptoPolicy::Sharoes, Scheme::SharedCaps);
+    let pool = Arc::new(SigKeyPool::new(config.crypto));
+    let servers: Vec<Arc<SspServer>> =
+        (0..NODE_NAMES.len()).map(|_| SspServer::new().into_shared()).collect();
+    let mut cluster = make_cluster(&servers, 0.0, 0);
+    Migrator { fs: &local, config: &config, ring: &ring, pool: &pool, downgrade_unsupported: true }
+        .migrate(&mut cluster, &mut rng)
+        .expect("migration");
+    World {
+        servers,
+        db: Arc::new(local.users().clone()),
+        pki: Arc::new(ring.public_directory()),
+        ring,
+        pool,
+        config,
+    }
+}
+
+/// The chaos workload behind the gate: create/write/chmod/unlink/read plus
+/// a listing, all through the faulted cluster.
+fn run_workload(client: &mut SharoesClient) {
+    client.mount().expect("mount");
+    client.mkdir("/home/user0/obs", Mode::from_octal(0o755)).expect("mkdir");
+    for i in 0..4u32 {
+        let path = format!("/home/user0/obs/f{i}");
+        client.create(&path, Mode::from_octal(0o644)).expect("create");
+        let body = format!("observed payload {i} ").repeat(12 + i as usize);
+        client.write_file(&path, body.as_bytes()).expect("write");
+    }
+    client.chmod("/home/user0/obs/f0", Mode::from_octal(0o600)).expect("chmod");
+    client.unlink("/home/user0/obs/f3").expect("unlink");
+    for i in 0..3u32 {
+        let path = format!("/home/user0/obs/f{i}");
+        client.getattr(&path).expect("getattr");
+        client.read(&path).expect("read");
+    }
+    client.readdir("/home/user0/obs").expect("readdir");
+}
+
+/// One full pass; returns the deterministic registry delta it caused.
+fn registry_delta_for_pass(seed: u64) -> String {
+    let before = sharoes::obs::global().snapshot();
+    let world = deploy(seed);
+    let cluster = make_cluster(&world.servers, 0.10, seed ^ 0xFA17);
+    let mut client = SharoesClient::with_rng(
+        Box::new(cluster),
+        world.config.clone(),
+        Arc::clone(&world.db),
+        Arc::clone(&world.pki),
+        world.ring.identity(Uid(1000)).unwrap(),
+        Arc::clone(&world.pool),
+        HmacDrbg::from_seed_u64(seed ^ 0x5E55),
+    );
+    run_workload(&mut client);
+    assert!(!client.is_degraded(), "workload completed, client must not be degraded");
+    sharoes::obs::global().snapshot().delta(&before).deterministic_text()
+}
+
+#[test]
+fn identical_seeded_runs_move_the_registry_identically() {
+    let seed = sharoes_testkit::rng::test_seed();
+    println!("obs gate seed: {seed:#x} (set SHAROES_TEST_SEED to replay)");
+    let pass_a = registry_delta_for_pass(seed);
+    let pass_b = registry_delta_for_pass(seed);
+
+    // Keep both exports on disk for CI's independent diff (and for humans).
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/metrics-determinism-a.txt", &pass_a).expect("write pass a");
+    std::fs::write("target/metrics-determinism-b.txt", &pass_b).expect("write pass b");
+
+    // The gate itself: byte-identical deterministic deltas.
+    assert_eq!(
+        pass_a, pass_b,
+        "deterministic metrics diverged between identical seeded runs — \
+         a nondeterministic series leaked past the _ns exclusion rule \
+         (diff target/metrics-determinism-{{a,b}}.txt)"
+    );
+
+    // And the delta must be substantive: the workload's instrumentation
+    // crossed every layer (wire, resilience, ssp ops, cluster, cache).
+    let get = |key: &str| -> u64 {
+        pass_a
+            .lines()
+            .find(|l| l.starts_with(key) && l.as_bytes().get(key.len()) == Some(&b' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    assert!(get("net_round_trips_total") > 0, "wire layer silent:\n{pass_a}");
+    assert!(get("net_faults_injected_total") > 0, "10% fault rate injected nothing");
+    assert!(get("net_retries_total") > 0, "faults must force retries");
+    assert!(get("net_backoff_sleeps_total") > 0, "real backoff policy must schedule sleeps");
+    assert!(get("ssp_op_put_many_ns_count") > 0, "ssp op histograms silent:\n{pass_a}");
+    assert!(get("ssp_op_get_ns_count") > 0, "ssp get histogram silent");
+    assert!(get("core_cache_misses_total") > 0, "client cache counters silent");
+}
