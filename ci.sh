@@ -1,6 +1,7 @@
 #!/bin/sh
 # Hermetic CI gate: formatting, lints, offline release build, offline tests,
-# pinned-seed chaos runs, and the metrics-determinism gate.
+# pinned-seed chaos runs, the metrics-determinism gate, and the enterprise
+# scenario gate (revocation/rotation oracles + registry determinism).
 #
 # Everything runs with --offline against the vendored-free, path-only
 # workspace — if any step reaches for the network or a registry, that is
@@ -54,6 +55,13 @@ step "chaos + cluster + metrics-determinism gate at third pinned seed" \
 # diff them here as a check independent of the in-test assertion.
 step "metrics determinism: diff exported registry deltas" \
     diff target/metrics-determinism-a.txt target/metrics-determinism-b.txt
+
+step "enterprise scenario gate at fourth pinned seed (revocation + rotation oracles)" \
+    env SHAROES_TEST_SEED=0xE57E4512 cargo test -q --offline --test enterprise
+
+# Same independent check for the enterprise gate's registry exports.
+step "enterprise determinism: diff exported registry deltas" \
+    diff target/enterprise-registry-a.txt target/enterprise-registry-b.txt
 
 echo ""
 echo "== step timings"

@@ -17,8 +17,11 @@
 //! EXPERIMENTS.md).
 
 use sharoes_bench::harness::{all_policies, fmt_secs, four_policies, BenchOpts, Table};
-use sharoes_bench::workloads::{ablations, andrew, createlist, opcosts, postmark, storage};
+use sharoes_bench::workloads::{
+    ablations, andrew, createlist, enterprise, opcosts, postmark, storage,
+};
 use sharoes_core::{CryptoPolicy, Scheme};
+use sharoes_testkit::enterprise::{Enterprise, Scale};
 
 struct Args {
     command: String,
@@ -82,6 +85,9 @@ fn print_help() {
          \x20 fig13      Filesystem operation cost breakdown (Figure 13)\n\
          \x20 storage    Scheme-1/2 storage overhead (§III-D.1, E6)\n\
          \x20 ablations  A1 scheme fan-out, A2 revocation, A3 ESIGN vs RSA, A4 net sweep, A5 fault overhead\n\
+         \x20 enterprise revocation storms, rotation lifecycle, Scheme-1/2 crossover\n\
+         \x20            (population size via SHAROES_SCALE=small|medium|large|million;\n\
+         \x20            writes BENCH_enterprise.json)\n\
          \x20 summary    headline speedups (E7)\n\
          \x20 all        everything above"
     );
@@ -352,6 +358,204 @@ fn ablations_report(opts: &BenchOpts, quick: bool) {
     }
 }
 
+/// Minimal JSON string escaping for the trajectory file.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn enterprise_report(opts: &BenchOpts, quick: bool) {
+    let obs_start = sharoes_obs::global().snapshot();
+    let scale = Scale::from_env();
+    let spec = scale.spec(opts.seed);
+    println!(
+        "\n== Enterprise population ({scale:?}: {} users, {} groups, {} files, {} ops = {} entities) ==",
+        spec.users,
+        spec.groups,
+        spec.files,
+        spec.ops,
+        spec.entities()
+    );
+    let ent = Enterprise::generate(&spec);
+    let fingerprint = ent.fingerprint();
+    println!("graph fingerprint: {fingerprint}  (seed {:#x})", spec.seed);
+    println!(
+        "shape: max group {} members, {} membership edges, top owner {} files, \
+         {} shared files / {} ACL grants",
+        ent.stats.max_group_size,
+        ent.stats.membership_edges,
+        ent.stats.max_files_per_owner,
+        ent.stats.shared_files,
+        ent.stats.acl_entries
+    );
+
+    println!("\n== Revocation storm: immediate vs lazy across sharing density ==");
+    let densities: &[usize] = if quick { &[1, 4] } else { &[1, 4, 16] };
+    let (files, size) = if quick { (3, 4096) } else { (6, 16384) };
+    let storm = enterprise::revocation_storm(densities, files, size, opts);
+    let mut table =
+        Table::new(&["density", "mode", "chmod bytes↑", "write bytes↑", "chmod (s)", "write (s)"]);
+    for p in &storm {
+        table.row(vec![
+            p.density.to_string(),
+            format!("{:?}", p.mode),
+            p.chmod_bytes_up.to_string(),
+            p.next_write_bytes_up.to_string(),
+            fmt_secs(p.chmod_secs),
+            fmt_secs(p.next_write_secs),
+        ]);
+    }
+    table.print();
+    println!(
+        "immediate pays during the storm; lazy defers the debt to the next write\n\
+         (Scheme-2 mount: storm cost is flat in density — the crossover table below\n\
+         shows Scheme-1 growing instead)"
+    );
+
+    match scale {
+        Scale::Small | Scale::Medium => {
+            println!("\n== Group-membership churn (revocation oracles) ==");
+            let events = if quick { 2 } else { 4 };
+            let churn = enterprise::membership_churn(&ent, opts, events);
+            println!(
+                "{} revocations: {} denied post-revocation, {} stale-reader leaks, \
+                 {} surviving grants verified",
+                churn.revocations,
+                churn.denied_after_revocation,
+                churn.stale_reader_leaks,
+                churn.grants_verified
+            );
+            assert_eq!(churn.stale_reader_leaks, 0, "churn oracle violated");
+        }
+        Scale::Large | Scale::Million => {
+            println!("\n(churn driver skipped at {scale:?} scale: graph-only, no materialization)");
+        }
+    }
+
+    println!("\n== Key-rotation lifecycle (DESIGN.md §10) ==");
+    let rotation = enterprise::rotation_lifecycle(opts);
+    println!(
+        "generations {:?}, KEK v{} -> v{}: content survives: {}, old escrow opens: {}, \
+         pre-rotation snapshot locked out: {}, old DEK rejected on new block: {}, \
+         new DEK opens: {}",
+        rotation.generations,
+        rotation.kek_versions.0,
+        rotation.kek_versions.1,
+        rotation.old_read_ok,
+        rotation.old_escrow_ok,
+        rotation.snapshot_locked_out,
+        rotation.old_dek_rejected,
+        rotation.new_dek_opens
+    );
+    assert!(rotation.all_hold(), "rotation lifecycle oracle violated");
+
+    println!("\n== Scheme-1 vs Scheme-2 crossover vs sharing density ==");
+    let xdensities: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16] };
+    let xfiles = if quick { 3 } else { 6 };
+    let crossover = enterprise::crossover_ablation(xdensities, xfiles, opts);
+    let mut table = Table::new(&[
+        "density",
+        "S1 create↑",
+        "S2 create↑",
+        "S1 revoke↑",
+        "S2 revoke↑",
+        "S1 md bytes",
+        "S2 md bytes",
+    ]);
+    for p in &crossover {
+        table.row(vec![
+            p.density.to_string(),
+            p.per_user_create_bytes.to_string(),
+            p.shared_create_bytes.to_string(),
+            p.per_user_revoke_bytes.to_string(),
+            p.shared_revoke_bytes.to_string(),
+            p.per_user_md_bytes.to_string(),
+            p.shared_md_bytes.to_string(),
+        ]);
+    }
+    table.print();
+    match enterprise::crossover_density(&crossover) {
+        Some(d) => println!("crossover: shared CAPs win from density {d} up"),
+        None => println!("crossover: not reached in the measured densities"),
+    }
+
+    // Registry totals for this run — same process-wide registry as
+    // `sharoes-cli stats`, deterministic in this single-threaded binary.
+    let delta = sharoes_obs::global().snapshot().delta(&obs_start);
+    println!("\n== enterprise registry totals (sharoes-obs, this run) ==");
+    for key in [
+        "net_round_trips_total",
+        "net_tx_bytes_total",
+        "net_rx_bytes_total",
+        "core_cache_hits_total",
+        "core_cache_misses_total",
+        "core_degraded_entries_total",
+    ] {
+        println!("{key} {}", delta.get(key));
+    }
+
+    // The trajectory point: first enterprise measurement in the repo.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"benchmark\": {},\n", json_str("enterprise")));
+    json.push_str(&format!("  \"scale\": {},\n", json_str(&format!("{scale:?}"))));
+    json.push_str(&format!("  \"seed\": {},\n", spec.seed));
+    json.push_str(&format!("  \"entities\": {},\n", spec.entities()));
+    json.push_str(&format!("  \"graph_fingerprint\": {},\n", json_str(&fingerprint)));
+    json.push_str("  \"revocation_storm\": [\n");
+    for (i, p) in storm.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"density\": {}, \"mode\": {}, \"files\": {}, \"chmod_bytes_up\": {}, \
+             \"next_write_bytes_up\": {}}}{}\n",
+            p.density,
+            json_str(&format!("{:?}", p.mode)),
+            p.files,
+            p.chmod_bytes_up,
+            p.next_write_bytes_up,
+            if i + 1 < storm.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"crossover\": [\n");
+    for (i, p) in crossover.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"density\": {}, \"per_user_create_bytes\": {}, \"shared_create_bytes\": {}, \
+             \"per_user_revoke_bytes\": {}, \"shared_revoke_bytes\": {}, \
+             \"per_user_md_bytes\": {}, \"shared_md_bytes\": {}}}{}\n",
+            p.density,
+            p.per_user_create_bytes,
+            p.shared_create_bytes,
+            p.per_user_revoke_bytes,
+            p.shared_revoke_bytes,
+            p.per_user_md_bytes,
+            p.shared_md_bytes,
+            if i + 1 < crossover.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"crossover_density\": {}\n",
+        match enterprise::crossover_density(&crossover) {
+            Some(d) => d.to_string(),
+            None => "null".to_string(),
+        }
+    ));
+    json.push_str("}\n");
+    let out = "BENCH_enterprise.json";
+    std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("\nwrote {out}");
+}
+
 fn summary(fig9_results: &[createlist::CreateListResult]) {
     println!("\n== E7: headline comparison (from Figure 9) ==");
     let get = |p: CryptoPolicy| fig9_results.iter().find(|r| r.policy == p).unwrap();
@@ -391,6 +595,7 @@ fn main() {
         "fig13" => fig13(&args.opts, args.quick),
         "storage" => storage_report(&args.opts, args.quick),
         "ablations" => ablations_report(&args.opts, args.quick),
+        "enterprise" => enterprise_report(&args.opts, args.quick),
         "summary" => {
             let r = fig9(&args.opts, args.quick);
             summary(&r);
@@ -403,6 +608,7 @@ fn main() {
             fig13(&args.opts, args.quick);
             storage_report(&args.opts, args.quick);
             ablations_report(&args.opts, args.quick);
+            enterprise_report(&args.opts, args.quick);
             summary(&r9);
         }
         other => die(&format!("unknown command: {other}")),

@@ -22,7 +22,7 @@ use crate::error::{CoreError, Result};
 use crate::groups::{group_key_slot, open_group_key_block};
 use crate::ids::{self, ClassTag};
 use crate::keypool::SigKeyPool;
-use crate::keyring::{Pki, UserIdentity};
+use crate::keyring::{KekChain, Pki, UserIdentity};
 use crate::metadata::{open_metadata, MetaOpen, MetadataBody, SealedObject, ViewId};
 use crate::params::{ClientConfig, CryptoPolicy, RevocationMode, Scheme};
 use crate::scheme::{
@@ -116,6 +116,10 @@ pub struct SharoesClient {
     /// unreachable and the client is serving what it can from cache.
     /// Cleared by the next successful call.
     degraded: bool,
+    /// This mount's versioned KEK chain (DESIGN.md §10), recovered from (or
+    /// published to) the SSP by [`SharoesClient::load_kek_chain`]. `None`
+    /// until loaded; escrow records are only written while a chain is held.
+    kek: Option<KekChain>,
 }
 
 /// Keys of the session freshness ledger.
@@ -178,6 +182,7 @@ impl SharoesClient {
             pending: HashMap::new(),
             freshness: HashMap::new(),
             degraded: false,
+            kek: None,
         }
     }
 
@@ -819,7 +824,8 @@ impl SharoesClient {
 
         // Lazy-revocation hook: an owner flushing content rotates the DEK.
         if body.rekey_pending && self.config.policy == CryptoPolicy::Sharoes && body.msk.is_some() {
-            return self.rekey_and_write(h, body, &pending.content);
+            self.rekey_and_write(h, body, &pending.content)?;
+            return Ok(());
         }
 
         let inode = body.inode;
@@ -1764,7 +1770,14 @@ impl SharoesClient {
     }
 
     /// Flushes the DEK rotation deferred by lazy revocation, then writes.
-    fn rekey_and_write(&mut self, h: NodeHandle, body: MetadataBody, content: &[u8]) -> Result<()> {
+    /// Returns the new key epoch and the fresh DEK so callers (the rotation
+    /// lifecycle) can escrow the key they just minted.
+    fn rekey_and_write(
+        &mut self,
+        h: NodeHandle,
+        body: MetadataBody,
+        content: &[u8],
+    ) -> Result<(u64, SymKey)> {
         let mut attrs = ObjectAttrs::from_body(&body);
         let mut secrets = self.secrets_from_owner_body(&h, &body)?;
         let old_view = ids::data_view(attrs.inode, attrs.generation);
@@ -1774,6 +1787,7 @@ impl SharoesClient {
         attrs.size = content.len() as u64;
         attrs.nblocks = content.len().div_ceil(self.config.block_size.max(1)) as u32;
         secrets.dek = SymKey::random(&mut self.rng);
+        let new_dek = secrets.dek.clone();
 
         let mut records = Vec::new();
         {
@@ -1791,7 +1805,7 @@ impl SharoesClient {
         self.put_many(records)?;
         self.call(&Request::DeleteBlocks { inode: attrs.inode, view: old_view })?;
         self.cache.invalidate_inode(attrs.inode);
-        Ok(())
+        Ok((attrs.generation, new_dek))
     }
 
     /// Refreshes the size/nblocks attributes in this owner's metadata
@@ -1822,6 +1836,145 @@ impl SharoesClient {
         self.put_many(records)?;
         self.cache.invalidate_inode(attrs.inode);
         Ok(())
+    }
+
+    // ------------------------------------- key-rotation lifecycle (§10)
+
+    /// Loads this mount's versioned KEK chain from the SSP, generating and
+    /// publishing a fresh single-version chain on first use (DESIGN.md
+    /// §10). The chain lives at the superblock-space slot
+    /// [`ids::kek_chain_view`], sealed under this user's public RSA key, so
+    /// it is recovered in-band exactly like the superblock. Returns the
+    /// current chain version. Idempotent: a chain already held in memory is
+    /// kept as-is.
+    pub fn load_kek_chain(&mut self) -> Result<u32> {
+        if let Some(chain) = &self.kek {
+            return Ok(chain.current_version());
+        }
+        let uid = self.identity.uid;
+        let slot = ObjectKey::superblock(ids::kek_chain_view(uid));
+        let chain = match self.fetch(slot)? {
+            Some(blob) => KekChain::open_with(&self.identity.private, &blob)?,
+            None => {
+                let chain = KekChain::generate(&mut self.rng);
+                let sealed = chain.seal_for(self.pki.user(uid)?, &mut self.rng)?;
+                self.put_many(vec![(slot, sealed)])?;
+                chain
+            }
+        };
+        let version = chain.current_version();
+        self.kek = Some(chain);
+        Ok(version)
+    }
+
+    /// Rotates this mount's KEK: appends a fresh version to the chain and
+    /// republishes the sealed chain at the SSP. Escrow records written
+    /// after this call seal under the new version — a holder of a
+    /// pre-rotation snapshot ([`KekChain::snapshot_through`]) provably
+    /// cannot open them — while every old record stays readable until
+    /// old versions are destroyed via [`KekChain::retire_through`].
+    /// Returns the new current version.
+    pub fn rotate_mount_kek(&mut self) -> Result<u32> {
+        self.load_kek_chain()?;
+        let mut chain = self.kek.take().expect("chain loaded above");
+        let version = chain.rotate(&mut self.rng);
+        let uid = self.identity.uid;
+        let sealed = chain.seal_for(self.pki.user(uid)?, &mut self.rng)?;
+        self.kek = Some(chain);
+        self.put_many(vec![(ObjectKey::superblock(ids::kek_chain_view(uid)), sealed)])?;
+        Ok(version)
+    }
+
+    /// Current mount-KEK version, if a chain has been loaded.
+    pub fn kek_version(&self) -> Option<u32> {
+        self.kek.as_ref().map(KekChain::current_version)
+    }
+
+    /// The loaded KEK chain. Test oracles snapshot it
+    /// ([`KekChain::snapshot_through`]) to model a holder whose key
+    /// material predates a rotation.
+    pub fn kek_chain(&self) -> Option<&KekChain> {
+        self.kek.as_ref()
+    }
+
+    /// Owner-driven key rotation for one file: mints a fresh DEK, bumps the
+    /// key epoch, re-encrypts the content into the new data view, deletes
+    /// the old view, and — when a KEK chain is loaded — escrows the new
+    /// DEK sealed under the current KEK version. Returns the new
+    /// generation. Pre-rotation readers lose the data (their cached DEK no
+    /// longer even locates the blocks); escrow keeps the owner's recovery
+    /// path version-gated.
+    pub fn rotate_file_keys(&mut self, path: &str) -> Result<u64> {
+        let (h, body) = self.resolve(path)?;
+        let attrs = ObjectAttrs::from_body(&body);
+        if attrs.kind != NodeKind::File {
+            return Err(CoreError::IsADirectory(path.to_string()));
+        }
+        if attrs.owner != self.identity.uid {
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "ownership (rotate)",
+            });
+        }
+        if self.encrypts_data() && body.dek.is_none() {
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "DEK (rotate)",
+            });
+        }
+        if self.signs() && body.msk.is_none() {
+            return Err(CoreError::PermissionDenied {
+                path: path.to_string(),
+                needed: "MSK (rotate)",
+            });
+        }
+        let content = self.read_content_for_rekey(&body)?;
+        let inode = attrs.inode;
+        let (generation, dek) = self.rekey_and_write(h, body, &content)?;
+        if self.kek.is_some() {
+            self.escrow_dek(inode, generation, &dek)?;
+        }
+        Ok(generation)
+    }
+
+    /// Writes the escrow record for `(inode, generation)`: the DEK sealed
+    /// under the current KEK version, stored at the data-space slot
+    /// [`ids::dek_escrow_view`] with the generation as the block index.
+    fn escrow_dek(&mut self, inode: u64, generation: u64, dek: &SymKey) -> Result<()> {
+        let chain = self.kek.as_ref().expect("escrow requires a loaded KEK chain");
+        let record = chain.seal(&mut self.rng, &dek.0);
+        let key = ObjectKey::data(
+            inode,
+            ids::dek_escrow_view(self.identity.uid, inode),
+            generation as u32,
+        );
+        self.put_many(vec![(key, record)])
+    }
+
+    /// Recovers the escrowed DEK for `(inode, generation)` with the loaded
+    /// KEK chain. Fails with [`CoreError::TamperDetected`] when the
+    /// record's sealing version is not held by the chain (rotated away or
+    /// retired).
+    pub fn escrowed_dek(&mut self, inode: u64, generation: u64) -> Result<SymKey> {
+        let blob = self
+            .fetch_escrow_record(inode, generation)?
+            .ok_or(CoreError::Corrupt("missing DEK escrow record"))?;
+        let chain = self.kek.as_ref().ok_or(CoreError::Corrupt("no KEK chain loaded"))?;
+        let plain = chain.open(&blob)?;
+        Ok(SymKey::from_slice(&plain)?)
+    }
+
+    /// Raw escrow-record fetch for `(inode, generation)` — exposed so test
+    /// oracles can probe records against chain snapshots
+    /// ([`KekChain::snapshot_through`]) without the client's own chain in
+    /// the way.
+    pub fn fetch_escrow_record(&mut self, inode: u64, generation: u64) -> Result<Option<Vec<u8>>> {
+        let key = ObjectKey::data(
+            inode,
+            ids::dek_escrow_view(self.identity.uid, inode),
+            generation as u32,
+        );
+        self.fetch(key)
     }
 }
 

@@ -108,6 +108,20 @@ pub fn group_key_view(uid: Uid) -> [u8; 16] {
     h16(&[b"sharoes:view:groupkey", &uid.0.to_be_bytes()])
 }
 
+/// Per-mount versioned KEK-chain slot for `uid` (rotation lifecycle,
+/// DESIGN.md §10). Lives in the superblock key space: like the superblock,
+/// the chain is sealed under the user's public key and recovered in-band.
+pub fn kek_chain_view(uid: Uid) -> [u8; 16] {
+    h16(&[b"sharoes:view:kek-chain", &uid.0.to_be_bytes()])
+}
+
+/// DEK escrow slot for `(owner uid, inode)`. Escrow records are stored as
+/// data-space objects whose block index carries the key generation, sealed
+/// under the owner's current mount-KEK version.
+pub fn dek_escrow_view(uid: Uid, inode: u64) -> [u8; 16] {
+    h16(&[b"sharoes:view:dek-escrow", &uid.0.to_be_bytes(), &inode.to_be_bytes()])
+}
+
 /// Scheme-2 split-point entry addressed to a single user (§III-D.2).
 pub fn split_user_view(inode: u64, uid: Uid) -> [u8; 16] {
     h16(&[b"sharoes:view:split-user", &inode.to_be_bytes(), &uid.0.to_be_bytes()])
@@ -127,6 +141,9 @@ mod tests {
         assert_eq!(user_view(Uid(1)), user_view(Uid(1)));
         assert_ne!(user_view(Uid(1)), user_view(Uid(2)));
         assert_ne!(user_view(Uid(1)), superblock_view(Uid(1)));
+        assert_ne!(kek_chain_view(Uid(1)), superblock_view(Uid(1)));
+        assert_ne!(dek_escrow_view(Uid(1), 7), data_view(7, 0));
+        assert_ne!(dek_escrow_view(Uid(1), 7), dek_escrow_view(Uid(2), 7));
         assert_ne!(cap_view(1, ClassTag::Owner), cap_view(1, ClassTag::Group));
         assert_ne!(cap_view(1, ClassTag::Owner), cap_view(2, ClassTag::Owner));
         assert_ne!(data_view(1, 0), data_view(1, 1));

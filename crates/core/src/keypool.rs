@@ -75,6 +75,17 @@ impl SigKeyPool {
         }
     }
 
+    /// Tops the pool up to at least `n` pairs. Rotation storms and bulk
+    /// re-keys re-sign rebuilt metadata in batches; topping up ahead of the
+    /// storm keeps keygen out of the measured phase without guessing how
+    /// much of a previous prefill is left.
+    pub fn ensure<R: RandomSource + ?Sized>(&self, n: usize, rng: &mut R) {
+        let have = self.len();
+        if have < n {
+            self.prefill(n - have, rng);
+        }
+    }
+
     /// Takes a pair, generating one on demand if the pool is dry.
     pub fn take<R: RandomSource + ?Sized>(&self, rng: &mut R) -> (SigningKey, VerifyKey) {
         if let Some(pair) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
@@ -111,6 +122,18 @@ mod tests {
         assert_eq!(pool.len(), 2);
         let sig = sk.sign(&mut rng, b"x");
         vk.verify(b"x", &sig).unwrap();
+    }
+
+    #[test]
+    fn ensure_tops_up_to_target() {
+        let pool = SigKeyPool::new(CryptoParams::test());
+        let mut rng = HmacDrbg::from_seed_u64(2);
+        pool.ensure(2, &mut rng);
+        assert_eq!(pool.len(), 2);
+        pool.ensure(1, &mut rng);
+        assert_eq!(pool.len(), 2, "ensure never shrinks or over-fills");
+        pool.ensure(4, &mut rng);
+        assert_eq!(pool.len(), 4);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! keys never leave the enterprise domain.
 
 use crate::error::{CoreError, Result};
-use sharoes_crypto::{RandomSource, RsaPrivateKey, RsaPublicKey};
+use sharoes_crypto::{RandomSource, RsaPrivateKey, RsaPublicKey, SymKey};
 use sharoes_fs::{Gid, Uid, UserDb};
+use sharoes_net::{Cursor, NetError, WireRead, WireWrite};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::RwLock;
@@ -139,6 +140,158 @@ impl UserIdentity {
     }
 }
 
+/// A versioned per-mount key-encryption-key chain (the key-rotation
+/// lifecycle of DESIGN.md §10).
+///
+/// Version `n` (the highest) is the *sealing* version: every new escrow
+/// record is sealed under it. Earlier versions are retained so blobs sealed
+/// before a rotation stay decryptable, until the enterprise explicitly
+/// [`retires`](KekChain::retire_through) them after re-escrowing. A
+/// [`snapshot`](KekChain::snapshot_through) models what a decommissioned
+/// client or stolen backup holds: it provably cannot open anything sealed
+/// under a later version, because the later key simply is not in it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KekChain {
+    /// Index = version; `None` marks a retired (destroyed) version.
+    keys: Vec<Option<SymKey>>,
+}
+
+impl KekChain {
+    /// A fresh chain at version 0.
+    pub fn generate<R: RandomSource + ?Sized>(rng: &mut R) -> Self {
+        KekChain { keys: vec![Some(SymKey::random(rng))] }
+    }
+
+    /// The current (sealing) version.
+    pub fn current_version(&self) -> u32 {
+        (self.keys.len() - 1) as u32
+    }
+
+    /// Appends a fresh version and returns it. Older versions stay usable
+    /// for opening until retired.
+    pub fn rotate<R: RandomSource + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        self.keys.push(Some(SymKey::random(rng)));
+        self.current_version()
+    }
+
+    /// Seals `plain` under the current version. The version tag travels in
+    /// the clear ahead of the ciphertext so any holder of the chain can
+    /// route the blob to the right key.
+    pub fn seal<R: RandomSource + ?Sized>(&self, rng: &mut R, plain: &[u8]) -> Vec<u8> {
+        let key = self.keys.last().and_then(|k| k.as_ref()).expect("current version retired");
+        let mut out = self.current_version().to_be_bytes().to_vec();
+        out.extend_from_slice(&key.seal(rng, plain));
+        out
+    }
+
+    /// The version a sealed blob was produced under.
+    pub fn sealed_version(blob: &[u8]) -> Result<u32> {
+        let tag: [u8; 4] = blob
+            .get(..4)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(CoreError::Corrupt("KEK blob too short"))?;
+        Ok(u32::from_be_bytes(tag))
+    }
+
+    /// Opens a blob sealed by [`KekChain::seal`] under any retained version.
+    ///
+    /// Fails when the blob's version is newer than anything this chain
+    /// holds (a rotated-away snapshot probing post-rotation data) or when
+    /// the version was retired.
+    pub fn open(&self, blob: &[u8]) -> Result<Vec<u8>> {
+        let version = Self::sealed_version(blob)?;
+        let key = match self.keys.get(version as usize) {
+            None => {
+                return Err(CoreError::TamperDetected(format!(
+                    "KEK version {version} not held (chain ends at {})",
+                    self.current_version()
+                )))
+            }
+            Some(None) => {
+                return Err(CoreError::TamperDetected(format!("KEK version {version} retired")))
+            }
+            Some(Some(key)) => key,
+        };
+        Ok(key.open(&blob[4..])?)
+    }
+
+    /// Destroys key material for every version `<= version` (after the
+    /// enterprise has re-escrowed whatever those versions protected).
+    /// Returns the number of versions destroyed. The current version is
+    /// never retired.
+    pub fn retire_through(&mut self, version: u32) -> usize {
+        let stop = (version as usize + 1).min(self.keys.len().saturating_sub(1));
+        let mut retired = 0;
+        for slot in &mut self.keys[..stop] {
+            if slot.take().is_some() {
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// The chain as it existed at `version`: what a client decommissioned
+    /// (or a backup taken) before later rotations holds.
+    pub fn snapshot_through(&self, version: u32) -> KekChain {
+        let end = (version as usize + 1).min(self.keys.len());
+        KekChain { keys: self.keys[..end].to_vec() }
+    }
+
+    /// Seals the whole chain for publication at the SSP under a user's
+    /// public key (the same in-band pattern as the superblock).
+    pub fn seal_for<R: RandomSource + ?Sized>(
+        &self,
+        pk: &RsaPublicKey,
+        rng: &mut R,
+    ) -> Result<Vec<u8>> {
+        Ok(pk.encrypt_blob(rng, &self.to_wire())?)
+    }
+
+    /// Opens a published chain with the mounting user's private key.
+    pub fn open_with(private: &RsaPrivateKey, blob: &[u8]) -> Result<KekChain> {
+        let plain = private
+            .decrypt_blob(blob)
+            .map_err(|_| CoreError::TamperDetected("KEK chain decryption failed".into()))?;
+        KekChain::from_wire(&plain).map_err(|_| CoreError::Corrupt("KEK chain body"))
+    }
+}
+
+impl WireWrite for KekChain {
+    fn write(&self, out: &mut Vec<u8>) {
+        (self.keys.len() as u32).write(out);
+        for key in &self.keys {
+            match key {
+                None => 0u8.write(out),
+                Some(k) => {
+                    1u8.write(out);
+                    k.0.write(out);
+                }
+            }
+        }
+    }
+}
+
+impl WireRead for KekChain {
+    fn read(r: &mut Cursor<'_>) -> std::result::Result<Self, NetError> {
+        let n = u32::read(r)?;
+        if n == 0 {
+            return Err(NetError::Codec("empty KEK chain"));
+        }
+        let mut keys = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            keys.push(match u8::read(r)? {
+                0 => None,
+                1 => Some(SymKey(<[u8; 16]>::read(r)?)),
+                _ => return Err(NetError::Codec("invalid KEK slot")),
+            });
+        }
+        if keys.last().map(|k| k.is_none()).unwrap_or(true) {
+            return Err(NetError::Codec("current KEK version retired"));
+        }
+        Ok(KekChain { keys })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +323,50 @@ mod tests {
         let identity = ring.identity(Uid(1)).unwrap();
         let ct = ring.user_public(Uid(1)).unwrap().encrypt(&mut rng, b"hello").unwrap();
         assert_eq!(identity.private.decrypt(&ct).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn kek_chain_rotation_keeps_old_blobs_and_locks_out_snapshots() {
+        let mut rng = HmacDrbg::from_seed_u64(10);
+        let mut chain = KekChain::generate(&mut rng);
+        assert_eq!(chain.current_version(), 0);
+        let old_blob = chain.seal(&mut rng, b"v0 secret");
+
+        let snapshot = chain.snapshot_through(0);
+        assert_eq!(chain.rotate(&mut rng), 1);
+        let new_blob = chain.seal(&mut rng, b"v1 secret");
+        assert_eq!(KekChain::sealed_version(&new_blob).unwrap(), 1);
+
+        // Old-version blobs stay decryptable after rotation.
+        assert_eq!(chain.open(&old_blob).unwrap(), b"v0 secret");
+        assert_eq!(chain.open(&new_blob).unwrap(), b"v1 secret");
+
+        // The rotated-away snapshot provably cannot open new blobs.
+        assert_eq!(snapshot.open(&old_blob).unwrap(), b"v0 secret");
+        assert!(matches!(snapshot.open(&new_blob), Err(CoreError::TamperDetected(_))));
+
+        // Retiring destroys the old version; the current one survives.
+        assert_eq!(chain.retire_through(0), 1);
+        assert!(matches!(chain.open(&old_blob), Err(CoreError::TamperDetected(_))));
+        assert_eq!(chain.open(&new_blob).unwrap(), b"v1 secret");
+        assert_eq!(chain.retire_through(99), 0, "current version never retires");
+    }
+
+    #[test]
+    fn kek_chain_publishes_in_band() {
+        let mut rng = HmacDrbg::from_seed_u64(11);
+        let rsa = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        let mut chain = KekChain::generate(&mut rng);
+        chain.rotate(&mut rng);
+        let blob = chain.seal(&mut rng, b"escrow");
+        let sealed = chain.seal_for(rsa.public_key(), &mut rng).unwrap();
+        let recovered = KekChain::open_with(&rsa, &sealed).unwrap();
+        assert_eq!(recovered, chain);
+        assert_eq!(recovered.open(&blob).unwrap(), b"escrow");
+
+        let other = RsaPrivateKey::generate(512, &mut rng).unwrap();
+        assert!(KekChain::open_with(&other, &sealed).is_err());
+        assert!(KekChain::from_wire(&[0, 0, 0, 0]).is_err(), "empty chain rejected");
     }
 
     #[test]

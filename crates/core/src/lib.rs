@@ -36,7 +36,7 @@ pub use client::SharoesClient;
 pub use error::{CoreError, Result};
 pub use ids::ClassTag;
 pub use keypool::SigKeyPool;
-pub use keyring::{Keyring, Pki, UserIdentity};
+pub use keyring::{KekChain, Keyring, Pki, UserIdentity};
 pub use metadata::{MetadataBody, SealedObject, ViewId};
 pub use migrate::{MigrationReport, Migrator};
 pub use params::{ClientConfig, CryptoParams, CryptoPolicy, RevocationMode, Scheme};

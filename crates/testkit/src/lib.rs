@@ -19,6 +19,9 @@
 //!   shrinks *any* composed generator without per-type shrinker code.
 //! * [`bench`] — a wall-clock micro-benchmark harness (warmup, N samples,
 //!   median/p95 reporting) for `harness = false` bench targets.
+//! * [`enterprise`] — a seeded enterprise-scale population generator
+//!   (Zipf group membership and sharing graphs, mixed traffic streams),
+//!   env-tunable via `SHAROES_SCALE` from CI-small to million-entity.
 //!
 //! ## Example
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod enterprise;
 pub mod gen;
 pub mod keys;
 pub mod prop;
@@ -48,6 +52,7 @@ pub mod tape;
 
 /// One-stop imports for test files.
 pub mod prelude {
+    pub use crate::enterprise::{Enterprise, EnterpriseSpec, Scale, TrafficOp};
     pub use crate::gen::{self, Gen, Index, Rejected};
     pub use crate::prop::{CaseError, CaseResult, Config};
     pub use crate::rng::{test_rng, test_seed};

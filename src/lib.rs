@@ -80,8 +80,8 @@ pub mod prelude {
     pub use sharoes_cluster::{ClusterConfig, ClusterOpts, ClusterTransport};
     pub use sharoes_core::client::{FileStat, ReadDirEntry};
     pub use sharoes_core::{
-        ClientConfig, CoreError, CryptoParams, CryptoPolicy, Keyring, MigrationReport, Migrator,
-        Pki, RevocationMode, Scheme, SharoesClient, SigKeyPool, UserIdentity,
+        ClientConfig, CoreError, CryptoParams, CryptoPolicy, KekChain, Keyring, MigrationReport,
+        Migrator, Pki, RevocationMode, Scheme, SharoesClient, SigKeyPool, UserIdentity,
     };
     pub use sharoes_crypto::{HmacDrbg, SystemRandom};
     pub use sharoes_fs::prelude::*;

@@ -308,3 +308,100 @@ fn ssp_outage_degrades_to_cached_reads_without_panicking() {
     let err = client.write_file(warm, b"no ssp").unwrap_err();
     assert!(matches!(err, CoreError::SspUnavailable(_)), "write should fail typed: {err}");
 }
+
+#[test]
+fn degraded_client_fails_revocation_cleanly_without_dropping_the_acl() {
+    // Regression: a chmod/set_acl attempted during an SSP outage must come
+    // back as a typed `SspUnavailable` error AND leave the access state
+    // exactly as it was — not "succeed" locally while the SSP never hears
+    // about it (a silently dropped revocation is an access-control hole).
+    let world = deploy(0xC4A5_0004);
+    let options =
+        ServeOptions { read_timeout: Some(Duration::from_millis(100)), ..ServeOptions::default() };
+    let handle =
+        sharoes::ssp::serve_with(Arc::clone(&world.server), "127.0.0.1:0", options).expect("serve");
+    let addr = handle.addr().to_string();
+    let meter = CostMeter::new_shared();
+    let m2 = Arc::clone(&meter);
+    let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+        let t = TcpTransport::connect_with(
+            &addr,
+            Some(Duration::from_millis(500)),
+            Some(Duration::from_millis(500)),
+            Arc::clone(&m2),
+        )?;
+        Ok(Box::new(t) as Box<dyn Transport>)
+    });
+    let transport = ResilientTransport::connect(connector, RetryPolicy::fast(2)).expect("dial");
+    let owner = Uid(1000);
+    let grantee = Uid(1001);
+    let mut client = SharoesClient::with_rng(
+        Box::new(transport),
+        world.config.clone(),
+        Arc::clone(&world.db),
+        Arc::clone(&world.pki),
+        world.ring.identity(owner).unwrap(),
+        Arc::clone(&world.pool),
+        HmacDrbg::from_seed_u64(12),
+    );
+    client.mount().expect("mount");
+
+    // Open the path for traversal so the ACL grant below is reachable,
+    // then create the shared file whose access we will try (and fail) to
+    // revoke.
+    client.chmod("/home/user0", Mode::from_octal(0o711)).expect("open home");
+    client.chmod("/home/user0/proj0", Mode::from_octal(0o711)).expect("open proj");
+    let path = "/home/user0/proj0/shared.dat";
+    let mode_before = Mode::from_octal(0o644);
+    client.create(path, mode_before).expect("create");
+    client.write_file(path, b"pre-outage secret").expect("write");
+    let mut acl = Acl::empty();
+    acl.set_user(grantee, Perm::R);
+    client.set_acl(path, acl).expect("grant");
+    client.getattr(path).expect("warm attr cache");
+    client.read(path).expect("warm data cache");
+    assert!(!client.is_degraded());
+
+    handle.shutdown();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The revocation pair fails typed — chmod and the ACL edit alike.
+    let err = client.chmod(path, Mode::from_octal(0o600)).unwrap_err();
+    assert!(matches!(err, CoreError::SspUnavailable(_)), "chmod must fail typed: {err}");
+    let err = client.set_acl(path, Acl::empty()).unwrap_err();
+    assert!(matches!(err, CoreError::SspUnavailable(_)), "set_acl must fail typed: {err}");
+    assert!(client.is_degraded(), "failed revocation must flip the degraded flag");
+
+    // Cache-hit reads still serve, and the cached view never pretends the
+    // failed revocation happened.
+    let stat = client.getattr(path).expect("degraded cached getattr");
+    assert_eq!(stat.mode, mode_before, "failed chmod leaked into the cached attrs");
+    assert_eq!(client.read(path).expect("degraded cached read"), b"pre-outage secret");
+
+    // Ground truth on the (shared, in-process) store once connectivity is
+    // back: mode unchanged, and the grantee's ACL entry still grants — the
+    // revocation neither half-applied nor silently dropped the ACL.
+    let mut fresh = SharoesClient::with_rng(
+        Box::new(InMemoryTransport::new(Arc::clone(&world.server) as _)),
+        world.config.clone(),
+        Arc::clone(&world.db),
+        Arc::clone(&world.pki),
+        world.ring.identity(owner).unwrap(),
+        Arc::clone(&world.pool),
+        HmacDrbg::from_seed_u64(13),
+    );
+    fresh.mount().expect("remount");
+    let stat = fresh.getattr(path).expect("post-outage getattr");
+    assert_eq!(stat.mode, mode_before, "failed chmod reached the SSP after all");
+    let mut reader = SharoesClient::with_rng(
+        Box::new(InMemoryTransport::new(Arc::clone(&world.server) as _)),
+        world.config.clone(),
+        Arc::clone(&world.db),
+        Arc::clone(&world.pki),
+        world.ring.identity(grantee).unwrap(),
+        Arc::clone(&world.pool),
+        HmacDrbg::from_seed_u64(14),
+    );
+    reader.mount().expect("grantee mount");
+    assert_eq!(reader.read(path).expect("grantee read (ACL must be intact)"), b"pre-outage secret");
+}
