@@ -63,6 +63,9 @@ step "enterprise scenario gate at fourth pinned seed (revocation + rotation orac
 step "enterprise determinism: diff exported registry deltas" \
     diff target/enterprise-registry-a.txt target/enterprise-registry-b.txt
 
+step "crash-point recovery matrix at fifth pinned seed (log-engine durability)" \
+    env SHAROES_TEST_SEED=0xC4A54F70 cargo test -q --offline --test crashpoints
+
 echo ""
 echo "== step timings"
 printf "%b" "$STEP_TIMINGS"

@@ -47,6 +47,11 @@ pub enum NetError {
     FrameTooLarge(usize),
     /// The transport has been shut down.
     Closed,
+    /// Stored bytes failed integrity verification (torn WAL record, sealed
+    /// segment bit rot, checkpoint checksum mismatch). Unlike [`Self::Codec`]
+    /// — line noise that a reconnect re-synchronizes — corruption is in the
+    /// durable state itself: retrying rereads the same rotten bytes.
+    Corrupt(String),
 }
 
 impl NetError {
@@ -67,6 +72,10 @@ impl NetError {
             // A frame-size violation is a protocol bug (or an attack); the
             // same request would be rejected forever.
             NetError::FrameTooLarge(_) => ErrorClass::Fatal,
+            // On-disk corruption persists across retries; surfacing it is
+            // the point (cluster reads fail over to another replica at a
+            // higher layer, not by blind resend to the rotten node).
+            NetError::Corrupt(_) => ErrorClass::Fatal,
             // Server-side errors are fatal unless the server explicitly
             // marked them transient.
             NetError::Remote(msg) => {
@@ -88,6 +97,7 @@ impl fmt::Display for NetError {
             NetError::Remote(msg) => write!(f, "remote error: {msg}"),
             NetError::FrameTooLarge(n) => write!(f, "frame too large: {n} bytes"),
             NetError::Closed => write!(f, "transport closed"),
+            NetError::Corrupt(why) => write!(f, "storage corruption: {why}"),
         }
     }
 }
@@ -136,6 +146,9 @@ mod tests {
             (NetError::Codec("truncated input"), ErrorClass::Retryable),
             (NetError::Codec("response does not match request"), ErrorClass::Retryable),
             (NetError::FrameTooLarge(usize::MAX), ErrorClass::Fatal),
+            // Durable-state corruption must never be blindly retried.
+            (NetError::Corrupt("torn record tail at byte 7".into()), ErrorClass::Fatal),
+            (NetError::Corrupt("record checksum mismatch".into()), ErrorClass::Fatal),
             (NetError::Remote("transient: injected fault".into()), ErrorClass::Retryable),
             (NetError::Remote("transient overload, back off".into()), ErrorClass::Retryable),
             (NetError::Remote("frame too large".into()), ErrorClass::Fatal),

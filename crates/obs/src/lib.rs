@@ -22,7 +22,8 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, Registry, Snapshot, LATENCY_BOUNDS_NS, SIZE_BOUNDS_BYTES,
+    Counter, Gauge, Histogram, Registry, Snapshot, LATENCY_BOUNDS_MS, LATENCY_BOUNDS_NS,
+    SIZE_BOUNDS_BYTES,
 };
 pub use trace::{EventKind, EventLog, Filter, Level, SpanGuard, TraceEvent};
 
@@ -72,6 +73,14 @@ pub fn histogram_ns(name: &str) -> Histogram {
 /// Global-registry size histogram with the default byte buckets.
 pub fn histogram_bytes(name: &str) -> Histogram {
     global().histogram(name, &SIZE_BOUNDS_BYTES)
+}
+
+/// Global-registry coarse-latency histogram with the default ms buckets,
+/// for slow, rare operations (recovery replay, compaction). Same `_ms`
+/// wall-clock naming convention as [`histogram_ns`]'s `_ns`.
+pub fn histogram_ms(name: &str) -> Histogram {
+    debug_assert!(name.ends_with("_ms"), "ms histograms must use the _ms suffix: {name}");
+    global().histogram(name, &LATENCY_BOUNDS_MS)
 }
 
 #[cfg(test)]

@@ -44,6 +44,11 @@ pub const LATENCY_BOUNDS_NS: [u64; 12] = [
 pub const SIZE_BOUNDS_BYTES: [u64; 11] =
     [64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216, 67_108_864];
 
+/// Coarse latency buckets (milliseconds) for slow, rare operations like
+/// recovery replay: powers of four from 1 ms to ~17 min. Same wall-clock
+/// convention as `_ns`: name the histogram with an `_ms` suffix.
+pub const LATENCY_BOUNDS_MS: [u64; 10] = [1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144];
+
 /// A monotonically increasing counter (wrapping at `u64::MAX`).
 #[derive(Clone, Debug)]
 pub struct Counter(Arc<AtomicU64>);
@@ -288,12 +293,17 @@ pub struct Snapshot {
 }
 
 /// True when `key` names a value that is a pure function of the workload
-/// (as opposed to wall-clock time). The `_ns` naming convention decides:
-/// plain `_ns` counters and the `_sum`/`_bucket` series of `_ns`
-/// histograms are wall-clock; an `_ns_count` (how many timings were taken)
-/// is deterministic.
+/// (as opposed to wall-clock time). The `_ns`/`_ms` naming convention
+/// decides: plain `_ns`/`_ms` counters and the `_sum`/`_bucket` series of
+/// `_ns`/`_ms` histograms are wall-clock; an `_ns_count`/`_ms_count` (how
+/// many timings were taken) is deterministic.
 fn is_deterministic(key: &str) -> bool {
-    !(key.ends_with("_ns") || key.contains("_ns_sum") || key.contains("_ns_bucket{"))
+    !(key.ends_with("_ns")
+        || key.contains("_ns_sum")
+        || key.contains("_ns_bucket{")
+        || key.ends_with("_ms")
+        || key.contains("_ms_sum")
+        || key.contains("_ms_bucket{"))
 }
 
 impl Snapshot {
@@ -412,12 +422,17 @@ mod tests {
         r.counter("crypto_ns").add(12345);
         let h = r.histogram("op_get_ns", &[10]);
         h.observe(7);
+        let ms = r.histogram("recovery_ms", &LATENCY_BOUNDS_MS);
+        ms.observe(31);
         let det = r.snapshot().deterministic_text();
         assert!(det.contains("ops_total 4"));
         assert!(det.contains("op_get_ns_count 1"), "timing counts are deterministic");
         assert!(!det.contains("crypto_ns"), "raw ns counters are wall-clock");
         assert!(!det.contains("op_get_ns_sum"));
         assert!(!det.contains("op_get_ns_bucket"));
+        assert!(det.contains("recovery_ms_count 1"), "ms timing counts are deterministic");
+        assert!(!det.contains("recovery_ms_sum"), "ms sums are wall-clock");
+        assert!(!det.contains("recovery_ms_bucket"), "ms buckets are wall-clock");
     }
 
     #[test]

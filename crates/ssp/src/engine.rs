@@ -1,0 +1,913 @@
+//! The log-structured persistent storage engine (ROADMAP item 1).
+//!
+//! Replaces "RAM hashtable + full-file snapshot" durability with an
+//! append-only write-ahead log, an in-memory key→location index rebuilt by
+//! replay, and checkpoints in the existing `SHAROES2` snapshot format as an
+//! O(log-tail) recovery shortcut. See DESIGN.md §11 for the on-disk formats
+//! and the recovery state machine; `tests/crashpoints.rs` holds the
+//! crash-point matrix that proves the atomicity story.
+//!
+//! Durability model (the crash-consistency invariants):
+//!
+//! 1. A mutation is acknowledged after its record is appended to the active
+//!    WAL; it is *durable* once the WAL has been fsynced — every
+//!    [`EngineConfig::group_commit`]'th append, or on [`LogEngine::flush`].
+//! 2. Recovery truncates at most one torn record at the very tail of the
+//!    *last* WAL file (the signature of a crashed append). A torn or
+//!    bit-rotten record anywhere else is a typed
+//!    [`sharoes_net::NetError::Corrupt`] — never a silent short replay.
+//! 3. A checkpoint is written to a `.tmp`, fsynced, renamed into place, and
+//!    the directory fsynced before any WAL file is deleted; record sequence
+//!    numbers are globally contiguous, so recovery can always prove the
+//!    (checkpoint, WAL-tail) pair it picked covers every durable record —
+//!    or fail loudly.
+//!
+//! All I/O goes through [`crate::faultfs::Vfs`], so the crash tests drive
+//! the engine over a seeded fault-injecting filesystem.
+
+use crate::faultfs::{VFile, Vfs};
+use crate::segment::{checkpoint_name, classify, wal_name, TMP_SUFFIX};
+use crate::store::{parse_snapshot_index, snapshot_from_entries};
+use crate::wal::{
+    decode_record_at, decode_wal_header, encode_record, encode_wal_header, replay, WalError, WalOp,
+    WalRecord, WAL_HEADER_LEN,
+};
+use sharoes_crypto::Sha256;
+use sharoes_net::{KeySpace, NetError, ObjectKey};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Tuning knobs for [`LogEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Fsync the WAL after this many appended records (1 = every record,
+    /// the strongest durability; larger values batch the fsync cost).
+    pub group_commit: usize,
+    /// Seal the active WAL and start a new file once it exceeds this size.
+    pub roll_bytes: u64,
+    /// Auto-compaction trigger: superseded record bytes must reach this
+    /// floor (and outweigh live bytes) before a compaction is worth it.
+    pub compact_min_dead_bytes: u64,
+    /// Whether mutations trigger threshold compaction automatically
+    /// ([`LogEngine::compact`] always works regardless).
+    pub auto_compact: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            group_commit: 1,
+            roll_bytes: 4 * 1024 * 1024,
+            compact_min_dead_bytes: 1024 * 1024,
+            auto_compact: true,
+        }
+    }
+}
+
+/// Which file a live value resides in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FileRef {
+    /// The current checkpoint file.
+    Checkpoint,
+    /// WAL file with this id (active or sealed).
+    Wal(u64),
+}
+
+/// Index entry: where the newest version of a key's value lives.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    file: FileRef,
+    /// Record offset (WAL) or value offset (checkpoint).
+    offset: u64,
+    /// Framed record length (WAL; 0 for checkpoint entries).
+    rlen: u32,
+    /// Value length.
+    vlen: u32,
+    /// Truncated SHA-256 of the value (checkpoint entries; the WAL record's
+    /// own digest covers WAL entries).
+    vdigest: [u8; 8],
+}
+
+impl Loc {
+    /// Bytes this entry stops being able to reclaim once superseded.
+    fn cost(&self) -> u64 {
+        match self.file {
+            FileRef::Wal(_) => self.rlen as u64,
+            FileRef::Checkpoint => self.vlen as u64,
+        }
+    }
+}
+
+struct CheckpointFile {
+    seq: u64,
+    handle: Box<dyn VFile>,
+}
+
+struct Inner {
+    index: BTreeMap<ObjectKey, Loc>,
+    /// Active WAL handle.
+    wal: Box<dyn VFile>,
+    wal_id: u64,
+    wal_len: u64,
+    /// Sealed WAL files still on disk; handles opened lazily.
+    sealed: BTreeMap<u64, Option<Box<dyn VFile>>>,
+    checkpoint: Option<CheckpointFile>,
+    /// This process's generation stamp (max seen on disk + 1).
+    gen: u64,
+    /// Sequence number the next record gets.
+    next_seq: u64,
+    /// Appends since the last WAL fsync.
+    pending: usize,
+    /// Bytes of superseded (garbage) records across WAL files + checkpoint.
+    dead_bytes: u64,
+    /// Total live value bytes.
+    value_bytes: u64,
+}
+
+/// Crash-consistent log-structured store: the durable drop-in for
+/// [`crate::store::ObjectStore`] behind `sharoes-sspd --wal`.
+pub struct LogEngine {
+    fs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    config: EngineConfig,
+    inner: Mutex<Inner>,
+}
+
+fn vdigest8(value: &[u8]) -> [u8; 8] {
+    let mut d = [0u8; 8];
+    d.copy_from_slice(&Sha256::digest(value)[..8]);
+    d
+}
+
+fn corrupt(msg: String) -> NetError {
+    NetError::Corrupt(msg)
+}
+
+/// A verified checkpoint picked during recovery: its covered-through seq,
+/// file name, parsed (key, value offset, value length) index, and raw bytes.
+type LoadedCheckpoint = (u64, String, Vec<(ObjectKey, u64, u32)>, Vec<u8>);
+
+impl LogEngine {
+    /// Opens (recovering if necessary) the engine over `dir`.
+    ///
+    /// Recovery state machine:
+    /// 1. sweep leftover `.tmp` files;
+    /// 2. load the newest checkpoint whose integrity trailer verifies
+    ///    (falling back to an older generation on rot);
+    /// 3. replay every WAL file in id order, skipping records the
+    ///    checkpoint already covers, enforcing global sequence contiguity,
+    ///    and tolerating a torn tail only on the last file (which is
+    ///    truncated to its last valid record boundary);
+    /// 4. fail with a typed [`NetError::Corrupt`] if the surviving
+    ///    (checkpoint, WAL) pair provably misses records — stale data is
+    ///    never served silently.
+    pub fn open(fs: Arc<dyn Vfs>, dir: &Path, config: EngineConfig) -> Result<Self, NetError> {
+        let t0 = std::time::Instant::now();
+        let _span = sharoes_obs::span!("ssp.engine_recover");
+        fs.create_dir_all(dir)?;
+        let listing = classify(&fs.list(dir)?);
+        for tmp in &listing.tmps {
+            fs.remove(&dir.join(tmp)).ok();
+        }
+
+        // Newest verifiable checkpoint wins; rotten generations are skipped
+        // (the sequence-contiguity check below decides whether the WAL can
+        // still bridge the gap — if not, recovery fails loudly).
+        let mut checkpoint: Option<LoadedCheckpoint> = None;
+        let mut first_ck_err: Option<NetError> = None;
+        for (seq, name) in listing.checkpoints.iter().rev() {
+            let res = fs
+                .read(&dir.join(name))
+                .map_err(NetError::from)
+                .and_then(|bytes| parse_snapshot_index(&bytes).map(|ix| (ix, bytes)));
+            match res {
+                Ok((ix, bytes)) => {
+                    checkpoint = Some((*seq, name.clone(), ix, bytes));
+                    break;
+                }
+                Err(e) => {
+                    sharoes_obs::counter("ssp_checkpoint_rejects").inc();
+                    sharoes_obs::obs_event!(sharoes_obs::Level::Warn, "ssp.checkpoint_reject");
+                    first_ck_err.get_or_insert(e);
+                }
+            }
+        }
+        let had_checkpoint_files = !listing.checkpoints.is_empty();
+
+        let mut index: BTreeMap<ObjectKey, Loc> = BTreeMap::new();
+        let mut value_bytes = 0u64;
+        let mut dead_bytes = 0u64;
+        let base_seq = match &checkpoint {
+            Some((seq, _, ix, bytes)) => {
+                for (key, voff, vlen) in ix {
+                    let value = &bytes[*voff as usize..(*voff + *vlen as u64) as usize];
+                    index.insert(
+                        *key,
+                        Loc {
+                            file: FileRef::Checkpoint,
+                            offset: *voff,
+                            rlen: 0,
+                            vlen: *vlen,
+                            vdigest: vdigest8(value),
+                        },
+                    );
+                    value_bytes += *vlen as u64;
+                }
+                *seq
+            }
+            None => 0,
+        };
+
+        // Replay the WAL chain.
+        let mut sealed: BTreeMap<u64, Option<Box<dyn VFile>>> = BTreeMap::new();
+        let mut first_seq: Option<u64> = None;
+        let mut last_seq: Option<u64> = None;
+        let mut max_gen = 0u64;
+        let mut replayed = 0u64;
+        let mut active: Option<(u64, String, usize, bool)> = None; // id, name, valid_len, reset
+        for (i, (id, name)) in listing.wals.iter().enumerate() {
+            let is_last = i + 1 == listing.wals.len();
+            let bytes = fs.read(&dir.join(name))?;
+            match decode_wal_header(&bytes) {
+                Ok((hid, hgen)) => {
+                    if hid != *id {
+                        return Err(corrupt(format!(
+                            "wal header id {hid} does not match file name {name}"
+                        )));
+                    }
+                    max_gen = max_gen.max(hgen);
+                }
+                // A torn header can only be the crashed creation of the
+                // newest file: it holds no records yet, reset it below.
+                Err(WalError::TornTail { .. }) if is_last => {
+                    active = Some((*id, name.clone(), 0, true));
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            // Strict replay for sealed files: they were fsynced before the
+            // next file was created, so a torn record in one is corruption.
+            let rp = replay(&bytes, WAL_HEADER_LEN, is_last)?;
+            for (off, rlen, rec) in rp.records {
+                max_gen = max_gen.max(rec.gen);
+                first_seq.get_or_insert(rec.seq);
+                if let Some(prev) = last_seq {
+                    if rec.seq != prev + 1 {
+                        return Err(corrupt(format!(
+                            "wal sequence gap in {name}: {prev} then {}",
+                            rec.seq
+                        )));
+                    }
+                }
+                last_seq = Some(rec.seq);
+                if rec.seq <= base_seq {
+                    continue; // already covered by the checkpoint
+                }
+                replayed += 1;
+                match rec.op {
+                    WalOp::Put { key, value } => {
+                        let loc = Loc {
+                            file: FileRef::Wal(*id),
+                            offset: off,
+                            rlen,
+                            vlen: value.len() as u32,
+                            vdigest: [0; 8],
+                        };
+                        if let Some(old) = index.insert(key, loc) {
+                            dead_bytes += old.cost();
+                            value_bytes -= old.vlen as u64;
+                        }
+                        value_bytes += value.len() as u64;
+                    }
+                    WalOp::Delete { key } => {
+                        if let Some(old) = index.remove(&key) {
+                            dead_bytes += old.cost();
+                            value_bytes -= old.vlen as u64;
+                        }
+                        dead_bytes += rlen as u64;
+                    }
+                }
+            }
+            if is_last {
+                active = Some((*id, name.clone(), rp.valid_len, false));
+            } else {
+                sealed.insert(*id, None);
+            }
+        }
+
+        // Coverage proof: the oldest surviving record must chain onto the
+        // checkpoint (or be the very first record ever written).
+        if let Some(first) = first_seq {
+            if first > base_seq + 1 {
+                return Err(corrupt(format!(
+                    "wal starts at seq {first} but checkpoint covers only through {base_seq}"
+                )));
+            }
+        } else if checkpoint.is_none() && had_checkpoint_files {
+            // Every checkpoint is rotten and no WAL records survive to
+            // rebuild from: refuse to come up empty over existing data.
+            // Classified as corruption (Fatal), not a codec slip: retrying
+            // would reread the same rotten bytes.
+            let e = first_ck_err.expect("rejected checkpoints imply a recorded error");
+            return Err(corrupt(format!("no readable checkpoint and an empty wal: {e}")));
+        }
+        // A checkpoint gets its name only after its contents are durable
+        // (tmp fsync → rename → dir fsync), so the newest checkpoint *name*
+        // is a floor on what recovery must cover. If that generation rotted
+        // and the WAL (pruned by the same compaction) cannot bridge back to
+        // an older one, fail loudly rather than serve a stale generation.
+        let newest_named = listing.checkpoints.last().map(|(seq, _)| *seq).unwrap_or(0);
+        let covered = last_seq.unwrap_or(0).max(base_seq);
+        if covered < newest_named {
+            return Err(corrupt(format!(
+                "checkpoint through seq {newest_named} is unreadable and the \
+                 surviving wal covers only through {covered}"
+            )));
+        }
+        let gen = max_gen + 1;
+
+        // Set up the active WAL: truncate a torn tail, rebuild a torn
+        // header, or create the first file of a fresh directory.
+        let (wal_id, wal, wal_len) = match active {
+            Some((id, name, valid_len, reset)) => {
+                let mut handle = fs.open(&dir.join(&name), false)?;
+                if reset {
+                    handle.truncate(0)?;
+                    handle.append(&encode_wal_header(id, gen))?;
+                    handle.sync()?;
+                } else if (valid_len as u64) < handle.len() {
+                    handle.truncate(valid_len as u64)?;
+                    handle.sync()?;
+                }
+                let len = handle.len();
+                (id, handle, len)
+            }
+            None => {
+                let id = 1u64;
+                let path = dir.join(wal_name(id));
+                let mut handle = fs.open(&path, true)?;
+                handle.append(&encode_wal_header(id, gen))?;
+                handle.sync()?;
+                fs.sync_dir(dir)?;
+                let len = handle.len();
+                (id, handle, len)
+            }
+        };
+
+        let checkpoint = checkpoint.map(|(seq, name, _, _)| (seq, name));
+        let ck_handle = match &checkpoint {
+            Some((seq, name)) => {
+                Some(CheckpointFile { seq: *seq, handle: fs.open(&dir.join(name), false)? })
+            }
+            None => None,
+        };
+        let next_seq = last_seq.unwrap_or(0).max(base_seq) + 1;
+
+        sharoes_obs::counter("ssp_recovery_replayed_records").add(replayed);
+        sharoes_obs::histogram_ms("ssp_recovery_ms").observe(t0.elapsed().as_millis() as u64);
+
+        Ok(LogEngine {
+            fs,
+            dir: dir.to_path_buf(),
+            config,
+            inner: Mutex::new(Inner {
+                index,
+                wal,
+                wal_id,
+                wal_len,
+                sealed,
+                checkpoint: ck_handle,
+                gen,
+                next_seq,
+                pending: 0,
+                dead_bytes,
+                value_bytes,
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn sync_wal(inner: &mut Inner) -> Result<(), NetError> {
+        inner.wal.sync()?;
+        inner.pending = 0;
+        sharoes_obs::counter("ssp_wal_fsyncs").inc();
+        Ok(())
+    }
+
+    /// Appends one record (no fsync; see [`Self::group_sync`]).
+    fn append_record(&self, inner: &mut Inner, op: WalOp) -> Result<(u64, u32), NetError> {
+        let rec = WalRecord { gen: inner.gen, seq: inner.next_seq, op };
+        let bytes = encode_record(&rec);
+        let offset = inner.wal_len;
+        inner.wal.append(&bytes)?;
+        inner.next_seq += 1;
+        inner.wal_len += bytes.len() as u64;
+        inner.pending += 1;
+        sharoes_obs::counter("ssp_wal_appends").inc();
+        Ok((offset, bytes.len() as u32))
+    }
+
+    /// Fsyncs per the group-commit config. A failure here means the
+    /// mutation is applied and logged but *not durable*: the caller sees
+    /// the error (retry is idempotent), and a later successful fsync — or
+    /// recovery replay of the surviving bytes — covers the record.
+    fn group_sync(&self, inner: &mut Inner) -> Result<(), NetError> {
+        if inner.pending >= self.config.group_commit.max(1) {
+            Self::sync_wal(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the live value for `key` at `loc`, verifying integrity.
+    fn read_value(
+        &self,
+        inner: &mut Inner,
+        key: &ObjectKey,
+        loc: Loc,
+    ) -> Result<Vec<u8>, NetError> {
+        match loc.file {
+            FileRef::Checkpoint => {
+                let ck = inner
+                    .checkpoint
+                    .as_mut()
+                    .ok_or_else(|| corrupt("index points at a missing checkpoint".into()))?;
+                let value = ck.handle.read_at(loc.offset, loc.vlen as usize)?;
+                if vdigest8(&value) != loc.vdigest {
+                    return Err(corrupt(format!(
+                        "checkpoint value for {key:?} failed its digest (bit rot)"
+                    )));
+                }
+                Ok(value)
+            }
+            FileRef::Wal(id) => {
+                let handle: &mut Box<dyn VFile> = if id == inner.wal_id {
+                    &mut inner.wal
+                } else {
+                    let slot = inner
+                        .sealed
+                        .get_mut(&id)
+                        .ok_or_else(|| corrupt(format!("index points at missing wal file {id}")))?;
+                    if slot.is_none() {
+                        *slot = Some(self.fs.open(&self.dir.join(wal_name(id)), false)?);
+                    }
+                    slot.as_mut().expect("just opened")
+                };
+                let bytes = handle.read_at(loc.offset, loc.rlen as usize)?;
+                let (rec, _) = decode_record_at(&bytes, 0)?;
+                match rec.op {
+                    WalOp::Put { key: rkey, value } if rkey == *key => Ok(value),
+                    _ => Err(corrupt(format!(
+                        "wal record at {}+{} does not hold a put for {key:?}",
+                        id, loc.offset
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Seals the active WAL and starts a fresh file.
+    fn roll_locked(&self, inner: &mut Inner) -> Result<(), NetError> {
+        Self::sync_wal(inner)?; // the sealed file must be fully durable
+        let new_id = inner.wal_id + 1;
+        let path = self.dir.join(wal_name(new_id));
+        let mut handle = self.fs.open(&path, true)?;
+        handle.append(&encode_wal_header(new_id, inner.gen))?;
+        handle.sync()?;
+        self.fs.sync_dir(&self.dir)?;
+        let old = std::mem::replace(&mut inner.wal, handle);
+        inner.sealed.insert(inner.wal_id, Some(old));
+        inner.wal_id = new_id;
+        inner.wal_len = WAL_HEADER_LEN as u64;
+        Ok(())
+    }
+
+    /// Writes a checkpoint covering everything appended so far, then drops
+    /// the superseded WAL files and all but one older checkpoint.
+    fn compact_locked(&self, inner: &mut Inner) -> Result<(), NetError> {
+        let _span = sharoes_obs::span!("ssp.compact");
+        Self::sync_wal(inner)?; // checkpoint must cover acknowledged state
+        let seq = inner.next_seq - 1;
+
+        let keys: Vec<ObjectKey> = inner.index.keys().copied().collect();
+        let mut entries: Vec<(ObjectKey, Vec<u8>)> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let loc = inner.index[&key];
+            let value = self.read_value(inner, &key, loc)?;
+            entries.push((key, value));
+        }
+        let bytes = snapshot_from_entries(&entries);
+
+        // tmp → fsync file → rename → fsync dir: only then is the
+        // checkpoint allowed to supersede any WAL file.
+        let final_name = checkpoint_name(seq);
+        let tmp = self.dir.join(format!("{final_name}{TMP_SUFFIX}"));
+        let mut f = self.fs.open(&tmp, true)?;
+        f.append(&bytes)?;
+        f.sync()?;
+        drop(f);
+        self.fs.rename(&tmp, &self.dir.join(&final_name))?;
+        self.fs.sync_dir(&self.dir)?;
+
+        // Rebuild the index to point into the checkpoint (value offset =
+        // entry offset + key wire size + length prefix; see
+        // `snapshot_from_entries`).
+        let mut index = BTreeMap::new();
+        let mut off = 16u64; // magic + count
+        for (key, value) in &entries {
+            let voff = off + 29 + 4;
+            index.insert(
+                *key,
+                Loc {
+                    file: FileRef::Checkpoint,
+                    offset: voff,
+                    rlen: 0,
+                    vlen: value.len() as u32,
+                    vdigest: vdigest8(value),
+                },
+            );
+            off = voff + value.len() as u64;
+        }
+
+        // Fresh WAL, durable before the old chain is deleted.
+        let new_id = inner.wal_id + 1;
+        let mut wal = self.fs.open(&self.dir.join(wal_name(new_id)), true)?;
+        wal.append(&encode_wal_header(new_id, inner.gen))?;
+        wal.sync()?;
+
+        // Delete superseded WAL files and prune checkpoints down to the new
+        // one plus a single fallback generation.
+        for id in inner.sealed.keys().copied().collect::<Vec<_>>() {
+            self.fs.remove(&self.dir.join(wal_name(id))).ok();
+        }
+        self.fs.remove(&self.dir.join(wal_name(inner.wal_id))).ok();
+        let listing = classify(&self.fs.list(&self.dir)?);
+        if listing.checkpoints.len() > 2 {
+            for (_, name) in &listing.checkpoints[..listing.checkpoints.len() - 2] {
+                self.fs.remove(&self.dir.join(name)).ok();
+            }
+        }
+        self.fs.sync_dir(&self.dir)?;
+
+        inner.index = index;
+        inner.sealed.clear();
+        inner.checkpoint =
+            Some(CheckpointFile { seq, handle: self.fs.open(&self.dir.join(&final_name), false)? });
+        inner.wal = wal;
+        inner.wal_id = new_id;
+        inner.wal_len = WAL_HEADER_LEN as u64;
+        inner.dead_bytes = 0;
+        sharoes_obs::counter("ssp_compactions").inc();
+        Ok(())
+    }
+
+    fn maybe_roll_and_compact(&self, inner: &mut Inner) -> Result<(), NetError> {
+        if inner.wal_len >= self.config.roll_bytes {
+            self.roll_locked(inner)?;
+        }
+        if self.config.auto_compact
+            && inner.dead_bytes >= self.config.compact_min_dead_bytes
+            && inner.dead_bytes >= inner.value_bytes
+        {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Stores (or replaces) an object.
+    pub fn put(&self, key: ObjectKey, value: Vec<u8>) -> Result<(), NetError> {
+        let mut inner = self.lock();
+        let vlen = value.len() as u32;
+        let (offset, rlen) = self.append_record(&mut inner, WalOp::Put { key, value })?;
+        let loc = Loc { file: FileRef::Wal(inner.wal_id), offset, rlen, vlen, vdigest: [0; 8] };
+        if let Some(old) = inner.index.insert(key, loc) {
+            inner.dead_bytes += old.cost();
+            inner.value_bytes -= old.vlen as u64;
+        }
+        inner.value_bytes += vlen as u64;
+        self.group_sync(&mut inner)?;
+        self.maybe_roll_and_compact(&mut inner)
+    }
+
+    /// Fetches an object, verifying stored-byte integrity on the way out.
+    pub fn get(&self, key: &ObjectKey) -> Result<Option<Vec<u8>>, NetError> {
+        let mut inner = self.lock();
+        match inner.index.get(key).copied() {
+            Some(loc) => self.read_value(&mut inner, key, loc).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Deletes an object; returns whether it existed. Deleting an absent
+    /// key appends no record.
+    pub fn delete(&self, key: &ObjectKey) -> Result<bool, NetError> {
+        let mut inner = self.lock();
+        if !inner.index.contains_key(key) {
+            return Ok(false);
+        }
+        let (_, rlen) = self.append_record(&mut inner, WalOp::Delete { key: *key })?;
+        if let Some(old) = inner.index.remove(key) {
+            inner.dead_bytes += old.cost();
+            inner.value_bytes -= old.vlen as u64;
+        }
+        inner.dead_bytes += rlen as u64;
+        self.group_sync(&mut inner)?;
+        self.maybe_roll_and_compact(&mut inner)?;
+        Ok(true)
+    }
+
+    /// Deletes every data block of `(inode, view)`; returns how many.
+    ///
+    /// Logged as one delete record per block (each atomic on its own): a
+    /// crash mid-sweep recovers a prefix of the deletions, which the
+    /// idempotent caller simply reissues.
+    pub fn delete_blocks(&self, inode: u64, view: [u8; 16]) -> Result<usize, NetError> {
+        let mut inner = self.lock();
+        let doomed: Vec<ObjectKey> = inner
+            .index
+            .keys()
+            .filter(|k| k.space == KeySpace::Data && k.inode == inode && k.view == view)
+            .copied()
+            .collect();
+        for key in &doomed {
+            let (_, rlen) = self.append_record(&mut inner, WalOp::Delete { key: *key })?;
+            if let Some(old) = inner.index.remove(key) {
+                inner.dead_bytes += old.cost();
+                inner.value_bytes -= old.vlen as u64;
+            }
+            inner.dead_bytes += rlen as u64;
+            self.group_sync(&mut inner)?;
+        }
+        self.maybe_roll_and_compact(&mut inner)?;
+        Ok(doomed.len())
+    }
+
+    /// Fsyncs any pending (group-commit buffered) appends.
+    pub fn flush(&self) -> Result<(), NetError> {
+        let mut inner = self.lock();
+        if inner.pending > 0 {
+            Self::sync_wal(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Manually checkpoints + compacts, regardless of thresholds.
+    pub fn compact(&self) -> Result<(), NetError> {
+        let mut inner = self.lock();
+        self.compact_locked(&mut inner)
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> u64 {
+        self.lock().index.len() as u64
+    }
+
+    /// Total stored value bytes.
+    pub fn byte_count(&self) -> u64 {
+        self.lock().value_bytes
+    }
+
+    /// Bytes stored per keyspace (deterministic iteration order).
+    pub fn bytes_by_space(&self) -> BTreeMap<KeySpace, u64> {
+        let inner = self.lock();
+        let mut out = BTreeMap::new();
+        for (key, loc) in &inner.index {
+            *out.entry(key.space).or_insert(0) += loc.vlen as u64;
+        }
+        out
+    }
+
+    /// One page of the key index in `ObjectKey` order, strictly after the
+    /// `after` cursor. Returns the page and whether the scan is complete.
+    pub fn scan_keys(&self, after: Option<&ObjectKey>, limit: usize) -> (Vec<ObjectKey>, bool) {
+        let inner = self.lock();
+        let range = match after {
+            Some(a) => inner.index.range((Bound::Excluded(*a), Bound::Unbounded)),
+            None => inner.index.range(..),
+        };
+        let mut keys: Vec<ObjectKey> = Vec::with_capacity(limit.min(1024));
+        let mut done = true;
+        for key in range.map(|(k, _)| *k) {
+            if keys.len() == limit {
+                done = false;
+                break;
+            }
+            keys.push(key);
+        }
+        (keys, done)
+    }
+
+    /// Serializes the full live state as a `SHAROES2` snapshot (sorted by
+    /// key, so two engines holding the same logical state produce identical
+    /// bytes — the fingerprint the recovery-equivalence tests compare).
+    pub fn snapshot(&self) -> Result<Vec<u8>, NetError> {
+        let mut inner = self.lock();
+        let keys: Vec<ObjectKey> = inner.index.keys().copied().collect();
+        let mut entries = Vec::with_capacity(keys.len());
+        for key in keys {
+            let loc = inner.index[&key];
+            let value = self.read_value(&mut inner, &key, loc)?;
+            entries.push((key, value));
+        }
+        Ok(snapshot_from_entries(&entries))
+    }
+
+    /// Engine shape for assertions: `(active wal id, active wal bytes,
+    /// sealed wal count, checkpoint seq)`.
+    pub fn debug_shape(&self) -> (u64, u64, usize, Option<u64>) {
+        let inner = self.lock();
+        (inner.wal_id, inner.wal_len, inner.sealed.len(), inner.checkpoint.as_ref().map(|c| c.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultfs::FaultFs;
+
+    fn key(i: u64, b: u32) -> ObjectKey {
+        ObjectKey::data(i, [i as u8; 16], b)
+    }
+
+    fn mem_engine(config: EngineConfig) -> (FaultFs, LogEngine) {
+        let fs = FaultFs::new();
+        let engine =
+            LogEngine::open(Arc::new(fs.clone()), Path::new("/data"), config).expect("open");
+        (fs, engine)
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip_and_reopen() {
+        let (fs, engine) = mem_engine(EngineConfig::default());
+        assert_eq!(engine.get(&key(1, 0)).unwrap(), None);
+        engine.put(key(1, 0), vec![1, 2, 3]).unwrap();
+        engine.put(key(2, 0), vec![9; 40]).unwrap();
+        engine.put(key(1, 0), vec![4, 5]).unwrap(); // replace
+        assert!(engine.delete(&key(2, 0)).unwrap());
+        assert!(!engine.delete(&key(2, 0)).unwrap());
+        assert_eq!(engine.get(&key(1, 0)).unwrap(), Some(vec![4, 5]));
+        assert_eq!(engine.object_count(), 1);
+        assert_eq!(engine.byte_count(), 2);
+        drop(engine);
+
+        let reopened =
+            LogEngine::open(Arc::new(fs), Path::new("/data"), EngineConfig::default()).unwrap();
+        assert_eq!(reopened.get(&key(1, 0)).unwrap(), Some(vec![4, 5]));
+        assert_eq!(reopened.get(&key(2, 0)).unwrap(), None);
+        assert_eq!(reopened.object_count(), 1);
+        assert_eq!(reopened.byte_count(), 2);
+    }
+
+    #[test]
+    fn rolling_seals_files_and_reads_span_them() {
+        let config =
+            EngineConfig { roll_bytes: 256, auto_compact: false, ..EngineConfig::default() };
+        let (fs, engine) = mem_engine(config);
+        for i in 0..40u64 {
+            engine.put(key(i, 0), vec![i as u8; 24]).unwrap();
+        }
+        let (wal_id, _, sealed, _) = engine.debug_shape();
+        assert!(wal_id > 1 && sealed > 0, "workload must roll: id={wal_id} sealed={sealed}");
+        for i in 0..40u64 {
+            assert_eq!(engine.get(&key(i, 0)).unwrap(), Some(vec![i as u8; 24]), "key {i}");
+        }
+        drop(engine);
+        let reopened = LogEngine::open(Arc::new(fs), Path::new("/data"), config).unwrap();
+        for i in 0..40u64 {
+            assert_eq!(reopened.get(&key(i, 0)).unwrap(), Some(vec![i as u8; 24]));
+        }
+    }
+
+    #[test]
+    fn compaction_drops_wal_files_and_preserves_state() {
+        let config = EngineConfig { roll_bytes: 256, auto_compact: false, ..Default::default() };
+        let (fs, engine) = mem_engine(config);
+        for round in 0..3 {
+            for i in 0..20u64 {
+                engine.put(key(i, 0), vec![round as u8; 16]).unwrap();
+            }
+        }
+        engine.delete(&key(19, 0)).unwrap();
+        let fingerprint = engine.snapshot().unwrap();
+        engine.compact().unwrap();
+        let (_, _, sealed, ck) = engine.debug_shape();
+        assert_eq!(sealed, 0, "compaction must drop sealed files");
+        assert!(ck.is_some());
+        assert_eq!(engine.snapshot().unwrap(), fingerprint, "compaction must not change state");
+        // Values now come from the checkpoint.
+        assert_eq!(engine.get(&key(3, 0)).unwrap(), Some(vec![2u8; 16]));
+        // And a reopen replays checkpoint + empty tail to the same state.
+        drop(engine);
+        let fs2 = Arc::new(fs);
+        let reopened = LogEngine::open(fs2, Path::new("/data"), config).unwrap();
+        assert_eq!(reopened.snapshot().unwrap(), fingerprint);
+        assert_eq!(reopened.get(&key(19, 0)).unwrap(), None);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_dead_bytes() {
+        let config = EngineConfig {
+            group_commit: 4,
+            roll_bytes: 1 << 20,
+            compact_min_dead_bytes: 2_000,
+            auto_compact: true,
+        };
+        let (_fs, engine) = mem_engine(config);
+        // Overwrite the same key until garbage crosses the threshold.
+        for i in 0..200u32 {
+            engine.put(key(7, 0), vec![i as u8; 64]).unwrap();
+        }
+        let (_, _, _, ck) = engine.debug_shape();
+        assert!(ck.is_some(), "threshold compaction should have fired");
+        assert_eq!(engine.get(&key(7, 0)).unwrap(), Some(vec![199; 64]));
+        assert_eq!(engine.object_count(), 1);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let before = sharoes_obs::counter("ssp_wal_fsyncs").get();
+        let config = EngineConfig { group_commit: 8, auto_compact: false, ..Default::default() };
+        let (_fs, engine) = mem_engine(config);
+        for i in 0..16u64 {
+            engine.put(key(i, 0), vec![0; 8]).unwrap();
+        }
+        let after = sharoes_obs::counter("ssp_wal_fsyncs").get();
+        assert_eq!(after - before, 2, "16 appends at group 8 = 2 fsyncs");
+        engine.put(key(99, 0), vec![1]).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(sharoes_obs::counter("ssp_wal_fsyncs").get() - after, 1);
+        engine.flush().unwrap(); // nothing pending: no extra fsync
+        assert_eq!(sharoes_obs::counter("ssp_wal_fsyncs").get() - after, 1);
+    }
+
+    #[test]
+    fn delete_blocks_logs_per_key_and_survives_reopen() {
+        let (fs, engine) = mem_engine(EngineConfig::default());
+        for b in 0..5u32 {
+            engine.put(key(9, b), vec![b as u8; 10]).unwrap();
+        }
+        engine.put(ObjectKey::data(9, [8; 16], 0), vec![1]).unwrap();
+        engine.put(ObjectKey::metadata(9, [9; 16]), vec![2]).unwrap();
+        assert_eq!(engine.delete_blocks(9, [9; 16]).unwrap(), 5);
+        assert_eq!(engine.delete_blocks(9, [9; 16]).unwrap(), 0);
+        assert_eq!(engine.object_count(), 2);
+        drop(engine);
+        let reopened =
+            LogEngine::open(Arc::new(fs), Path::new("/data"), EngineConfig::default()).unwrap();
+        assert_eq!(reopened.object_count(), 2);
+        assert!(reopened.get(&ObjectKey::metadata(9, [9; 16])).unwrap().is_some());
+    }
+
+    #[test]
+    fn scan_and_space_accounting_match_store_semantics() {
+        let (_fs, engine) = mem_engine(EngineConfig::default());
+        let mut expect = Vec::new();
+        for i in (0..7u64).rev() {
+            for b in [2u32, 0, 1] {
+                engine.put(key(i, b), vec![1]).unwrap();
+                expect.push(key(i, b));
+            }
+            engine.put(ObjectKey::metadata(i, [i as u8; 16]), vec![2, 2]).unwrap();
+            expect.push(ObjectKey::metadata(i, [i as u8; 16]));
+        }
+        expect.sort_unstable();
+        let (all, done) = engine.scan_keys(None, 1000);
+        assert!(done);
+        assert_eq!(all, expect);
+        let (page, done) = engine.scan_keys(None, expect.len() - 1);
+        assert_eq!(page.len(), expect.len() - 1);
+        assert!(!done);
+        let (page, done) = engine.scan_keys(expect.last(), 5);
+        assert!(page.is_empty() && done);
+        let by = engine.bytes_by_space();
+        assert_eq!(by[&KeySpace::Metadata], 14);
+        assert_eq!(by[&KeySpace::Data], 21);
+    }
+
+    #[test]
+    fn fsync_failure_surfaces_and_engine_stays_usable() {
+        let (fs, engine) = mem_engine(EngineConfig::default());
+        engine.put(key(1, 0), vec![1]).unwrap();
+        fs.fail_next_syncs(1);
+        let err = engine.put(key(2, 0), vec![2]).unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "injected fsync error must surface: {err}");
+        // The record is appended but unsynced; the next successful op's
+        // group fsync makes both durable.
+        engine.put(key(3, 0), vec![3]).unwrap();
+        assert_eq!(engine.get(&key(2, 0)).unwrap(), Some(vec![2]));
+        assert_eq!(engine.get(&key(3, 0)).unwrap(), Some(vec![3]));
+        assert_eq!(fs.sync_failures(), 1);
+    }
+
+    #[test]
+    fn fresh_dir_has_header_only_wal() {
+        let (fs, engine) = mem_engine(EngineConfig::default());
+        let (id, len, sealed, ck) = engine.debug_shape();
+        assert_eq!((id, len, sealed, ck), (1, WAL_HEADER_LEN as u64, 0, None));
+        assert_eq!(fs.read(Path::new("/data/wal-000001.log")).unwrap().len(), WAL_HEADER_LEN);
+    }
+}

@@ -6,18 +6,30 @@
 //! hashtable, indexed by inode number plus a view selector (user-hash for
 //! Scheme-1, CAP id for Scheme-2) — and understands nothing about any of it.
 //!
-//! * [`store::ObjectStore`] — the blob table.
+//! * [`store::ObjectStore`] — the in-memory blob table (snapshot-durable).
+//! * [`engine::LogEngine`] — the crash-consistent log-structured engine
+//!   (WAL + sealed segments + checkpoints; see DESIGN.md §11), built on the
+//!   [`faultfs::Vfs`] abstraction so the crash tests can inject disk faults.
 //! * [`server::SspServer`] — protocol dispatch (implements
 //!   `sharoes_net::RequestHandler`, so it plugs into both the in-memory and
-//!   TCP transports).
+//!   TCP transports), over either backend.
 //! * [`tcp`] — the standalone serving loop; `sharoes-sspd` is the binary.
 
 #![warn(missing_docs)]
 
+pub mod engine;
+pub mod faultfs;
+pub mod segment;
 pub mod server;
 pub mod store;
 pub mod tcp;
+pub mod wal;
 
+pub use engine::{EngineConfig, LogEngine};
+pub use faultfs::{CrashMode, FaultFs, RealFs, VFile, Vfs};
 pub use server::SspServer;
-pub use store::{backup_path, ObjectStore, SnapshotSource};
+pub use store::{
+    backup_path, parse_snapshot_index, snapshot_from_entries, ObjectStore, SnapshotSource,
+};
 pub use tcp::{serve, serve_with, ServeOptions, TcpServerHandle};
+pub use wal::{WalError, WalOp, WalRecord};

@@ -1,0 +1,128 @@
+//! Data-directory layout for the log-structured engine: file naming,
+//! parsing, and classification of a directory listing into WAL files,
+//! checkpoints, and leftover temporaries.
+//!
+//! ```text
+//! <data-dir>/
+//!   wal-000007.log                  append-only record log (see [`crate::wal`])
+//!   checkpoint-00000000000001a4.snap  SHAROES2 snapshot through seq 0x1a4
+//!   *.tmp                           in-flight writes, deleted on recovery
+//! ```
+//!
+//! WAL file ids and checkpoint sequence numbers are zero-padded so that
+//! lexicographic order equals numeric order — a plain sorted directory
+//! listing is already replay order.
+
+/// Suffix of in-flight (not yet durable) files; recovery deletes them.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Name of the WAL file with the given id.
+pub fn wal_name(id: u64) -> String {
+    format!("wal-{id:06}.log")
+}
+
+/// Parses a WAL file name back to its id.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() < 6 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Name of the checkpoint covering every record through `seq`.
+pub fn checkpoint_name(seq: u64) -> String {
+    format!("checkpoint-{seq:016x}.snap")
+}
+
+/// Parses a checkpoint file name back to its covered sequence number.
+pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("checkpoint-")?.strip_suffix(".snap")?;
+    if digits.len() != 16 || !digits.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(digits, 16).ok()
+}
+
+/// A classified data-directory listing.
+#[derive(Debug, Default)]
+pub struct DirListing {
+    /// WAL files as `(id, name)`, ascending by id (== replay order).
+    pub wals: Vec<(u64, String)>,
+    /// Checkpoints as `(covered seq, name)`, ascending.
+    pub checkpoints: Vec<(u64, String)>,
+    /// Leftover `.tmp` files from interrupted writes.
+    pub tmps: Vec<String>,
+    /// Anything else (ignored by the engine, never deleted).
+    pub other: Vec<String>,
+}
+
+/// Classifies a directory listing into engine file roles.
+pub fn classify(names: &[String]) -> DirListing {
+    let mut out = DirListing::default();
+    for name in names {
+        if name.ends_with(TMP_SUFFIX) {
+            out.tmps.push(name.clone());
+        } else if let Some(id) = parse_wal_name(name) {
+            out.wals.push((id, name.clone()));
+        } else if let Some(seq) = parse_checkpoint_name(name) {
+            out.checkpoints.push((seq, name.clone()));
+        } else {
+            out.other.push(name.clone());
+        }
+    }
+    out.wals.sort();
+    out.checkpoints.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_and_sort_lexicographically() {
+        for id in [0u64, 1, 9, 10, 999_999, 1_000_000] {
+            assert_eq!(parse_wal_name(&wal_name(id)), Some(id));
+        }
+        for seq in [0u64, 0x1a4, u64::MAX] {
+            assert_eq!(parse_checkpoint_name(&checkpoint_name(seq)), Some(seq));
+        }
+        assert!(wal_name(9) < wal_name(10));
+        assert!(checkpoint_name(0xff) < checkpoint_name(0x100));
+    }
+
+    #[test]
+    fn malformed_names_rejected() {
+        for bad in ["wal-.log", "wal-12.log", "wal-00000x.log", "wal-000001.snap", "x.log"] {
+            assert_eq!(parse_wal_name(bad), None, "{bad}");
+        }
+        for bad in [
+            "checkpoint-1.snap",
+            "checkpoint-000000000000001.snap",
+            "checkpoint-000000000000001g.snap",
+        ] {
+            assert_eq!(parse_checkpoint_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn classify_sorts_and_buckets() {
+        let names: Vec<String> = [
+            "wal-000010.log",
+            "wal-000002.log",
+            "checkpoint-00000000000000ff.snap",
+            "checkpoint-0000000000000010.snap",
+            "checkpoint-0000000000000100.snap.tmp",
+            "notes.txt",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let d = classify(&names);
+        assert_eq!(d.wals.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![2, 10]);
+        assert_eq!(d.checkpoints.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![0x10, 0xff]);
+        assert_eq!(d.tmps, vec!["checkpoint-0000000000000100.snap.tmp".to_string()]);
+        assert_eq!(d.other, vec!["notes.txt".to_string()]);
+    }
+}

@@ -1,7 +1,8 @@
 //! The SSP request handler: protocol dispatch over the object store.
 
+use crate::engine::LogEngine;
 use crate::store::ObjectStore;
-use sharoes_net::{Request, RequestHandler, Response};
+use sharoes_net::{NetError, ObjectKey, Request, RequestHandler, Response};
 use sharoes_obs::Histogram;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -43,13 +44,55 @@ fn ssp_metrics() -> &'static SspMetrics {
     })
 }
 
+/// Which storage backend a server instance serves from.
+enum Backend {
+    /// In-memory sharded hashtable, durable via whole-store snapshots.
+    Memory(Arc<ObjectStore>),
+    /// Crash-consistent log-structured engine (`sharoes-sspd --wal`).
+    Log(Arc<LogEngine>),
+}
+
+impl Backend {
+    fn put(&self, key: ObjectKey, value: Vec<u8>) -> Result<(), NetError> {
+        match self {
+            Backend::Memory(s) => {
+                s.put(key, value);
+                Ok(())
+            }
+            Backend::Log(e) => e.put(key, value),
+        }
+    }
+
+    fn get(&self, key: &ObjectKey) -> Result<Option<Vec<u8>>, NetError> {
+        match self {
+            Backend::Memory(s) => Ok(s.get(key)),
+            Backend::Log(e) => e.get(key),
+        }
+    }
+
+    fn delete(&self, key: &ObjectKey) -> Result<bool, NetError> {
+        match self {
+            Backend::Memory(s) => Ok(s.delete(key)),
+            Backend::Log(e) => e.delete(key),
+        }
+    }
+
+    fn delete_blocks(&self, inode: u64, view: [u8; 16]) -> Result<usize, NetError> {
+        match self {
+            Backend::Memory(s) => Ok(s.delete_blocks(inode, view)),
+            Backend::Log(e) => e.delete_blocks(inode, view),
+        }
+    }
+}
+
 /// The SSP data-serving component (paper §IV, "SSP Server").
 ///
-/// Wraps an [`ObjectStore`] and speaks the [`Request`]/[`Response`] protocol.
-/// It performs no computation on stored content and cannot: everything it
-/// holds is encrypted by clients.
+/// Wraps a storage backend — the in-memory [`ObjectStore`] or the
+/// persistent [`LogEngine`] — and speaks the [`Request`]/[`Response`]
+/// protocol. It performs no computation on stored content and cannot:
+/// everything it holds is encrypted by clients.
 pub struct SspServer {
-    store: Arc<ObjectStore>,
+    backend: Backend,
 }
 
 impl Default for SspServer {
@@ -59,25 +102,55 @@ impl Default for SspServer {
 }
 
 impl SspServer {
-    /// A fresh server with an empty store.
+    /// A fresh server with an empty in-memory store.
     pub fn new() -> Self {
-        SspServer { store: Arc::new(ObjectStore::new()) }
+        Self::with_store(Arc::new(ObjectStore::new()))
     }
 
-    /// A server over an existing store (e.g. pre-migrated state).
+    /// A server over an existing in-memory store (e.g. pre-migrated state).
     pub fn with_store(store: Arc<ObjectStore>) -> Self {
-        SspServer { store }
+        SspServer { backend: Backend::Memory(store) }
     }
 
-    /// Direct access to the underlying store (inspection, tamper tests).
+    /// A server over a persistent log-structured engine.
+    pub fn with_engine(engine: Arc<LogEngine>) -> Self {
+        SspServer { backend: Backend::Log(engine) }
+    }
+
+    /// Direct access to the underlying in-memory store (inspection, tamper
+    /// tests).
+    ///
+    /// # Panics
+    /// When the server runs on the log engine; the engine has no shared
+    /// in-memory table to hand out — use [`Self::engine`] instead.
     pub fn store(&self) -> &Arc<ObjectStore> {
-        &self.store
+        match &self.backend {
+            Backend::Memory(s) => s,
+            Backend::Log(_) => panic!("SspServer::store() on a log-engine server"),
+        }
+    }
+
+    /// The log engine, when this server runs on one.
+    pub fn engine(&self) -> Option<&Arc<LogEngine>> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::Log(e) => Some(e),
+        }
     }
 
     /// Wraps the server for sharing across transports/threads.
     pub fn into_shared(self) -> Arc<SspServer> {
         Arc::new(self)
     }
+}
+
+/// Storage failures surface as protocol errors. Engine errors (fsync
+/// failure, detected corruption) are deliberately *not* marked transient:
+/// blind resend rereads the same rotten bytes, and the cluster layer fails
+/// reads over to another replica instead.
+fn storage_err(e: NetError) -> Response {
+    sharoes_obs::counter("ssp_storage_errors").inc();
+    Response::Error(format!("storage: {e}"))
 }
 
 impl RequestHandler for SspServer {
@@ -98,42 +171,70 @@ impl RequestHandler for SspServer {
         };
         let _span = sharoes_obs::span!("ssp.op", op);
         let start = Instant::now();
+        let b = &self.backend;
         let response = match request {
             Request::Ping => Response::Pong,
-            Request::Put { key, value } => {
-                self.store.put(key, value);
-                Response::Ok
-            }
+            Request::Put { key, value } => match b.put(key, value) {
+                Ok(()) => Response::Ok,
+                Err(e) => storage_err(e),
+            },
             Request::PutMany { items } => {
+                let mut failed = None;
                 for (key, value) in items {
-                    self.store.put(key, value);
+                    if let Err(e) = b.put(key, value) {
+                        failed = Some(e);
+                        break;
+                    }
                 }
-                Response::Ok
+                match failed {
+                    None => Response::Ok,
+                    Some(e) => storage_err(e),
+                }
             }
-            Request::Get { key } => Response::Object(self.store.get(&key)),
+            Request::Get { key } => match b.get(&key) {
+                Ok(v) => Response::Object(v),
+                Err(e) => storage_err(e),
+            },
             Request::GetMany { keys } => {
-                Response::Objects(keys.iter().map(|k| self.store.get(k)).collect())
-            }
-            Request::Delete { key } => {
-                self.store.delete(&key);
-                Response::Ok
-            }
-            Request::DeleteBlocks { inode, view } => {
-                self.store.delete_blocks(inode, view);
-                Response::Ok
-            }
-            Request::DeleteMany { keys } => {
-                for key in &keys {
-                    self.store.delete(key);
+                match keys.iter().map(|k| b.get(k)).collect::<Result<Vec<_>, _>>() {
+                    Ok(objects) => Response::Objects(objects),
+                    Err(e) => storage_err(e),
                 }
-                Response::Ok
             }
-            Request::Stats => Response::Stats {
-                objects: self.store.object_count(),
-                bytes: self.store.byte_count(),
+            Request::Delete { key } => match b.delete(&key) {
+                Ok(_) => Response::Ok,
+                Err(e) => storage_err(e),
+            },
+            Request::DeleteBlocks { inode, view } => match b.delete_blocks(inode, view) {
+                Ok(_) => Response::Ok,
+                Err(e) => storage_err(e),
+            },
+            Request::DeleteMany { keys } => {
+                let mut failed = None;
+                for key in &keys {
+                    if let Err(e) = b.delete(key) {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                match failed {
+                    None => Response::Ok,
+                    Some(e) => storage_err(e),
+                }
+            }
+            Request::Stats => match b {
+                Backend::Memory(s) => {
+                    Response::Stats { objects: s.object_count(), bytes: s.byte_count() }
+                }
+                Backend::Log(e) => {
+                    Response::Stats { objects: e.object_count(), bytes: e.byte_count() }
+                }
             },
             Request::Scan { after, limit } => {
-                let (keys, done) = self.store.scan_keys(after.as_ref(), limit as usize);
+                let (keys, done) = match b {
+                    Backend::Memory(s) => s.scan_keys(after.as_ref(), limit as usize),
+                    Backend::Log(e) => e.scan_keys(after.as_ref(), limit as usize),
+                };
                 Response::Keys { keys, done }
             }
             Request::Metrics => Response::Metrics { text: sharoes_obs::global().render() },
@@ -202,6 +303,48 @@ mod tests {
         assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 1, bytes: 64 });
         server.handle(Request::Delete { key: ObjectKey::superblock([1; 16]) });
         assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 0, bytes: 0 });
+    }
+
+    #[test]
+    fn engine_backend_serves_the_full_protocol() {
+        let fs = crate::faultfs::FaultFs::new();
+        let engine = Arc::new(
+            LogEngine::open(
+                Arc::new(fs),
+                std::path::Path::new("/srv"),
+                crate::engine::EngineConfig::default(),
+            )
+            .unwrap(),
+        );
+        let server = SspServer::with_engine(Arc::clone(&engine));
+        assert!(server.engine().is_some());
+        assert_eq!(server.handle(Request::Ping), Response::Pong);
+        let k1 = ObjectKey::data(1, [0; 16], 0);
+        let k2 = ObjectKey::data(1, [0; 16], 1);
+        server.handle(Request::PutMany { items: vec![(k1, vec![1]), (k2, vec![2; 10])] });
+        assert_eq!(server.handle(Request::Get { key: k1 }), Response::Object(Some(vec![1])));
+        assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 2, bytes: 11 });
+        assert_eq!(
+            server.handle(Request::Scan { after: None, limit: 10 }),
+            Response::Keys { keys: vec![k1, k2], done: true }
+        );
+        server.handle(Request::DeleteBlocks { inode: 1, view: [0; 16] });
+        assert_eq!(server.handle(Request::Stats), Response::Stats { objects: 0, bytes: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "log-engine server")]
+    fn store_accessor_panics_on_engine_backend() {
+        let fs = crate::faultfs::FaultFs::new();
+        let engine = Arc::new(
+            LogEngine::open(
+                Arc::new(fs),
+                std::path::Path::new("/srv2"),
+                crate::engine::EngineConfig::default(),
+            )
+            .unwrap(),
+        );
+        let _ = SspServer::with_engine(engine).store();
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub fn backup_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// Fsyncs the directory containing `path`, making renames/creates durable.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
 /// Sharded, thread-safe blob store.
 pub struct ObjectStore {
     shards: Vec<RwLock<HashMap<ObjectKey, Vec<u8>>>>,
@@ -144,25 +153,17 @@ impl ObjectStore {
     /// flip breaks the hash — either way [`Self::from_snapshot`] rejects the
     /// file instead of restoring silently corrupted state.
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.byte_count() as usize);
-        out.extend_from_slice(SNAPSHOT_MAGIC);
-        // Stable iteration isn't required: the store is unordered.
+        // Sorted by key so equal logical state yields identical bytes:
+        // the snapshot doubles as a state fingerprint (the recovery
+        // equivalence tests compare it against the log engine's).
         let mut entries: Vec<(ObjectKey, Vec<u8>)> = Vec::new();
         for shard in &self.shards {
             for (k, v) in shard.read().unwrap_or_else(|e| e.into_inner()).iter() {
                 entries.push((*k, v.clone()));
             }
         }
-        (entries.len() as u64).write(&mut out);
-        for (key, value) in entries {
-            key.write(&mut out);
-            value.write(&mut out);
-        }
-        let body_len = out.len() as u64;
-        out.extend_from_slice(&body_len.to_be_bytes());
-        let digest = Sha256::digest(&out[..body_len as usize]);
-        out.extend_from_slice(&digest);
-        out
+        entries.sort_unstable_by_key(|e| e.0);
+        snapshot_from_entries(&entries)
     }
 
     /// Restores a store from snapshot bytes, verifying the integrity
@@ -170,22 +171,8 @@ impl ObjectStore {
     pub fn from_snapshot(bytes: &[u8]) -> Result<ObjectStore, NetError> {
         let body = if bytes.starts_with(SNAPSHOT_MAGIC_V1) {
             bytes
-        } else if bytes.starts_with(SNAPSHOT_MAGIC) {
-            if bytes.len() < 8 + TRAILER_LEN {
-                return Err(NetError::Codec("snapshot truncated (no trailer)"));
-            }
-            let body_end = bytes.len() - TRAILER_LEN;
-            let mut len_buf = [0u8; 8];
-            len_buf.copy_from_slice(&bytes[body_end..body_end + 8]);
-            if u64::from_be_bytes(len_buf) != body_end as u64 {
-                return Err(NetError::Codec("snapshot length mismatch (torn write)"));
-            }
-            if Sha256::digest(&bytes[..body_end]) != bytes[body_end + 8..] {
-                return Err(NetError::Codec("snapshot checksum mismatch"));
-            }
-            &bytes[..body_end]
         } else {
-            return Err(NetError::Codec("bad snapshot magic"));
+            verified_snapshot_body(bytes)?
         };
         let mut cur = Cursor::new(&body[8..]);
         let count = u64::read(&mut cur)?;
@@ -212,6 +199,12 @@ impl ObjectStore {
             std::fs::rename(path, backup_path(path))?;
         }
         std::fs::rename(&tmp, path)?;
+        // Invariant: the snapshot is durable only once the *directory* is
+        // fsynced too — `sync_all` on the file persists its bytes, but the
+        // renames above live in the directory, and a crash before the
+        // directory itself reaches disk can lose the new name entirely
+        // (leaving neither primary nor `.bak` pointing at this generation).
+        sync_parent_dir(path)?;
         sharoes_obs::counter("ssp_snapshot_saves_total").inc();
         Ok(())
     }
@@ -281,6 +274,74 @@ impl ObjectStore {
         keys.truncate(limit);
         (keys, done)
     }
+}
+
+/// Serializes `entries` (in the given order) into the `SHAROES2` snapshot
+/// format: body (magic, count, entries) + 40-byte integrity trailer.
+///
+/// This is the same format [`ObjectStore::snapshot`] emits; the log engine
+/// also writes its checkpoints with it, so a checkpoint *is* a loadable
+/// snapshot. Entry `i`'s value starts at `entry_offset + 29 + 4` (key wire
+/// size + length prefix) — [`parse_snapshot_index`] recovers those offsets.
+pub fn snapshot_from_entries(entries: &[(ObjectKey, Vec<u8>)]) -> Vec<u8> {
+    let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+    let mut out = Vec::with_capacity(64 + total);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    (entries.len() as u64).write(&mut out);
+    for (key, value) in entries {
+        key.write(&mut out);
+        value.write(&mut out);
+    }
+    let body_len = out.len() as u64;
+    out.extend_from_slice(&body_len.to_be_bytes());
+    let digest = Sha256::digest(&out[..body_len as usize]);
+    out.extend_from_slice(&digest);
+    out
+}
+
+/// Verifies a `SHAROES2` snapshot's trailer and returns the body (magic
+/// included, trailer stripped).
+fn verified_snapshot_body(bytes: &[u8]) -> Result<&[u8], NetError> {
+    if !bytes.starts_with(SNAPSHOT_MAGIC) {
+        return Err(NetError::Codec("bad snapshot magic"));
+    }
+    if bytes.len() < 8 + TRAILER_LEN {
+        return Err(NetError::Codec("snapshot truncated (no trailer)"));
+    }
+    let body_end = bytes.len() - TRAILER_LEN;
+    let mut len_buf = [0u8; 8];
+    len_buf.copy_from_slice(&bytes[body_end..body_end + 8]);
+    if u64::from_be_bytes(len_buf) != body_end as u64 {
+        return Err(NetError::Codec("snapshot length mismatch (torn write)"));
+    }
+    if Sha256::digest(&bytes[..body_end]) != bytes[body_end + 8..] {
+        return Err(NetError::Codec("snapshot checksum mismatch"));
+    }
+    Ok(&bytes[..body_end])
+}
+
+/// Verifies a `SHAROES2` snapshot and returns `(key, value offset, value
+/// len)` for every entry, in file order.
+///
+/// The log engine uses this to point its in-memory index *into* a
+/// checkpoint file so values can be served by ranged reads without loading
+/// the whole checkpoint. Offsets are relative to the start of the file.
+pub fn parse_snapshot_index(bytes: &[u8]) -> Result<Vec<(ObjectKey, u64, u32)>, NetError> {
+    const KEY_WIRE_LEN: usize = 1 + 8 + 16 + 4;
+    let body = verified_snapshot_body(bytes)?;
+    let mut cur = Cursor::new(&body[8..]);
+    let count = u64::read(&mut cur)?;
+    let mut out = Vec::new();
+    let mut off = 8usize + 8; // magic + count
+    for _ in 0..count {
+        let key = ObjectKey::read(&mut cur)?;
+        let value = Vec::<u8>::read(&mut cur)?;
+        let voff = off + KEY_WIRE_LEN + 4;
+        out.push((key, voff as u64, value.len() as u32));
+        off = voff + value.len();
+    }
+    cur.expect_end()?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -465,6 +526,31 @@ mod tests {
         assert_eq!(restored.byte_count(), s.byte_count());
         assert_eq!(restored.get(&ObjectKey::superblock([9; 16])).unwrap(), vec![42; 100]);
         assert_eq!(restored.get(&ObjectKey::data(7, [7; 16], 7)).unwrap(), vec![7u8; 8]);
+    }
+
+    #[test]
+    fn snapshot_index_offsets_point_at_values() {
+        let entries = vec![
+            (k(1, 0), vec![5u8; 11]),
+            (k(1, 1), vec![]),
+            (ObjectKey::metadata(2, [2; 16]), vec![9u8; 3]),
+        ];
+        let bytes = snapshot_from_entries(&entries);
+        // The entry stream is a loadable snapshot...
+        let s = ObjectStore::from_snapshot(&bytes).unwrap();
+        assert_eq!(s.object_count(), 3);
+        // ...and the index points straight at the value bytes.
+        let idx = parse_snapshot_index(&bytes).unwrap();
+        assert_eq!(idx.len(), 3);
+        for ((key, voff, vlen), (ekey, ev)) in idx.iter().zip(&entries) {
+            assert_eq!(key, ekey);
+            assert_eq!(*vlen as usize, ev.len());
+            assert_eq!(&bytes[*voff as usize..*voff as usize + ev.len()], &ev[..]);
+        }
+        let mut bad = bytes.clone();
+        bad[20] ^= 1;
+        assert!(parse_snapshot_index(&bad).is_err());
+        assert!(parse_snapshot_index(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Write-ahead-log record codec: checksummed, length-prefixed put/delete
+//! records with generation and sequence stamps.
+//!
+//! On-disk layout of a WAL file:
+//!
+//! ```text
+//! header  := "SHAROESW" | version u8 | file-id u64 BE | gen u64 BE     (25 bytes)
+//! record  := body-len u32 BE | parity u8 | body | sha256(body)[..8]
+//! body    := gen u64 BE | seq u64 BE | op u8 | key (29 bytes) [| value]
+//! ```
+//!
+//! * `parity` covers the length prefix (XOR of its four bytes, whitened),
+//!   so a bit flip in the length itself is detected as **corruption** and
+//!   cannot masquerade as a torn tail that silently swallows every record
+//!   after it.
+//! * the 8-byte truncated SHA-256 covers the body, so any flip in stamps,
+//!   key, or value is detected.
+//! * `seq` increases by exactly 1 per record across the whole log (all
+//!   files); replay enforces contiguity, so a spliced or gapped stream is
+//!   rejected rather than replayed short.
+//! * `gen` stamps the engine generation (bumped on every recovery), making
+//!   the provenance of each record auditable.
+//!
+//! Decoding distinguishes two failure shapes with typed errors:
+//! [`WalError::TornTail`] — the buffer ends mid-record, the expected result
+//! of a crash during an append, recoverable by truncating to the last valid
+//! boundary — and [`WalError::Corrupt`] — bytes are present but wrong (bit
+//! rot, splicing), which is never silently skipped.
+
+use sharoes_crypto::Sha256;
+use sharoes_net::{Cursor, NetError, ObjectKey, WireRead, WireWrite};
+
+/// Magic prefix of every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"SHAROESW";
+
+/// Current WAL format version.
+pub const WAL_VERSION: u8 = 1;
+
+/// Size of the per-file header (magic, version, file id, generation).
+pub const WAL_HEADER_LEN: usize = 8 + 1 + 8 + 8;
+
+/// Per-record framing overhead: length prefix, parity byte, body digest.
+pub const RECORD_OVERHEAD: usize = 4 + 1 + RECORD_DIGEST_LEN;
+
+/// Truncated-SHA-256 digest length appended to each record body.
+pub const RECORD_DIGEST_LEN: usize = 8;
+
+/// Upper bound on a record body; anything claiming more is corruption, not
+/// a value (the wire layer caps frames far below this).
+pub const MAX_RECORD_BODY: usize = 80 * 1024 * 1024;
+
+/// Typed WAL decode/replay errors. Never a panic, never a silent short
+/// read: every anomaly in a record stream surfaces as one of these.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// The stream ends mid-record at `offset` — the signature of a torn
+    /// (crashed) append. Recovery may truncate to `offset` and continue.
+    TornTail {
+        /// Byte offset of the first incomplete record.
+        offset: u64,
+    },
+    /// Bytes at `offset` are present but fail verification (parity,
+    /// checksum, or body parse) — bit rot or a spliced stream.
+    Corrupt {
+        /// Byte offset of the failing record (or header).
+        offset: u64,
+        /// What check failed.
+        what: &'static str,
+    },
+    /// Record sequence numbers are not contiguous at `offset`.
+    SequenceGap {
+        /// Byte offset of the out-of-order record.
+        offset: u64,
+        /// The sequence number replay expected next.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::TornTail { offset } => {
+                write!(f, "torn record tail at byte {offset}")
+            }
+            WalError::Corrupt { offset, what } => {
+                write!(f, "corrupt wal at byte {offset}: {what}")
+            }
+            WalError::SequenceGap { offset, expected, found } => {
+                write!(f, "wal sequence gap at byte {offset}: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<WalError> for NetError {
+    fn from(e: WalError) -> NetError {
+        NetError::Corrupt(e.to_string())
+    }
+}
+
+/// A logged mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// Store (or replace) `key` with `value`.
+    Put {
+        /// Target key.
+        key: ObjectKey,
+        /// Object bytes.
+        value: Vec<u8>,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Target key.
+        key: ObjectKey,
+    },
+}
+
+impl WalOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &ObjectKey {
+        match self {
+            WalOp::Put { key, .. } | WalOp::Delete { key } => key,
+        }
+    }
+}
+
+/// One WAL record: an operation with its generation and sequence stamps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Engine generation that wrote the record (bumped on every recovery).
+    pub gen: u64,
+    /// Global sequence number; +1 per record across all WAL files.
+    pub seq: u64,
+    /// The mutation.
+    pub op: WalOp,
+}
+
+/// Wire size of an encoded [`ObjectKey`] (tag, inode, view, block).
+const KEY_WIRE_LEN: usize = 1 + 8 + 16 + 4;
+
+impl WalRecord {
+    /// The encoded size of this record, framing included.
+    pub fn encoded_len(&self) -> usize {
+        let body = 8
+            + 8
+            + 1
+            + KEY_WIRE_LEN
+            + match &self.op {
+                WalOp::Put { value, .. } => 4 + value.len(),
+                WalOp::Delete { .. } => 0,
+            };
+        RECORD_OVERHEAD + body
+    }
+
+    /// The encoded size of a Put record for a value of `value_len` bytes.
+    pub fn put_len(value_len: usize) -> usize {
+        RECORD_OVERHEAD + 8 + 8 + 1 + KEY_WIRE_LEN + 4 + value_len
+    }
+
+    /// The encoded size of a Delete record.
+    pub fn delete_len() -> usize {
+        RECORD_OVERHEAD + 8 + 8 + 1 + KEY_WIRE_LEN
+    }
+}
+
+/// Parity byte protecting the record length prefix: a flipped length bit is
+/// corruption, detected here, not a fake torn tail.
+fn header_parity(len_be: [u8; 4]) -> u8 {
+    len_be[0] ^ len_be[1] ^ len_be[2] ^ len_be[3] ^ 0x5A
+}
+
+/// Encodes a WAL file header.
+pub fn encode_wal_header(file_id: u64, gen: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN);
+    out.extend_from_slice(WAL_MAGIC);
+    out.push(WAL_VERSION);
+    out.extend_from_slice(&file_id.to_be_bytes());
+    out.extend_from_slice(&gen.to_be_bytes());
+    out
+}
+
+/// Decodes a WAL file header, returning `(file_id, gen)`.
+pub fn decode_wal_header(buf: &[u8]) -> Result<(u64, u64), WalError> {
+    if buf.len() < WAL_HEADER_LEN {
+        return Err(WalError::TornTail { offset: 0 });
+    }
+    if &buf[..8] != WAL_MAGIC {
+        return Err(WalError::Corrupt { offset: 0, what: "bad wal magic" });
+    }
+    if buf[8] != WAL_VERSION {
+        return Err(WalError::Corrupt { offset: 0, what: "unknown wal version" });
+    }
+    let mut id = [0u8; 8];
+    id.copy_from_slice(&buf[9..17]);
+    let mut gen = [0u8; 8];
+    gen.copy_from_slice(&buf[17..25]);
+    Ok((u64::from_be_bytes(id), u64::from_be_bytes(gen)))
+}
+
+/// Encodes one record, framing included.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(rec.encoded_len() - RECORD_OVERHEAD);
+    rec.gen.write(&mut body);
+    rec.seq.write(&mut body);
+    match &rec.op {
+        WalOp::Put { key, value } => {
+            0u8.write(&mut body);
+            key.write(&mut body);
+            value.write(&mut body);
+        }
+        WalOp::Delete { key } => {
+            1u8.write(&mut body);
+            key.write(&mut body);
+        }
+    }
+    let len_be = (body.len() as u32).to_be_bytes();
+    let mut out = Vec::with_capacity(5 + body.len() + RECORD_DIGEST_LEN);
+    out.extend_from_slice(&len_be);
+    out.push(header_parity(len_be));
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&Sha256::digest(&body)[..RECORD_DIGEST_LEN]);
+    out
+}
+
+/// Decodes the record starting at `offset` in `buf`. Returns the record and
+/// the offset one past its end.
+pub fn decode_record_at(buf: &[u8], offset: usize) -> Result<(WalRecord, usize), WalError> {
+    let off64 = offset as u64;
+    let rem = buf.len().saturating_sub(offset);
+    if rem < 5 {
+        return Err(WalError::TornTail { offset: off64 });
+    }
+    let mut len_be = [0u8; 4];
+    len_be.copy_from_slice(&buf[offset..offset + 4]);
+    if buf[offset + 4] != header_parity(len_be) {
+        return Err(WalError::Corrupt { offset: off64, what: "record length parity" });
+    }
+    let body_len = u32::from_be_bytes(len_be) as usize;
+    if body_len > MAX_RECORD_BODY {
+        return Err(WalError::Corrupt { offset: off64, what: "record length exceeds maximum" });
+    }
+    let total = 5 + body_len + RECORD_DIGEST_LEN;
+    if rem < total {
+        return Err(WalError::TornTail { offset: off64 });
+    }
+    let body = &buf[offset + 5..offset + 5 + body_len];
+    let digest = &buf[offset + 5 + body_len..offset + total];
+    if Sha256::digest(body)[..RECORD_DIGEST_LEN] != *digest {
+        return Err(WalError::Corrupt { offset: off64, what: "record checksum mismatch" });
+    }
+    let mut cur = Cursor::new(body);
+    let mut parse = || -> Result<WalRecord, NetError> {
+        let gen = u64::read(&mut cur)?;
+        let seq = u64::read(&mut cur)?;
+        let op = match u8::read(&mut cur)? {
+            0 => {
+                let key = ObjectKey::read(&mut cur)?;
+                let value = Vec::<u8>::read(&mut cur)?;
+                WalOp::Put { key, value }
+            }
+            1 => WalOp::Delete { key: ObjectKey::read(&mut cur)? },
+            _ => return Err(NetError::Codec("unknown wal op tag")),
+        };
+        cur.expect_end()?;
+        Ok(WalRecord { gen, seq, op })
+    };
+    match parse() {
+        Ok(rec) => Ok((rec, offset + total)),
+        Err(_) => Err(WalError::Corrupt { offset: off64, what: "record body malformed" }),
+    }
+}
+
+/// The result of replaying a record region.
+#[derive(Debug)]
+pub struct Replay {
+    /// Each decoded record with its absolute byte offset and framed length.
+    pub records: Vec<(u64, u32, WalRecord)>,
+    /// Offset one past the last valid record (== input end unless torn).
+    pub valid_len: usize,
+    /// Whether a torn tail was truncated away (tolerant mode only).
+    pub torn: bool,
+}
+
+/// Decodes every record in `buf[start..]`.
+///
+/// With `tolerate_torn_tail`, a final incomplete record is accepted as the
+/// expected residue of a crash: replay stops there, reports `valid_len`,
+/// and sets `torn` (the caller truncates the file to that boundary). Every
+/// other anomaly — and *any* anomaly in strict mode — is a typed error:
+/// replay never returns a silently short record list.
+pub fn replay(buf: &[u8], start: usize, tolerate_torn_tail: bool) -> Result<Replay, WalError> {
+    let mut records = Vec::new();
+    let mut offset = start;
+    while offset < buf.len() {
+        match decode_record_at(buf, offset) {
+            Ok((rec, end)) => {
+                records.push((offset as u64, (end - offset) as u32, rec));
+                offset = end;
+            }
+            Err(WalError::TornTail { offset: at }) if tolerate_torn_tail => {
+                return Ok(Replay { records, valid_len: at as usize, torn: true });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Replay { records, valid_len: offset, torn: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u64) -> ObjectKey {
+        ObjectKey::data(i, [i as u8; 16], 0)
+    }
+
+    fn sample_stream() -> (Vec<WalRecord>, Vec<u8>) {
+        let recs = vec![
+            WalRecord { gen: 1, seq: 1, op: WalOp::Put { key: k(1), value: vec![7; 20] } },
+            WalRecord { gen: 1, seq: 2, op: WalOp::Delete { key: k(1) } },
+            WalRecord { gen: 1, seq: 3, op: WalOp::Put { key: k(2), value: vec![] } },
+        ];
+        let mut buf = Vec::new();
+        for r in &recs {
+            buf.extend_from_slice(&encode_record(r));
+        }
+        (recs, buf)
+    }
+
+    #[test]
+    fn header_roundtrip_and_rejection() {
+        let h = encode_wal_header(3, 9);
+        assert_eq!(h.len(), WAL_HEADER_LEN);
+        assert_eq!(decode_wal_header(&h).unwrap(), (3, 9));
+        assert_eq!(decode_wal_header(&h[..10]), Err(WalError::TornTail { offset: 0 }));
+        let mut bad = h.clone();
+        bad[0] ^= 1;
+        assert!(matches!(decode_wal_header(&bad), Err(WalError::Corrupt { .. })));
+        let mut vbad = h;
+        vbad[8] = 99;
+        assert!(matches!(decode_wal_header(&vbad), Err(WalError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn stream_roundtrip_with_offsets() {
+        let (recs, buf) = sample_stream();
+        let replayed = replay(&buf, 0, false).unwrap();
+        assert_eq!(replayed.valid_len, buf.len());
+        assert!(!replayed.torn);
+        let got: Vec<&WalRecord> = replayed.records.iter().map(|(_, _, r)| r).collect();
+        assert_eq!(got, recs.iter().collect::<Vec<_>>());
+        // Offsets and lengths tile the buffer exactly.
+        let mut expect_off = 0u64;
+        for ((off, rlen, rec), orig) in replayed.records.iter().zip(&recs) {
+            assert_eq!(*off, expect_off);
+            assert_eq!(*rlen as usize, orig.encoded_len());
+            assert_eq!(rec, orig);
+            expect_off += *rlen as u64;
+        }
+    }
+
+    #[test]
+    fn encoded_len_helpers_match_reality() {
+        let put = WalRecord { gen: 0, seq: 0, op: WalOp::Put { key: k(1), value: vec![0; 33] } };
+        assert_eq!(encode_record(&put).len(), put.encoded_len());
+        assert_eq!(put.encoded_len(), WalRecord::put_len(33));
+        let del = WalRecord { gen: 0, seq: 0, op: WalOp::Delete { key: k(1) } };
+        assert_eq!(encode_record(&del).len(), del.encoded_len());
+        assert_eq!(del.encoded_len(), WalRecord::delete_len());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_only_in_tolerant_mode() {
+        let (recs, buf) = sample_stream();
+        let boundary = recs[0].encoded_len() + recs[1].encoded_len();
+        let torn = &buf[..boundary + 7]; // mid-record cut
+        assert_eq!(
+            replay(torn, 0, false).unwrap_err(),
+            WalError::TornTail { offset: boundary as u64 }
+        );
+        let replayed = replay(torn, 0, true).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.valid_len, boundary);
+        assert!(replayed.torn);
+    }
+
+    #[test]
+    fn length_bit_flip_is_corruption_not_torn_tail() {
+        // A flipped length prefix must not truncate the log silently: the
+        // parity byte turns it into a loud Corrupt error.
+        let (_, buf) = sample_stream();
+        for bit in 0..32 {
+            let mut bad = buf.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let err = replay(&bad, 0, true).unwrap_err();
+            assert!(
+                matches!(err, WalError::Corrupt { offset: 0, what: "record length parity" }),
+                "flip of length bit {bit} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let (_, buf) = sample_stream();
+        for byte in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[byte] ^= 0x20;
+            assert!(replay(&bad, 0, false).is_err(), "flip at byte {byte} replayed without error");
+        }
+    }
+
+    #[test]
+    fn insane_length_is_corruption() {
+        let mut buf = Vec::new();
+        let len_be = ((MAX_RECORD_BODY + 1) as u32).to_be_bytes();
+        buf.extend_from_slice(&len_be);
+        buf.push(header_parity(len_be));
+        buf.extend_from_slice(&[0; 64]);
+        assert!(matches!(
+            decode_record_at(&buf, 0),
+            Err(WalError::Corrupt { what: "record length exceeds maximum", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_op_tag_and_trailing_body_bytes_are_corruption() {
+        let rec = WalRecord { gen: 1, seq: 1, op: WalOp::Delete { key: k(4) } };
+        let good = encode_record(&rec);
+        // Rewrite the op tag (offset 5 header + 16 stamps) and fix the digest
+        // so only body *parsing* fails.
+        let mut body: Vec<u8> = good[5..good.len() - RECORD_DIGEST_LEN].to_vec();
+        body[16] = 9; // unknown op
+        let mut bad = good[..5].to_vec();
+        bad.extend_from_slice(&body);
+        bad.extend_from_slice(&Sha256::digest(&body)[..RECORD_DIGEST_LEN]);
+        assert!(matches!(
+            decode_record_at(&bad, 0),
+            Err(WalError::Corrupt { what: "record body malformed", .. })
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Property test: the WAL record codec rejects truncated, bit-flipped, and
+//! garbage-appended record streams with a *typed* error (`WalError`) — never
+//! a panic and never a silently short replay. Tolerant mode may truncate a
+//! final torn record, but everything it does return must be an exact prefix
+//! of the original stream: flipped or spliced bytes never surface as data,
+//! including a flip inside the final (torn) record itself.
+
+use sharoes_net::ObjectKey;
+use sharoes_ssp::wal::{encode_record, replay, WalError};
+use sharoes_ssp::{WalOp, WalRecord};
+use sharoes_testkit::prelude::*;
+
+/// A random key drawn from every `ObjectKey` constructor family.
+fn keys() -> Gen<ObjectKey> {
+    Gen::from_fn(|t| {
+        let view = [t.u64_in(0, 4) as u8; 16];
+        let inode = t.u64_in(0, 6);
+        Ok(match t.u64_in(0, 4) {
+            0 => ObjectKey::metadata(inode, view),
+            1 => ObjectKey::data(inode, view, t.u64_in(0, 4) as u32),
+            2 => ObjectKey::superblock(view),
+            _ => ObjectKey::group_key(200 + t.u64_in(0, 3), view),
+        })
+    })
+}
+
+/// A random logged mutation: puts (including empty values) and deletes.
+fn records() -> Gen<WalRecord> {
+    Gen::from_fn(|t| {
+        let key = keys().sample(t)?;
+        let op = if t.bool() {
+            let len = t.usize_in(0, 40);
+            let value: Vec<u8> = (0..len).map(|_| t.byte()).collect();
+            WalOp::Put { key, value }
+        } else {
+            WalOp::Delete { key }
+        };
+        Ok(WalRecord { gen: 1 + t.u64_in(0, 3), seq: t.u64_in(1, 1 << 20), op })
+    })
+}
+
+fn streams() -> Gen<Vec<WalRecord>> {
+    Gen::from_fn(|t| {
+        let n = t.usize_in(1, 6);
+        (0..n).map(|_| records().sample(t)).collect()
+    })
+}
+
+/// Encodes a stream, returning the bytes and every record boundary
+/// (including 0 and the total length).
+fn encode_stream(recs: &[WalRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut buf = Vec::new();
+    let mut bounds = vec![0usize];
+    for rec in recs {
+        buf.extend_from_slice(&encode_record(rec));
+        bounds.push(buf.len());
+    }
+    (buf, bounds)
+}
+
+/// Asserts `got` (from a `Replay`) is exactly `want` — same records, offsets
+/// tiling the buffer from 0.
+fn assert_is_prefix(
+    got: &[(u64, u32, WalRecord)],
+    want: &[WalRecord],
+) -> sharoes_testkit::prop::CaseResult {
+    prop_assert!(got.len() <= want.len(), "replay returned more records than were written");
+    let mut offset = 0u64;
+    for (i, (at, rlen, rec)) in got.iter().enumerate() {
+        prop_assert_eq!(*at, offset, "record offsets must tile the stream");
+        prop_assert_eq!(rec, &want[i], "replayed record differs from what was written");
+        offset += u64::from(*rlen);
+    }
+    Ok(())
+}
+
+prop! {
+    #![cases(96)]
+
+    /// Sanity: an intact stream replays exactly, in both modes.
+    fn intact_stream_replays_exactly(recs in streams()) {
+        let (buf, _) = encode_stream(&recs);
+        for tolerant in [false, true] {
+            let r = replay(&buf, 0, tolerant).expect("intact stream must replay");
+            prop_assert_eq!(r.records.len(), recs.len());
+            assert_is_prefix(&r.records, &recs)?;
+            prop_assert_eq!(r.valid_len, buf.len());
+            prop_assert!(!r.torn);
+        }
+    }
+
+    /// Truncation at ANY byte offset: strict mode yields a typed error
+    /// unless the cut lands exactly on a record boundary; tolerant mode
+    /// yields the exact boundary prefix with `torn` set iff mid-record.
+    /// Never a panic, never a record past the cut.
+    fn truncation_is_typed_or_exact_boundary(recs in streams(), frac in gen::in_range(0u64..10_000)) {
+        let (buf, bounds) = encode_stream(&recs);
+        let cut = (frac as usize * buf.len()) / 10_000;
+        let cut_is_boundary = bounds.contains(&cut);
+        let complete = bounds.iter().filter(|b| **b <= cut).count() - 1;
+
+        match replay(&buf[..cut], 0, false) {
+            Ok(r) => {
+                prop_assert!(cut_is_boundary, "strict replay accepted a mid-record truncation");
+                prop_assert_eq!(r.records.len(), complete);
+                assert_is_prefix(&r.records, &recs)?;
+                prop_assert!(!r.torn);
+            }
+            Err(WalError::TornTail { offset }) => {
+                prop_assert!(!cut_is_boundary);
+                prop_assert_eq!(offset as usize, bounds[complete], "torn offset must be the last boundary");
+            }
+            Err(e) => prop_assert!(false, "truncation must read as torn, got {e}"),
+        }
+
+        let r = replay(&buf[..cut], 0, true).expect("tolerant replay accepts any truncation");
+        prop_assert_eq!(r.records.len(), complete, "tolerant replay silently lost records");
+        assert_is_prefix(&r.records, &recs)?;
+        prop_assert_eq!(r.valid_len, bounds[complete]);
+        prop_assert_eq!(r.torn, !cut_is_boundary);
+    }
+
+    /// A single bit flip anywhere in an intact stream: strict replay
+    /// errors; tolerant replay either errors or returns an exact prefix —
+    /// the flipped bytes never surface as record data.
+    fn bit_flip_is_typed_never_silent(recs in streams(), frac in gen::in_range(0u64..10_000), bit in gen::in_range(0u64..8)) {
+        let (mut buf, _) = encode_stream(&recs);
+        let at = (frac as usize * buf.len()) / 10_000;
+        let at = at.min(buf.len() - 1);
+        buf[at] ^= 1 << bit;
+
+        prop_assert!(
+            replay(&buf, 0, false).is_err(),
+            "strict replay accepted a bit-flipped stream (flip at byte {at})"
+        );
+        if let Ok(r) = replay(&buf, 0, true) {
+            // Only legal if the flip made the tail *look* torn (e.g. a
+            // grown length field): the surviving prefix must be exact.
+            prop_assert!(r.torn, "tolerant replay returned a full flipped stream");
+            assert_is_prefix(&r.records, &recs)?;
+        }
+    }
+
+    /// A flip inside the final, torn record: the torn tail is discarded or
+    /// rejected — its (flipped) contents are never replayed as data.
+    fn flip_in_torn_tail_never_surfaces(
+        recs in streams(),
+        frac in gen::in_range(1u64..10_000),
+        flip_frac in gen::in_range(0u64..10_000),
+        bit in gen::in_range(0u64..8),
+    ) {
+        let (buf, bounds) = encode_stream(&recs);
+        let last_start = bounds[bounds.len() - 2];
+        let last_len = buf.len() - last_start;
+        // Cut strictly inside the final record, then flip a bit in the
+        // surviving torn fragment.
+        let cut = last_start + 1 + (frac as usize * (last_len - 1)) / 10_000;
+        let cut = cut.min(buf.len() - 1);
+        let mut torn_buf = buf[..cut].to_vec();
+        if cut > last_start {
+            let at = last_start + (flip_frac as usize * (cut - last_start)) / 10_000;
+            let at = at.min(cut - 1);
+            torn_buf[at] ^= 1 << bit;
+        }
+
+        prop_assert!(replay(&torn_buf, 0, false).is_err(), "strict replay accepted a flipped torn tail");
+        if let Ok(r) = replay(&torn_buf, 0, true) {
+            prop_assert_eq!(r.records.len(), recs.len() - 1, "the torn record must not be replayed");
+            assert_is_prefix(&r.records, &recs)?;
+            prop_assert_eq!(r.valid_len, last_start);
+            prop_assert!(r.torn);
+        }
+    }
+
+    /// Random garbage appended after a valid stream: strict replay errors;
+    /// tolerant replay never decodes the garbage into records.
+    fn garbage_append_is_typed(recs in streams(), n in gen::in_range(1usize..64)) {
+        let (buf, _) = encode_stream(&recs);
+        let mut spliced = buf.clone();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ (n as u64);
+        for _ in 0..n {
+            // Deterministic splitmix bytes: "garbage" that is stable per case.
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(0x94D0_49BB_1331_11EB);
+            spliced.push((x >> 56) as u8);
+        }
+
+        prop_assert!(replay(&spliced, 0, false).is_err(), "strict replay accepted appended garbage");
+        if let Ok(r) = replay(&spliced, 0, true) {
+            prop_assert!(r.torn, "garbage decoded as whole records");
+            prop_assert_eq!(r.records.len(), recs.len(), "garbage decoded as extra records");
+            assert_is_prefix(&r.records, &recs)?;
+            prop_assert_eq!(r.valid_len, buf.len());
+        }
+    }
+}

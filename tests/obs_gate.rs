@@ -103,6 +103,41 @@ fn run_workload(client: &mut SharoesClient) {
     client.readdir("/home/user0/obs").expect("readdir");
 }
 
+/// A deterministic log-engine workload: seeded mutations through the
+/// crash-consistent engine, a compaction, and a recovery (reopen). Every
+/// engine counter this moves — appends, fsyncs, compactions, replayed
+/// records — must land in the deterministic export identically per pass.
+fn run_engine_workload(seed: u64) {
+    use sharoes::crypto::RandomSource;
+    use sharoes::net::ObjectKey;
+    use sharoes::ssp::{EngineConfig, FaultFs, LogEngine};
+
+    let fs = FaultFs::new();
+    let dir = std::path::Path::new("/obs-gate-engine");
+    let config = EngineConfig { group_commit: 2, ..EngineConfig::default() };
+    let engine = LogEngine::open(Arc::new(fs.clone()), dir, config).expect("engine open");
+    let mut rng = HmacDrbg::from_seed_u64(seed ^ 0xE46);
+    for i in 0..24u64 {
+        let key = ObjectKey::data(i % 5, [(i % 3) as u8; 16], (i % 4) as u32);
+        let mut value = vec![0u8; 48];
+        rng.fill_bytes(&mut value);
+        engine.put(key, value).expect("engine put");
+        if i % 7 == 6 {
+            engine.delete(&key).expect("engine delete");
+        }
+    }
+    engine.compact().expect("engine compact");
+    // A post-compaction tail so the reopen below has records to replay.
+    for i in 0..4u64 {
+        engine.put(ObjectKey::metadata(i, [7; 16]), vec![i as u8; 16]).expect("engine put");
+    }
+    engine.flush().expect("engine flush");
+    drop(engine);
+    // Reopen: recovery replays the WAL tail and moves the recovery counters.
+    let engine = LogEngine::open(Arc::new(fs.clone()), dir, config).expect("engine reopen");
+    engine.flush().expect("engine flush");
+}
+
 /// One full pass; returns the deterministic registry delta it caused.
 fn registry_delta_for_pass(seed: u64) -> String {
     let before = sharoes::obs::global().snapshot();
@@ -119,6 +154,7 @@ fn registry_delta_for_pass(seed: u64) -> String {
     );
     run_workload(&mut client);
     assert!(!client.is_degraded(), "workload completed, client must not be degraded");
+    run_engine_workload(seed);
     sharoes::obs::global().snapshot().delta(&before).deterministic_text()
 }
 
@@ -159,4 +195,16 @@ fn identical_seeded_runs_move_the_registry_identically() {
     assert!(get("ssp_op_put_many_ns_count") > 0, "ssp op histograms silent:\n{pass_a}");
     assert!(get("ssp_op_get_ns_count") > 0, "ssp get histogram silent");
     assert!(get("core_cache_misses_total") > 0, "client cache counters silent");
+
+    // The log-engine workload must move the durability counters, and the
+    // wall-clock recovery histogram must export only its count.
+    assert!(get("ssp_wal_appends") > 0, "engine append counter silent:\n{pass_a}");
+    assert!(get("ssp_wal_fsyncs") > 0, "engine fsync counter silent");
+    assert!(get("ssp_compactions") > 0, "engine compaction counter silent");
+    assert!(get("ssp_recovery_replayed_records") > 0, "recovery replayed no records");
+    assert!(get("ssp_recovery_ms_count") > 0, "recovery histogram count missing");
+    assert!(
+        !pass_a.contains("ssp_recovery_ms_sum") && !pass_a.contains("ssp_recovery_ms_bucket"),
+        "wall-clock recovery series leaked into the deterministic export"
+    );
 }
