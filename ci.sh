@@ -1,7 +1,8 @@
 #!/bin/sh
 # Hermetic CI gate: formatting, lints, offline release build, offline tests,
-# pinned-seed chaos runs, the metrics-determinism gate, and the enterprise
-# scenario gate (revocation/rotation oracles + registry determinism).
+# pinned-seed chaos runs, the metrics- and trace-determinism gates, the
+# enterprise scenario gate (revocation/rotation oracles + registry
+# determinism), and the tracing-overhead ablation.
 #
 # Everything runs with --offline against the vendored-free, path-only
 # workspace — if any step reaches for the network or a registry, that is
@@ -51,10 +52,14 @@ step "chaos + cluster + metrics-determinism gate at third pinned seed" \
     env SHAROES_TEST_SEED=0x0B5EED42 \
     cargo test -q --offline --test chaos --test cluster --test obs_gate
 
-# The obs_gate test exports the registry delta of each identical seeded pass;
-# diff them here as a check independent of the in-test assertion.
+# The obs_gate tests export the registry delta and the rendered trace trees
+# of each identical seeded pass; diff them here as checks independent of the
+# in-test assertions.
 step "metrics determinism: diff exported registry deltas" \
     diff target/metrics-determinism-a.txt target/metrics-determinism-b.txt
+
+step "trace determinism: diff exported span-tree renderings" \
+    diff target/trace-determinism-a.txt target/trace-determinism-b.txt
 
 step "enterprise scenario gate at fourth pinned seed (revocation + rotation oracles)" \
     env SHAROES_TEST_SEED=0xE57E4512 cargo test -q --offline --test enterprise
@@ -65,6 +70,11 @@ step "enterprise determinism: diff exported registry deltas" \
 
 step "crash-point recovery matrix at fifth pinned seed (log-engine durability)" \
     env SHAROES_TEST_SEED=0xC4A54F70 cargo test -q --offline --test crashpoints
+
+# Tracing-overhead ablation: spans off vs on over the same seeded workload,
+# exported as BENCH_obs.json for the trajectory record.
+step "tracing-overhead ablation (writes BENCH_obs.json)" \
+    cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick obs
 
 echo ""
 echo "== step timings"

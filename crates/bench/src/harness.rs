@@ -222,6 +222,22 @@ impl PhaseTimer {
     }
 }
 
+/// One `metric p50=… p95=… p99=…` line per histogram present in `snap`
+/// (quantiles interpolated from its cumulative buckets — works on deltas
+/// too, so phase tables can report the quantiles of just that phase).
+/// Histograms with no observations are skipped.
+pub fn quantile_lines(snap: &sharoes_obs::Snapshot) -> Vec<String> {
+    snap.values
+        .keys()
+        .filter_map(|k| k.strip_suffix("_count"))
+        .filter(|m| snap.values.contains_key(&format!("{m}_bucket{{le=\"+Inf\"}}")))
+        .filter_map(|m| {
+            snap.quantile_summary(m)
+                .map(|(p50, p95, p99)| format!("{m} p50={p50} p95={p95} p99={p99}"))
+        })
+        .collect()
+}
+
 /// Renders a duration in the paper's style (seconds with sensible width).
 pub fn fmt_secs(d: f64) -> String {
     if d >= 100.0 {

@@ -19,4 +19,6 @@
 pub mod harness;
 pub mod workloads;
 
-pub use harness::{all_policies, four_policies, scheme_for, Bench, BenchOpts, PhaseTimer, Table};
+pub use harness::{
+    all_policies, four_policies, quantile_lines, scheme_for, Bench, BenchOpts, PhaseTimer, Table,
+};

@@ -8,6 +8,7 @@
 //! sharoes-shell --tcp        # same, over loopback TCP
 //! sharoes-shell --cluster 3  # same, replicated over 3 in-process SSP nodes
 //! sharoes-shell stats ADDR   # dump a running sspd's live metrics and exit
+//! sharoes-shell trace ADDR.. # assemble cross-node span trees from sspd's
 //! ```
 //!
 //! Type `help` at the prompt for commands.
@@ -241,6 +242,8 @@ impl Shell {
                      \x20 cluster-status    nodes, replication, and repair counters\n\
                      \x20 costs             traffic/crypto counters for this mount\n\
                      \x20 stats             full metrics registry (counters, histograms)\n\
+                     \x20 trace             assembled span trees from the trace buffer\n\
+                     \x20 slow              slowest captured ops with their span trees\n\
                      \x20 exit              quit"
                 );
                 Ok(())
@@ -492,6 +495,58 @@ impl Shell {
                 // the --tcp server), so the global registry holds both the
                 // client- and server-side series.
                 print!("{}", sharoes_obs::global().render());
+                let snap = sharoes_obs::global().snapshot();
+                let hists: Vec<String> = snap
+                    .values
+                    .keys()
+                    .filter_map(|k| k.strip_suffix("_count"))
+                    .filter(|m| snap.values.contains_key(&format!("{m}_bucket{{le=\"+Inf\"}}")))
+                    .map(str::to_string)
+                    .collect();
+                let mut any = false;
+                for m in hists {
+                    if let Some((p50, p95, p99)) = snap.quantile_summary(&m) {
+                        if !any {
+                            println!("# quantiles (interpolated from buckets)");
+                            any = true;
+                        }
+                        println!("{m} p50={p50} p95={p95} p99={p99}");
+                    }
+                }
+                Ok(())
+            }
+            "trace" => {
+                // The demo deployment is in-process end to end, so the
+                // global trace buffer already holds client *and* server
+                // spans; assemble them into per-trace trees.
+                let events: Vec<sharoes_obs::OwnedEvent> = sharoes_obs::tracer()
+                    .snapshot()
+                    .iter()
+                    .map(sharoes_obs::OwnedEvent::from)
+                    .collect();
+                let trees = sharoes_obs::assemble(&events);
+                if trees.is_empty() {
+                    println!("no traces captured (run with SHAROES_LOG=debug, then do some ops)");
+                } else {
+                    print!("{}", sharoes_obs::tree::render(&trees, true));
+                }
+                Ok(())
+            }
+            "slow" => {
+                let caps = sharoes_obs::slow_ops();
+                if caps.is_empty() {
+                    println!("no slow ops captured (run with SHAROES_LOG=debug, then do some ops)");
+                }
+                for c in caps {
+                    println!(
+                        "{} {:.3} ms trace={:032x}",
+                        c.root,
+                        c.duration_ns as f64 / 1e6,
+                        c.trace_id
+                    );
+                    let trees = sharoes_obs::assemble(&c.events);
+                    print!("{}", sharoes_obs::tree::render(&trees, true));
+                }
                 Ok(())
             }
             "exit" | "quit" => return false,
@@ -569,6 +624,54 @@ fn remote_stats(addr: &str) -> i32 {
     }
 }
 
+/// `sharoes-shell trace ADDR...`: scrape the span buffer off one or more
+/// running sspd's, stamp each event with the node it came from, and print
+/// the assembled cross-node trace trees (for scripts and CI).
+fn remote_trace(addrs: &[String]) -> i32 {
+    /// Per-node scrape budget — newest events win on overflow.
+    const MAX_EVENTS: u32 = 4096;
+    let mut events: Vec<sharoes_obs::OwnedEvent> = Vec::new();
+    let mut dropped = 0u64;
+    for addr in addrs {
+        let mut transport = match TcpTransport::connect(addr) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sharoes-shell: cannot connect to {addr}: {e}");
+                return 1;
+            }
+        };
+        match transport.call(&Request::Trace { max: MAX_EVENTS }) {
+            Ok(Response::Trace { events: scraped, dropped: d }) => {
+                dropped += d;
+                for ev in &scraped {
+                    let mut owned: sharoes_obs::OwnedEvent = ev.into();
+                    if owned.node.is_empty() {
+                        owned.node = addr.clone();
+                    }
+                    events.push(owned);
+                }
+            }
+            Ok(other) => {
+                eprintln!("sharoes-shell: unexpected Trace response: {other:?}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("sharoes-shell: Trace call failed against {addr}: {e}");
+                return 1;
+            }
+        }
+    }
+    let trees = sharoes_obs::assemble(&events);
+    println!(
+        "# {} trace(s) from {} event(s), {} dropped at source",
+        trees.len(),
+        events.len(),
+        dropped
+    );
+    print!("{}", sharoes_obs::tree::render(&trees, true));
+    0
+}
+
 fn main() {
     let mut use_tcp = false;
     let mut cluster_n = 0usize;
@@ -581,6 +684,14 @@ fn main() {
                     std::process::exit(2);
                 };
                 std::process::exit(remote_stats(&addr));
+            }
+            "trace" => {
+                let addrs: Vec<String> = args.collect();
+                if addrs.is_empty() {
+                    eprintln!("sharoes-shell: trace needs one or more addresses (host:port)");
+                    std::process::exit(2);
+                }
+                std::process::exit(remote_trace(&addrs));
             }
             "--tcp" => use_tcp = true,
             "--cluster" => {

@@ -252,6 +252,11 @@ impl ClusterTransport {
         if node.retired {
             return Err(NetError::Closed);
         }
+        // One trace span per replica touch: the child transport's `ssp.rpc`
+        // span (and everything the remote node does) nests under this, so a
+        // cross-node trace tree shows which replica served each leg.
+        let _span =
+            sharoes_obs::SpanGuard::enter("cluster.replica", || format!("node={:?}", node.name));
         let outcome = match node.transport.call(request) {
             Ok(Response::Error(msg)) => Err(NetError::Remote(msg)),
             other => other,
@@ -615,6 +620,40 @@ impl ClusterTransport {
             Err(last_err.unwrap_or_else(Self::no_nodes_err))
         }
     }
+
+    /// Trace-buffer scrape fanned out to every active node. `max` is a
+    /// *per-node* budget; each event is stamped with its node's name (unless
+    /// a deeper layer already stamped it) so the shell can assemble
+    /// cross-node span trees keyed by trace id.
+    fn trace_call(&mut self, max: u32) -> Result<Response, NetError> {
+        let active = self.active_indices();
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        let mut any_ok = false;
+        let mut last_err = None;
+        for idx in active {
+            let name = self.nodes[idx].name.clone();
+            match self.node_call(idx, &Request::Trace { max }) {
+                Ok(Response::Trace { events: node_events, dropped: d }) => {
+                    for mut ev in node_events {
+                        if ev.node.is_empty() {
+                            ev.node = name.clone();
+                        }
+                        events.push(ev);
+                    }
+                    dropped += d;
+                    any_ok = true;
+                }
+                Ok(_) => last_err = Some(NetError::Codec("unexpected trace response shape")),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if any_ok {
+            Ok(Response::Trace { events, dropped })
+        } else {
+            Err(last_err.unwrap_or_else(Self::no_nodes_err))
+        }
+    }
 }
 
 impl Transport for ClusterTransport {
@@ -650,6 +689,7 @@ impl Transport for ClusterTransport {
             }
             Request::Stats => self.stats_call(),
             Request::Metrics => self.metrics_call(),
+            Request::Trace { max } => self.trace_call(*max),
             Request::Scan { after, limit } => {
                 let (after, limit) = (*after, *limit);
                 self.scan(&after, limit)

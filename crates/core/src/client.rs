@@ -29,7 +29,7 @@ use crate::scheme::{
     Layout, Manifest, ObjectAttrs, ObjectSecrets, SigPairs, SplitEntry, MANIFEST_BLOCK,
 };
 use crate::superblock::Superblock;
-use sharoes_crypto::{HmacDrbg, RandomSource, SymKey, SystemRandom, VerifyKey};
+use sharoes_crypto::{HmacDrbg, RandomSource, Sha256, SymKey, SystemRandom, VerifyKey};
 use sharoes_fs::{path as fspath, Acl, Gid, Mode, NodeKind, Uid, UserDb};
 use sharoes_net::{CostMeter, ObjectKey, Request, Response, Transport, WireRead, WireWrite};
 use std::collections::HashMap;
@@ -100,6 +100,11 @@ pub struct SharoesClient {
     identity: UserIdentity,
     pool: Arc<SigKeyPool>,
     rng: HmacDrbg,
+    /// Mints 128-bit trace ids for root spans. Deliberately seeded from the
+    /// uid alone — never from `rng` — so enabling tracing cannot perturb
+    /// nonce/inode streams (the wire-determinism regression tests depend on
+    /// those being a pure function of the crypto seed).
+    trace_rng: HmacDrbg,
     /// Fresh entropy mixed into inode allocation so two clients seeded with
     /// the same deterministic RNG can never collide on inode numbers.
     mount_nonce: u64,
@@ -167,6 +172,9 @@ impl SharoesClient {
         let meter = Arc::clone(transport.meter());
         let cache = ClientCache::new(config.cache_capacity);
         let nonce = rng.next_u64().to_be_bytes();
+        let mut trace_seed = Vec::from(&b"sharoes-trace-v1"[..]);
+        trace_seed.extend_from_slice(&identity.uid.0.to_be_bytes());
+        let trace_rng = HmacDrbg::new(&Sha256::digest(&trace_seed));
         SharoesClient {
             transport,
             meter,
@@ -176,6 +184,7 @@ impl SharoesClient {
             identity,
             pool,
             rng,
+            trace_rng,
             mount_nonce: u64::from_be_bytes(nonce),
             cache,
             mount: None,
@@ -311,7 +320,8 @@ impl SharoesClient {
         }
     }
 
-    /// Runs `f`, charging its wall time to the CRYPTO cost component.
+    /// Runs `f`, charging its wall time to the CRYPTO cost component (and,
+    /// when a trace span is live, to its `crypto` phase).
     fn timed_crypto<T>(meter: &CostMeter, f: impl FnOnce() -> T) -> T {
         use std::sync::OnceLock;
         static CRYPTO_NS: OnceLock<sharoes_obs::Histogram> = OnceLock::new();
@@ -320,7 +330,34 @@ impl SharoesClient {
         let ns = t0.elapsed().as_nanos() as u64;
         meter.charge_crypto_ns(ns);
         CRYPTO_NS.get_or_init(|| sharoes_obs::histogram_ns("core_crypto_op_ns")).observe(ns);
+        sharoes_obs::phase_add(sharoes_obs::Phase::Crypto, ns);
         out
+    }
+
+    /// Opens the root span for one client operation. When no trace is live
+    /// on this thread, a fresh 128-bit trace id is minted from the client's
+    /// dedicated trace DRBG and becomes the root every nested span — local
+    /// and, via the wire header, remote — hangs under. Inside an existing
+    /// trace the span is an ordinary child. The root span id is a pure
+    /// function of (trace id, op name), so re-running a seeded workload
+    /// reproduces the whole tree byte for byte.
+    fn op_span(
+        &mut self,
+        name: &'static str,
+        fields: impl FnOnce() -> String,
+    ) -> sharoes_obs::SpanGuard {
+        use sharoes_obs::{Level, SpanGuard, TraceContext};
+        if sharoes_obs::in_span() || !sharoes_obs::tracer().enabled("core", Level::Debug) {
+            return SpanGuard::enter(name, fields);
+        }
+        let hi = self.trace_rng.next_u64() as u128;
+        let lo = self.trace_rng.next_u64() as u128;
+        let trace_id = (hi << 64) | lo;
+        let mut buf = Vec::with_capacity(16 + name.len());
+        buf.extend_from_slice(&trace_id.to_be_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        let span_id = sharoes_obs::trace::fnv1a_64(&buf).max(1);
+        SpanGuard::enter_with(name, TraceContext { trace_id, span_id, parent_id: 0 }, fields)
     }
 
     // -------------------------------------------------------------- mount
@@ -329,7 +366,7 @@ impl SharoesClient {
     /// private key (the one-time public-key operation of §III-C) and
     /// recovers group keys in-band (§II-A).
     pub fn mount(&mut self) -> Result<()> {
-        let _span = sharoes_obs::span!("core.mount");
+        let _span = self.op_span("core.mount", String::new);
         let uid = self.identity.uid;
         let sb_key = ObjectKey::superblock(ids::superblock_view(uid));
         let blob = self
@@ -575,7 +612,7 @@ impl SharoesClient {
 
     /// `stat`: attributes of the object at `path` (Figure 8 `getattr`).
     pub fn getattr(&mut self, path: &str) -> Result<FileStat> {
-        let _span = sharoes_obs::span!("core.getattr", path);
+        let _span = self.op_span("core.getattr", || format!("path={path:?}"));
         let (_, body) = self.resolve(path)?;
         Ok(FileStat {
             inode: body.inode,
@@ -593,6 +630,7 @@ impl SharoesClient {
     /// Lists a directory (requires the read permission; exec-only CAPs
     /// cannot list — §III-A).
     pub fn readdir(&mut self, path: &str) -> Result<Vec<ReadDirEntry>> {
+        let _span = self.op_span("core.readdir", || format!("path={path:?}"));
         let (h, body) = self.resolve(path)?;
         let attrs = ObjectAttrs::from_body(&body);
         if attrs.kind != NodeKind::Dir {
@@ -732,7 +770,7 @@ impl SharoesClient {
 
     /// Reads a whole file (Figure 8 `read`: obtain data and decrypt).
     pub fn read(&mut self, path: &str) -> Result<Vec<u8>> {
-        let _span = sharoes_obs::span!("core.read", path);
+        let _span = self.op_span("core.read", || format!("path={path:?}"));
         // Unflushed local writes are visible to the writer.
         if let Some(p) = self.pending.get(path) {
             return Ok(p.content.clone());
@@ -792,6 +830,7 @@ impl SharoesClient {
     /// encrypt the file before sending it to the SSP as the result of a
     /// file close" (§IV-A.1).
     pub fn write(&mut self, path: &str, data: &[u8]) -> Result<()> {
+        let _span = self.op_span("core.write", || format!("path={path:?}"));
         let (_, body) = self.resolve(path)?;
         let attrs = ObjectAttrs::from_body(&body);
         if attrs.kind != NodeKind::File {
@@ -933,7 +972,7 @@ impl SharoesClient {
 
     /// Convenience: write + close in one call.
     pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<()> {
-        let _span = sharoes_obs::span!("core.write_file", path);
+        let _span = self.op_span("core.write_file", || format!("path={path:?}"));
         self.write(path, data)?;
         self.close(path)
     }
@@ -969,6 +1008,7 @@ impl SharoesClient {
     }
 
     fn create_child(&mut self, path: &str, mode: Mode, kind: NodeKind) -> Result<u64> {
+        let _span = self.op_span("core.create", || format!("path={path:?} kind={kind:?}"));
         let (parent_parts, name) = fspath::split_parent(path)?;
         fspath::validate_name(name)?;
         let parent_path = fspath::join(&parent_parts);
@@ -1071,6 +1111,7 @@ impl SharoesClient {
     }
 
     fn remove_child(&mut self, path: &str, expect: NodeKind) -> Result<()> {
+        let _span = self.op_span("core.remove", || format!("path={path:?}"));
         let (parent_parts, name) = fspath::split_parent(path)?;
         let parent_path = fspath::join(&parent_parts);
         let name = name.to_string();
@@ -1138,6 +1179,7 @@ impl SharoesClient {
     /// Renames an entry within the same directory (cross-directory moves
     /// are supported for objects the caller owns; see DESIGN.md).
     pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let _span = self.op_span("core.rename", || format!("from={from:?} to={to:?}"));
         let (from_parent_parts, from_name) = fspath::split_parent(from)?;
         let (to_parent_parts, to_name) = fspath::split_parent(to)?;
         fspath::validate_name(to_name)?;
@@ -1400,6 +1442,7 @@ impl SharoesClient {
     }
 
     fn update_access(&mut self, path: &str, mode: Option<Mode>, acl: Option<Acl>) -> Result<()> {
+        let _span = self.op_span("core.update_access", || format!("path={path:?}"));
         let (h, body) = self.resolve(path)?;
         let old_attrs = ObjectAttrs::from_body(&body);
         if old_attrs.owner != self.identity.uid {

@@ -64,7 +64,8 @@ pub enum OpClass {
     Put,
     /// `Request::Delete` / `Request::DeleteBlocks` / `Request::DeleteMany`.
     Delete,
-    /// `Request::Stats` / `Request::Metrics` (operational introspection).
+    /// `Request::Stats` / `Request::Metrics` / `Request::Trace`
+    /// (operational introspection).
     Stats,
 }
 
@@ -79,7 +80,7 @@ impl OpClass {
             Request::Delete { .. } | Request::DeleteBlocks { .. } | Request::DeleteMany { .. } => {
                 OpClass::Delete
             }
-            Request::Stats | Request::Metrics => OpClass::Stats,
+            Request::Stats | Request::Metrics | Request::Trace { .. } => OpClass::Stats,
         }
     }
 }

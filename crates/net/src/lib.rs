@@ -15,6 +15,8 @@
 //!   testing any transport.
 //! * [`resilient`] — retrying/reconnecting transport decorator built on the
 //!   [`error::ErrorClass`] taxonomy.
+//! * [`traceframe`] — the optional checksummed trace-context header
+//!   prefixed to request frames, and the wire form of trace events.
 
 #![warn(missing_docs)]
 
@@ -24,6 +26,7 @@ pub mod fault;
 pub mod message;
 pub mod netmodel;
 pub mod resilient;
+pub mod traceframe;
 pub mod transport;
 pub mod wire;
 
@@ -35,5 +38,6 @@ pub use netmodel::NetModel;
 pub use resilient::{
     Connector, FakeSleeper, ResilientTransport, RetryPolicy, Sleeper, WallClockSleeper,
 };
+pub use traceframe::{TraceEventWire, TRACE_HEADER_LEN, TRACE_HEADER_VERSION};
 pub use transport::{InMemoryTransport, RequestHandler, TcpTransport, Transport};
 pub use wire::{Cursor, WireRead, WireWrite};

@@ -157,6 +157,13 @@ pub enum Request {
         /// Maximum keys per page.
         limit: u32,
     },
+    /// Scrapes the serving process's trace ring (non-draining — local
+    /// consumers keep their events). Like `Metrics`, operational telemetry
+    /// only: span names and cost attribution, never stored data.
+    Trace {
+        /// Maximum events to return (the newest ones win).
+        max: u32,
+    },
 }
 
 impl Request {
@@ -188,6 +195,11 @@ impl Request {
             (Request::Metrics, Response::Metrics { .. }) => true,
             (Request::Scan { limit, .. }, Response::Keys { keys, .. }) => {
                 keys.len() <= *limit as usize
+            }
+            // Trace checks the event cap, so an oversized stale reply is
+            // detectable.
+            (Request::Trace { max }, Response::Trace { events, .. }) => {
+                events.len() <= *max as usize
             }
             _ => false,
         }
@@ -224,6 +236,14 @@ pub enum Response {
     Metrics {
         /// The export text.
         text: String,
+    },
+    /// One bounded scrape of a trace ring.
+    Trace {
+        /// The newest buffered events, oldest first.
+        events: Vec<crate::traceframe::TraceEventWire>,
+        /// Events evicted from the ring before this scrape (plus any cut
+        /// by the request's `max`), so assemblers know the view is partial.
+        dropped: u64,
     },
     /// Server-side failure.
     Error(String),
@@ -270,6 +290,10 @@ impl WireWrite for Request {
                 limit.write(out);
             }
             Request::Metrics => 10u8.write(out),
+            Request::Trace { max } => {
+                11u8.write(out);
+                max.write(out);
+            }
         }
     }
 }
@@ -288,6 +312,7 @@ impl WireRead for Request {
             8 => Request::DeleteMany { keys: Vec::read(r)? },
             9 => Request::Scan { after: Option::read(r)?, limit: u32::read(r)? },
             10 => Request::Metrics,
+            11 => Request::Trace { max: u32::read(r)? },
             _ => return Err(NetError::Codec("unknown request tag")),
         })
     }
@@ -324,6 +349,11 @@ impl WireWrite for Response {
                 7u8.write(out);
                 text.write(out);
             }
+            Response::Trace { events, dropped } => {
+                8u8.write(out);
+                events.write(out);
+                dropped.write(out);
+            }
         }
     }
 }
@@ -339,6 +369,7 @@ impl WireRead for Response {
             5 => Response::Error(String::read(r)?),
             6 => Response::Keys { keys: Vec::read(r)?, done: bool::read(r)? },
             7 => Response::Metrics { text: String::read(r)? },
+            8 => Response::Trace { events: Vec::read(r)?, dropped: u64::read(r)? },
             _ => return Err(NetError::Codec("unknown response tag")),
         })
     }
@@ -373,6 +404,7 @@ mod tests {
         roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Scan { after: None, limit: 128 });
         roundtrip_req(Request::Scan { after: Some(key), limit: 0 });
+        roundtrip_req(Request::Trace { max: 512 });
     }
 
     #[test]
@@ -386,6 +418,23 @@ mod tests {
         roundtrip_resp(Response::Metrics { text: String::new() });
         roundtrip_resp(Response::Metrics { text: "a_total 1\nb_ns_count 2\n".into() });
         roundtrip_resp(Response::Error("boom".into()));
+        roundtrip_resp(Response::Trace { events: vec![], dropped: 7 });
+        roundtrip_resp(Response::Trace {
+            events: vec![crate::traceframe::TraceEventWire {
+                seq: 1,
+                time_ns: 2,
+                depth: 0,
+                level: sharoes_obs::Level::Debug,
+                kind: sharoes_obs::EventKind::Enter,
+                trace_id: 9,
+                span_id: 8,
+                parent_id: 0,
+                name: "core.read".into(),
+                fields: String::new(),
+                node: "a".into(),
+            }],
+            dropped: 0,
+        });
         roundtrip_resp(Response::Keys { keys: vec![], done: true });
         roundtrip_resp(Response::Keys {
             keys: vec![ObjectKey::metadata(1, [4; 16]), ObjectKey::data(2, [5; 16], 7)],
@@ -423,6 +472,10 @@ mod tests {
         assert!(Request::Metrics.matches_response(&Response::Metrics { text: "x".into() }));
         assert!(!Request::Metrics.matches_response(&Response::Stats { objects: 0, bytes: 0 }));
         assert!(!Request::Stats.matches_response(&Response::Metrics { text: "x".into() }));
+        // Trace checks the event cap.
+        assert!(Request::Trace { max: 0 }
+            .matches_response(&Response::Trace { events: vec![], dropped: 0 }));
+        assert!(!Request::Trace { max: 0 }.matches_response(&Response::Metrics { text: "".into() }));
     }
 
     #[test]

@@ -12,10 +12,12 @@
 use crate::cost::CostMeter;
 use crate::error::NetError;
 use crate::message::{Request, Response};
+use crate::traceframe;
 use crate::wire::{WireRead, WireWrite};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Upper bound on a single frame (64 MiB) to bound hostile allocations.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
@@ -64,12 +66,27 @@ impl InMemoryTransport {
 impl Transport for InMemoryTransport {
     fn call(&mut self, request: &Request) -> Result<Response, NetError> {
         // Round-trip through the real codec so byte counts (and any codec
-        // bugs) are identical to the TCP path.
-        let req_bytes = request.to_wire();
-        let parsed = Request::from_wire(&req_bytes)?;
-        let response = self.handler.handle(parsed);
+        // bugs) are identical to the TCP path — including the optional
+        // trace header, which the "server side" below splits off and
+        // adopts exactly like the TCP server does.
+        let timing = sharoes_obs::in_span().then(Instant::now);
+        let mut req_bytes = request.to_wire();
+        if let Some(ctx) = sharoes_obs::mint_child("ssp.rpc") {
+            req_bytes = traceframe::attach(&ctx, req_bytes);
+        }
+        let (remote_ctx, body) = traceframe::split_header(&req_bytes)?;
+        let parsed = Request::from_wire(body)?;
+        let response = {
+            let _rpc = remote_ctx.map(|ctx| {
+                sharoes_obs::SpanGuard::enter_with("ssp.rpc", ctx, || "transport=\"mem\"".into())
+            });
+            self.handler.handle(parsed)
+        };
         let resp_bytes = response.to_wire();
         self.meter.charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
+        if let Some(start) = timing {
+            sharoes_obs::phase_add(sharoes_obs::Phase::Net, start.elapsed().as_nanos() as u64);
+        }
         Response::from_wire(&resp_bytes)
     }
 
@@ -141,10 +158,17 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn call(&mut self, request: &Request) -> Result<Response, NetError> {
-        let req_bytes = request.to_wire();
+        let timing = sharoes_obs::in_span().then(Instant::now);
+        let mut req_bytes = request.to_wire();
+        if let Some(ctx) = sharoes_obs::mint_child("ssp.rpc") {
+            req_bytes = traceframe::attach(&ctx, req_bytes);
+        }
         write_frame(&mut self.stream, &req_bytes)?;
         let resp_bytes = read_frame(&mut self.stream)?;
         self.meter.charge_round_trip(req_bytes.len() as u64 + 4, resp_bytes.len() as u64 + 4);
+        if let Some(start) = timing {
+            sharoes_obs::phase_add(sharoes_obs::Phase::Net, start.elapsed().as_nanos() as u64);
+        }
         Response::from_wire(&resp_bytes)
     }
 

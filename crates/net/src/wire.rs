@@ -93,6 +93,7 @@ impl_wire_uint!(u8);
 impl_wire_uint!(u16);
 impl_wire_uint!(u32);
 impl_wire_uint!(u64);
+impl_wire_uint!(u128);
 
 impl WireWrite for bool {
     fn write(&self, out: &mut Vec<u8>) {

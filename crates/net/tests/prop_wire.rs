@@ -2,7 +2,9 @@
 //! hostile-input safety (the SSP is untrusted; the client parses whatever
 //! comes back).
 
-use sharoes_net::{Cursor, KeySpace, ObjectKey, Request, Response, WireRead, WireWrite};
+use sharoes_net::traceframe::{attach, split_header, TraceEventWire, TRACE_HEADER_LEN};
+use sharoes_net::{Cursor, KeySpace, NetError, ObjectKey, Request, Response, WireRead, WireWrite};
+use sharoes_obs::TraceContext;
 use sharoes_testkit::prelude::*;
 
 fn keyspaces() -> Gen<KeySpace> {
@@ -55,7 +57,39 @@ fn requests() -> Gen<Request> {
             let after = gen::option_of(key.clone());
             Gen::from_fn(move |t| Ok(Request::Scan { after: after.sample(t)?, limit: t.u32() }))
         },
+        Gen::from_fn(|t| Ok(Request::Trace { max: t.u32() })),
     ])
+}
+
+fn trace_events() -> Gen<TraceEventWire> {
+    let name = gen::ascii_strings(0..24);
+    let fields = gen::ascii_strings(0..48);
+    let node = gen::ascii_strings(0..12);
+    Gen::from_fn(move |t| {
+        Ok(TraceEventWire {
+            seq: t.u64(),
+            time_ns: t.u64(),
+            depth: (t.u32() % 64) as u16,
+            level: sharoes_obs::Level::from_u8((t.u32() % 5) as u8).unwrap(),
+            kind: sharoes_obs::EventKind::from_u8((t.u32() % 3) as u8).unwrap(),
+            trace_id: ((t.u64() as u128) << 64) | t.u64() as u128,
+            span_id: t.u64(),
+            parent_id: t.u64(),
+            name: name.sample(t)?,
+            fields: fields.sample(t)?,
+            node: node.sample(t)?,
+        })
+    })
+}
+
+fn contexts() -> Gen<TraceContext> {
+    Gen::from_fn(|t| {
+        Ok(TraceContext {
+            trace_id: ((t.u64() as u128) << 64) | t.u64() as u128,
+            span_id: t.u64(),
+            parent_id: t.u64(),
+        })
+    })
 }
 
 fn responses() -> Gen<Response> {
@@ -70,6 +104,12 @@ fn responses() -> Gen<Response> {
         {
             let keys = gen::vecs(keys(), 0..8);
             Gen::from_fn(move |t| Ok(Response::Keys { keys: keys.sample(t)?, done: t.bool() }))
+        },
+        {
+            let events = gen::vecs(trace_events(), 0..5);
+            Gen::from_fn(move |t| {
+                Ok(Response::Trace { events: events.sample(t)?, dropped: t.u64() })
+            })
         },
     ])
 }
@@ -123,5 +163,52 @@ prop! {
         let mut bytes = req.to_wire();
         bytes.push(junk);
         prop_assert!(Request::from_wire(&bytes).is_err());
+    }
+
+    // --- Trace-context header codec (wire propagation of trace ids) ---
+
+    fn trace_header_roundtrips_over_any_request(ctx in contexts(), req in requests()) {
+        let framed = attach(&ctx, req.to_wire());
+        let (got, body) = split_header(&framed).unwrap();
+        prop_assert_eq!(got, Some(ctx));
+        prop_assert_eq!(Request::from_wire(body).unwrap(), req);
+    }
+
+    fn frames_without_header_still_parse(req in requests()) {
+        // Backward compatibility: a legacy peer that never learned about
+        // trace headers keeps working — its frames pass through untouched.
+        let bytes = req.to_wire();
+        let (ctx, body) = split_header(&bytes).unwrap();
+        prop_assert_eq!(ctx, None);
+        prop_assert_eq!(body, &bytes[..]);
+    }
+
+    fn truncated_trace_headers_fail_typed(ctx in contexts(), cut in gen::indices()) {
+        let framed = attach(&ctx, vec![0u8]); // Ping body
+        let cut = 2 + cut.index(TRACE_HEADER_LEN - 2); // keep the magic, cut inside
+        prop_assert!(matches!(
+            split_header(&framed[..cut]),
+            Err(NetError::Codec("trace header truncated"))
+        ));
+    }
+
+    fn bitflipped_trace_headers_fail_typed(
+        ctx in contexts(),
+        byte in gen::indices(),
+        bit in gen::in_range_incl(0u8..=7),
+    ) {
+        let framed = attach(&ctx, vec![0u8]);
+        // Flip one bit somewhere in the header *past the magic pair* (a
+        // damaged magic makes the frame read as untraced by design — the
+        // magic is a discriminator, not a covered field).
+        let pos = 2 + byte.index(TRACE_HEADER_LEN - 2);
+        let mut damaged = framed.clone();
+        damaged[pos] ^= 1 << bit;
+        match split_header(&damaged) {
+            Err(NetError::Codec(
+                "trace header checksum mismatch" | "unsupported trace header version",
+            )) => {}
+            other => prop_assert!(false, "bit flip at {pos} not rejected: {other:?}"),
+        }
     }
 }

@@ -20,12 +20,17 @@
 
 pub mod metrics;
 pub mod trace;
+pub mod tree;
 
 pub use metrics::{
     Counter, Gauge, Histogram, Registry, Snapshot, LATENCY_BOUNDS_MS, LATENCY_BOUNDS_NS,
     SIZE_BOUNDS_BYTES,
 };
-pub use trace::{EventKind, EventLog, Filter, Level, SpanGuard, TraceEvent};
+pub use trace::{
+    clear_slow_ops, current, in_span, mint_child, phase_add, slow_ops, EventKind, EventLog, Filter,
+    Level, Phase, SlowCapture, SpanGuard, TraceContext, TraceEvent,
+};
+pub use tree::{assemble, OwnedEvent, SpanNode, SpanTree};
 
 use std::sync::OnceLock;
 
@@ -153,6 +158,53 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(scrub(a), scrub(b), "deterministic mode must be byte-stable modulo seq");
+
+        // --- Trace-context propagation, still under the same global lock
+        // of a single #[test] (parallel tests would race the ring). ---
+        let root = TraceContext { trace_id: 0xABCD, span_id: 77, parent_id: 0 };
+        {
+            let _a = trace::SpanGuard::enter_with("t.root", root, String::new);
+            assert_eq!(current(), Some(root));
+            let child = mint_child("t.remote").expect("inside a traced span");
+            assert_eq!(child.trace_id, root.trace_id);
+            assert_eq!(child.parent_id, root.span_id);
+            assert_ne!(child.span_id, root.span_id);
+            {
+                let _b = span!("t.child");
+                phase_add(Phase::Crypto, 1_000);
+                phase_add(Phase::Crypto, 2_000);
+            }
+            phase_add(Phase::Net, 5_000);
+        }
+        let events = log.take();
+        let owned: Vec<OwnedEvent> = events.iter().map(OwnedEvent::from).collect();
+        // Child span derived its ids from the root frame.
+        let child_enter = events.iter().find(|e| e.name == "t.child").unwrap();
+        assert_eq!(child_enter.trace_id, root.trace_id);
+        assert_eq!(child_enter.parent_id, root.span_id);
+        // Deterministic mode: exit fields carry phase op counts, no ns.
+        let child_exit =
+            events.iter().find(|e| e.name == "t.child" && e.kind == EventKind::Exit).unwrap();
+        assert_eq!(child_exit.fields, "crypto_ops=2");
+        let root_exit =
+            events.iter().find(|e| e.name == "t.root" && e.kind == EventKind::Exit).unwrap();
+        assert_eq!(
+            root_exit.fields, "crypto_ops=2 net_ops=1",
+            "child phases roll up into the root"
+        );
+        // The whole thing assembles into one tree rooted at t.root.
+        let trees = assemble(&owned);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].trace_id, 0xABCD);
+        assert_eq!(trees[0].roots.len(), 1);
+        assert_eq!(trees[0].roots[0].name, "t.root");
+        assert_eq!(trees[0].roots[0].children[0].name, "t.child");
+        // And the root op landed in the slow-op ring with its events.
+        let slow = slow_ops();
+        let cap = slow.iter().find(|c| c.trace_id == 0xABCD).expect("root op captured");
+        assert_eq!(cap.root, "t.root");
+        assert!(cap.events.len() >= 4, "capture holds the trace's events");
+        clear_slow_ops();
 
         log.set_filter(Filter::off());
     }

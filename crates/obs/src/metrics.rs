@@ -166,6 +166,49 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), linearly interpolated
+    /// within the bucket containing the target rank. Returns `None` when
+    /// the histogram is empty. Values in the `+Inf` bucket report the
+    /// highest finite bound (the estimate saturates — a fixed-bucket
+    /// histogram cannot see past its last edge). Deterministic: a pure
+    /// function of the bucket counts.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let mut cum = Vec::with_capacity(self.0.buckets.len());
+        let mut running = 0u64;
+        for b in &self.0.buckets {
+            running += b.load(Ordering::Relaxed);
+            cum.push(running);
+        }
+        quantile_from_cumulative(&self.0.bounds, &cum, q)
+    }
+}
+
+/// Shared quantile walk over cumulative bucket counts. `bounds` holds the
+/// finite upper edges; `cum` has one extra trailing entry for `+Inf`.
+fn quantile_from_cumulative(bounds: &[u64], cum: &[u64], q: f64) -> Option<u64> {
+    let count = *cum.last()?;
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Target rank in 1..=count (the rank-th smallest observation).
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let idx = cum.iter().position(|c| *c >= rank)?;
+    if idx >= bounds.len() {
+        // +Inf bucket: saturate at the last finite edge.
+        return Some(bounds.last().copied().unwrap_or(u64::MAX));
+    }
+    let lower = if idx == 0 { 0 } else { bounds[idx - 1] };
+    let upper = bounds[idx];
+    let below = if idx == 0 { 0 } else { cum[idx - 1] };
+    let in_bucket = cum[idx] - below;
+    if in_bucket == 0 {
+        return Some(upper);
+    }
+    // Interpolate the rank's position across the bucket's value range.
+    let frac = (rank - below) as f64 / in_bucket as f64;
+    Some(lower + ((upper - lower) as f64 * frac).round() as u64)
 }
 
 enum Metric {
@@ -321,6 +364,42 @@ impl Snapshot {
         Snapshot { values }
     }
 
+    /// Estimated `q`-quantile of the histogram named `metric`,
+    /// reconstructed from this snapshot's `metric_bucket{le="..."}` keys
+    /// (which works on deltas too — differences of cumulative buckets are
+    /// cumulative). `None` when the histogram is absent or empty. Same
+    /// interpolation and `+Inf` saturation as [`Histogram::quantile`].
+    pub fn quantile(&self, metric: &str, q: f64) -> Option<u64> {
+        let prefix = format!("{metric}_bucket{{le=\"");
+        let mut finite: Vec<(u64, u64)> = Vec::new();
+        let mut inf: Option<u64> = None;
+        for (k, v) in &self.values {
+            let Some(rest) = k.strip_prefix(&prefix) else { continue };
+            let Some(bound) = rest.strip_suffix("\"}") else { continue };
+            if bound == "+Inf" {
+                inf = Some(*v);
+            } else if let Ok(b) = bound.parse::<u64>() {
+                finite.push((b, *v));
+            }
+        }
+        let inf = inf?;
+        finite.sort_by_key(|(b, _)| *b);
+        let bounds: Vec<u64> = finite.iter().map(|(b, _)| *b).collect();
+        let mut cum: Vec<u64> = finite.iter().map(|(_, c)| *c).collect();
+        cum.push(inf);
+        quantile_from_cumulative(&bounds, &cum, q)
+    }
+
+    /// The standard p50/p95/p99 triple for `metric`, or `None` when the
+    /// histogram is absent or empty.
+    pub fn quantile_summary(&self, metric: &str) -> Option<(u64, u64, u64)> {
+        Some((
+            self.quantile(metric, 0.50)?,
+            self.quantile(metric, 0.95)?,
+            self.quantile(metric, 0.99)?,
+        ))
+    }
+
     /// Renders only the deterministic subset (see [`is_deterministic`]) as
     /// `key value` lines. Two runs of the same seeded workload must produce
     /// byte-identical output — the CI metrics-determinism gate diffs this.
@@ -433,6 +512,50 @@ mod tests {
         assert!(det.contains("recovery_ms_count 1"), "ms timing counts are deterministic");
         assert!(!det.contains("recovery_ms_sum"), "ms sums are wall-clock");
         assert!(!det.contains("recovery_ms_bucket"), "ms buckets are wall-clock");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns", &[100, 200, 400]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 10 observations spread 8 / 2 across the first two buckets.
+        for _ in 0..8 {
+            h.observe(50);
+        }
+        for _ in 0..2 {
+            h.observe(150);
+        }
+        // p50 -> rank 5 of 8 in bucket [0, 100]: 100 * 5/8 = 63.
+        assert_eq!(h.quantile(0.50), Some(63));
+        // p95 -> rank 10, second bucket [100, 200], position 2/2 -> 200.
+        assert_eq!(h.quantile(0.95), Some(200));
+        // Everything beyond the last edge saturates at it.
+        h.observe(10_000);
+        assert_eq!(h.quantile(1.0), Some(400), "+Inf saturates at last finite bound");
+
+        // The snapshot reconstruction agrees with the live histogram.
+        let s = r.snapshot();
+        assert_eq!(s.quantile("lat_ns", 0.50), h.quantile(0.50));
+        assert_eq!(s.quantile("lat_ns", 0.95), h.quantile(0.95));
+        assert_eq!(s.quantile("lat_ns", 0.99), h.quantile(0.99));
+        assert_eq!(s.quantile("absent_ns", 0.5), None);
+        let (p50, p95, p99) = s.quantile_summary("lat_ns").unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "quantiles are monotone: {p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn quantiles_work_on_deltas() {
+        let r = Registry::new();
+        let h = r.histogram("d_ns", &[10, 100]);
+        h.observe(5);
+        let before = r.snapshot();
+        for _ in 0..4 {
+            h.observe(50);
+        }
+        let d = r.snapshot().delta(&before);
+        // Only the 4 post-snapshot observations count: all in (10, 100].
+        assert_eq!(d.quantile("d_ns", 0.5), Some(10 + (90f64 * 0.5).round() as u64));
     }
 
     #[test]

@@ -389,6 +389,14 @@ impl LogEngine {
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Attribute time spent waiting on the engine mutex to the enclosing
+        // span's `lock` phase; only times when a trace span is live.
+        if sharoes_obs::in_span() {
+            let start = std::time::Instant::now();
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            sharoes_obs::phase_add(sharoes_obs::Phase::Lock, start.elapsed().as_nanos() as u64);
+            return guard;
+        }
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 

@@ -2,7 +2,7 @@
 
 use crate::engine::LogEngine;
 use crate::store::ObjectStore;
-use sharoes_net::{NetError, ObjectKey, Request, RequestHandler, Response};
+use sharoes_net::{NetError, ObjectKey, Request, RequestHandler, Response, TraceEventWire};
 use sharoes_obs::Histogram;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -22,6 +22,7 @@ struct SspMetrics {
     stats: Histogram,
     scan: Histogram,
     metrics: Histogram,
+    trace: Histogram,
 }
 
 fn ssp_metrics() -> &'static SspMetrics {
@@ -40,6 +41,7 @@ fn ssp_metrics() -> &'static SspMetrics {
             stats: h("ssp_op_stats_ns"),
             scan: h("ssp_op_scan_ns"),
             metrics: h("ssp_op_metrics_ns"),
+            trace: h("ssp_op_trace_ns"),
         }
     })
 }
@@ -168,6 +170,7 @@ impl RequestHandler for SspServer {
             Request::Stats => ("stats", &m.stats),
             Request::Scan { .. } => ("scan", &m.scan),
             Request::Metrics => ("metrics", &m.metrics),
+            Request::Trace { .. } => ("trace", &m.trace),
         };
         let _span = sharoes_obs::span!("ssp.op", op);
         let start = Instant::now();
@@ -238,8 +241,23 @@ impl RequestHandler for SspServer {
                 Response::Keys { keys, done }
             }
             Request::Metrics => Response::Metrics { text: sharoes_obs::global().render() },
+            Request::Trace { max } => {
+                // Non-draining snapshot: a remote scrape must not race
+                // local consumers (`take()` is drain-only). Newest events
+                // win when the ring holds more than `max`.
+                let tracer = sharoes_obs::tracer();
+                let all = tracer.snapshot();
+                let skip = all.len().saturating_sub(max as usize);
+                let events: Vec<TraceEventWire> =
+                    all.iter().skip(skip).map(TraceEventWire::from).collect();
+                Response::Trace { events, dropped: tracer.dropped() + skip as u64 }
+            }
         };
-        hist.observe(start.elapsed().as_nanos() as u64);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        hist.observe(elapsed);
+        // Attribute the server's handling time to the enclosing span (the
+        // adopted `ssp.rpc` frame when the request carried a trace header).
+        sharoes_obs::phase_add(sharoes_obs::Phase::Storage, elapsed);
         response
     }
 }

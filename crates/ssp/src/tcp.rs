@@ -147,7 +147,16 @@ pub fn serve_with(
                 let slot = ConnSlot::claim(&live, options.max_connections);
                 let Some(slot) = slot else {
                     conn_metrics().shed.inc();
-                    sharoes_obs::obs_event!(sharoes_obs::Level::Warn, "ssp.conn_shed");
+                    let peer = peer_label(&sock);
+                    let reason = "connection budget exhausted";
+                    let limit = options.max_connections;
+                    sharoes_obs::obs_event!(
+                        sharoes_obs::Level::Warn,
+                        "ssp.conn_shed",
+                        peer,
+                        reason,
+                        limit
+                    );
                     shed_connection(sock);
                     continue;
                 };
@@ -193,6 +202,12 @@ fn shed_connection(mut sock: TcpStream) {
     let _ = write_frame(&mut sock, &reply.to_wire());
 }
 
+/// Best-effort peer address for triage events ("?" when the socket cannot
+/// say, e.g. it already reset).
+fn peer_label(sock: &TcpStream) -> String {
+    sock.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into())
+}
+
 fn serve_connection(
     server: Arc<SspServer>,
     mut sock: TcpStream,
@@ -208,14 +223,44 @@ fn serve_connection(
                 // Tell the client why before hanging up; the stream is no
                 // longer framable (the body was never read), so close.
                 conn_metrics().frames_too_large.inc();
+                let peer = peer_label(&sock);
+                let bytes = n;
+                let limit = sharoes_net::transport::MAX_FRAME_LEN;
+                sharoes_obs::obs_event!(
+                    sharoes_obs::Level::Warn,
+                    "ssp.frame_too_large",
+                    peer,
+                    bytes,
+                    limit
+                );
                 let reply = Response::Error(format!("frame too large: {n} bytes"));
                 let _ = write_frame(&mut sock, &reply.to_wire());
                 return;
             }
             Err(_) => return, // disconnect or idle timeout
         };
-        let response = match Request::from_wire(&frame) {
-            Ok(req) => server.handle(req),
+        // Split off the optional trace header so the op's server-side spans
+        // adopt the caller's context and nest under its tree.
+        let (remote_ctx, body) = match sharoes_net::traceframe::split_header(&frame) {
+            Ok(split) => split,
+            Err(e) => {
+                conn_metrics().bad_requests.inc();
+                let reply = Response::Error(format!("bad request: {e}"));
+                if write_frame(&mut sock, &reply.to_wire()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match Request::from_wire(body) {
+            Ok(req) => {
+                let _rpc = remote_ctx.map(|ctx| {
+                    sharoes_obs::SpanGuard::enter_with("ssp.rpc", ctx, || {
+                        "transport=\"tcp\"".into()
+                    })
+                });
+                server.handle(req)
+            }
             Err(e) => {
                 conn_metrics().bad_requests.inc();
                 Response::Error(format!("bad request: {e}"))

@@ -17,9 +17,15 @@ use sharoes::net::{
 };
 use sharoes::prelude::*;
 use sharoes::ssp::SspServer;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const NODE_NAMES: [&str; 3] = ["a", "b", "c"];
+
+/// Both gates in this file mutate process-global observability state (the
+/// trace buffer, its filter, the slow-op ring); running them concurrently
+/// would let one pass's spans bleed into the other's export. Each test
+/// holds this for its whole body.
+static OBS_GATE: Mutex<()> = Mutex::new(());
 
 struct World {
     servers: Vec<Arc<SspServer>>,
@@ -160,6 +166,7 @@ fn registry_delta_for_pass(seed: u64) -> String {
 
 #[test]
 fn identical_seeded_runs_move_the_registry_identically() {
+    let _gate = OBS_GATE.lock().unwrap_or_else(|e| e.into_inner());
     let seed = sharoes_testkit::rng::test_seed();
     println!("obs gate seed: {seed:#x} (set SHAROES_TEST_SEED to replay)");
     let pass_a = registry_delta_for_pass(seed);
@@ -207,4 +214,92 @@ fn identical_seeded_runs_move_the_registry_identically() {
         !pass_a.contains("ssp_recovery_ms_sum") && !pass_a.contains("ssp_recovery_ms_bucket"),
         "wall-clock recovery series leaked into the deterministic export"
     );
+}
+
+/// One traced pass: same deployment and chaos workload as the metrics gate,
+/// but with the span tracer on. Returns the deterministic rendering (wall
+/// clock excluded) of every assembled trace tree.
+fn trace_render_for_pass(seed: u64) -> String {
+    let tracer = sharoes::obs::tracer();
+    // Deploy and migrate untraced: those spans are setup noise, and keeping
+    // the filter off means the phase is also fast.
+    tracer.set_filter(sharoes::obs::Filter::off());
+    let world = deploy(seed);
+    let cluster = make_cluster(&world.servers, 0.10, seed ^ 0xFA17);
+    let mut client = SharoesClient::with_rng(
+        Box::new(cluster),
+        world.config.clone(),
+        Arc::clone(&world.db),
+        Arc::clone(&world.pki),
+        world.ring.identity(Uid(1000)).unwrap(),
+        Arc::clone(&world.pool),
+        HmacDrbg::from_seed_u64(seed ^ 0x5E55),
+    );
+    // Headroom so a whole pass fits without eviction (eviction order is
+    // deterministic too, but a full buffer would silently truncate trees).
+    tracer.set_capacity(65_536);
+    tracer.set_filter(sharoes::obs::Filter::parse("debug"));
+    let _ = tracer.take();
+    sharoes::obs::clear_slow_ops();
+    run_workload(&mut client);
+    tracer.set_filter(sharoes::obs::Filter::off());
+    let events: Vec<sharoes::obs::OwnedEvent> =
+        tracer.take().iter().map(sharoes::obs::OwnedEvent::from).collect();
+    tracer.set_capacity(4096);
+    let trees = sharoes::obs::assemble(&events);
+    sharoes::obs::tree::render(&trees, false)
+}
+
+#[test]
+fn identical_seeded_runs_render_identical_trace_trees() {
+    let _gate = OBS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let seed = sharoes_testkit::rng::test_seed();
+    println!("trace gate seed: {seed:#x} (set SHAROES_TEST_SEED to replay)");
+    let pass_a = trace_render_for_pass(seed);
+    let pass_b = trace_render_for_pass(seed);
+
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/trace-determinism-a.txt", &pass_a).expect("write pass a");
+    std::fs::write("target/trace-determinism-b.txt", &pass_b).expect("write pass b");
+
+    assert_eq!(
+        pass_a, pass_b,
+        "trace trees diverged between identical seeded runs — a span id, \
+         field, or tree shape is not a pure function of the workload \
+         (diff target/trace-determinism-{{a,b}}.txt)"
+    );
+
+    // The trees must be substantive: a client-op root whose subtree spans
+    // the cluster fan-out and the per-replica server work.
+    assert!(
+        pass_a.lines().any(|l| l.trim_start().starts_with("core.")),
+        "no client-op root span in the assembled trees:\n{pass_a}"
+    );
+    let replicas_hit: std::collections::BTreeSet<&str> = pass_a
+        .lines()
+        .filter(|l| l.trim_start().starts_with("cluster.replica"))
+        .filter_map(|l| l.split("node=").nth(1))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .collect();
+    assert!(
+        replicas_hit.len() >= 2,
+        "expected spans on >=2 distinct replicas, saw {replicas_hit:?}:\n{pass_a}"
+    );
+    assert!(
+        pass_a.contains("ssp.rpc"),
+        "no adopted server-side rpc span — wire propagation broke:\n{pass_a}"
+    );
+    assert!(
+        pass_a.lines().any(|l| l.contains("ssp.op") && l.contains("storage_ops=")),
+        "ssp.op spans carry no storage phase attribution:\n{pass_a}"
+    );
+    assert!(
+        pass_a.lines().any(|l| l.trim_start().starts_with("core.") && l.contains("crypto_ops=")),
+        "client roots carry no rolled-up crypto phase attribution:\n{pass_a}"
+    );
+    assert!(
+        pass_a.lines().any(|l| l.contains("net_ops=")),
+        "no network phase attribution anywhere:\n{pass_a}"
+    );
+    assert!(!pass_a.contains("_ns="), "wall-clock fields leaked into the deterministic rendering");
 }
