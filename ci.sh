@@ -71,10 +71,25 @@ step "enterprise determinism: diff exported registry deltas" \
 step "crash-point recovery matrix at fifth pinned seed (log-engine durability)" \
     env SHAROES_TEST_SEED=0xC4A54F70 cargo test -q --offline --test crashpoints
 
+step "authenticated-index gate at sixth pinned seed (verified scans + tamper oracle)" \
+    env SHAROES_TEST_SEED=0x1DE15EED cargo test -q --offline --test index
+
+# Same independent check for the index gate's registry and trace exports.
+step "index determinism: diff exported registry deltas" \
+    diff target/index-registry-a.txt target/index-registry-b.txt
+
+step "index determinism: diff exported span-tree renderings" \
+    diff target/index-trace-a.txt target/index-trace-b.txt
+
 # Tracing-overhead ablation: spans off vs on over the same seeded workload,
 # exported as BENCH_obs.json for the trajectory record.
 step "tracing-overhead ablation (writes BENCH_obs.json)" \
     cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick obs
+
+# Indexed-vs-flat scan ablation with proof overhead, exported as
+# BENCH_index.json for the trajectory record.
+step "authenticated-index scan ablation (writes BENCH_index.json)" \
+    cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick index
 
 echo ""
 echo "== step timings"

@@ -92,6 +92,8 @@ fn print_help() {
          \x20            (population size via SHAROES_SCALE=small|medium|large|million;\n\
          \x20            writes BENCH_enterprise.json)\n\
          \x20 obs        tracing-overhead ablation, spans off vs on (writes BENCH_obs.json)\n\
+         \x20 index      authenticated-index ablation: flat vs indexed scans, proof\n\
+         \x20            overhead at several keyspace sizes (writes BENCH_index.json)\n\
          \x20 summary    headline speedups (E7)\n\
          \x20 all        everything above"
     );
@@ -567,6 +569,117 @@ fn enterprise_report(opts: &BenchOpts, quick: bool) {
     println!("\nwrote {out}");
 }
 
+/// Authenticated-index ablation: at several keyspace sizes, compares the
+/// flat-sort scan (the pre-index O(n log n)-per-page path, kept as a debug
+/// oracle) with the Merkle-index scan, and measures the verified-scan
+/// proof overhead (bytes shipped and client verify time). Writes
+/// `BENCH_index.json`.
+fn index_report(_opts: &BenchOpts, quick: bool) {
+    use sharoes_crypto::RandomSource;
+    use sharoes_net::ObjectKey;
+    use sharoes_ssp::ObjectStore;
+
+    let sizes: &[usize] = if quick { &[200, 800, 2000] } else { &[500, 2000, 8000] };
+    let page = 64usize;
+    println!("\n== INDEX: authenticated ordered index ablation (page {page}) ==");
+    let mut table = Table::new(&[
+        "keys",
+        "flat scan (ms)",
+        "indexed (ms)",
+        "speedup",
+        "proof+verify (ms)",
+        "proof B/page",
+        "proof overhead",
+    ]);
+    // (keys, flat_ns, idx_ns, verified_ns, proof_bytes, key_bytes)
+    let mut points: Vec<(usize, u64, u64, u64, u64, u64)> = Vec::new();
+    for &n in sizes {
+        let store = ObjectStore::new();
+        let mut rng = sharoes_crypto::HmacDrbg::from_seed_u64(0x1DE0 ^ n as u64);
+        for i in 0..n {
+            let mut view = [0u8; 16];
+            for b in view.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            store.put(ObjectKey::data(rng.next_u64(), view, i as u32), vec![0u8; 32]);
+        }
+
+        type ScanFn<'a> = &'a dyn Fn(Option<&ObjectKey>, usize) -> (Vec<ObjectKey>, bool);
+        let walk = |f: ScanFn| -> (u64, usize) {
+            let t0 = std::time::Instant::now();
+            let mut after: Option<ObjectKey> = None;
+            let mut total = 0usize;
+            loop {
+                let (keys, done) = f(after.as_ref(), page);
+                total += keys.len();
+                after = keys.last().copied().or(after);
+                if done {
+                    return (t0.elapsed().as_nanos() as u64, total);
+                }
+            }
+        };
+        let (flat_ns, flat_total) = walk(&|a, l| store.scan_keys_flat(a, l));
+        let (idx_ns, idx_total) = walk(&|a, l| store.scan_keys(a, l));
+        assert_eq!(flat_total, idx_total, "flat and indexed walks disagree");
+
+        // Verified walk: server-side proof generation + client-side verify.
+        let t0 = std::time::Instant::now();
+        let mut after: Option<ObjectKey> = None;
+        let mut proof_bytes = 0u64;
+        let mut pages = 0u64;
+        loop {
+            let p = store.scan_proof(after.as_ref(), page as u32);
+            sharoes_index::verify_scan_page(
+                &p.root,
+                after.as_ref(),
+                page as u32,
+                &p.keys,
+                p.done,
+                &p.proof,
+            )
+            .expect("honest store page must verify");
+            proof_bytes += p.proof.len() as u64;
+            pages += 1;
+            after = p.keys.last().copied().or(after);
+            if p.done {
+                break;
+            }
+        }
+        let verified_ns = t0.elapsed().as_nanos() as u64;
+        let key_bytes = (idx_total * 29) as u64; // 29-byte wire key
+        table.row(vec![
+            n.to_string(),
+            format!("{:.3}", flat_ns as f64 / 1e6),
+            format!("{:.3}", idx_ns as f64 / 1e6),
+            format!("{:.1}x", flat_ns as f64 / idx_ns.max(1) as f64),
+            format!("{:.3}", verified_ns as f64 / 1e6),
+            (proof_bytes / pages.max(1)).to_string(),
+            format!("{:.1}%", proof_bytes as f64 / key_bytes.max(1) as f64 * 100.0),
+        ]);
+        points.push((n, flat_ns, idx_ns, verified_ns, proof_bytes, key_bytes));
+    }
+    table.print();
+    println!("flat re-sorts the whole keyspace every page; the index serves pages in O(log n)");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"benchmark\": {},\n", json_str("authenticated_index")));
+    json.push_str(&format!("  \"page\": {page},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, (n, flat_ns, idx_ns, verified_ns, proof_bytes, key_bytes)) in points.iter().enumerate()
+    {
+        json.push_str(&format!(
+            "    {{\"keys\": {n}, \"flat_scan_ns\": {flat_ns}, \"indexed_scan_ns\": {idx_ns}, \
+             \"verified_scan_ns\": {verified_ns}, \"proof_bytes\": {proof_bytes}, \
+             \"key_bytes\": {key_bytes}}}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = "BENCH_index.json";
+    std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("wrote {out}");
+}
+
 /// Tracing-overhead ablation: runs the same seeded create/write/read
 /// workload twice — spans off, then spans fully on — and reports wall
 /// nanoseconds per op both ways plus what the span buffer captured. Writes
@@ -697,6 +810,7 @@ fn main() {
         "ablations" => ablations_report(&args.opts, args.quick),
         "enterprise" => enterprise_report(&args.opts, args.quick),
         "obs" => obs_report(&args.opts, args.quick),
+        "index" => index_report(&args.opts, args.quick),
         "summary" => {
             let r = fig9(&args.opts, args.quick);
             summary(&r);
@@ -711,6 +825,7 @@ fn main() {
             ablations_report(&args.opts, args.quick);
             enterprise_report(&args.opts, args.quick);
             obs_report(&args.opts, args.quick);
+            index_report(&args.opts, args.quick);
             summary(&r9);
         }
         other => die(&format!("unknown command: {other}")),

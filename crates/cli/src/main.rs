@@ -9,6 +9,7 @@
 //! sharoes-shell --cluster 3  # same, replicated over 3 in-process SSP nodes
 //! sharoes-shell stats ADDR   # dump a running sspd's live metrics and exit
 //! sharoes-shell trace ADDR.. # assemble cross-node span trees from sspd's
+//! sharoes-shell root ADDR..  # per-node index roots + replica-agreement verdict
 //! ```
 //!
 //! Type `help` at the prompt for commands.
@@ -238,6 +239,7 @@ impl Shell {
                      \x20 stat PATH         show attributes\n\
                      \x20 su NAME           remount as another user (alice, bob, root)\n\
                      \x20 whoami            current user\n\
+                     \x20 verify            verified keyspace listing (Merkle proof per page)\n\
                      \x20 ssp               show what the provider stores\n\
                      \x20 cluster-status    nodes, replication, and repair counters\n\
                      \x20 costs             traffic/crypto counters for this mount\n\
@@ -423,6 +425,19 @@ impl Shell {
                 },
                 _ => Err("usage: su NAME".into()),
             },
+            "verify" => match self.client.verified_scan_all(64) {
+                Ok(keys) => {
+                    let root = self.client.pinned_root().expect("pinned after verified scan");
+                    println!(
+                        "verified {} keys against index root {} — every page carried a \
+                         Merkle range proof; no key omitted, injected, or reordered",
+                        keys.len(),
+                        hex(&root)
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            },
             "ssp" => {
                 let objects: u64 = self.servers.iter().map(|(_, s)| s.store().object_count()).sum();
                 let bytes: u64 = self.servers.iter().map(|(_, s)| s.store().byte_count()).sum();
@@ -448,13 +463,26 @@ impl Shell {
                         opts.vnodes,
                         opts.seed
                     );
+                    let mut roots = Vec::with_capacity(self.servers.len());
                     for (name, server) in &self.servers {
+                        let (root, count) = server.store().index_root();
                         println!(
-                            "  {name:>8}: {:>6} objects  {:>10} bytes",
+                            "  {name:>8}: {:>6} objects  {:>10} bytes  root {}… ({count} keys)",
                             server.store().object_count(),
-                            server.store().byte_count()
+                            server.store().byte_count(),
+                            &hex(&root)[..16],
                         );
+                        roots.push(root);
                     }
+                    let agree = roots.windows(2).all(|w| w[0] == w[1]);
+                    println!(
+                        "  index roots: {}",
+                        if agree {
+                            "all nodes agree (identical key sets)"
+                        } else {
+                            "diverge (nodes hold different replica subsets when R < N)"
+                        }
+                    );
                     if let Some(stats) = &self.cluster_stats {
                         let s = stats.sample();
                         println!(
@@ -672,6 +700,48 @@ fn remote_trace(addrs: &[String]) -> i32 {
     0
 }
 
+/// `sharoes-shell root ADDR...`: fetch each node's authenticated index
+/// root over TCP and report replica agreement, non-interactively (for
+/// scripts and CI audits). Exit 0 on MATCH, 1 on MISMATCH or error.
+fn remote_root(addrs: &[String]) -> i32 {
+    let mut roots: Vec<[u8; 32]> = Vec::new();
+    for addr in addrs {
+        let mut transport = match TcpTransport::connect(addr) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sharoes-shell: cannot connect to {addr}: {e}");
+                return 1;
+            }
+        };
+        match transport.call(&Request::Root) {
+            Ok(Response::Root { root, count }) => {
+                println!("{addr}: root {} ({count} keys)", hex(&root));
+                roots.push(root);
+            }
+            Ok(other) => {
+                eprintln!("sharoes-shell: unexpected Root response: {other:?}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("sharoes-shell: Root call failed against {addr}: {e}");
+                return 1;
+            }
+        }
+    }
+    if roots.windows(2).all(|w| w[0] == w[1]) {
+        println!("verdict: MATCH ({} node(s) hold identical key sets)", roots.len());
+        0
+    } else {
+        println!("verdict: MISMATCH (replica key sets diverge — audit or rebalance)");
+        1
+    }
+}
+
+/// Lowercase hex of a 32-byte root.
+fn hex(hash: &[u8; 32]) -> String {
+    hash.iter().map(|b| format!("{b:02x}")).collect()
+}
+
 fn main() {
     let mut use_tcp = false;
     let mut cluster_n = 0usize;
@@ -692,6 +762,14 @@ fn main() {
                     std::process::exit(2);
                 }
                 std::process::exit(remote_trace(&addrs));
+            }
+            "root" => {
+                let addrs: Vec<String> = args.collect();
+                if addrs.is_empty() {
+                    eprintln!("sharoes-shell: root needs one or more addresses (host:port)");
+                    std::process::exit(2);
+                }
+                std::process::exit(remote_root(&addrs));
             }
             "--tcp" => use_tcp = true,
             "--cluster" => {

@@ -15,8 +15,10 @@
 //!   [`sharoes_net::Transport`] trait the client mounts through, fanning
 //!   writes to R replicas (W-quorum), failing reads over across replicas,
 //!   and read-repairing stale copies.
-//! * [`rebalance`] — streams misplaced keys after ring changes and audits
-//!   the R-replica invariant.
+//! * [`rebalance`] — restores placement after ring changes and audits the
+//!   R-replica invariant, discovering each node's key set through its
+//!   authenticated index (root compare + memoized subtree-diff descent)
+//!   instead of streaming every key every round.
 //! * [`config::ClusterConfig`] — the tiny shared file `sspd --cluster`,
 //!   the CLI, and clients all read.
 
@@ -25,6 +27,7 @@
 pub mod config;
 pub mod rebalance;
 pub mod ring;
+mod sync;
 pub mod transport;
 
 pub use config::{ClusterConfig, NodeSpec};

@@ -4,10 +4,14 @@
 //! The invariant: every stored key lives on exactly the R ring replicas of
 //! its point, byte-identical everywhere. Node joins, crashes (retirement),
 //! and missed W<R writes all break it; [`ClusterTransport::rebalance`]
-//! restores it by streaming the key index off every node (the `Scan` op)
-//! and moving what is misplaced, and [`ClusterTransport::audit`] proves it
-//! held. Both are client-driven — nodes never talk to each other, keeping
-//! the SSP as dumb (and as untrusted) as the paper requires.
+//! restores it by discovering every node's key set and moving what is
+//! misplaced, and [`ClusterTransport::audit`] proves it held. Discovery
+//! goes through each node's authenticated index (`Root` compare plus
+//! memoized subtree-diff descent, see `sync.rs`) rather than streaming
+//! every key through paged `Scan`s — a settled cluster costs one RPC per
+//! node per round. Both remain client-driven — nodes never talk to each
+//! other, keeping the SSP as dumb (and as untrusted) as the paper
+//! requires.
 
 use crate::transport::ClusterTransport;
 use sharoes_net::{NetError, ObjectKey, Request, Response};
@@ -53,7 +57,8 @@ impl AuditReport {
 
 impl ClusterTransport {
     /// Streams the full key index of one node through the paged `Scan` op.
-    fn scan_node(&mut self, idx: usize, page: u32) -> Result<Vec<ObjectKey>, NetError> {
+    /// Fallback path: the indexed walk in `sync.rs` is preferred.
+    pub(crate) fn scan_node(&mut self, idx: usize, page: u32) -> Result<Vec<ObjectKey>, NetError> {
         let mut keys = Vec::new();
         let mut after: Option<ObjectKey> = None;
         loop {
@@ -70,8 +75,12 @@ impl ClusterTransport {
         }
     }
 
-    /// Builds the global `key → holder nodes` map from every active node.
-    /// Nodes that fail to scan are skipped (their copies are invisible this
+    /// Builds the global `key → holder nodes` map from every active node,
+    /// via each node's authenticated index: one `Root` RPC per node, then
+    /// subtree-diff descent only where a root disagrees with what the memo
+    /// already resolved — replicas holding identical key sets cost nothing
+    /// beyond the root compare. Nodes whose index walk *and* legacy scan
+    /// fallback both fail are skipped (their copies are invisible this
     /// round and will be found by a later pass).
     fn holders_map(&mut self, page: u32) -> BTreeMap<ObjectKey, Vec<usize>> {
         let mut holders: BTreeMap<ObjectKey, Vec<usize>> = BTreeMap::new();
@@ -79,7 +88,7 @@ impl ClusterTransport {
             if !self.is_active(idx) {
                 continue;
             }
-            if let Ok(keys) = self.scan_node(idx, page) {
+            if let Ok(keys) = self.node_keys(idx, page) {
                 for key in keys {
                     holders.entry(key).or_default().push(idx);
                 }

@@ -1,0 +1,208 @@
+//! Authenticated-index replica sync: per-node root fetch, memoized
+//! subtree-diff descent, and the cluster-level union index behind the
+//! verified scan ops.
+//!
+//! Before the authenticated index, [`rebalance`](crate::rebalance) and
+//! `audit` streamed every node's *entire* key index through paged `Scan`
+//! calls each round — O(n) wire traffic per node even when nothing changed.
+//! Now each node commits to its keyspace with one 32-byte root
+//! (`Request::Root`), and the client descends content-addressed index
+//! nodes (`Request::IndexNode`) only where hashes differ from what the
+//! memo already holds. Replicas that agree on a subtree share its memo
+//! entry, so a settled cluster costs one RPC per node per round and a
+//! diverged one costs O(log n + Δ). Every fetched node is re-digested
+//! before use — a replica cannot forge its claimed key set below the root
+//! it reported. Nodes whose index ops fail (link fault, mid-descent
+//! mutation) fall back to the legacy `Scan` streaming path.
+
+use crate::transport::ClusterTransport;
+use sharoes_crypto::Sha256;
+use sharoes_index::{decode_node, empty_root, IndexNode, MerkleIndex, MAX_PROOF_DEPTH};
+use sharoes_net::{NetError, ObjectKey, Request, Response};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::OnceLock;
+
+/// Page size for the legacy-scan fallback when a node's index is unusable.
+const FALLBACK_SCAN_PAGE: u32 = 256;
+
+struct SyncMetrics {
+    nodes_fetched: sharoes_obs::Counter,
+    memo_hits: sharoes_obs::Counter,
+    fallbacks: sharoes_obs::Counter,
+    union_rebuilds: sharoes_obs::Counter,
+}
+
+fn sync_metrics() -> &'static SyncMetrics {
+    static METRICS: OnceLock<SyncMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SyncMetrics {
+        nodes_fetched: sharoes_obs::counter("cluster_index_nodes_fetched_total"),
+        memo_hits: sharoes_obs::counter("cluster_index_memo_hits_total"),
+        fallbacks: sharoes_obs::counter("cluster_index_scan_fallbacks_total"),
+        union_rebuilds: sharoes_obs::counter("cluster_index_union_rebuilds_total"),
+    })
+}
+
+impl ClusterTransport {
+    /// One node's index commitment: `(root hash, live key count)`.
+    pub(crate) fn node_root(&mut self, idx: usize) -> Result<([u8; 32], u64), NetError> {
+        match self.node_call(idx, &Request::Root)? {
+            Response::Root { root, count } => Ok((root, count)),
+            _ => Err(NetError::Codec("unexpected root response shape")),
+        }
+    }
+
+    /// Index roots of every active node, in slot order: `(name, root &
+    /// count, or the error that kept the node from answering)`. This is the
+    /// replica-agreement view the `root` / `cluster-status` shell commands
+    /// print.
+    #[allow(clippy::type_complexity)]
+    pub fn node_roots(&mut self) -> Vec<(String, Result<([u8; 32], u64), NetError>)> {
+        let mut out = Vec::new();
+        for idx in self.active_indices() {
+            let result = self.node_root(idx);
+            out.push((self.node_name(idx).to_string(), result));
+        }
+        out
+    }
+
+    /// The key set under `hash` on node `idx`, descending only into
+    /// subtrees the memo hasn't resolved. Every fetched node is verified
+    /// by re-digesting its bytes against the requested hash.
+    fn keys_under(
+        &mut self,
+        idx: usize,
+        hash: &[u8; 32],
+        memo: &mut HashMap<[u8; 32], Vec<ObjectKey>>,
+        depth: usize,
+    ) -> Result<Vec<ObjectKey>, NetError> {
+        if depth > MAX_PROOF_DEPTH {
+            return Err(NetError::Codec("index descent too deep"));
+        }
+        if let Some(keys) = memo.get(hash) {
+            sync_metrics().memo_hits.inc();
+            return Ok(keys.clone());
+        }
+        let bytes = match self.node_call(idx, &Request::IndexNode { hash: *hash })? {
+            Response::IndexNode { node: Some(bytes) } => bytes,
+            Response::IndexNode { node: None } => {
+                return Err(NetError::Codec("index node missing on replica"));
+            }
+            _ => return Err(NetError::Codec("unexpected index node response shape")),
+        };
+        if Sha256::digest(&bytes) != *hash {
+            return Err(NetError::Codec("index node bytes do not match their hash"));
+        }
+        sync_metrics().nodes_fetched.inc();
+        let keys = match decode_node(&bytes).map_err(|_| NetError::Codec("malformed index node"))? {
+            IndexNode::Leaf(keys) => keys,
+            IndexNode::Internal(entries) => {
+                let mut keys = Vec::new();
+                for (_, child) in &entries {
+                    keys.extend(self.keys_under(idx, child, memo, depth + 1)?);
+                }
+                keys
+            }
+        };
+        memo.insert(*hash, keys.clone());
+        Ok(keys)
+    }
+
+    /// Full key set of node `idx` via its authenticated index: one `Root`
+    /// RPC plus fetches only for subtrees the memo hasn't seen.
+    pub(crate) fn node_keys_indexed(&mut self, idx: usize) -> Result<Vec<ObjectKey>, NetError> {
+        let (root, count) = self.node_root(idx)?;
+        if root == empty_root() {
+            return if count == 0 {
+                Ok(Vec::new())
+            } else {
+                Err(NetError::Codec("empty root with nonzero key count"))
+            };
+        }
+        // The memo lives on `self` but the descent needs `&mut self` for
+        // RPCs, so take it out for the walk and put it back unconditionally.
+        let mut memo = std::mem::take(&mut self.node_memo);
+        let walked = self.keys_under(idx, &root, &mut memo, 0);
+        self.node_memo = memo;
+        let keys = walked?;
+        if keys.len() as u64 != count {
+            // A mutation between the Root fetch and the descent (or a node
+            // misreporting its count): treat the walk as unusable.
+            return Err(NetError::Codec("index key count mismatch"));
+        }
+        Ok(keys)
+    }
+
+    /// Full key set of node `idx`, preferring the O(log n + Δ) indexed walk
+    /// and falling back to legacy `Scan` streaming when the index path
+    /// fails.
+    pub(crate) fn node_keys(&mut self, idx: usize, page: u32) -> Result<Vec<ObjectKey>, NetError> {
+        match self.node_keys_indexed(idx) {
+            Ok(keys) => Ok(keys),
+            Err(_) => {
+                sync_metrics().fallbacks.inc();
+                self.scan_node(idx, page)
+            }
+        }
+    }
+
+    /// The union index over every reachable node's keyspace, rebuilt only
+    /// when some node's root moved since the last build. Nodes that fail
+    /// both the index walk and the scan fallback contribute nothing this
+    /// round (same visibility rule as the merged `Scan`).
+    pub(crate) fn union_index(&mut self) -> Result<&mut MerkleIndex, NetError> {
+        let active = self.active_indices();
+        if active.is_empty() {
+            return Err(Self::no_nodes_err());
+        }
+        let mut fingerprint: crate::transport::RootFingerprint = Vec::new();
+        for idx in &active {
+            if let Ok((root, _)) = self.node_root(*idx) {
+                fingerprint.push((*idx, root));
+            }
+        }
+        if fingerprint.is_empty() {
+            return Err(Self::no_nodes_err());
+        }
+        if self.union.as_ref().is_some_and(|(fp, _)| *fp == fingerprint) {
+            return Ok(&mut self.union.as_mut().expect("just checked").1);
+        }
+        let mut keys: BTreeSet<ObjectKey> = BTreeSet::new();
+        for (idx, _) in &fingerprint {
+            if let Ok(node_keys) = self.node_keys(*idx, FALLBACK_SCAN_PAGE) {
+                keys.extend(node_keys);
+            }
+        }
+        sync_metrics().union_rebuilds.inc();
+        self.union = Some((fingerprint, MerkleIndex::from_keys(keys)));
+        Ok(&mut self.union.as_mut().expect("just built").1)
+    }
+
+    /// `Request::Root` over the cluster: the union index's commitment.
+    pub(crate) fn union_root(&mut self) -> Result<Response, NetError> {
+        let index = self.union_index()?;
+        let root = index.root();
+        let count = index.len();
+        Ok(Response::Root { root, count })
+    }
+
+    /// `Request::IndexNode` over the cluster: served from the union index.
+    pub(crate) fn union_node(&mut self, hash: &[u8; 32]) -> Result<Response, NetError> {
+        Ok(Response::IndexNode { node: self.union_index()?.node_bytes(hash) })
+    }
+
+    /// `Request::ScanVerified` over the cluster: one page of the union
+    /// keyspace with a Merkle range proof against the union root.
+    pub(crate) fn scan_verified(
+        &mut self,
+        after: &Option<ObjectKey>,
+        limit: u32,
+    ) -> Result<Response, NetError> {
+        let page = self.union_index()?.prove_scan(after.as_ref(), limit);
+        Ok(Response::KeysProof {
+            keys: page.keys,
+            done: page.done,
+            root: page.root,
+            proof: page.proof,
+        })
+    }
+}

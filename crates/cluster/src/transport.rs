@@ -21,11 +21,12 @@
 //! state (see DESIGN.md §8 for the full invariant).
 
 use crate::ring::HashRing;
+use sharoes_index::MerkleIndex;
 use sharoes_net::{
     CostMeter, NetError, ObjectKey, Request, Response, Transport, TRANSIENT_ERROR_PREFIX,
 };
 use sharoes_obs::Counter;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -131,6 +132,10 @@ struct Node {
     retired: bool,
 }
 
+/// The per-node root fingerprint a cached union index was built from:
+/// one `(node_index, index_root)` pair per active node, in node order.
+pub(crate) type RootFingerprint = Vec<(usize, [u8; 32])>;
+
 /// The blob protocol fanned out over a ring of SSP nodes.
 pub struct ClusterTransport {
     opts: ClusterOpts,
@@ -138,6 +143,15 @@ pub struct ClusterTransport {
     nodes: Vec<Node>,
     meter: Arc<CostMeter>,
     stats: Arc<ClusterStats>,
+    /// Content-addressed cache of fetched index nodes → the key set under
+    /// them. Safe to keep forever: entries are verified against their hash
+    /// before insertion, and a hash pins its content. Subtrees shared
+    /// across replicas (or unchanged across rounds) cost zero RPCs.
+    pub(crate) node_memo: HashMap<[u8; 32], Vec<ObjectKey>>,
+    /// Cached union index over all active nodes' keyspaces, tagged with
+    /// the per-node root fingerprint it was built from; rebuilt only when
+    /// some node's root moves (see `sync.rs`).
+    pub(crate) union: Option<(RootFingerprint, MerkleIndex)>,
 }
 
 impl ClusterTransport {
@@ -157,6 +171,8 @@ impl ClusterTransport {
             nodes: Vec::new(),
             meter,
             stats: Arc::new(ClusterStats::default()),
+            node_memo: HashMap::new(),
+            union: None,
         }
     }
 
@@ -223,6 +239,11 @@ impl ClusterTransport {
         !self.nodes[idx].retired
     }
 
+    /// Name of the node in slot `idx`.
+    pub(crate) fn node_name(&self, idx: usize) -> &str {
+        &self.nodes[idx].name
+    }
+
     /// Node indices holding replicas of `key`, in ring preference order.
     pub(crate) fn replica_indices(&self, key: &ObjectKey) -> Vec<usize> {
         self.ring
@@ -237,7 +258,7 @@ impl ClusterTransport {
             .collect()
     }
 
-    fn active_indices(&self) -> Vec<usize> {
+    pub(crate) fn active_indices(&self) -> Vec<usize> {
         (0..self.nodes.len()).filter(|i| !self.nodes[*i].retired).collect()
     }
 
@@ -267,7 +288,7 @@ impl ClusterTransport {
         outcome
     }
 
-    fn no_nodes_err() -> NetError {
+    pub(crate) fn no_nodes_err() -> NetError {
         NetError::Remote(format!("{TRANSIENT_ERROR_PREFIX}: cluster has no active nodes"))
     }
 
@@ -693,6 +714,19 @@ impl Transport for ClusterTransport {
             Request::Scan { after, limit } => {
                 let (after, limit) = (*after, *limit);
                 self.scan(&after, limit)
+            }
+            // The authenticated-index view of the cluster: a single union
+            // index over every active node's keyspace (see `sync.rs`), so
+            // clients can pin one root and verify cluster-wide scans the
+            // same way they verify a single SSP's.
+            Request::Root => self.union_root(),
+            Request::IndexNode { hash } => {
+                let hash = *hash;
+                self.union_node(&hash)
+            }
+            Request::ScanVerified { after, limit } => {
+                let (after, limit) = (*after, *limit);
+                self.scan_verified(&after, limit)
             }
         }
     }

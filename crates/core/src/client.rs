@@ -31,7 +31,10 @@ use crate::scheme::{
 use crate::superblock::Superblock;
 use sharoes_crypto::{HmacDrbg, RandomSource, Sha256, SymKey, SystemRandom, VerifyKey};
 use sharoes_fs::{path as fspath, Acl, Gid, Mode, NodeKind, Uid, UserDb};
-use sharoes_net::{CostMeter, ObjectKey, Request, Response, Transport, WireRead, WireWrite};
+use sharoes_index::verify_scan_page;
+use sharoes_net::{
+    CostMeter, ObjectKey, OpClass, Request, Response, Transport, WireRead, WireWrite,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -125,6 +128,14 @@ pub struct SharoesClient {
     /// published to) the SSP by [`SharoesClient::load_kek_chain`]. `None`
     /// until loaded; escrow records are only written while a chain is held.
     kek: Option<KekChain>,
+    /// Root pinning for verified scans (DESIGN.md §13): the last index
+    /// root this client accepted a proof against. `None` until the first
+    /// verified scan trust-on-first-use pins whatever root it sees.
+    pinned_root: Option<[u8; 32]>,
+    /// True once a mutation has been acknowledged since the last pin —
+    /// only then may the next verified scan accept (and re-pin) a root
+    /// that moved.
+    root_dirty: bool,
 }
 
 /// Keys of the session freshness ledger.
@@ -192,6 +203,8 @@ impl SharoesClient {
             freshness: HashMap::new(),
             degraded: false,
             kek: None,
+            pinned_root: None,
+            root_dirty: false,
         }
     }
 
@@ -264,6 +277,11 @@ impl SharoesClient {
             Ok(Response::Error(msg)) => to_core(self, sharoes_net::NetError::Remote(msg)),
             Ok(other) => {
                 self.degraded = false;
+                // An acknowledged mutation legitimately moves the SSP's
+                // index root; let the next verified scan re-pin.
+                if matches!(OpClass::of(req), OpClass::Put | OpClass::Delete) {
+                    self.root_dirty = true;
+                }
                 Ok(other)
             }
             Err(e) => to_core(self, e),
@@ -305,6 +323,68 @@ impl SharoesClient {
             Response::Ok => Ok(()),
             _ => Err(CoreError::Corrupt("unexpected response to DeleteMany")),
         }
+    }
+
+    // ------------------------------------------------- verified listings
+
+    /// One page of the SSP keyspace under a Merkle range proof (DESIGN.md
+    /// §13): the page provably contains exactly the stored keys in
+    /// `(after, page-end]`, in order — the SSP cannot omit, inject, or
+    /// reorder entries without detection.
+    ///
+    /// Roots are pinned trust-on-first-use: the first verified scan adopts
+    /// whatever root it sees; afterwards the SSP may present a *different*
+    /// root only after this client's own acknowledged mutation (which
+    /// legitimately moves the keyspace). A page whose proof fails, or a
+    /// root that moved with no local mutation, returns
+    /// [`CoreError::ScanForged`] and leaves the pin untouched.
+    pub fn verified_scan(
+        &mut self,
+        after: Option<ObjectKey>,
+        limit: u32,
+    ) -> Result<(Vec<ObjectKey>, bool)> {
+        let _span = self.op_span("core.verified_scan", || format!("limit={limit}"));
+        let (keys, done, root, proof) = match self.call(&Request::ScanVerified { after, limit })? {
+            Response::KeysProof { keys, done, root, proof } => (keys, done, root, proof),
+            _ => return Err(CoreError::Corrupt("unexpected response to ScanVerified")),
+        };
+        if let Some(pinned) = self.pinned_root {
+            if pinned != root && !self.root_dirty {
+                sharoes_obs::counter("core_scan_root_rejections_total").inc();
+                return Err(CoreError::ScanForged(format!(
+                    "index root moved without a local mutation (pinned {}…, got {}…)",
+                    hex_prefix(&pinned),
+                    hex_prefix(&root),
+                )));
+            }
+        }
+        verify_scan_page(&root, after.as_ref(), limit, &keys, done, &proof)
+            .map_err(|e| CoreError::ScanForged(e.to_string()))?;
+        // Proof good against a root we accept: (re)pin it.
+        self.pinned_root = Some(root);
+        self.root_dirty = false;
+        Ok((keys, done))
+    }
+
+    /// Walks the whole keyspace through [`SharoesClient::verified_scan`]
+    /// pages of `limit` keys, verifying every page. The complete listing
+    /// or the first page's typed failure.
+    pub fn verified_scan_all(&mut self, limit: u32) -> Result<Vec<ObjectKey>> {
+        let mut out: Vec<ObjectKey> = Vec::new();
+        let mut after: Option<ObjectKey> = None;
+        loop {
+            let (keys, done) = self.verified_scan(after, limit)?;
+            after = keys.last().copied().or(after);
+            out.extend(keys);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// The index root this client has pinned, once a verified scan has run.
+    pub fn pinned_root(&self) -> Option<[u8; 32]> {
+        self.pinned_root
     }
 
     /// Records an observed signed version, flagging regressions as rollback.
@@ -2019,6 +2099,11 @@ impl SharoesClient {
         );
         self.fetch(key)
     }
+}
+
+/// Short hex prefix of a root hash for error messages.
+fn hex_prefix(hash: &[u8; 32]) -> String {
+    hash[..4].iter().map(|b| format!("{b:02x}")).collect()
 }
 
 /// Per-child material collected for directory table rebuilds.

@@ -27,6 +27,11 @@ pub enum CoreError {
     /// A signature or structural check failed — the SSP (or a non-writer)
     /// tampered with stored state.
     TamperDetected(String),
+    /// A verified scan page failed its Merkle range proof against the
+    /// pinned index root: the SSP omitted, injected, or reordered keys, or
+    /// presented a root the client never authorized (no local mutation
+    /// since the last pin).
+    ScanForged(String),
     /// Expected a directory.
     NotADirectory(String),
     /// Expected a file.
@@ -64,6 +69,7 @@ impl fmt::Display for CoreError {
                 write!(f, "permission {perm} on a {kind} has no cryptographic realization")
             }
             CoreError::TamperDetected(what) => write!(f, "tamper detected: {what}"),
+            CoreError::ScanForged(what) => write!(f, "scan proof rejected: {what}"),
             CoreError::NotADirectory(p) => write!(f, "not a directory: {p}"),
             CoreError::IsADirectory(p) => write!(f, "is a directory: {p}"),
             CoreError::AlreadyExists(p) => write!(f, "already exists: {p}"),
@@ -123,6 +129,8 @@ mod tests {
         let e = CoreError::UnsupportedPermission { perm: "-wx".into(), kind: "directory" };
         assert!(e.to_string().contains("-wx"));
         assert_eq!(CoreError::NotMounted.to_string(), "filesystem not mounted");
+        let e = CoreError::ScanForged("root mismatch".into());
+        assert_eq!(e.to_string(), "scan proof rejected: root mismatch");
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! The incrementally maintained Merkle search tree.
+
+use crate::proof::{encode_proof, ProofChild, ProofTree};
+use crate::{decode_node, empty_root, encode_node, is_leaf_boundary, is_node_boundary, IndexNode};
+use sharoes_crypto::Sha256;
+use sharoes_net::ObjectKey;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+use std::sync::OnceLock;
+
+fn cache_hits() -> &'static sharoes_obs::Counter {
+    static C: OnceLock<sharoes_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| sharoes_obs::counter("index_node_cache_hits_total"))
+}
+
+fn cache_misses() -> &'static sharoes_obs::Counter {
+    static C: OnceLock<sharoes_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| sharoes_obs::counter("index_node_cache_misses_total"))
+}
+
+fn proofs_total() -> &'static sharoes_obs::Counter {
+    static C: OnceLock<sharoes_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| sharoes_obs::counter("index_proofs_total"))
+}
+
+fn proof_bytes() -> &'static sharoes_obs::Histogram {
+    static H: OnceLock<sharoes_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| sharoes_obs::histogram_bytes("index_proof_bytes"))
+}
+
+/// One node of the cached level structure.
+#[derive(Clone)]
+struct BuiltNode {
+    /// Smallest key anywhere under this node.
+    first_key: ObjectKey,
+    /// Content hash (digest of the canonical encoding).
+    hash: [u8; 32],
+    /// Children, as an index range into the level below (empty at level 0).
+    children: Range<usize>,
+    /// Leaf-index span `[lo, hi)` this node covers.
+    span: (usize, usize),
+}
+
+/// The cached upper levels: rebuilt lazily after mutations.
+struct Built {
+    root: [u8; 32],
+    /// `levels[0]` are the leaves in key order; the last level is the
+    /// single root node. Empty when the tree is empty.
+    levels: Vec<Vec<BuiltNode>>,
+    /// Canonical encoding of every node, by hash (serves `IndexNode` RPCs).
+    nodes: HashMap<[u8; 32], Vec<u8>>,
+}
+
+/// One verified scan page: keys, completion flag, and the Merkle range
+/// proof tying them to `root`.
+#[derive(Clone, Debug)]
+pub struct VerifiedPage {
+    /// Keys strictly after the cursor, in order.
+    pub keys: Vec<ObjectKey>,
+    /// True when no keys remain beyond this page.
+    pub done: bool,
+    /// Root hash the proof commits to.
+    pub root: [u8; 32],
+    /// Encoded range proof for [`crate::verify_scan_page`].
+    pub proof: Vec<u8>,
+}
+
+/// A deterministic, history-independent Merkle search tree over
+/// [`ObjectKey`]s.
+///
+/// Leaves are maintained incrementally on every [`insert`]/[`remove`] (a
+/// mutation touches at most two leaves); the upper Merkle levels are
+/// invalidated by mutations and rebuilt lazily on the next [`root`],
+/// [`node_bytes`], or [`prove_scan`] call — O(#leaves), amortized across
+/// read bursts via the node cache.
+///
+/// [`insert`]: MerkleIndex::insert
+/// [`remove`]: MerkleIndex::remove
+/// [`root`]: MerkleIndex::root
+/// [`node_bytes`]: MerkleIndex::node_bytes
+/// [`prove_scan`]: MerkleIndex::prove_scan
+#[derive(Default)]
+pub struct MerkleIndex {
+    /// Leaf runs keyed by their first (smallest) key.
+    leaves: BTreeMap<ObjectKey, Vec<ObjectKey>>,
+    count: u64,
+    built: Option<Built>,
+}
+
+impl MerkleIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        MerkleIndex::default()
+    }
+
+    /// Builds canonically from any key iterator (duplicates collapse).
+    ///
+    /// This is the from-scratch constructor recovery paths use; by history
+    /// independence it yields exactly the tree incremental maintenance
+    /// would have.
+    pub fn from_keys<I: IntoIterator<Item = ObjectKey>>(keys: I) -> Self {
+        let mut sorted: Vec<ObjectKey> = keys.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let count = sorted.len() as u64;
+        let mut leaves = BTreeMap::new();
+        let mut run: Vec<ObjectKey> = Vec::new();
+        for k in sorted {
+            if !run.is_empty() && is_leaf_boundary(&k) {
+                leaves.insert(run[0], std::mem::take(&mut run));
+            }
+            run.push(k);
+        }
+        if !run.is_empty() {
+            leaves.insert(run[0], run);
+        }
+        MerkleIndex { leaves, count, built: None }
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no keys are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Inserts a key; returns false if it was already present.
+    pub fn insert(&mut self, key: ObjectKey) -> bool {
+        let covering = self.leaves.range(..=key).next_back().map(|(fk, _)| *fk);
+        match covering {
+            Some(fk) => {
+                let keys = self.leaves.get_mut(&fk).expect("covering leaf exists");
+                match keys.binary_search(&key) {
+                    Ok(_) => return false,
+                    Err(pos) => {
+                        self.built = None;
+                        self.count += 1;
+                        if is_leaf_boundary(&key) {
+                            // The key starts a leaf: split the covering run.
+                            // `pos >= 1` since the run's first key is < key.
+                            let tail = keys.split_off(pos);
+                            let mut leaf = Vec::with_capacity(tail.len() + 1);
+                            leaf.push(key);
+                            leaf.extend(tail);
+                            self.leaves.insert(key, leaf);
+                        } else {
+                            keys.insert(pos, key);
+                        }
+                    }
+                }
+            }
+            None => {
+                // New global minimum (or empty tree): the smallest key
+                // starts the first leaf whether or not it is a natural
+                // boundary.
+                self.built = None;
+                self.count += 1;
+                let mut leaf = vec![key];
+                if let Some(first) = self.leaves.keys().next().copied() {
+                    // The old first leaf only started there because nothing
+                    // preceded it; a non-boundary first key now merges in.
+                    if !is_leaf_boundary(&first) {
+                        leaf.extend(self.leaves.remove(&first).expect("first leaf exists"));
+                    }
+                }
+                self.leaves.insert(key, leaf);
+            }
+        }
+        true
+    }
+
+    /// Removes a key; returns false if it was absent.
+    pub fn remove(&mut self, key: &ObjectKey) -> bool {
+        let Some(fk) = self.leaves.range(..=*key).next_back().map(|(fk, _)| *fk) else {
+            return false;
+        };
+        let keys = self.leaves.get_mut(&fk).expect("covering leaf exists");
+        let Ok(pos) = keys.binary_search(key) else {
+            return false;
+        };
+        self.built = None;
+        self.count -= 1;
+        keys.remove(pos);
+        if keys.is_empty() {
+            self.leaves.remove(&fk);
+        } else if pos == 0 {
+            // The leaf lost its anchoring key: it survives on its own only
+            // if the new first key is a natural boundary (or nothing
+            // precedes it); otherwise it merges into its predecessor.
+            let leaf = self.leaves.remove(&fk).expect("leaf exists");
+            let nf = leaf[0];
+            match self.leaves.range(..nf).next_back().map(|(fk, _)| *fk) {
+                Some(pk) if !is_leaf_boundary(&nf) => {
+                    self.leaves.get_mut(&pk).expect("predecessor exists").extend(leaf);
+                }
+                _ => {
+                    self.leaves.insert(nf, leaf);
+                }
+            }
+        }
+        true
+    }
+
+    /// One scan page straight off the ordered leaves: keys strictly after
+    /// `after` (all of them from the front when `None`), at most `limit`,
+    /// plus whether the keyspace is exhausted. O(log #leaves + page).
+    pub fn scan_page(&self, after: Option<&ObjectKey>, limit: usize) -> (Vec<ObjectKey>, bool) {
+        let mut out = Vec::with_capacity(limit.min(4096));
+        let start = after.and_then(|a| self.leaves.range(..=*a).next_back().map(|(fk, _)| *fk));
+        let leaf_runs: Box<dyn Iterator<Item = &Vec<ObjectKey>>> = match start {
+            Some(s) => Box::new(self.leaves.range(s..).map(|(_, keys)| keys)),
+            None => Box::new(self.leaves.values()),
+        };
+        for keys in leaf_runs {
+            for k in keys {
+                if let Some(a) = after {
+                    if k <= a {
+                        continue;
+                    }
+                }
+                if out.len() == limit {
+                    return (out, false);
+                }
+                out.push(*k);
+            }
+        }
+        (out, true)
+    }
+
+    /// The current root hash (empty-tree sentinel when no keys).
+    pub fn root(&mut self) -> [u8; 32] {
+        self.built().root
+    }
+
+    /// The canonical encoding of the node with this hash, if it exists in
+    /// the current tree (serves the `IndexNode` wire op).
+    pub fn node_bytes(&mut self, hash: &[u8; 32]) -> Option<Vec<u8>> {
+        self.built().nodes.get(hash).cloned()
+    }
+
+    /// A scan page plus the Merkle range proof tying it to the current
+    /// root. `limit` is clamped up to 1.
+    pub fn prove_scan(&mut self, after: Option<&ObjectKey>, limit: u32) -> VerifiedPage {
+        let limit = limit.max(1) as usize;
+        let (page, done) = self.scan_page(after, limit);
+        let built = self.built();
+        let tree = if built.levels.is_empty() {
+            ProofTree::Empty
+        } else {
+            let leaves = &built.levels[0];
+            // Reveal from the last leaf whose first key <= after (the
+            // cursor's covering leaf — so the verifier can check nothing
+            // between cursor and page start was hidden) through the leaf
+            // holding the last page key.
+            let lo = match after {
+                Some(a) => leaves.partition_point(|n| n.first_key <= *a).saturating_sub(1),
+                None => 0,
+            };
+            let hi = match page.last() {
+                Some(e) => leaves.partition_point(|n| n.first_key <= *e).saturating_sub(1),
+                None => lo,
+            };
+            let top = built.levels.len() - 1;
+            make_subtree(built, top, 0, lo, hi)
+        };
+        let proof = encode_proof(&tree);
+        proofs_total().inc();
+        proof_bytes().observe(proof.len() as u64);
+        VerifiedPage { keys: page, done, root: built.root, proof }
+    }
+
+    /// Debug/test oracle: every indexed key, in order, via a full walk.
+    pub fn all_keys(&self) -> Vec<ObjectKey> {
+        self.leaves.values().flatten().copied().collect()
+    }
+
+    fn built(&mut self) -> &Built {
+        if self.built.is_none() {
+            cache_misses().inc();
+            self.built = Some(self.rebuild());
+        } else {
+            cache_hits().inc();
+        }
+        self.built.as_ref().expect("just built")
+    }
+
+    /// Rebuilds the Merkle levels bottom-up from the current leaves.
+    fn rebuild(&self) -> Built {
+        let mut nodes = HashMap::new();
+        let mut cur: Vec<BuiltNode> = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, (fk, keys))| {
+                let enc = encode_node(&IndexNode::Leaf(keys.clone()));
+                let hash = Sha256::digest(&enc);
+                nodes.insert(hash, enc);
+                BuiltNode { first_key: *fk, hash, children: 0..0, span: (i, i + 1) }
+            })
+            .collect();
+        if cur.is_empty() {
+            return Built { root: empty_root(), levels: Vec::new(), nodes };
+        }
+        let mut levels = Vec::new();
+        while cur.len() > 1 {
+            let mut next = Vec::new();
+            let mut start = 0usize;
+            for i in 1..=cur.len() {
+                if i == cur.len() || is_node_boundary(&cur[i].hash) {
+                    next.push(make_internal(&mut nodes, &cur, start..i));
+                    start = i;
+                }
+            }
+            if next.len() == cur.len() {
+                // Every child drew a boundary — no merge progress. Collapse
+                // the level into a single parent; still a pure function of
+                // the child hashes, so history independence holds.
+                next = vec![make_internal(&mut nodes, &cur, 0..cur.len())];
+            }
+            levels.push(std::mem::replace(&mut cur, next));
+        }
+        let root = cur[0].hash;
+        levels.push(cur);
+        Built { root, levels, nodes }
+    }
+}
+
+fn make_internal(
+    nodes: &mut HashMap<[u8; 32], Vec<u8>>,
+    prev: &[BuiltNode],
+    r: Range<usize>,
+) -> BuiltNode {
+    let entries: Vec<(ObjectKey, [u8; 32])> =
+        prev[r.clone()].iter().map(|n| (n.first_key, n.hash)).collect();
+    let enc = encode_node(&IndexNode::Internal(entries));
+    let hash = Sha256::digest(&enc);
+    nodes.insert(hash, enc);
+    BuiltNode {
+        first_key: prev[r.start].first_key,
+        hash,
+        children: r.clone(),
+        span: (prev[r.start].span.0, prev[r.end - 1].span.1),
+    }
+}
+
+/// Builds the proof subtree for one node: leaves in `[lo, hi]` (inclusive
+/// leaf indexes) are revealed, disjoint subtrees are pruned to
+/// `(first_key, hash)` stubs.
+fn make_subtree(built: &Built, level: usize, idx: usize, lo: usize, hi: usize) -> ProofTree {
+    let node = &built.levels[level][idx];
+    if level == 0 {
+        let enc = built.nodes.get(&node.hash).expect("leaf node encoded");
+        match decode_node(enc).expect("own leaf encoding valid") {
+            IndexNode::Leaf(keys) => ProofTree::Leaf(keys),
+            IndexNode::Internal(_) => unreachable!("level 0 is leaves"),
+        }
+    } else {
+        let children = node
+            .children
+            .clone()
+            .map(|ci| {
+                let c = &built.levels[level - 1][ci];
+                if c.span.1 <= lo || c.span.0 > hi {
+                    ProofChild::Omitted { first_key: c.first_key, hash: c.hash }
+                } else {
+                    ProofChild::Tree(make_subtree(built, level - 1, ci, lo, hi))
+                }
+            })
+            .collect();
+        ProofTree::Node(children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_scan_page;
+    use sharoes_net::KeySpace;
+
+    fn key(i: u64) -> ObjectKey {
+        ObjectKey { space: KeySpace::Data, inode: i, view: [(i % 251) as u8; 16], block: 0 }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut t = MerkleIndex::new();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), empty_root());
+        assert_eq!(t.scan_page(None, 10), (vec![], true));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_reaches_empty_root() {
+        let mut t = MerkleIndex::new();
+        for i in 0..500 {
+            assert!(t.insert(key(i)));
+        }
+        assert!(!t.insert(key(7)), "duplicate insert must be a no-op");
+        assert_eq!(t.len(), 500);
+        let full = t.root();
+        for i in 0..500 {
+            assert!(t.remove(&key(i)));
+        }
+        assert!(!t.remove(&key(7)));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.root(), empty_root());
+        assert_ne!(full, empty_root());
+    }
+
+    #[test]
+    fn incremental_matches_canonical_rebuild() {
+        // Insert in a scrambled order, delete a slice, and compare against
+        // the from-scratch constructor over the surviving set.
+        let mut t = MerkleIndex::new();
+        for i in (0..400).rev() {
+            t.insert(key(i * 7 % 400));
+        }
+        for i in 100..200 {
+            t.remove(&key(i));
+        }
+        let survivors: Vec<ObjectKey> = (0..400)
+            .map(key)
+            .filter(|k| {
+                let i = k.inode;
+                !(100..200).contains(&i)
+            })
+            .collect();
+        let mut canon = MerkleIndex::from_keys(survivors.clone());
+        assert_eq!(t.root(), canon.root());
+        assert_eq!(t.all_keys(), survivors);
+    }
+
+    #[test]
+    fn scan_pages_cover_exactly_once() {
+        let keys: Vec<ObjectKey> = (0..257).map(key).collect();
+        let t = MerkleIndex::from_keys(keys.clone());
+        let mut got = Vec::new();
+        let mut after: Option<ObjectKey> = None;
+        loop {
+            let (page, done) = t.scan_page(after.as_ref(), 13);
+            got.extend_from_slice(&page);
+            if done {
+                break;
+            }
+            after = page.last().copied();
+        }
+        assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn proofs_verify_across_full_pagination() {
+        let keys: Vec<ObjectKey> = (0..300).map(|i| key(i * 3)).collect();
+        let mut t = MerkleIndex::from_keys(keys.clone());
+        let root = t.root();
+        let mut after: Option<ObjectKey> = None;
+        let mut got = Vec::new();
+        loop {
+            let p = t.prove_scan(after.as_ref(), 17);
+            assert_eq!(p.root, root);
+            verify_scan_page(&root, after.as_ref(), 17, &p.keys, p.done, &p.proof)
+                .expect("honest page verifies");
+            got.extend_from_slice(&p.keys);
+            if p.done {
+                break;
+            }
+            after = p.keys.last().copied();
+        }
+        assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn node_bytes_served_by_hash_and_verifiable() {
+        let mut t = MerkleIndex::from_keys((0..200).map(key));
+        let root = t.root();
+        let bytes = t.node_bytes(&root).expect("root node serveable");
+        assert_eq!(Sha256::digest(&bytes), root);
+        // Walk the whole tree by hash and count every key exactly once.
+        fn collect(t: &mut MerkleIndex, hash: &[u8; 32], out: &mut Vec<ObjectKey>) {
+            let bytes = t.node_bytes(hash).expect("node exists");
+            assert_eq!(&Sha256::digest(&bytes), hash);
+            match decode_node(&bytes).unwrap() {
+                IndexNode::Leaf(keys) => out.extend(keys),
+                IndexNode::Internal(entries) => {
+                    for (_, h) in entries {
+                        collect(t, &h, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(&mut t, &root, &mut out);
+        assert_eq!(out, (0..200).map(key).collect::<Vec<_>>());
+        assert!(t.node_bytes(&[0xAA; 32]).is_none());
+    }
+}

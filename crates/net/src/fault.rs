@@ -74,8 +74,14 @@ impl OpClass {
     pub fn of(request: &Request) -> Self {
         match request {
             Request::Ping => OpClass::Ping,
-            // Scans are read-only index walks; class them with the reads.
-            Request::Get { .. } | Request::GetMany { .. } | Request::Scan { .. } => OpClass::Get,
+            // Scans (verified or not) and index lookups are read-only index
+            // walks; class them with the reads.
+            Request::Get { .. }
+            | Request::GetMany { .. }
+            | Request::Scan { .. }
+            | Request::ScanVerified { .. }
+            | Request::Root
+            | Request::IndexNode { .. } => OpClass::Get,
             Request::Put { .. } | Request::PutMany { .. } => OpClass::Put,
             Request::Delete { .. } | Request::DeleteBlocks { .. } | Request::DeleteMany { .. } => {
                 OpClass::Delete

@@ -164,6 +164,26 @@ pub enum Request {
         /// Maximum events to return (the newest ones win).
         max: u32,
     },
+    /// Fetches the root hash of the SSP's authenticated key index (the
+    /// Merkle search tree over every stored `ObjectKey`). Clients pin this
+    /// root; cluster audits compare it across replicas.
+    Root,
+    /// Fetches one node of the authenticated index by its hash, for
+    /// subtree-diff descent during replica audits. The node encoding is
+    /// owned by `sharoes-index`; the wire layer treats it as opaque bytes.
+    IndexNode {
+        /// Hash of the requested node.
+        hash: [u8; 32],
+    },
+    /// Like `Scan`, but the reply carries the index root and a Merkle range
+    /// proof that no key was omitted, inserted, or reordered between the
+    /// cursor and the page end.
+    ScanVerified {
+        /// Resume after this key (exclusive); `None` starts from the front.
+        after: Option<ObjectKey>,
+        /// Maximum keys per page (at least 1; servers clamp 0 up to 1).
+        limit: u32,
+    },
 }
 
 impl Request {
@@ -200,6 +220,13 @@ impl Request {
             // detectable.
             (Request::Trace { max }, Response::Trace { events, .. }) => {
                 events.len() <= *max as usize
+            }
+            (Request::Root, Response::Root { .. }) => true,
+            (Request::IndexNode { .. }, Response::IndexNode { .. }) => true,
+            // Verified scans enforce the page limit like plain scans (the
+            // proof itself is checked by the client against its pinned root).
+            (Request::ScanVerified { limit, .. }, Response::KeysProof { keys, .. }) => {
+                keys.len() <= (*limit).max(1) as usize
             }
             _ => false,
         }
@@ -244,6 +271,33 @@ pub enum Response {
         /// Events evicted from the ring before this scrape (plus any cut
         /// by the request's `max`), so assemblers know the view is partial.
         dropped: u64,
+    },
+    /// The root hash of the authenticated key index.
+    Root {
+        /// Root hash of the Merkle search tree over all stored keys.
+        root: [u8; 32],
+        /// Number of keys the index covers.
+        count: u64,
+    },
+    /// One node of the authenticated index, or `None` if the hash is
+    /// unknown (e.g. the tree mutated since the root was fetched).
+    IndexNode {
+        /// Opaque `sharoes-index` node encoding; its hash is its identity,
+        /// so the fetcher verifies it by recomputing the digest.
+        node: Option<Vec<u8>>,
+    },
+    /// One page of a verified key scan.
+    KeysProof {
+        /// Keys in `ObjectKey` order, all strictly after the request's
+        /// `after` cursor.
+        keys: Vec<ObjectKey>,
+        /// True when no keys remain beyond this page.
+        done: bool,
+        /// Index root hash this page was proven against.
+        root: [u8; 32],
+        /// Opaque Merkle range proof (`sharoes-index` encoding) tying the
+        /// page to `root`.
+        proof: Vec<u8>,
     },
     /// Server-side failure.
     Error(String),
@@ -294,6 +348,16 @@ impl WireWrite for Request {
                 11u8.write(out);
                 max.write(out);
             }
+            Request::Root => 12u8.write(out),
+            Request::IndexNode { hash } => {
+                13u8.write(out);
+                hash.write(out);
+            }
+            Request::ScanVerified { after, limit } => {
+                14u8.write(out);
+                after.write(out);
+                limit.write(out);
+            }
         }
     }
 }
@@ -313,6 +377,9 @@ impl WireRead for Request {
             9 => Request::Scan { after: Option::read(r)?, limit: u32::read(r)? },
             10 => Request::Metrics,
             11 => Request::Trace { max: u32::read(r)? },
+            12 => Request::Root,
+            13 => Request::IndexNode { hash: <[u8; 32]>::read(r)? },
+            14 => Request::ScanVerified { after: Option::read(r)?, limit: u32::read(r)? },
             _ => return Err(NetError::Codec("unknown request tag")),
         })
     }
@@ -354,6 +421,22 @@ impl WireWrite for Response {
                 events.write(out);
                 dropped.write(out);
             }
+            Response::Root { root, count } => {
+                9u8.write(out);
+                root.write(out);
+                count.write(out);
+            }
+            Response::IndexNode { node } => {
+                10u8.write(out);
+                node.write(out);
+            }
+            Response::KeysProof { keys, done, root, proof } => {
+                11u8.write(out);
+                keys.write(out);
+                done.write(out);
+                root.write(out);
+                proof.write(out);
+            }
         }
     }
 }
@@ -370,6 +453,14 @@ impl WireRead for Response {
             6 => Response::Keys { keys: Vec::read(r)?, done: bool::read(r)? },
             7 => Response::Metrics { text: String::read(r)? },
             8 => Response::Trace { events: Vec::read(r)?, dropped: u64::read(r)? },
+            9 => Response::Root { root: <[u8; 32]>::read(r)?, count: u64::read(r)? },
+            10 => Response::IndexNode { node: Option::read(r)? },
+            11 => Response::KeysProof {
+                keys: Vec::read(r)?,
+                done: bool::read(r)?,
+                root: <[u8; 32]>::read(r)?,
+                proof: Vec::read(r)?,
+            },
             _ => return Err(NetError::Codec("unknown response tag")),
         })
     }
@@ -405,6 +496,10 @@ mod tests {
         roundtrip_req(Request::Scan { after: None, limit: 128 });
         roundtrip_req(Request::Scan { after: Some(key), limit: 0 });
         roundtrip_req(Request::Trace { max: 512 });
+        roundtrip_req(Request::Root);
+        roundtrip_req(Request::IndexNode { hash: [0xAB; 32] });
+        roundtrip_req(Request::ScanVerified { after: None, limit: 64 });
+        roundtrip_req(Request::ScanVerified { after: Some(key), limit: 1 });
     }
 
     #[test]
@@ -439,6 +534,15 @@ mod tests {
         roundtrip_resp(Response::Keys {
             keys: vec![ObjectKey::metadata(1, [4; 16]), ObjectKey::data(2, [5; 16], 7)],
             done: false,
+        });
+        roundtrip_resp(Response::Root { root: [0xCD; 32], count: 12345 });
+        roundtrip_resp(Response::IndexNode { node: None });
+        roundtrip_resp(Response::IndexNode { node: Some(vec![1, 2, 3]) });
+        roundtrip_resp(Response::KeysProof {
+            keys: vec![ObjectKey::metadata(1, [4; 16])],
+            done: false,
+            root: [0xEF; 32],
+            proof: vec![9, 8, 7],
         });
     }
 
@@ -476,6 +580,18 @@ mod tests {
         assert!(Request::Trace { max: 0 }
             .matches_response(&Response::Trace { events: vec![], dropped: 0 }));
         assert!(!Request::Trace { max: 0 }.matches_response(&Response::Metrics { text: "".into() }));
+        // Index ops pair only with their own replies; verified scans check
+        // the page limit like plain scans.
+        assert!(Request::Root.matches_response(&Response::Root { root: [0; 32], count: 0 }));
+        assert!(!Request::Root.matches_response(&Response::Stats { objects: 0, bytes: 0 }));
+        assert!(Request::IndexNode { hash: [0; 32] }
+            .matches_response(&Response::IndexNode { node: None }));
+        assert!(!Request::IndexNode { hash: [0; 32] }.matches_response(&Response::Ok));
+        let vscan = Request::ScanVerified { after: None, limit: 1 };
+        let page = |keys| Response::KeysProof { keys, done: true, root: [0; 32], proof: vec![] };
+        assert!(vscan.matches_response(&page(vec![key])));
+        assert!(!vscan.matches_response(&page(vec![key, key])));
+        assert!(!vscan.matches_response(&Response::Keys { keys: vec![], done: true }));
     }
 
     #[test]

@@ -126,6 +126,21 @@ impl WireRead for [u8; 16] {
     }
 }
 
+impl WireWrite for [u8; 32] {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl WireRead for [u8; 32] {
+    fn read(r: &mut Cursor<'_>) -> Result<Self, NetError> {
+        let bytes = r.take(32)?;
+        let mut arr = [0u8; 32];
+        arr.copy_from_slice(bytes);
+        Ok(arr)
+    }
+}
+
 impl WireWrite for String {
     fn write(&self, out: &mut Vec<u8>) {
         (self.len() as u32).write(out);
@@ -232,6 +247,7 @@ mod tests {
         roundtrip("hello".to_string());
         roundtrip(String::new());
         roundtrip([7u8; 16]);
+        roundtrip([9u8; 32]);
     }
 
     #[test]

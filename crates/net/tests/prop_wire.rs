@@ -58,6 +58,14 @@ fn requests() -> Gen<Request> {
             Gen::from_fn(move |t| Ok(Request::Scan { after: after.sample(t)?, limit: t.u32() }))
         },
         Gen::from_fn(|t| Ok(Request::Trace { max: t.u32() })),
+        Gen::constant(Request::Root),
+        Gen::from_fn(|t| Ok(Request::IndexNode { hash: gen::byte_arrays::<32>().sample(t)? })),
+        {
+            let after = gen::option_of(key);
+            Gen::from_fn(move |t| {
+                Ok(Request::ScanVerified { after: after.sample(t)?, limit: t.u32() })
+            })
+        },
     ])
 }
 
@@ -109,6 +117,22 @@ fn responses() -> Gen<Response> {
             let events = gen::vecs(trace_events(), 0..5);
             Gen::from_fn(move |t| {
                 Ok(Response::Trace { events: events.sample(t)?, dropped: t.u64() })
+            })
+        },
+        Gen::from_fn(|t| {
+            Ok(Response::Root { root: gen::byte_arrays::<32>().sample(t)?, count: t.u64() })
+        }),
+        gen::option_of(gen::vecs(gen::u8s(), 0..128)).map(|node| Response::IndexNode { node }),
+        {
+            let keys = gen::vecs(keys(), 0..8);
+            let proof = gen::vecs(gen::u8s(), 0..128);
+            Gen::from_fn(move |t| {
+                Ok(Response::KeysProof {
+                    keys: keys.sample(t)?,
+                    done: t.bool(),
+                    root: gen::byte_arrays::<32>().sample(t)?,
+                    proof: proof.sample(t)?,
+                })
             })
         },
     ])

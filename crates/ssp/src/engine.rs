@@ -33,6 +33,7 @@ use crate::wal::{
     WalRecord, WAL_HEADER_LEN,
 };
 use sharoes_crypto::Sha256;
+use sharoes_index::{MerkleIndex, VerifiedPage};
 use sharoes_net::{KeySpace, NetError, ObjectKey};
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -107,6 +108,10 @@ struct CheckpointFile {
 
 struct Inner {
     index: BTreeMap<ObjectKey, Loc>,
+    /// Authenticated ordered index over the live keys, maintained in
+    /// lockstep with `index` and rebuilt from the recovered key set on
+    /// open. Compaction never touches it: the key *set* is unchanged.
+    mindex: MerkleIndex,
     /// Active WAL handle.
     wal: Box<dyn VFile>,
     wal_id: u64,
@@ -373,6 +378,11 @@ impl LogEngine {
             dir: dir.to_path_buf(),
             config,
             inner: Mutex::new(Inner {
+                // From-scratch rebuild over the recovered key set: history
+                // independence guarantees this equals the tree any sequence
+                // of live mutations would have left (tests/crashpoints.rs
+                // asserts this at every crash point).
+                mindex: MerkleIndex::from_keys(index.keys().copied()),
                 index,
                 wal,
                 wal_id,
@@ -592,9 +602,14 @@ impl LogEngine {
         let vlen = value.len() as u32;
         let (offset, rlen) = self.append_record(&mut inner, WalOp::Put { key, value })?;
         let loc = Loc { file: FileRef::Wal(inner.wal_id), offset, rlen, vlen, vdigest: [0; 8] };
-        if let Some(old) = inner.index.insert(key, loc) {
-            inner.dead_bytes += old.cost();
-            inner.value_bytes -= old.vlen as u64;
+        match inner.index.insert(key, loc) {
+            Some(old) => {
+                inner.dead_bytes += old.cost();
+                inner.value_bytes -= old.vlen as u64;
+            }
+            None => {
+                inner.mindex.insert(key);
+            }
         }
         inner.value_bytes += vlen as u64;
         self.group_sync(&mut inner)?;
@@ -621,6 +636,7 @@ impl LogEngine {
         if let Some(old) = inner.index.remove(key) {
             inner.dead_bytes += old.cost();
             inner.value_bytes -= old.vlen as u64;
+            inner.mindex.remove(key);
         }
         inner.dead_bytes += rlen as u64;
         self.group_sync(&mut inner)?;
@@ -646,6 +662,7 @@ impl LogEngine {
             if let Some(old) = inner.index.remove(key) {
                 inner.dead_bytes += old.cost();
                 inner.value_bytes -= old.vlen as u64;
+                inner.mindex.remove(key);
             }
             inner.dead_bytes += rlen as u64;
             self.group_sync(&mut inner)?;
@@ -707,6 +724,26 @@ impl LogEngine {
             keys.push(key);
         }
         (keys, done)
+    }
+
+    /// Root hash of the authenticated key index plus the live key count.
+    pub fn index_root(&self) -> ([u8; 32], u64) {
+        let mut inner = self.lock();
+        let root = inner.mindex.root();
+        let count = inner.mindex.len();
+        (root, count)
+    }
+
+    /// Canonical encoding of the index node content-addressed by `hash`,
+    /// if this engine currently has it (serves the `IndexNode` wire op).
+    pub fn index_node_bytes(&self, hash: &[u8; 32]) -> Option<Vec<u8>> {
+        self.lock().mindex.node_bytes(hash)
+    }
+
+    /// One scan page plus a Merkle range proof tying it to the current
+    /// root (serves the `ScanVerified` wire op).
+    pub fn scan_proof(&self, after: Option<&ObjectKey>, limit: u32) -> VerifiedPage {
+        self.lock().mindex.prove_scan(after, limit)
     }
 
     /// Serializes the full live state as a `SHAROES2` snapshot (sorted by
@@ -894,6 +931,35 @@ mod tests {
         let by = engine.bytes_by_space();
         assert_eq!(by[&KeySpace::Metadata], 14);
         assert_eq!(by[&KeySpace::Data], 21);
+    }
+
+    #[test]
+    fn index_root_tracks_mutations_compaction_and_reopen() {
+        let config = EngineConfig { roll_bytes: 256, auto_compact: false, ..Default::default() };
+        let (fs, engine) = mem_engine(config);
+        for i in 0..30u64 {
+            engine.put(key(i, (i % 3) as u32), vec![i as u8; 12]).unwrap();
+        }
+        engine.delete(&key(4, 1)).unwrap();
+        engine.delete_blocks(9, [9; 16]).unwrap();
+        let (keys, done) = engine.scan_keys(None, 10_000);
+        assert!(done);
+        let mut rebuilt = MerkleIndex::from_keys(keys.iter().copied());
+        let expect = (rebuilt.root(), keys.len() as u64);
+        assert_eq!(engine.index_root(), expect);
+        // Compaction changes the physical layout, never the key set.
+        engine.compact().unwrap();
+        assert_eq!(engine.index_root(), expect);
+        // Reopen rebuilds the same root from checkpoint + WAL replay.
+        drop(engine);
+        let reopened = LogEngine::open(Arc::new(fs), Path::new("/data"), config).unwrap();
+        assert_eq!(reopened.index_root(), expect);
+        // Proofs from the engine verify against its root.
+        let p = reopened.scan_proof(None, 7);
+        sharoes_index::verify_scan_page(&expect.0, None, 7, &p.keys, p.done, &p.proof)
+            .expect("honest engine proof must verify");
+        let bytes = reopened.index_node_bytes(&expect.0).expect("root node served");
+        assert_eq!(Sha256::digest(&bytes), expect.0);
     }
 
     #[test]

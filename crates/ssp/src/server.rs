@@ -23,6 +23,9 @@ struct SspMetrics {
     scan: Histogram,
     metrics: Histogram,
     trace: Histogram,
+    root: Histogram,
+    index_node: Histogram,
+    scan_verified: Histogram,
 }
 
 fn ssp_metrics() -> &'static SspMetrics {
@@ -42,6 +45,9 @@ fn ssp_metrics() -> &'static SspMetrics {
             scan: h("ssp_op_scan_ns"),
             metrics: h("ssp_op_metrics_ns"),
             trace: h("ssp_op_trace_ns"),
+            root: h("ssp_op_root_ns"),
+            index_node: h("ssp_op_index_node_ns"),
+            scan_verified: h("ssp_op_scan_verified_ns"),
         }
     })
 }
@@ -83,6 +89,27 @@ impl Backend {
         match self {
             Backend::Memory(s) => Ok(s.delete_blocks(inode, view)),
             Backend::Log(e) => e.delete_blocks(inode, view),
+        }
+    }
+
+    fn index_root(&self) -> ([u8; 32], u64) {
+        match self {
+            Backend::Memory(s) => s.index_root(),
+            Backend::Log(e) => e.index_root(),
+        }
+    }
+
+    fn index_node_bytes(&self, hash: &[u8; 32]) -> Option<Vec<u8>> {
+        match self {
+            Backend::Memory(s) => s.index_node_bytes(hash),
+            Backend::Log(e) => e.index_node_bytes(hash),
+        }
+    }
+
+    fn scan_proof(&self, after: Option<&ObjectKey>, limit: u32) -> sharoes_index::VerifiedPage {
+        match self {
+            Backend::Memory(s) => s.scan_proof(after, limit),
+            Backend::Log(e) => e.scan_proof(after, limit),
         }
     }
 }
@@ -171,6 +198,9 @@ impl RequestHandler for SspServer {
             Request::Scan { .. } => ("scan", &m.scan),
             Request::Metrics => ("metrics", &m.metrics),
             Request::Trace { .. } => ("trace", &m.trace),
+            Request::Root => ("root", &m.root),
+            Request::IndexNode { .. } => ("index_node", &m.index_node),
+            Request::ScanVerified { .. } => ("scan_verified", &m.scan_verified),
         };
         let _span = sharoes_obs::span!("ssp.op", op);
         let start = Instant::now();
@@ -239,6 +269,15 @@ impl RequestHandler for SspServer {
                     Backend::Log(e) => e.scan_keys(after.as_ref(), limit as usize),
                 };
                 Response::Keys { keys, done }
+            }
+            Request::Root => {
+                let (root, count) = b.index_root();
+                Response::Root { root, count }
+            }
+            Request::IndexNode { hash } => Response::IndexNode { node: b.index_node_bytes(&hash) },
+            Request::ScanVerified { after, limit } => {
+                let p = b.scan_proof(after.as_ref(), limit);
+                Response::KeysProof { keys: p.keys, done: p.done, root: p.root, proof: p.proof }
             }
             Request::Metrics => Response::Metrics { text: sharoes_obs::global().render() },
             Request::Trace { max } => {

@@ -6,6 +6,7 @@
 //! are the composite [`ObjectKey`] index.
 
 use sharoes_crypto::Sha256;
+use sharoes_index::{MerkleIndex, VerifiedPage};
 use sharoes_net::{Cursor, KeySpace, NetError, ObjectKey, WireRead, WireWrite};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -13,7 +14,7 @@ use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, MutexGuard, RwLock};
 
 /// Magic + version prefix of the current (checksummed) snapshot format.
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAROES2";
@@ -57,6 +58,11 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
 pub struct ObjectStore {
     shards: Vec<RwLock<HashMap<ObjectKey, Vec<u8>>>>,
     bytes: AtomicU64,
+    /// Authenticated ordered index over the stored keys. Lock order: a
+    /// shard lock (if any) is taken first, the index lock strictly inside
+    /// it — mutators update the index while still holding the shard guard
+    /// so the index never observes a key set no shard ever held.
+    index: Mutex<MerkleIndex>,
 }
 
 impl Default for ObjectStore {
@@ -71,6 +77,7 @@ impl ObjectStore {
         ObjectStore {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             bytes: AtomicU64::new(0),
+            index: Mutex::new(MerkleIndex::new()),
         }
     }
 
@@ -80,17 +87,24 @@ impl ObjectStore {
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
     }
 
+    fn index(&self) -> MutexGuard<'_, MerkleIndex> {
+        self.index.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Stores (or replaces) an object.
     pub fn put(&self, key: ObjectKey, value: Vec<u8>) {
         let mut shard = self.shard(&key).write().unwrap_or_else(|e| e.into_inner());
         let new_len = value.len() as u64;
         match shard.insert(key, value) {
             Some(old) => {
+                // Replacement: the key set — and thus the index — is
+                // unchanged.
                 self.bytes.fetch_add(new_len, Ordering::Relaxed);
                 self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
             }
             None => {
                 self.bytes.fetch_add(new_len, Ordering::Relaxed);
+                self.index().insert(key);
             }
         }
     }
@@ -102,9 +116,11 @@ impl ObjectStore {
 
     /// Deletes an object; returns whether it existed.
     pub fn delete(&self, key: &ObjectKey) -> bool {
-        match self.shard(key).write().unwrap_or_else(|e| e.into_inner()).remove(key) {
+        let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+        match shard.remove(key) {
             Some(old) => {
                 self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                self.index().remove(key);
                 true
             }
             None => false,
@@ -124,6 +140,7 @@ impl ObjectStore {
             for key in doomed {
                 if let Some(old) = map.remove(&key) {
                     self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                    self.index().remove(&key);
                     removed += 1;
                 }
             }
@@ -263,7 +280,22 @@ impl ObjectStore {
     /// snapshot is not atomic across pages — keys written or deleted between
     /// pages may be missed or duplicated, which rebalancing tolerates
     /// (re-placing a key is idempotent).
+    ///
+    /// Served from the authenticated index in `O(log n + page)` — the old
+    /// collect-every-key-and-sort path ([`Self::scan_keys_flat`]) was
+    /// `O(n log n)` *per page* and survives only as a debug oracle.
     pub fn scan_keys(&self, after: Option<&ObjectKey>, limit: usize) -> (Vec<ObjectKey>, bool) {
+        self.index().scan_page(after, limit)
+    }
+
+    /// The old flat scan: collect every live key, sort, slice the page.
+    /// Kept as a correctness oracle for the indexed [`Self::scan_keys`]
+    /// (tests + bench ablation); not used on any serving path.
+    pub fn scan_keys_flat(
+        &self,
+        after: Option<&ObjectKey>,
+        limit: usize,
+    ) -> (Vec<ObjectKey>, bool) {
         let mut keys: Vec<ObjectKey> = Vec::new();
         for shard in &self.shards {
             let map = shard.read().unwrap_or_else(|e| e.into_inner());
@@ -273,6 +305,25 @@ impl ObjectStore {
         let done = keys.len() <= limit;
         keys.truncate(limit);
         (keys, done)
+    }
+
+    /// Root hash of the authenticated key index plus the live key count.
+    pub fn index_root(&self) -> ([u8; 32], u64) {
+        let mut index = self.index();
+        let root = index.root();
+        (root, index.len())
+    }
+
+    /// Canonical encoding of the index node content-addressed by `hash`,
+    /// if this store currently has it (serves the `IndexNode` wire op).
+    pub fn index_node_bytes(&self, hash: &[u8; 32]) -> Option<Vec<u8>> {
+        self.index().node_bytes(hash)
+    }
+
+    /// One scan page plus a Merkle range proof tying it to the current
+    /// root (serves the `ScanVerified` wire op).
+    pub fn scan_proof(&self, after: Option<&ObjectKey>, limit: u32) -> VerifiedPage {
+        self.index().prove_scan(after, limit)
     }
 }
 
@@ -463,6 +514,60 @@ mod tests {
         let (page, done) = s.scan_keys(expect.last(), 5);
         assert!(page.is_empty());
         assert!(done);
+    }
+
+    #[test]
+    fn indexed_scan_matches_flat_oracle_and_rebuilt_root() {
+        let s = ObjectStore::new();
+        for i in 0..40u64 {
+            s.put(ObjectKey::data(i, [(i % 5) as u8; 16], (i % 3) as u32), vec![1]);
+            s.put(ObjectKey::metadata(i, [(i % 5) as u8; 16]), vec![2]);
+        }
+        for i in (0..40u64).step_by(3) {
+            s.delete(&ObjectKey::metadata(i, [(i % 5) as u8; 16]));
+        }
+        assert!(s.delete_blocks(7, [2; 16]) > 0);
+        // Pages from the index agree with the flat oracle at every cursor.
+        let mut cursor: Option<ObjectKey> = None;
+        loop {
+            let (page, done) = s.scan_keys(cursor.as_ref(), 7);
+            assert_eq!((page.clone(), done), s.scan_keys_flat(cursor.as_ref(), 7));
+            cursor = page.last().copied();
+            if done {
+                break;
+            }
+        }
+        // The incrementally maintained root equals a from-scratch rebuild.
+        let (all, done) = s.scan_keys_flat(None, usize::MAX);
+        assert!(done);
+        let mut rebuilt = MerkleIndex::from_keys(all.iter().copied());
+        assert_eq!(s.index_root(), (rebuilt.root(), all.len() as u64));
+    }
+
+    #[test]
+    fn scan_proofs_verify_against_store_root() {
+        let s = ObjectStore::new();
+        for i in 0..30u64 {
+            s.put(k(i, (i % 4) as u32), vec![i as u8]);
+        }
+        let (root, _) = s.index_root();
+        let mut cursor: Option<ObjectKey> = None;
+        let mut walked = Vec::new();
+        loop {
+            let p = s.scan_proof(cursor.as_ref(), 6);
+            assert_eq!(p.root, root);
+            sharoes_index::verify_scan_page(&root, cursor.as_ref(), 6, &p.keys, p.done, &p.proof)
+                .expect("honest proof must verify");
+            walked.extend_from_slice(&p.keys);
+            if p.done {
+                break;
+            }
+            cursor = p.keys.last().copied();
+        }
+        assert_eq!(walked, s.scan_keys_flat(None, usize::MAX).0);
+        // Node fetch: the root's preimage is served and re-digests to it.
+        let bytes = s.index_node_bytes(&root).expect("root node must be servable");
+        assert_eq!(Sha256::digest(&bytes), root);
     }
 
     #[test]

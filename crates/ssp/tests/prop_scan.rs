@@ -141,4 +141,73 @@ prop! {
             );
         }
     }
+
+    fn indexed_scan_matches_flat_oracle_after_interleaved_deletes(
+        base in key_sets(),
+        victims in key_sets(),
+        limit in gen::in_range(1usize..9),
+        cursor_pick in gen::in_range(0usize..64),
+    ) {
+        let store = ObjectStore::new();
+        for key in &base {
+            store.put(*key, vec![1]);
+        }
+        for key in &victims {
+            store.delete(key);
+        }
+        // Overwrites must not perturb the index (key set unchanged).
+        for key in base.iter().take(3) {
+            if !victims.contains(key) {
+                store.put(*key, vec![9, 9]);
+            }
+        }
+
+        // Full drains agree page-by-page with the flat-sort debug oracle…
+        let indexed = drain(&store, limit);
+        let (flat, done) = store.scan_keys_flat(None, usize::MAX);
+        prop_assert!(done);
+        prop_assert_eq!(&indexed, &flat, "indexed walk diverged from flat oracle");
+
+        // …and so does a single page from an arbitrary interior cursor.
+        let cursor = indexed.get(cursor_pick % indexed.len().max(1)).copied();
+        prop_assert_eq!(
+            store.scan_keys(cursor.as_ref(), limit),
+            store.scan_keys_flat(cursor.as_ref(), limit),
+            "paged scan at cursor {cursor:?} diverged from flat oracle"
+        );
+    }
+
+    fn scan_proofs_verify_at_arbitrary_cursors(
+        base in key_sets(),
+        victims in key_sets(),
+        limit in gen::in_range(1u32..9),
+        cursor_pick in gen::in_range(0usize..64),
+    ) {
+        let store = ObjectStore::new();
+        for key in &base {
+            store.put(*key, vec![1]);
+        }
+        for key in &victims {
+            store.delete(key);
+        }
+        let (all, _) = store.scan_keys_flat(None, usize::MAX);
+        let cursor = all.get(cursor_pick % all.len().max(1)).copied();
+
+        let page = store.scan_proof(cursor.as_ref(), limit);
+        let (root, count) = store.index_root();
+        prop_assert_eq!(page.root, root, "proof carries a stale root");
+        prop_assert_eq!(count as usize, all.len());
+        prop_assert_eq!(
+            (&page.keys, page.done),
+            (&store.scan_keys(cursor.as_ref(), limit as usize).0,
+             store.scan_keys(cursor.as_ref(), limit as usize).1),
+        );
+        prop_assert!(
+            sharoes_index::verify_scan_page(
+                &page.root, cursor.as_ref(), limit, &page.keys, page.done, &page.proof,
+            )
+            .is_ok(),
+            "honest proof failed verification at cursor {cursor:?}"
+        );
+    }
 }

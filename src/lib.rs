@@ -11,6 +11,10 @@
 //!   bignum core, all implemented in this repository.
 //! * [`fs`] — the local *nix filesystem model (the thing you migrate).
 //! * [`net`] — wire protocol, transports, and the WAN cost model.
+//! * [`index`] — the authenticated ordered index (a history-independent
+//!   Merkle search tree) both SSP backends maintain over their keyspace:
+//!   O(log n) scans, Merkle range proofs, and 32-byte root commitments the
+//!   cluster layer diffs instead of streaming keys.
 //! * [`ssp`] — the untrusted Storage Service Provider.
 //! * [`cluster`] — client-driven replication over several SSP nodes:
 //!   consistent-hash placement, quorum writes, failover reads with read
@@ -71,6 +75,7 @@ pub use sharoes_cluster as cluster;
 pub use sharoes_core as core;
 pub use sharoes_crypto as crypto;
 pub use sharoes_fs as fs;
+pub use sharoes_index as index;
 pub use sharoes_net as net;
 pub use sharoes_obs as obs;
 pub use sharoes_ssp as ssp;

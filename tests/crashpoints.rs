@@ -18,6 +18,7 @@ use sharoes::ssp::wal::{WalRecord, WAL_HEADER_LEN};
 use sharoes::ssp::{
     snapshot_from_entries, CrashMode, EngineConfig, FaultFs, LogEngine, ObjectStore, Vfs,
 };
+use sharoes_index::MerkleIndex;
 use sharoes_testkit::rng::{test_rng_for, test_seed, HmacDrbg, RandomSource};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -67,15 +68,31 @@ fn workload(rng: &mut HmacDrbg, steps: usize) -> Vec<Op> {
 /// The canonical fingerprint of the model state after each prefix of `ops`
 /// (`states[k]` = after `k` ops), plus the WAL byte boundary each op ends
 /// at — computed from the record-length formulas, independently of the
-/// engine's own writer.
-fn oracle(ops: &[Op]) -> (Vec<Vec<u8>>, Vec<usize>) {
+/// engine's own writer — plus the Merkle index root a from-scratch rebuild
+/// of each prefix's key set must produce (history independence makes this
+/// a well-defined oracle for the engine's incrementally maintained index).
+struct Oracle {
+    /// `states[k]` — canonical snapshot fingerprint after `k` ops.
+    states: Vec<Vec<u8>>,
+    /// `bounds[k]` — WAL byte offset op `k` ends at (bounds[0] = header).
+    bounds: Vec<usize>,
+    /// `roots[k]` — (index root, key count) of a from-scratch rebuild.
+    roots: Vec<([u8; 32], u64)>,
+}
+
+fn oracle(ops: &[Op]) -> Oracle {
     let mut model: BTreeMap<ObjectKey, Vec<u8>> = BTreeMap::new();
     let fingerprint = |m: &BTreeMap<ObjectKey, Vec<u8>>| {
         let entries: Vec<(ObjectKey, Vec<u8>)> = m.iter().map(|(k, v)| (*k, v.clone())).collect();
         snapshot_from_entries(&entries)
     };
+    let root_of = |m: &BTreeMap<ObjectKey, Vec<u8>>| {
+        let mut rebuilt = MerkleIndex::from_keys(m.keys().copied());
+        (rebuilt.root(), m.len() as u64)
+    };
     let mut states = vec![fingerprint(&model)];
     let mut bounds = vec![WAL_HEADER_LEN];
+    let mut roots = vec![root_of(&model)];
     for op in ops {
         let last = *bounds.last().expect("non-empty");
         match op {
@@ -89,8 +106,9 @@ fn oracle(ops: &[Op]) -> (Vec<Vec<u8>>, Vec<usize>) {
             }
         }
         states.push(fingerprint(&model));
+        roots.push(root_of(&model));
     }
-    (states, bounds)
+    Oracle { states, bounds, roots }
 }
 
 fn apply(engine: &LogEngine, op: &Op) {
@@ -121,7 +139,7 @@ fn recovery_lands_on_an_op_boundary_at_every_wal_offset() {
     let dir = Path::new(DIR);
     let mut rng = test_rng_for("crashpoints-matrix");
     let ops = workload(&mut rng, 24);
-    let (states, bounds) = oracle(&ops);
+    let Oracle { states, bounds, roots } = oracle(&ops);
 
     let fs = FaultFs::new();
     let engine = LogEngine::open(Arc::new(fs.clone()), dir, matrix_config()).unwrap();
@@ -154,6 +172,14 @@ fn recovery_lands_on_an_op_boundary_at_every_wal_offset() {
             "recovery at wal offset {cut} is neither pre- nor post-op state \
              (expected state after {completed} ops)"
         );
+        // The authenticated index rebuilt during recovery must equal a
+        // from-scratch build over the recovered key set — at EVERY cut.
+        assert_eq!(
+            recovered.index_root(),
+            roots[completed],
+            "recovered index root at wal offset {cut} diverges from a \
+             from-scratch rebuild (state after {completed} ops)"
+        );
         // Spot-check the recovered engine is writable, not just readable.
         if cut % 97 == 0 {
             recovered.put(ObjectKey::superblock([7; 16]), vec![1, 2, 3]).unwrap();
@@ -175,7 +201,7 @@ fn crash_images_recover_an_acknowledged_prefix_under_rolling_and_compaction() {
     };
     let mut rng = test_rng_for("crashpoints-images");
     let ops = workload(&mut rng, 60);
-    let (states, _) = oracle(&ops);
+    let Oracle { states, roots, .. } = oracle(&ops);
 
     let fs = FaultFs::new();
     let engine = LogEngine::open(Arc::new(fs.clone()), dir, config).unwrap();
@@ -190,10 +216,19 @@ fn crash_images_recover_an_acknowledged_prefix_under_rolling_and_compaction() {
             // With group_commit=2 at most one acknowledged record may still
             // be unsynced: the image holds state k or k+1 (1-indexed ops).
             let window = [&states[k], &states[k + 1]];
-            assert!(
-                window.contains(&&got),
-                "{mode:?} image after op {k} recovered to a state outside \
-                 the group-commit window"
+            let slot = window.iter().position(|s| **s == got).unwrap_or_else(|| {
+                panic!(
+                    "{mode:?} image after op {k} recovered to a state outside \
+                     the group-commit window"
+                )
+            });
+            // Whichever window state it landed on, the rebuilt index must
+            // agree with a from-scratch build over that state's keys.
+            assert_eq!(
+                recovered.index_root(),
+                roots[k + slot],
+                "{mode:?} image after op {k}: recovered index root diverges \
+                 from a from-scratch rebuild"
             );
         }
     }
