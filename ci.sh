@@ -2,17 +2,32 @@
 # Hermetic CI gate: formatting, lints, offline release build, offline tests,
 # pinned-seed chaos runs, the metrics- and trace-determinism gates, the
 # enterprise scenario gate (revocation/rotation oracles + registry
-# determinism), and the tracing-overhead ablation.
+# determinism), the concurrency gate (sharded-vs-single-lock byte
+# equivalence + the contention-bench throughput floor), and the bench
+# ablations with their BENCH_*.json validation.
 #
 # Everything runs with --offline against the vendored-free, path-only
 # workspace — if any step reaches for the network or a registry, that is
 # itself a CI failure (the hermetic-build policy in DESIGN.md).
 #
-# Each step is wall-clock timed; a summary table prints at the end so a slow
-# step shows up as a number, not a feeling.
+# Usage: ci.sh [--quick]
+#   --quick   skip the bench/ablation steps (the BENCH_*.json writers and
+#             their validation); all build, lint, test, and pinned-seed
+#             gates still run. For tight edit-test loops.
+#
+# Each step is wall-clock timed; a summary table prints at the end and is
+# also written machine-readably to target/ci-timings.tsv.
 set -eu
 
 cd "$(dirname "$0")"
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "ci.sh: unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 STEP_TIMINGS=""
 
@@ -26,6 +41,32 @@ step() {
     _t1=$(date +%s)
     STEP_TIMINGS="${STEP_TIMINGS}$((_t1 - _t0))s\t${_name}\n"
 }
+
+# diff_pair NAME A B — an independent determinism check on two files a gate
+# test exported. A MISSING file is a hard failure (a silently skipped diff
+# would pass vacuously if the exporting test were renamed or dropped).
+diff_pair() {
+    _pair_name=$1
+    _a=$2
+    _b=$3
+    for _f in "$_a" "$_b"; do
+        if [ ! -f "$_f" ]; then
+            echo "ci.sh: determinism export missing: $_f (did the exporting gate run?)" >&2
+            exit 1
+        fi
+    done
+    step "$_pair_name" diff "$_a" "$_b"
+}
+
+# Remove stale exports up front so a diff can never compare files left over
+# from a previous run (which would mask a gate that stopped exporting).
+rm -f target/metrics-determinism-a.txt target/metrics-determinism-b.txt \
+      target/trace-determinism-a.txt target/trace-determinism-b.txt \
+      target/enterprise-registry-a.txt target/enterprise-registry-b.txt \
+      target/index-registry-a.txt target/index-registry-b.txt \
+      target/index-trace-a.txt target/index-trace-b.txt \
+      target/concurrency-store-a.bin target/concurrency-store-b.bin \
+      target/concurrency-engine-a.bin target/concurrency-engine-b.bin
 
 step "cargo fmt --check" \
     cargo fmt --check
@@ -55,18 +96,18 @@ step "chaos + cluster + metrics-determinism gate at third pinned seed" \
 # The obs_gate tests export the registry delta and the rendered trace trees
 # of each identical seeded pass; diff them here as checks independent of the
 # in-test assertions.
-step "metrics determinism: diff exported registry deltas" \
-    diff target/metrics-determinism-a.txt target/metrics-determinism-b.txt
+diff_pair "metrics determinism: diff exported registry deltas" \
+    target/metrics-determinism-a.txt target/metrics-determinism-b.txt
 
-step "trace determinism: diff exported span-tree renderings" \
-    diff target/trace-determinism-a.txt target/trace-determinism-b.txt
+diff_pair "trace determinism: diff exported span-tree renderings" \
+    target/trace-determinism-a.txt target/trace-determinism-b.txt
 
 step "enterprise scenario gate at fourth pinned seed (revocation + rotation oracles)" \
     env SHAROES_TEST_SEED=0xE57E4512 cargo test -q --offline --test enterprise
 
 # Same independent check for the enterprise gate's registry exports.
-step "enterprise determinism: diff exported registry deltas" \
-    diff target/enterprise-registry-a.txt target/enterprise-registry-b.txt
+diff_pair "enterprise determinism: diff exported registry deltas" \
+    target/enterprise-registry-a.txt target/enterprise-registry-b.txt
 
 step "crash-point recovery matrix at fifth pinned seed (log-engine durability)" \
     env SHAROES_TEST_SEED=0xC4A54F70 cargo test -q --offline --test crashpoints
@@ -75,23 +116,52 @@ step "authenticated-index gate at sixth pinned seed (verified scans + tamper ora
     env SHAROES_TEST_SEED=0x1DE15EED cargo test -q --offline --test index
 
 # Same independent check for the index gate's registry and trace exports.
-step "index determinism: diff exported registry deltas" \
-    diff target/index-registry-a.txt target/index-registry-b.txt
+diff_pair "index determinism: diff exported registry deltas" \
+    target/index-registry-a.txt target/index-registry-b.txt
 
-step "index determinism: diff exported span-tree renderings" \
-    diff target/index-trace-a.txt target/index-trace-b.txt
+diff_pair "index determinism: diff exported span-tree renderings" \
+    target/index-trace-a.txt target/index-trace-b.txt
 
-# Tracing-overhead ablation: spans off vs on over the same seeded workload,
-# exported as BENCH_obs.json for the trajectory record.
-step "tracing-overhead ablation (writes BENCH_obs.json)" \
-    cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick obs
+step "concurrency gate at seventh pinned seed (sharded == single-lock, pipelined TCP)" \
+    env SHAROES_TEST_SEED=0x5CA1AB1E cargo test -q --offline --test concurrency
 
-# Indexed-vs-flat scan ablation with proof overhead, exported as
-# BENCH_index.json for the trajectory record.
-step "authenticated-index scan ablation (writes BENCH_index.json)" \
-    cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick index
+# Same independent check for the concurrency gate's snapshot exports:
+# single-lock sequential vs sharded concurrent, store and engine.
+diff_pair "concurrency determinism: diff store snapshots (single-lock vs sharded)" \
+    target/concurrency-store-a.bin target/concurrency-store-b.bin
+
+diff_pair "concurrency determinism: diff engine snapshots (single-lock vs sharded)" \
+    target/concurrency-engine-a.bin target/concurrency-engine-b.bin
+
+if [ "$QUICK" -eq 0 ]; then
+    # Tracing-overhead ablation: spans off vs on over the same seeded
+    # workload, exported as BENCH_obs.json for the trajectory record.
+    step "tracing-overhead ablation (writes BENCH_obs.json)" \
+        cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick obs
+
+    # Indexed-vs-flat scan ablation with proof overhead, exported as
+    # BENCH_index.json for the trajectory record.
+    step "authenticated-index scan ablation (writes BENCH_index.json)" \
+        cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick index
+
+    # Contention bench: N client threads x M ops against a real sspd plus a
+    # 3-node cluster; exits nonzero if multi-threaded throughput fails the
+    # 2x floor over the single-threaded blocking baseline.
+    step "contention bench + speedup floor (writes BENCH_concurrency.json)" \
+        cargo run -q --offline --release -p sharoes-bench --bin paper-figures -- --quick concurrency
+
+    # Every committed BENCH_*.json must re-parse with its required keys —
+    # the hand-rolled JSON writers above get no silent formatting slips.
+    step "bench-check: validate committed BENCH_*.json files" \
+        cargo run -q --offline --release -p sharoes-bench --bin bench-check -- .
+else
+    echo "== (--quick: skipping bench/ablation steps)"
+fi
 
 echo ""
 echo "== step timings"
 printf "%b" "$STEP_TIMINGS"
+mkdir -p target
+printf "%b" "$STEP_TIMINGS" > target/ci-timings.tsv
+echo "wrote target/ci-timings.tsv"
 echo "CI OK"

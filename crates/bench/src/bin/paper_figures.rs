@@ -94,6 +94,9 @@ fn print_help() {
          \x20 obs        tracing-overhead ablation, spans off vs on (writes BENCH_obs.json)\n\
          \x20 index      authenticated-index ablation: flat vs indexed scans, proof\n\
          \x20            overhead at several keyspace sizes (writes BENCH_index.json)\n\
+         \x20 concurrency contention benchmark: blocking vs pipelined vs batched clients\n\
+         \x20            against one sspd plus a 3-node cluster fan-out sweep; fails if\n\
+         \x20            multi-threaded speedup < 2x (writes BENCH_concurrency.json)\n\
          \x20 summary    headline speedups (E7)\n\
          \x20 all        everything above"
     );
@@ -769,6 +772,81 @@ fn obs_report(opts: &BenchOpts, quick: bool) {
     println!("wrote {out}");
 }
 
+/// Contention benchmark: the CI gate for the high-concurrency front end.
+/// Real TCP throughout — one sspd for the client-mode sweep, then a 3-node
+/// cluster comparing sequential vs parallel replica fan-out. Writes
+/// `BENCH_concurrency.json` and exits nonzero if the best multi-threaded
+/// throughput fails to clear `SPEEDUP_FLOOR` over the single-threaded
+/// blocking baseline.
+fn concurrency_report(quick: bool) {
+    use sharoes_bench::workloads::concurrency::{self, ConcurrencySpec};
+
+    const SPEEDUP_FLOOR: f64 = 2.0;
+    let spec = if quick { ConcurrencySpec::quick() } else { ConcurrencySpec::default() };
+    println!(
+        "\n== CONCURRENCY: contention benchmark ({} ops/thread, {}B values, batch {}) ==",
+        spec.ops_per_thread, spec.value_len, spec.batch
+    );
+
+    let mut points = concurrency::run_single(&spec);
+    points.extend(concurrency::run_cluster(&spec));
+
+    let mut table =
+        Table::new(&["mode", "threads", "ops", "ops/sec", "p50 us", "p95 us", "p99 us"]);
+    for p in &points {
+        let (p50, p95, p99) = p.latency_ns;
+        table.row(vec![
+            p.mode.to_string(),
+            p.threads.to_string(),
+            p.ops.to_string(),
+            format!("{:.0}", p.ops_per_sec),
+            format!("{:.1}", p50 as f64 / 1e3),
+            format!("{:.1}", p95 as f64 / 1e3),
+            format!("{:.1}", p99 as f64 / 1e3),
+        ]);
+    }
+    table.print();
+
+    let speedup = concurrency::speedup_multi_vs_single(&points);
+    println!(
+        "best multi-thread throughput vs 1-thread blocking baseline: {speedup:.1}x (floor {SPEEDUP_FLOOR:.1}x)"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"benchmark\": {},\n", json_str("concurrency")));
+    json.push_str(&format!("  \"backend\": {},\n", json_str("memory")));
+    json.push_str(&format!(
+        "  \"ops_per_thread\": {},\n  \"value_len\": {},\n  \"batch\": {},\n",
+        spec.ops_per_thread, spec.value_len, spec.batch
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let (p50, p95, p99) = p.latency_ns;
+        json.push_str(&format!(
+            "    {{\"mode\": {}, \"threads\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
+             \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}}}{}\n",
+            json_str(p.mode),
+            p.threads,
+            p.ops,
+            p.ops_per_sec,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_multi_vs_single\": {speedup:.2}\n"));
+    json.push_str("}\n");
+    let out = "BENCH_concurrency.json";
+    std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("wrote {out}");
+
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "paper-figures: contention gate FAILED: speedup {speedup:.2}x < {SPEEDUP_FLOOR:.1}x floor"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn summary(fig9_results: &[createlist::CreateListResult]) {
     println!("\n== E7: headline comparison (from Figure 9) ==");
     let get = |p: CryptoPolicy| fig9_results.iter().find(|r| r.policy == p).unwrap();
@@ -811,6 +889,7 @@ fn main() {
         "enterprise" => enterprise_report(&args.opts, args.quick),
         "obs" => obs_report(&args.opts, args.quick),
         "index" => index_report(&args.opts, args.quick),
+        "concurrency" => concurrency_report(args.quick),
         "summary" => {
             let r = fig9(&args.opts, args.quick);
             summary(&r);
@@ -826,6 +905,7 @@ fn main() {
             enterprise_report(&args.opts, args.quick);
             obs_report(&args.opts, args.quick);
             index_report(&args.opts, args.quick);
+            concurrency_report(args.quick);
             summary(&r9);
         }
         other => die(&format!("unknown command: {other}")),

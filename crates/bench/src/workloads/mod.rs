@@ -11,6 +11,7 @@ pub(crate) fn wall_clock_lock() -> std::sync::MutexGuard<'static, ()> {
 
 pub mod ablations;
 pub mod andrew;
+pub mod concurrency;
 pub mod createlist;
 pub mod enterprise;
 pub mod opcosts;

@@ -134,6 +134,7 @@ impl ClusterConfig {
             write_quorum: self.write_quorum,
             vnodes: self.vnodes,
             seed: self.seed,
+            ..ClusterOpts::default()
         }
     }
 

@@ -62,11 +62,23 @@ pub struct ClusterOpts {
     pub vnodes: usize,
     /// Ring placement seed.
     pub seed: u64,
+    /// Issue replica fan-outs concurrently (one scoped thread per target
+    /// node) instead of sequentially. Off by default: sequential calls keep
+    /// per-node fault-schedule draws and trace span order deterministic,
+    /// which the pinned-seed CI gates rely on. Turn on for real-network
+    /// clusters where replica latency should overlap.
+    pub parallel_fanout: bool,
 }
 
 impl Default for ClusterOpts {
     fn default() -> Self {
-        ClusterOpts { replication: 2, write_quorum: 0, vnodes: 64, seed: 0x5A0E5 }
+        ClusterOpts {
+            replication: 2,
+            write_quorum: 0,
+            vnodes: 64,
+            seed: 0x5A0E5,
+            parallel_fanout: false,
+        }
     }
 }
 
@@ -262,14 +274,15 @@ impl ClusterTransport {
         (0..self.nodes.len()).filter(|i| !self.nodes[*i].retired).collect()
     }
 
-    /// One call to one node. `Response::Error` is folded into the error
-    /// path so every caller sees a single failure channel.
-    pub(crate) fn node_call(
-        &mut self,
-        idx: usize,
+    /// One call to one node, free of the `&mut self` borrow so the
+    /// parallel fan-out can run it on a scoped thread. `Response::Error`
+    /// is folded into the error path so every caller sees a single failure
+    /// channel; retired slots fail `Closed` without a node-error bump.
+    fn raw_node_call(
+        node: &mut Node,
         request: &Request,
+        stats: &ClusterStats,
     ) -> Result<Response, NetError> {
-        let node = &mut self.nodes[idx];
         if node.retired {
             return Err(NetError::Closed);
         }
@@ -283,9 +296,58 @@ impl ClusterTransport {
             other => other,
         };
         if outcome.is_err() {
-            self.stats.bump_node_errors();
+            stats.bump_node_errors();
         }
         outcome
+    }
+
+    /// One call to one node (sequential path).
+    pub(crate) fn node_call(
+        &mut self,
+        idx: usize,
+        request: &Request,
+    ) -> Result<Response, NetError> {
+        let stats = Arc::clone(&self.stats);
+        Self::raw_node_call(&mut self.nodes[idx], request, &stats)
+    }
+
+    /// Issues one request per (distinct) target node, returning outcomes in
+    /// call order. Sequential unless [`ClusterOpts::parallel_fanout`] is on
+    /// and there is real fan-out to overlap, in which case each target runs
+    /// on a scoped thread holding the only `&mut` borrow of its node.
+    /// Results (and therefore every caller's aggregation) are ordered by
+    /// the input slice either way; only wall-clock overlap differs.
+    pub(crate) fn fan_calls(
+        &mut self,
+        calls: &[(usize, Request)],
+    ) -> Vec<Result<Response, NetError>> {
+        if !self.opts.parallel_fanout || calls.len() < 2 {
+            return calls.iter().map(|(idx, req)| self.node_call(*idx, req)).collect();
+        }
+        let stats = Arc::clone(&self.stats);
+        let mut slots: Vec<Option<&mut Node>> = self.nodes.iter_mut().map(Some).collect();
+        let borrowed: Vec<&mut Node> = calls
+            .iter()
+            .map(|(idx, _)| slots[*idx].take().expect("fan_calls targets must be distinct"))
+            .collect();
+        let mut results = Vec::with_capacity(calls.len());
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = borrowed
+                .into_iter()
+                .zip(calls)
+                .map(|(node, (_, req))| {
+                    let stats = &stats;
+                    scope.spawn(move || Self::raw_node_call(node, req, stats))
+                })
+                .collect();
+            for join in joins {
+                results.push(
+                    join.join()
+                        .unwrap_or_else(|_| Err(NetError::Remote("replica call panicked".into()))),
+                );
+            }
+        });
+        results
     }
 
     pub(crate) fn no_nodes_err() -> NetError {
@@ -300,10 +362,12 @@ impl ClusterTransport {
         }
         let need = self.write_quorum().min(replicas.len());
         let total = replicas.len();
+        let calls: Vec<(usize, Request)> =
+            replicas.into_iter().map(|idx| (idx, request.clone())).collect();
         let mut acks = 0usize;
         let mut last_err: Option<NetError> = None;
-        for idx in replicas {
-            match self.node_call(idx, request) {
+        for outcome in self.fan_calls(&calls) {
+            match outcome {
                 Ok(Response::Ok) => acks += 1,
                 Ok(_) => last_err = Some(NetError::Codec("unexpected write response shape")),
                 Err(e) => last_err = Some(e),
@@ -332,13 +396,15 @@ impl ClusterTransport {
                 per_node.entry(*idx).or_default().push(item);
             }
         }
+        let calls: Vec<(usize, Request)> =
+            per_node.iter().map(|(idx, items)| (*idx, build(items))).collect();
         let mut acks = vec![0usize; keys.len()];
         let mut last_err: Option<NetError> = None;
-        for (idx, items) in per_node {
-            match self.node_call(idx, &build(&items)) {
+        for ((_, items), outcome) in per_node.iter().zip(self.fan_calls(&calls)) {
+            match outcome {
                 Ok(Response::Ok) => {
                     for i in items {
-                        acks[i] += 1;
+                        acks[*i] += 1;
                     }
                 }
                 Ok(_) => last_err = Some(NetError::Codec("unexpected write response shape")),
@@ -411,11 +477,13 @@ impl ClusterTransport {
         if replicas.is_empty() {
             return Err(Self::no_nodes_err());
         }
+        let calls: Vec<(usize, Request)> =
+            replicas.iter().map(|idx| (*idx, Request::Get { key: *key })).collect();
         let mut responses: Vec<(usize, Option<Vec<u8>>)> = Vec::with_capacity(replicas.len());
         let mut primary_failed = false;
         let mut last_err: Option<NetError> = None;
-        for (pos, idx) in replicas.iter().enumerate() {
-            match self.node_call(*idx, &Request::Get { key: *key }) {
+        for (pos, (idx, outcome)) in replicas.iter().zip(self.fan_calls(&calls)).enumerate() {
+            match outcome {
                 Ok(Response::Object(v)) => responses.push((*idx, v)),
                 Ok(_) => last_err = Some(NetError::Codec("unexpected read response shape")),
                 Err(e) => {
@@ -466,12 +534,17 @@ impl ClusterTransport {
                 per_node.entry(*idx).or_default().push(item);
             }
         }
+        let calls: Vec<(usize, Request)> = per_node
+            .iter()
+            .map(|(idx, items)| {
+                (*idx, Request::GetMany { keys: items.iter().map(|i| keys[*i]).collect() })
+            })
+            .collect();
         let mut got: Vec<Vec<(usize, Option<Vec<u8>>)>> = vec![Vec::new(); keys.len()];
         let mut failed_nodes: Vec<usize> = Vec::new();
         let mut last_err: Option<NetError> = None;
-        for (idx, items) in &per_node {
-            let sub: Vec<ObjectKey> = items.iter().map(|i| keys[*i]).collect();
-            match self.node_call(*idx, &Request::GetMany { keys: sub }) {
+        for ((idx, items), outcome) in per_node.iter().zip(self.fan_calls(&calls)) {
+            match outcome {
                 Ok(Response::Objects(values)) if values.len() == items.len() => {
                     for (i, v) in items.iter().zip(values) {
                         got[*i].push((*idx, v));
@@ -527,10 +600,12 @@ impl ClusterTransport {
         }
         let need = need.min(active.len()).max(1);
         let total = active.len();
+        let calls: Vec<(usize, Request)> =
+            active.into_iter().map(|idx| (idx, request.clone())).collect();
         let mut acks = 0usize;
         let mut last_err = None;
-        for idx in active {
-            match self.node_call(idx, request) {
+        for outcome in self.fan_calls(&calls) {
+            match outcome {
                 Ok(Response::Ok) => acks += 1,
                 Ok(_) => last_err = Some(NetError::Codec("unexpected response shape")),
                 Err(e) => last_err = Some(e),
@@ -546,12 +621,14 @@ impl ClusterTransport {
         if active.is_empty() {
             return Err(Self::no_nodes_err());
         }
+        let calls: Vec<(usize, Request)> =
+            active.into_iter().map(|idx| (idx, Request::Scan { after: *after, limit })).collect();
         let mut merged: Vec<ObjectKey> = Vec::new();
         let mut all_done = true;
         let mut any_ok = false;
         let mut last_err = None;
-        for idx in active {
-            match self.node_call(idx, &Request::Scan { after: *after, limit }) {
+        for outcome in self.fan_calls(&calls) {
+            match outcome {
                 Ok(Response::Keys { keys, done }) => {
                     merged.extend(keys);
                     all_done &= done;
@@ -593,13 +670,14 @@ impl ClusterTransport {
     /// Aggregated physical storage across active nodes (replicas counted —
     /// this is what the cluster actually stores, not the logical key count).
     fn stats_call(&mut self) -> Result<Response, NetError> {
-        let active = self.active_indices();
+        let calls: Vec<(usize, Request)> =
+            self.active_indices().into_iter().map(|idx| (idx, Request::Stats)).collect();
         let mut objects = 0u64;
         let mut bytes = 0u64;
         let mut any_ok = false;
         let mut last_err = None;
-        for idx in active {
-            match self.node_call(idx, &Request::Stats) {
+        for outcome in self.fan_calls(&calls) {
+            match outcome {
                 Ok(Response::Stats { objects: o, bytes: b }) => {
                     objects += o;
                     bytes += b;
@@ -620,12 +698,15 @@ impl ClusterTransport {
     /// `# node <name>` section headers so per-node series stay attributable.
     fn metrics_call(&mut self) -> Result<Response, NetError> {
         let active = self.active_indices();
+        let calls: Vec<(usize, Request)> =
+            active.iter().map(|idx| (*idx, Request::Metrics)).collect();
         let mut text = String::new();
         let mut any_ok = false;
         let mut last_err = None;
-        for idx in active {
+        let outcomes = self.fan_calls(&calls);
+        for (idx, outcome) in active.into_iter().zip(outcomes) {
             let name = self.nodes[idx].name.clone();
-            match self.node_call(idx, &Request::Metrics) {
+            match outcome {
                 Ok(Response::Metrics { text: node_text }) => {
                     text.push_str(&format!("# node {name}\n"));
                     text.push_str(&node_text);
@@ -648,13 +729,16 @@ impl ClusterTransport {
     /// cross-node span trees keyed by trace id.
     fn trace_call(&mut self, max: u32) -> Result<Response, NetError> {
         let active = self.active_indices();
+        let calls: Vec<(usize, Request)> =
+            active.iter().map(|idx| (*idx, Request::Trace { max })).collect();
         let mut events = Vec::new();
         let mut dropped = 0u64;
         let mut any_ok = false;
         let mut last_err = None;
-        for idx in active {
+        let outcomes = self.fan_calls(&calls);
+        for (idx, outcome) in active.into_iter().zip(outcomes) {
             let name = self.nodes[idx].name.clone();
-            match self.node_call(idx, &Request::Trace { max }) {
+            match outcome {
                 Ok(Response::Trace { events: node_events, dropped: d }) => {
                     for mut ev in node_events {
                         if ev.node.is_empty() {

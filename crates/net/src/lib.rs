@@ -13,6 +13,8 @@
 //!   paper's DSL link model that converts byte counts to seconds.
 //! * [`fault`] — deterministic, seed-replayable fault injection for chaos
 //!   testing any transport.
+//! * [`pipeline`] — correlation-id request pipelining: many in-flight
+//!   requests multiplexed over one connection ([`PipelinedClient`]).
 //! * [`resilient`] — retrying/reconnecting transport decorator built on the
 //!   [`error::ErrorClass`] taxonomy.
 //! * [`traceframe`] — the optional checksummed trace-context header
@@ -25,6 +27,7 @@ pub mod error;
 pub mod fault;
 pub mod message;
 pub mod netmodel;
+pub mod pipeline;
 pub mod resilient;
 pub mod traceframe;
 pub mod transport;
@@ -35,9 +38,15 @@ pub use error::{ErrorClass, NetError, TRANSIENT_ERROR_PREFIX};
 pub use fault::{FaultConfig, FaultCounts, FaultInjector, FaultKind, FaultSchedule, OpClass};
 pub use message::{KeySpace, ObjectKey, Request, Response};
 pub use netmodel::NetModel;
+pub use pipeline::{
+    attach_corr, corr_header, split_corr, CorrDispatcher, PipelinedClient, PipelinedTransport,
+    CORR_HEADER_LEN,
+};
 pub use resilient::{
     Connector, FakeSleeper, ResilientTransport, RetryPolicy, Sleeper, WallClockSleeper,
 };
 pub use traceframe::{TraceEventWire, TRACE_HEADER_LEN, TRACE_HEADER_VERSION};
-pub use transport::{InMemoryTransport, RequestHandler, TcpTransport, Transport};
+pub use transport::{
+    write_frame_vectored, InMemoryTransport, RequestHandler, TcpTransport, Transport,
+};
 pub use wire::{Cursor, WireRead, WireWrite};

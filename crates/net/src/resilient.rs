@@ -87,6 +87,7 @@ struct ResilienceMetrics {
     backoff_sleeps: sharoes_obs::Counter,
     backoff_slept_ns: sharoes_obs::Counter,
     desyncs: sharoes_obs::Counter,
+    batch_splits: sharoes_obs::Counter,
 }
 
 fn resilience_metrics() -> &'static ResilienceMetrics {
@@ -95,6 +96,7 @@ fn resilience_metrics() -> &'static ResilienceMetrics {
         backoff_sleeps: sharoes_obs::counter("net_backoff_sleeps_total"),
         backoff_slept_ns: sharoes_obs::counter("net_backoff_slept_ns"),
         desyncs: sharoes_obs::counter("net_desyncs_total"),
+        batch_splits: sharoes_obs::counter("net_batch_splits_total"),
     })
 }
 
@@ -223,10 +225,9 @@ impl ResilientTransport {
             self.sleeper.sleep(d);
         }
     }
-}
 
-impl Transport for ResilientTransport {
-    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+    /// One request through the full retry/reconnect/backoff schedule.
+    fn call_retrying(&mut self, request: &Request) -> Result<Response, NetError> {
         let attempts = self.policy.max_attempts.max(1);
         let mut last_err = None;
         for attempt in 0..attempts {
@@ -278,6 +279,78 @@ impl Transport for ResilientTransport {
             }
         }
         Err(last_err.unwrap_or(NetError::Closed))
+    }
+
+    /// Batch-aware fatal handling: a fatal error on a multi-item batch is
+    /// usually *one* bad item (an oversized value, a key the server
+    /// rejects) poisoning the whole round trip. Bisect the batch and rerun
+    /// each half through the full retry schedule, recursively, until the
+    /// failure is pinned to a single item. Healthy items are applied
+    /// (idempotently — re-running a committed half stores the same bytes)
+    /// and the surfaced error names only the true culprit's sub-batch.
+    fn isolate_batch_failure(
+        &mut self,
+        request: &Request,
+        err: NetError,
+    ) -> Result<Response, NetError> {
+        let Some((left, right)) = split_batch(request) else { return Err(err) };
+        resilience_metrics().batch_splits.inc();
+        let halves = 2u32;
+        sharoes_obs::obs_event!(sharoes_obs::Level::Warn, "net.batch_split", halves);
+        let left_result = self.call(&left);
+        let right_result = self.call(&right);
+        merge_halves(left_result, right_result)
+    }
+}
+
+/// Splits a multi-item batch request down the middle. `None` for
+/// non-batch requests and single-item batches (nothing left to isolate).
+fn split_batch(request: &Request) -> Option<(Request, Request)> {
+    match request {
+        Request::PutMany { items } if items.len() >= 2 => {
+            let (l, r) = items.split_at(items.len() / 2);
+            Some((Request::PutMany { items: l.to_vec() }, Request::PutMany { items: r.to_vec() }))
+        }
+        Request::GetMany { keys } if keys.len() >= 2 => {
+            let (l, r) = keys.split_at(keys.len() / 2);
+            Some((Request::GetMany { keys: l.to_vec() }, Request::GetMany { keys: r.to_vec() }))
+        }
+        Request::DeleteMany { keys } if keys.len() >= 2 => {
+            let (l, r) = keys.split_at(keys.len() / 2);
+            Some((
+                Request::DeleteMany { keys: l.to_vec() },
+                Request::DeleteMany { keys: r.to_vec() },
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Recombines two half-batch outcomes. The first error wins (its half —
+/// recursively bisected — pins the failure to a single item).
+fn merge_halves(
+    left: Result<Response, NetError>,
+    right: Result<Response, NetError>,
+) -> Result<Response, NetError> {
+    match (left, right) {
+        (Ok(Response::Ok), Ok(Response::Ok)) => Ok(Response::Ok),
+        (Ok(Response::Objects(mut l)), Ok(Response::Objects(r))) => {
+            l.extend(r);
+            Ok(Response::Objects(l))
+        }
+        (Err(e), _) | (_, Err(e)) => Err(e),
+        (Ok(_), Ok(_)) => Err(NetError::Codec("mismatched batch half responses")),
+    }
+}
+
+impl Transport for ResilientTransport {
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        match self.call_retrying(request) {
+            // Retryable exhaustion surfaces as-is; a *fatal* failure on a
+            // batch gets bisected to isolate the poisoned item.
+            Err(e) if e.class() == ErrorClass::Fatal => self.isolate_batch_failure(request, e),
+            other => other,
+        }
     }
 
     fn meter(&self) -> &Arc<CostMeter> {
@@ -490,6 +563,117 @@ mod tests {
         let s = t.meter().sample();
         assert_eq!(s.retries, 2);
         assert_eq!(s.reconnects, 0, "transient errors keep the connection");
+    }
+
+    /// A store that fatally rejects exactly one poisoned key, in singles
+    /// and batches alike — the shape of "one oversized/forbidden item
+    /// poisons the whole batch round trip".
+    struct PoisonStore {
+        poison: ObjectKey,
+        map: Mutex<HashMap<ObjectKey, Vec<u8>>>,
+    }
+
+    impl RequestHandler for PoisonStore {
+        fn handle(&self, request: Request) -> Response {
+            let keys: Vec<ObjectKey> = match &request {
+                Request::Put { key, .. } | Request::Get { key } | Request::Delete { key } => {
+                    vec![*key]
+                }
+                Request::PutMany { items } => items.iter().map(|(k, _)| *k).collect(),
+                Request::GetMany { keys } | Request::DeleteMany { keys } => keys.clone(),
+                _ => Vec::new(),
+            };
+            if keys.contains(&self.poison) {
+                return Response::Error("value exceeds server limit".into());
+            }
+            let mut map = self.map.lock().unwrap();
+            match request {
+                Request::PutMany { items } => {
+                    for (k, v) in items {
+                        map.insert(k, v);
+                    }
+                    Response::Ok
+                }
+                Request::GetMany { keys } => {
+                    Response::Objects(keys.iter().map(|k| map.get(k).cloned()).collect())
+                }
+                Request::DeleteMany { keys } => {
+                    for k in &keys {
+                        map.remove(k);
+                    }
+                    Response::Ok
+                }
+                _ => Response::Error("unsupported in test".into()),
+            }
+        }
+    }
+
+    fn poison_transport(poison: ObjectKey) -> (ResilientTransport, Arc<PoisonStore>) {
+        let handler = Arc::new(PoisonStore { poison, map: Mutex::new(HashMap::new()) });
+        let h = Arc::clone(&handler);
+        let connector = Box::new(move || -> Result<Box<dyn Transport>, NetError> {
+            Ok(Box::new(InMemoryTransport::new(Arc::clone(&h) as Arc<dyn RequestHandler>)))
+        });
+        (ResilientTransport::connect(connector, RetryPolicy::fast(2)).unwrap(), handler)
+    }
+
+    #[test]
+    fn fatal_batch_failure_is_bisected_to_the_poisoned_item() {
+        let poison = ObjectKey::metadata(2, [2; 16]);
+        let (mut t, handler) = poison_transport(poison);
+        let items: Vec<(ObjectKey, Vec<u8>)> =
+            (0..8u64).map(|i| (ObjectKey::metadata(i, [i as u8; 16]), vec![i as u8; 8])).collect();
+        let err = t.call(&Request::PutMany { items }).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Fatal, "culprit must still surface: {err}");
+        // Every healthy item landed despite the poisoned batch-mate.
+        let map = handler.map.lock().unwrap();
+        assert_eq!(map.len(), 7, "7 of 8 items are healthy");
+        for i in 0..8u64 {
+            let key = ObjectKey::metadata(i, [i as u8; 16]);
+            assert_eq!(map.contains_key(&key), i != 2, "item {i}");
+        }
+    }
+
+    #[test]
+    fn get_many_halves_merge_in_order() {
+        let absent_poison = ObjectKey::metadata(99, [9; 16]);
+        let (mut t, handler) = poison_transport(absent_poison);
+        let keys: Vec<ObjectKey> =
+            (0..5u64).map(|i| ObjectKey::metadata(i, [i as u8; 16])).collect();
+        {
+            let mut map = handler.map.lock().unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                if i % 2 == 0 {
+                    map.insert(*k, vec![i as u8; 4]);
+                }
+            }
+        }
+        // Clean path first: no splitting without a fatal error.
+        let got = t.call(&Request::GetMany { keys: keys.clone() }).unwrap();
+        match got {
+            Response::Objects(vs) => {
+                assert_eq!(vs.len(), 5);
+                for (i, v) in vs.iter().enumerate() {
+                    assert_eq!(v.is_some(), i % 2 == 0, "slot {i}");
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // With the poison appended, the split still returns an error (the
+        // caller must know the batch did not fully resolve)…
+        let mut with_poison = keys;
+        with_poison.push(absent_poison);
+        let err = t.call(&Request::GetMany { keys: with_poison }).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn single_item_batches_do_not_split() {
+        let poison = ObjectKey::metadata(2, [2; 16]);
+        let (mut t, _handler) = poison_transport(poison);
+        let err = t.call(&Request::PutMany { items: vec![(poison, vec![1])] }).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Fatal);
+        assert_eq!(t.meter().sample().retries, 0, "fatal singles surface without retry");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use crate::faultfs::{VFile, Vfs};
 use crate::segment::{checkpoint_name, classify, wal_name, TMP_SUFFIX};
-use crate::store::{parse_snapshot_index, snapshot_from_entries};
+use crate::store::{parse_snapshot_index, shard_of, snapshot_from_entries, DEFAULT_SHARDS};
 use crate::wal::{
     decode_record_at, decode_wal_header, encode_record, encode_wal_header, replay, WalError, WalOp,
     WalRecord, WAL_HEADER_LEN,
@@ -36,9 +36,9 @@ use sharoes_crypto::Sha256;
 use sharoes_index::{MerkleIndex, VerifiedPage};
 use sharoes_net::{KeySpace, NetError, ObjectKey};
 use std::collections::BTreeMap;
-use std::ops::Bound;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Tuning knobs for [`LogEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -106,12 +106,11 @@ struct CheckpointFile {
     handle: Box<dyn VFile>,
 }
 
-struct Inner {
-    index: BTreeMap<ObjectKey, Loc>,
-    /// Authenticated ordered index over the live keys, maintained in
-    /// lockstep with `index` and rebuilt from the recovered key set on
-    /// open. Compaction never touches it: the key *set* is unchanged.
-    mindex: MerkleIndex,
+/// All file-level state: the WAL chain, the checkpoint handle, and the
+/// group-commit bookkeeping. One mutex serializes every append — callers
+/// blocked on it form the group-commit queue, so `pending` batches their
+/// fsyncs exactly as before the store was sharded.
+struct FileState {
     /// Active WAL handle.
     wal: Box<dyn VFile>,
     wal_id: u64,
@@ -125,19 +124,35 @@ struct Inner {
     next_seq: u64,
     /// Appends since the last WAL fsync.
     pending: usize,
-    /// Bytes of superseded (garbage) records across WAL files + checkpoint.
-    dead_bytes: u64,
-    /// Total live value bytes.
-    value_bytes: u64,
 }
+
+/// One shard of the key→location map.
+type Shard = BTreeMap<ObjectKey, Loc>;
 
 /// Crash-consistent log-structured store: the durable drop-in for
 /// [`crate::store::ObjectStore`] behind `sharoes-sspd --wal`.
+///
+/// Concurrency model (DESIGN.md §14): the key→location index is split into
+/// [`DEFAULT_SHARDS`] shards keyed by [`crate::store::shard_of`] — the same
+/// stable hash the cluster ring proves out — so writers to different shards
+/// only contend on the (short) WAL append section. Lock order is global and
+/// acyclic: shard locks in ascending shard order, then `files`, then (after
+/// `files` is released) `mindex`. Whole-map operations (compaction,
+/// snapshot) take every shard lock in ascending order first.
 pub struct LogEngine {
     fs: Arc<dyn Vfs>,
     dir: PathBuf,
     config: EngineConfig,
-    inner: Mutex<Inner>,
+    shards: Vec<RwLock<Shard>>,
+    /// Authenticated ordered index over the live keys, maintained in
+    /// lockstep with the shard maps and rebuilt from the recovered key set
+    /// on open. Compaction never touches it: the key *set* is unchanged.
+    mindex: RwLock<MerkleIndex>,
+    files: Mutex<FileState>,
+    /// Bytes of superseded (garbage) records across WAL files + checkpoint.
+    dead_bytes: AtomicU64,
+    /// Total live value bytes.
+    value_bytes: AtomicU64,
 }
 
 fn vdigest8(value: &[u8]) -> [u8; 8] {
@@ -373,17 +388,23 @@ impl LogEngine {
         sharoes_obs::counter("ssp_recovery_replayed_records").add(replayed);
         sharoes_obs::histogram_ms("ssp_recovery_ms").observe(t0.elapsed().as_millis() as u64);
 
+        // From-scratch mindex rebuild over the recovered key set: history
+        // independence guarantees this equals the tree any sequence of live
+        // mutations would have left (tests/crashpoints.rs asserts this at
+        // every crash point).
+        let mindex = MerkleIndex::from_keys(index.keys().copied());
+        let mut shard_maps: Vec<Shard> = (0..DEFAULT_SHARDS).map(|_| BTreeMap::new()).collect();
+        for (key, loc) in index {
+            shard_maps[shard_of(&key, DEFAULT_SHARDS)].insert(key, loc);
+        }
+
         Ok(LogEngine {
             fs,
             dir: dir.to_path_buf(),
             config,
-            inner: Mutex::new(Inner {
-                // From-scratch rebuild over the recovered key set: history
-                // independence guarantees this equals the tree any sequence
-                // of live mutations would have left (tests/crashpoints.rs
-                // asserts this at every crash point).
-                mindex: MerkleIndex::from_keys(index.keys().copied()),
-                index,
+            shards: shard_maps.into_iter().map(RwLock::new).collect(),
+            mindex: RwLock::new(mindex),
+            files: Mutex::new(FileState {
                 wal,
                 wal_id,
                 wal_len,
@@ -392,40 +413,77 @@ impl LogEngine {
                 gen,
                 next_seq,
                 pending: 0,
-                dead_bytes,
-                value_bytes,
             }),
+            dead_bytes: AtomicU64::new(dead_bytes),
+            value_bytes: AtomicU64::new(value_bytes),
         })
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        // Attribute time spent waiting on the engine mutex to the enclosing
-        // span's `lock` phase; only times when a trace span is live.
+    /// Locks the file state, attributing wait time to the enclosing span's
+    /// `lock` phase when a trace span is live. All locks below recover from
+    /// poisoning: a writer panicking mid-operation leaves at worst a torn
+    /// *logical* record, which is exactly the state recovery handles.
+    fn files_lock(&self) -> MutexGuard<'_, FileState> {
         if sharoes_obs::in_span() {
             let start = std::time::Instant::now();
-            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let guard = self.files.lock().unwrap_or_else(|e| e.into_inner());
             sharoes_obs::phase_add(sharoes_obs::Phase::Lock, start.elapsed().as_nanos() as u64);
             return guard;
         }
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.files.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn sync_wal(inner: &mut Inner) -> Result<(), NetError> {
-        inner.wal.sync()?;
-        inner.pending = 0;
+    fn shard_read(&self, key: &ObjectKey) -> RwLockReadGuard<'_, Shard> {
+        self.shards[shard_of(key, self.shards.len())].read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn shard_write(&self, key: &ObjectKey) -> RwLockWriteGuard<'_, Shard> {
+        if sharoes_obs::in_span() {
+            let start = std::time::Instant::now();
+            let guard = self.shards[shard_of(key, self.shards.len())]
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            sharoes_obs::phase_add(sharoes_obs::Phase::Lock, start.elapsed().as_nanos() as u64);
+            return guard;
+        }
+        self.shards[shard_of(key, self.shards.len())].write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Every shard, write-locked in ascending shard order (the global lock
+    /// order that makes whole-map operations deadlock-free).
+    fn write_all_shards(&self) -> Vec<RwLockWriteGuard<'_, Shard>> {
+        self.shards.iter().map(|s| s.write().unwrap_or_else(|e| e.into_inner())).collect()
+    }
+
+    /// Every shard, read-locked in ascending shard order.
+    fn read_all_shards(&self) -> Vec<RwLockReadGuard<'_, Shard>> {
+        self.shards.iter().map(|s| s.read().unwrap_or_else(|e| e.into_inner())).collect()
+    }
+
+    fn mindex_read(&self) -> RwLockReadGuard<'_, MerkleIndex> {
+        self.mindex.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn mindex_write(&self) -> RwLockWriteGuard<'_, MerkleIndex> {
+        self.mindex.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn sync_wal(files: &mut FileState) -> Result<(), NetError> {
+        files.wal.sync()?;
+        files.pending = 0;
         sharoes_obs::counter("ssp_wal_fsyncs").inc();
         Ok(())
     }
 
     /// Appends one record (no fsync; see [`Self::group_sync`]).
-    fn append_record(&self, inner: &mut Inner, op: WalOp) -> Result<(u64, u32), NetError> {
-        let rec = WalRecord { gen: inner.gen, seq: inner.next_seq, op };
+    fn append_record(&self, files: &mut FileState, op: WalOp) -> Result<(u64, u32), NetError> {
+        let rec = WalRecord { gen: files.gen, seq: files.next_seq, op };
         let bytes = encode_record(&rec);
-        let offset = inner.wal_len;
-        inner.wal.append(&bytes)?;
-        inner.next_seq += 1;
-        inner.wal_len += bytes.len() as u64;
-        inner.pending += 1;
+        let offset = files.wal_len;
+        files.wal.append(&bytes)?;
+        files.next_seq += 1;
+        files.wal_len += bytes.len() as u64;
+        files.pending += 1;
         sharoes_obs::counter("ssp_wal_appends").inc();
         Ok((offset, bytes.len() as u32))
     }
@@ -434,9 +492,9 @@ impl LogEngine {
     /// mutation is applied and logged but *not durable*: the caller sees
     /// the error (retry is idempotent), and a later successful fsync — or
     /// recovery replay of the surviving bytes — covers the record.
-    fn group_sync(&self, inner: &mut Inner) -> Result<(), NetError> {
-        if inner.pending >= self.config.group_commit.max(1) {
-            Self::sync_wal(inner)?;
+    fn group_sync(&self, files: &mut FileState) -> Result<(), NetError> {
+        if files.pending >= self.config.group_commit.max(1) {
+            Self::sync_wal(files)?;
         }
         Ok(())
     }
@@ -444,13 +502,13 @@ impl LogEngine {
     /// Reads the live value for `key` at `loc`, verifying integrity.
     fn read_value(
         &self,
-        inner: &mut Inner,
+        files: &mut FileState,
         key: &ObjectKey,
         loc: Loc,
     ) -> Result<Vec<u8>, NetError> {
         match loc.file {
             FileRef::Checkpoint => {
-                let ck = inner
+                let ck = files
                     .checkpoint
                     .as_mut()
                     .ok_or_else(|| corrupt("index points at a missing checkpoint".into()))?;
@@ -463,10 +521,10 @@ impl LogEngine {
                 Ok(value)
             }
             FileRef::Wal(id) => {
-                let handle: &mut Box<dyn VFile> = if id == inner.wal_id {
-                    &mut inner.wal
+                let handle: &mut Box<dyn VFile> = if id == files.wal_id {
+                    &mut files.wal
                 } else {
-                    let slot = inner
+                    let slot = files
                         .sealed
                         .get_mut(&id)
                         .ok_or_else(|| corrupt(format!("index points at missing wal file {id}")))?;
@@ -489,34 +547,43 @@ impl LogEngine {
     }
 
     /// Seals the active WAL and starts a fresh file.
-    fn roll_locked(&self, inner: &mut Inner) -> Result<(), NetError> {
-        Self::sync_wal(inner)?; // the sealed file must be fully durable
-        let new_id = inner.wal_id + 1;
+    fn roll_locked(&self, files: &mut FileState) -> Result<(), NetError> {
+        Self::sync_wal(files)?; // the sealed file must be fully durable
+        let new_id = files.wal_id + 1;
         let path = self.dir.join(wal_name(new_id));
         let mut handle = self.fs.open(&path, true)?;
-        handle.append(&encode_wal_header(new_id, inner.gen))?;
+        handle.append(&encode_wal_header(new_id, files.gen))?;
         handle.sync()?;
         self.fs.sync_dir(&self.dir)?;
-        let old = std::mem::replace(&mut inner.wal, handle);
-        inner.sealed.insert(inner.wal_id, Some(old));
-        inner.wal_id = new_id;
-        inner.wal_len = WAL_HEADER_LEN as u64;
+        let old = std::mem::replace(&mut files.wal, handle);
+        files.sealed.insert(files.wal_id, Some(old));
+        files.wal_id = new_id;
+        files.wal_len = WAL_HEADER_LEN as u64;
         Ok(())
     }
 
     /// Writes a checkpoint covering everything appended so far, then drops
-    /// the superseded WAL files and all but one older checkpoint.
-    fn compact_locked(&self, inner: &mut Inner) -> Result<(), NetError> {
+    /// the superseded WAL files and all but one older checkpoint. Caller
+    /// holds *every* shard write lock (ascending) plus the file lock.
+    fn compact_locked(
+        &self,
+        shards: &mut [RwLockWriteGuard<'_, Shard>],
+        files: &mut FileState,
+    ) -> Result<(), NetError> {
         let _span = sharoes_obs::span!("ssp.compact");
-        Self::sync_wal(inner)?; // checkpoint must cover acknowledged state
-        let seq = inner.next_seq - 1;
+        Self::sync_wal(files)?; // checkpoint must cover acknowledged state
+        let seq = files.next_seq - 1;
 
-        let keys: Vec<ObjectKey> = inner.index.keys().copied().collect();
-        let mut entries: Vec<(ObjectKey, Vec<u8>)> = Vec::with_capacity(keys.len());
-        for key in keys {
-            let loc = inner.index[&key];
-            let value = self.read_value(inner, &key, loc)?;
-            entries.push((key, value));
+        let mut merged: BTreeMap<ObjectKey, Loc> = BTreeMap::new();
+        for shard in shards.iter() {
+            for (key, loc) in shard.iter() {
+                merged.insert(*key, *loc);
+            }
+        }
+        let mut entries: Vec<(ObjectKey, Vec<u8>)> = Vec::with_capacity(merged.len());
+        for (key, loc) in &merged {
+            let value = self.read_value(files, key, *loc)?;
+            entries.push((*key, value));
         }
         let bytes = snapshot_from_entries(&entries);
 
@@ -531,14 +598,16 @@ impl LogEngine {
         self.fs.rename(&tmp, &self.dir.join(&final_name))?;
         self.fs.sync_dir(&self.dir)?;
 
-        // Rebuild the index to point into the checkpoint (value offset =
-        // entry offset + key wire size + length prefix; see
+        // Rebuild the shard maps to point into the checkpoint (value offset
+        // = entry offset + key wire size + length prefix; see
         // `snapshot_from_entries`).
-        let mut index = BTreeMap::new();
+        for shard in shards.iter_mut() {
+            shard.clear();
+        }
         let mut off = 16u64; // magic + count
         for (key, value) in &entries {
             let voff = off + 29 + 4;
-            index.insert(
+            shards[shard_of(key, shards.len())].insert(
                 *key,
                 Loc {
                     file: FileRef::Checkpoint,
@@ -552,17 +621,17 @@ impl LogEngine {
         }
 
         // Fresh WAL, durable before the old chain is deleted.
-        let new_id = inner.wal_id + 1;
+        let new_id = files.wal_id + 1;
         let mut wal = self.fs.open(&self.dir.join(wal_name(new_id)), true)?;
-        wal.append(&encode_wal_header(new_id, inner.gen))?;
+        wal.append(&encode_wal_header(new_id, files.gen))?;
         wal.sync()?;
 
         // Delete superseded WAL files and prune checkpoints down to the new
         // one plus a single fallback generation.
-        for id in inner.sealed.keys().copied().collect::<Vec<_>>() {
+        for id in files.sealed.keys().copied().collect::<Vec<_>>() {
             self.fs.remove(&self.dir.join(wal_name(id))).ok();
         }
-        self.fs.remove(&self.dir.join(wal_name(inner.wal_id))).ok();
+        self.fs.remove(&self.dir.join(wal_name(files.wal_id))).ok();
         let listing = classify(&self.fs.list(&self.dir)?);
         if listing.checkpoints.len() > 2 {
             for (_, name) in &listing.checkpoints[..listing.checkpoints.len() - 2] {
@@ -571,76 +640,130 @@ impl LogEngine {
         }
         self.fs.sync_dir(&self.dir)?;
 
-        inner.index = index;
-        inner.sealed.clear();
-        inner.checkpoint =
+        files.sealed.clear();
+        files.checkpoint =
             Some(CheckpointFile { seq, handle: self.fs.open(&self.dir.join(&final_name), false)? });
-        inner.wal = wal;
-        inner.wal_id = new_id;
-        inner.wal_len = WAL_HEADER_LEN as u64;
-        inner.dead_bytes = 0;
+        files.wal = wal;
+        files.wal_id = new_id;
+        files.wal_len = WAL_HEADER_LEN as u64;
+        self.dead_bytes.store(0, Ordering::Relaxed);
         sharoes_obs::counter("ssp_compactions").inc();
         Ok(())
     }
 
-    fn maybe_roll_and_compact(&self, inner: &mut Inner) -> Result<(), NetError> {
-        if inner.wal_len >= self.config.roll_bytes {
-            self.roll_locked(inner)?;
+    /// Whether the garbage thresholds say a compaction is worth it.
+    fn compaction_due(&self) -> bool {
+        let dead = self.dead_bytes.load(Ordering::Relaxed);
+        dead >= self.config.compact_min_dead_bytes
+            && dead >= self.value_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Threshold-triggered compaction. Peeks the atomics lock-free; only if
+    /// they say "due" does it take the whole-map locks, re-checking under
+    /// them (another thread may have compacted while we waited).
+    fn maybe_compact(&self) -> Result<(), NetError> {
+        if !self.config.auto_compact || !self.compaction_due() {
+            return Ok(());
         }
-        if self.config.auto_compact
-            && inner.dead_bytes >= self.config.compact_min_dead_bytes
-            && inner.dead_bytes >= inner.value_bytes
-        {
-            self.compact_locked(inner)?;
+        let mut shards = self.write_all_shards();
+        if !self.compaction_due() {
+            return Ok(());
         }
-        Ok(())
+        let mut files = self.files_lock();
+        self.compact_locked(&mut shards, &mut files)
+    }
+
+    /// Charges supersession accounting for a map entry that `key`'s
+    /// mutation just replaced or removed.
+    fn account_dead(&self, old: &Loc) {
+        self.dead_bytes.fetch_add(old.cost(), Ordering::Relaxed);
+        self.value_bytes.fetch_sub(old.vlen as u64, Ordering::Relaxed);
     }
 
     /// Stores (or replaces) an object.
+    ///
+    /// Lock walk: shard write → files (append + group fsync + roll) → drop
+    /// files → map/mindex update → drop shard. The shard lock is held
+    /// across the file section so a concurrent whole-map operation can
+    /// never observe an appended-but-unindexed record. A failed group fsync
+    /// still indexes the record (it is applied, just not yet durable) and
+    /// then surfaces the error — same contract as the single-lock engine.
     pub fn put(&self, key: ObjectKey, value: Vec<u8>) -> Result<(), NetError> {
-        let mut inner = self.lock();
         let vlen = value.len() as u32;
-        let (offset, rlen) = self.append_record(&mut inner, WalOp::Put { key, value })?;
-        let loc = Loc { file: FileRef::Wal(inner.wal_id), offset, rlen, vlen, vdigest: [0; 8] };
-        match inner.index.insert(key, loc) {
-            Some(old) => {
-                inner.dead_bytes += old.cost();
-                inner.value_bytes -= old.vlen as u64;
+        let mut shard = self.shard_write(&key);
+        let (loc, sync_res) = {
+            let mut files = self.files_lock();
+            let (offset, rlen) = self.append_record(&mut files, WalOp::Put { key, value })?;
+            let loc = Loc { file: FileRef::Wal(files.wal_id), offset, rlen, vlen, vdigest: [0; 8] };
+            let sync_res = self.group_sync(&mut files);
+            if sync_res.is_ok() && files.wal_len >= self.config.roll_bytes {
+                self.roll_locked(&mut files)?;
             }
+            (loc, sync_res)
+        };
+        match shard.insert(key, loc) {
+            Some(old) => self.account_dead(&old),
             None => {
-                inner.mindex.insert(key);
+                self.mindex_write().insert(key);
             }
         }
-        inner.value_bytes += vlen as u64;
-        self.group_sync(&mut inner)?;
-        self.maybe_roll_and_compact(&mut inner)
+        self.value_bytes.fetch_add(vlen as u64, Ordering::Relaxed);
+        drop(shard);
+        sync_res?;
+        self.maybe_compact()
     }
 
     /// Fetches an object, verifying stored-byte integrity on the way out.
+    ///
+    /// Holds the shard *read* lock across the file read: compaction takes
+    /// every shard write lock first, so the `Loc` cannot go stale between
+    /// the map lookup and the value read.
     pub fn get(&self, key: &ObjectKey) -> Result<Option<Vec<u8>>, NetError> {
-        let mut inner = self.lock();
-        match inner.index.get(key).copied() {
-            Some(loc) => self.read_value(&mut inner, key, loc).map(Some),
+        let shard = self.shard_read(key);
+        match shard.get(key).copied() {
+            Some(loc) => {
+                let mut files = self.files_lock();
+                self.read_value(&mut files, key, loc).map(Some)
+            }
             None => Ok(None),
         }
+    }
+
+    /// Appends and applies one delete record for a key known to exist.
+    /// `roll` gates the WAL-roll check: single-key deletes roll inline,
+    /// the `delete_blocks` sweep defers rolling to one end-of-sweep check
+    /// (preserving the pre-shard record layout the crash matrix pins).
+    fn delete_one(&self, key: &ObjectKey, roll: bool) -> Result<bool, NetError> {
+        let mut shard = self.shard_write(key);
+        if !shard.contains_key(key) {
+            return Ok(false);
+        }
+        let (rlen, sync_res) = {
+            let mut files = self.files_lock();
+            let (_, rlen) = self.append_record(&mut files, WalOp::Delete { key: *key })?;
+            let sync_res = self.group_sync(&mut files);
+            if roll && sync_res.is_ok() && files.wal_len >= self.config.roll_bytes {
+                self.roll_locked(&mut files)?;
+            }
+            (rlen, sync_res)
+        };
+        if let Some(old) = shard.remove(key) {
+            self.account_dead(&old);
+            self.mindex_write().remove(key);
+        }
+        self.dead_bytes.fetch_add(rlen as u64, Ordering::Relaxed);
+        drop(shard);
+        sync_res?;
+        Ok(true)
     }
 
     /// Deletes an object; returns whether it existed. Deleting an absent
     /// key appends no record.
     pub fn delete(&self, key: &ObjectKey) -> Result<bool, NetError> {
-        let mut inner = self.lock();
-        if !inner.index.contains_key(key) {
+        if !self.delete_one(key, true)? {
             return Ok(false);
         }
-        let (_, rlen) = self.append_record(&mut inner, WalOp::Delete { key: *key })?;
-        if let Some(old) = inner.index.remove(key) {
-            inner.dead_bytes += old.cost();
-            inner.value_bytes -= old.vlen as u64;
-            inner.mindex.remove(key);
-        }
-        inner.dead_bytes += rlen as u64;
-        self.group_sync(&mut inner)?;
-        self.maybe_roll_and_compact(&mut inner)?;
+        self.maybe_compact()?;
         Ok(true)
     }
 
@@ -648,114 +771,120 @@ impl LogEngine {
     ///
     /// Logged as one delete record per block (each atomic on its own): a
     /// crash mid-sweep recovers a prefix of the deletions, which the
-    /// idempotent caller simply reissues.
+    /// idempotent caller simply reissues. The doomed set is collected
+    /// up front and deleted in sorted key order — the same WAL record
+    /// order the single-lock engine produced — with one roll check at the
+    /// end of the sweep. Keys inserted concurrently with the sweep may be
+    /// missed; the idempotent caller's reissue covers them.
     pub fn delete_blocks(&self, inode: u64, view: [u8; 16]) -> Result<usize, NetError> {
-        let mut inner = self.lock();
-        let doomed: Vec<ObjectKey> = inner
-            .index
-            .keys()
-            .filter(|k| k.space == KeySpace::Data && k.inode == inode && k.view == view)
-            .copied()
-            .collect();
-        for key in &doomed {
-            let (_, rlen) = self.append_record(&mut inner, WalOp::Delete { key: *key })?;
-            if let Some(old) = inner.index.remove(key) {
-                inner.dead_bytes += old.cost();
-                inner.value_bytes -= old.vlen as u64;
-                inner.mindex.remove(key);
-            }
-            inner.dead_bytes += rlen as u64;
-            self.group_sync(&mut inner)?;
+        let mut doomed: Vec<ObjectKey> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().unwrap_or_else(|e| e.into_inner());
+            doomed.extend(
+                map.keys()
+                    .filter(|k| k.space == KeySpace::Data && k.inode == inode && k.view == view)
+                    .copied(),
+            );
         }
-        self.maybe_roll_and_compact(&mut inner)?;
-        Ok(doomed.len())
+        doomed.sort_unstable();
+        let mut removed = 0usize;
+        for key in &doomed {
+            if self.delete_one(key, false)? {
+                removed += 1;
+            }
+        }
+        {
+            let mut files = self.files_lock();
+            if files.wal_len >= self.config.roll_bytes {
+                self.roll_locked(&mut files)?;
+            }
+        }
+        self.maybe_compact()?;
+        Ok(removed)
     }
 
     /// Fsyncs any pending (group-commit buffered) appends.
     pub fn flush(&self) -> Result<(), NetError> {
-        let mut inner = self.lock();
-        if inner.pending > 0 {
-            Self::sync_wal(&mut inner)?;
+        let mut files = self.files_lock();
+        if files.pending > 0 {
+            Self::sync_wal(&mut files)?;
         }
         Ok(())
     }
 
     /// Manually checkpoints + compacts, regardless of thresholds.
     pub fn compact(&self) -> Result<(), NetError> {
-        let mut inner = self.lock();
-        self.compact_locked(&mut inner)
+        let mut shards = self.write_all_shards();
+        let mut files = self.files_lock();
+        self.compact_locked(&mut shards, &mut files)
     }
 
     /// Number of stored objects.
     pub fn object_count(&self) -> u64 {
-        self.lock().index.len() as u64
+        self.read_all_shards().iter().map(|s| s.len() as u64).sum()
     }
 
     /// Total stored value bytes.
     pub fn byte_count(&self) -> u64 {
-        self.lock().value_bytes
+        self.value_bytes.load(Ordering::Relaxed)
     }
 
     /// Bytes stored per keyspace (deterministic iteration order).
     pub fn bytes_by_space(&self) -> BTreeMap<KeySpace, u64> {
-        let inner = self.lock();
+        let shards = self.read_all_shards();
         let mut out = BTreeMap::new();
-        for (key, loc) in &inner.index {
-            *out.entry(key.space).or_insert(0) += loc.vlen as u64;
+        for shard in &shards {
+            for (key, loc) in shard.iter() {
+                *out.entry(key.space).or_insert(0) += loc.vlen as u64;
+            }
         }
         out
     }
 
     /// One page of the key index in `ObjectKey` order, strictly after the
     /// `after` cursor. Returns the page and whether the scan is complete.
+    ///
+    /// Served from the authenticated index under its *read* lock: paged
+    /// scans never serialize against shard writers or the WAL.
     pub fn scan_keys(&self, after: Option<&ObjectKey>, limit: usize) -> (Vec<ObjectKey>, bool) {
-        let inner = self.lock();
-        let range = match after {
-            Some(a) => inner.index.range((Bound::Excluded(*a), Bound::Unbounded)),
-            None => inner.index.range(..),
-        };
-        let mut keys: Vec<ObjectKey> = Vec::with_capacity(limit.min(1024));
-        let mut done = true;
-        for key in range.map(|(k, _)| *k) {
-            if keys.len() == limit {
-                done = false;
-                break;
-            }
-            keys.push(key);
-        }
-        (keys, done)
+        self.mindex_read().scan_page(after, limit)
     }
 
     /// Root hash of the authenticated key index plus the live key count.
     pub fn index_root(&self) -> ([u8; 32], u64) {
-        let mut inner = self.lock();
-        let root = inner.mindex.root();
-        let count = inner.mindex.len();
+        let mut mindex = self.mindex_write();
+        let root = mindex.root();
+        let count = mindex.len();
         (root, count)
     }
 
     /// Canonical encoding of the index node content-addressed by `hash`,
     /// if this engine currently has it (serves the `IndexNode` wire op).
     pub fn index_node_bytes(&self, hash: &[u8; 32]) -> Option<Vec<u8>> {
-        self.lock().mindex.node_bytes(hash)
+        self.mindex_write().node_bytes(hash)
     }
 
     /// One scan page plus a Merkle range proof tying it to the current
     /// root (serves the `ScanVerified` wire op).
     pub fn scan_proof(&self, after: Option<&ObjectKey>, limit: u32) -> VerifiedPage {
-        self.lock().mindex.prove_scan(after, limit)
+        self.mindex_write().prove_scan(after, limit)
     }
 
     /// Serializes the full live state as a `SHAROES2` snapshot (sorted by
     /// key, so two engines holding the same logical state produce identical
     /// bytes — the fingerprint the recovery-equivalence tests compare).
     pub fn snapshot(&self) -> Result<Vec<u8>, NetError> {
-        let mut inner = self.lock();
-        let keys: Vec<ObjectKey> = inner.index.keys().copied().collect();
-        let mut entries = Vec::with_capacity(keys.len());
-        for key in keys {
-            let loc = inner.index[&key];
-            let value = self.read_value(&mut inner, &key, loc)?;
+        let shards = self.read_all_shards();
+        let mut files = self.files_lock();
+        let mut merged: BTreeMap<ObjectKey, Loc> = BTreeMap::new();
+        for shard in &shards {
+            for (key, loc) in shard.iter() {
+                merged.insert(*key, *loc);
+            }
+        }
+        let mut entries = Vec::with_capacity(merged.len());
+        for (key, loc) in merged {
+            let value = self.read_value(&mut files, &key, loc)?;
             entries.push((key, value));
         }
         Ok(snapshot_from_entries(&entries))
@@ -764,8 +893,8 @@ impl LogEngine {
     /// Engine shape for assertions: `(active wal id, active wal bytes,
     /// sealed wal count, checkpoint seq)`.
     pub fn debug_shape(&self) -> (u64, u64, usize, Option<u64>) {
-        let inner = self.lock();
-        (inner.wal_id, inner.wal_len, inner.sealed.len(), inner.checkpoint.as_ref().map(|c| c.seq))
+        let files = self.files_lock();
+        (files.wal_id, files.wal_len, files.sealed.len(), files.checkpoint.as_ref().map(|c| c.seq))
     }
 }
 
@@ -975,6 +1104,66 @@ mod tests {
         assert_eq!(engine.get(&key(2, 0)).unwrap(), Some(vec![2]));
         assert_eq!(engine.get(&key(3, 0)).unwrap(), Some(vec![3]));
         assert_eq!(fs.sync_failures(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_locks_recover() {
+        let (_fs, engine) = mem_engine(EngineConfig::default());
+        let engine = Arc::new(engine);
+        engine.put(key(1, 0), vec![1, 2, 3]).unwrap();
+        // Panic while holding every shard write lock: all shards poison.
+        let poisoner = Arc::clone(&engine);
+        let _ = std::thread::spawn(move || {
+            let _guards: Vec<_> = poisoner
+                .shards
+                .iter()
+                .map(|s| s.write().unwrap_or_else(|e| e.into_inner()))
+                .collect();
+            panic!("poison the shard locks");
+        })
+        .join();
+        assert!(engine.shards.iter().all(|s| s.is_poisoned()));
+        // Every operation recovers the guards and keeps working.
+        assert_eq!(engine.get(&key(1, 0)).unwrap(), Some(vec![1, 2, 3]));
+        engine.put(key(2, 0), vec![4]).unwrap();
+        assert!(engine.delete(&key(2, 0)).unwrap());
+        assert_eq!(engine.object_count(), 1);
+        assert_eq!(engine.scan_keys(None, 10).0, vec![key(1, 0)]);
+        engine.compact().unwrap();
+        assert!(!engine.snapshot().unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_converge_to_sequential_state() {
+        let config = EngineConfig { group_commit: 4, auto_compact: false, ..Default::default() };
+        let (_fs, engine) = mem_engine(config);
+        let engine = Arc::new(engine);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let k = key(t * 1000 + i, 0);
+                        engine.put(k, vec![t as u8; 16]).unwrap();
+                        if i % 5 == 0 {
+                            assert_eq!(engine.get(&k).unwrap(), Some(vec![t as u8; 16]));
+                        }
+                        if i % 7 == 0 {
+                            engine.delete(&k).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        engine.flush().unwrap();
+        let expect: u64 = 8 * (50 - 8); // 8 of 50 per thread hit i % 7 == 0
+        assert_eq!(engine.object_count(), expect);
+        let (keys, done) = engine.scan_keys(None, 10_000);
+        assert!(done);
+        assert_eq!(keys.len() as u64, expect);
+        // The authenticated index agrees with a from-scratch rebuild.
+        let mut rebuilt = MerkleIndex::from_keys(keys.iter().copied());
+        assert_eq!(engine.index_root(), (rebuilt.root(), expect));
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub use engine::{EngineConfig, LogEngine};
 pub use faultfs::{CrashMode, FaultFs, RealFs, VFile, Vfs};
 pub use server::SspServer;
 pub use store::{
-    backup_path, parse_snapshot_index, snapshot_from_entries, ObjectStore, SnapshotSource,
+    backup_path, parse_snapshot_index, shard_of, snapshot_from_entries, ObjectStore,
+    SnapshotSource, DEFAULT_SHARDS,
 };
 pub use tcp::{serve, serve_with, ServeOptions, TcpServerHandle};
 pub use wal::{WalError, WalOp, WalRecord};

@@ -8,13 +8,11 @@
 use sharoes_crypto::Sha256;
 use sharoes_index::{MerkleIndex, VerifiedPage};
 use sharoes_net::{Cursor, KeySpace, NetError, ObjectKey, WireRead, WireWrite};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, RwLock};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Magic + version prefix of the current (checksummed) snapshot format.
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAROES2";
@@ -25,8 +23,29 @@ const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"SHAROES1";
 /// Trailer: the body length (u64 BE) followed by SHA-256 of the body.
 const TRAILER_LEN: usize = 8 + 32;
 
-/// Number of lock shards; power of two.
-const SHARDS: usize = 16;
+/// Default number of lock shards.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Domain-separation prefix for the shard hash (cf. the cluster ring's
+/// `sharoes-ring-vnode` / `sharoes-ring-key` domains).
+const SHARD_DOMAIN: &[u8] = b"sharoes-shard-key";
+
+/// Which of `n` lock shards owns `key`.
+///
+/// The same construction the cluster ring proves out for key placement:
+/// SHA-256 over a domain tag plus the key's wire encoding. Stable across
+/// Rust versions and processes (unlike `DefaultHasher`), so a shard
+/// assignment observed in one run — or one layer — holds everywhere; the
+/// log engine shares it.
+pub fn shard_of(key: &ObjectKey, n: usize) -> usize {
+    let mut buf = Vec::with_capacity(SHARD_DOMAIN.len() + 29);
+    buf.extend_from_slice(SHARD_DOMAIN);
+    key.write(&mut buf);
+    let digest = Sha256::digest(&buf);
+    let mut h = [0u8; 8];
+    h.copy_from_slice(&digest[..8]);
+    (u64::from_be_bytes(h) % n as u64) as usize
+}
 
 /// Where [`ObjectStore::load_with_recovery`] found a valid snapshot.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,8 +80,10 @@ pub struct ObjectStore {
     /// Authenticated ordered index over the stored keys. Lock order: a
     /// shard lock (if any) is taken first, the index lock strictly inside
     /// it — mutators update the index while still holding the shard guard
-    /// so the index never observes a key set no shard ever held.
-    index: Mutex<MerkleIndex>,
+    /// so the index never observes a key set no shard ever held. An
+    /// `RwLock` so paged scans (read-only on the index) never serialize
+    /// against each other or against readers of other shards.
+    index: RwLock<MerkleIndex>,
 }
 
 impl Default for ObjectStore {
@@ -72,23 +93,35 @@ impl Default for ObjectStore {
 }
 
 impl ObjectStore {
-    /// An empty store.
+    /// An empty store with the default shard count.
     pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty store with an explicit shard count (at least 1).
+    ///
+    /// `with_shards(1)` is the single-global-lock configuration the
+    /// contention gate uses as its correctness baseline: every workload
+    /// must produce byte-identical snapshots against 1 shard and N shards.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
         ObjectStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             bytes: AtomicU64::new(0),
-            index: Mutex::new(MerkleIndex::new()),
+            index: RwLock::new(MerkleIndex::new()),
         }
     }
 
     fn shard(&self, key: &ObjectKey) -> &RwLock<HashMap<ObjectKey, Vec<u8>>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+        &self.shards[shard_of(key, self.shards.len())]
     }
 
-    fn index(&self) -> MutexGuard<'_, MerkleIndex> {
-        self.index.lock().unwrap_or_else(|e| e.into_inner())
+    fn index_read(&self) -> RwLockReadGuard<'_, MerkleIndex> {
+        self.index.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn index_write(&self) -> RwLockWriteGuard<'_, MerkleIndex> {
+        self.index.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Stores (or replaces) an object.
@@ -104,7 +137,7 @@ impl ObjectStore {
             }
             None => {
                 self.bytes.fetch_add(new_len, Ordering::Relaxed);
-                self.index().insert(key);
+                self.index_write().insert(key);
             }
         }
     }
@@ -120,7 +153,7 @@ impl ObjectStore {
         match shard.remove(key) {
             Some(old) => {
                 self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
-                self.index().remove(key);
+                self.index_write().remove(key);
                 true
             }
             None => false,
@@ -140,7 +173,7 @@ impl ObjectStore {
             for key in doomed {
                 if let Some(old) = map.remove(&key) {
                     self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
-                    self.index().remove(&key);
+                    self.index_write().remove(&key);
                     removed += 1;
                 }
             }
@@ -285,7 +318,7 @@ impl ObjectStore {
     /// collect-every-key-and-sort path ([`Self::scan_keys_flat`]) was
     /// `O(n log n)` *per page* and survives only as a debug oracle.
     pub fn scan_keys(&self, after: Option<&ObjectKey>, limit: usize) -> (Vec<ObjectKey>, bool) {
-        self.index().scan_page(after, limit)
+        self.index_read().scan_page(after, limit)
     }
 
     /// The old flat scan: collect every live key, sort, slice the page.
@@ -309,7 +342,7 @@ impl ObjectStore {
 
     /// Root hash of the authenticated key index plus the live key count.
     pub fn index_root(&self) -> ([u8; 32], u64) {
-        let mut index = self.index();
+        let mut index = self.index_write();
         let root = index.root();
         (root, index.len())
     }
@@ -317,13 +350,13 @@ impl ObjectStore {
     /// Canonical encoding of the index node content-addressed by `hash`,
     /// if this store currently has it (serves the `IndexNode` wire op).
     pub fn index_node_bytes(&self, hash: &[u8; 32]) -> Option<Vec<u8>> {
-        self.index().node_bytes(hash)
+        self.index_write().node_bytes(hash)
     }
 
     /// One scan page plus a Merkle range proof tying it to the current
     /// root (serves the `ScanVerified` wire op).
     pub fn scan_proof(&self, after: Option<&ObjectKey>, limit: u32) -> VerifiedPage {
-        self.index().prove_scan(after, limit)
+        self.index_write().prove_scan(after, limit)
     }
 }
 

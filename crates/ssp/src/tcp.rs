@@ -1,8 +1,23 @@
 //! TCP serving loop for the SSP.
 //!
-//! One thread per connection; frames are length-prefixed (see
-//! `sharoes_net::transport`). The SSP must stay up under hostile or flaky
-//! clients, so the loop is hardened:
+//! The front end is split into three layers (DESIGN.md §14):
+//!
+//! * an **accept loop** that claims a connection-budget slot and starts a
+//!   thin reader per connection;
+//! * per-connection **readers** that do nothing but frame/correlation-id
+//!   parsing and in-flight admission, then enqueue the request;
+//! * a **bounded worker pool** ([`ServeOptions::workers`]) that executes
+//!   requests against the store and writes responses back — so request
+//!   execution concurrency is capped by the pool, not by the client count.
+//!
+//! Clients that prefix frames with a correlation header (`sharoes_net::
+//! pipeline`) may keep up to [`ServeOptions::pipeline_depth`] requests in
+//! flight on one connection; responses echo the id and may complete out of
+//! order. Headerless (legacy) connections are admitted one request at a
+//! time, preserving strict FIFO request→response framing.
+//!
+//! The SSP must stay up under hostile or flaky clients, so the loop is
+//! hardened:
 //!
 //! * Oversized length prefixes get a `Response::Error("frame too large…")`
 //!   before the connection closes, instead of a silent hangup.
@@ -17,12 +32,14 @@
 //!   loopback "poke" cannot reach it.
 
 use crate::server::SspServer;
-use sharoes_net::transport::{read_frame, write_frame};
+use sharoes_net::transport::{read_frame, write_frame, write_frame_vectored};
+use sharoes_net::{corr_header, split_corr};
 use sharoes_net::{NetError, Request, RequestHandler, Response, WireRead, WireWrite};
 use sharoes_obs::{Counter, Gauge};
+use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -33,6 +50,8 @@ struct ConnMetrics {
     active: Gauge,
     frames_too_large: Counter,
     bad_requests: Counter,
+    queued: Counter,
+    pipelined: Counter,
 }
 
 fn conn_metrics() -> &'static ConnMetrics {
@@ -43,6 +62,8 @@ fn conn_metrics() -> &'static ConnMetrics {
         active: sharoes_obs::gauge("ssp_conns_active"),
         frames_too_large: sharoes_obs::counter("ssp_frames_too_large_total"),
         bad_requests: sharoes_obs::counter("ssp_bad_requests_total"),
+        queued: sharoes_obs::counter("ssp_requests_queued_total"),
+        pipelined: sharoes_obs::counter("ssp_requests_pipelined_total"),
     })
 }
 
@@ -56,12 +77,30 @@ pub struct ServeOptions {
     pub read_timeout: Option<Duration>,
     /// Maximum concurrent connections before new ones are shed.
     pub max_connections: usize,
+    /// Worker threads executing requests; 0 picks an automatic size
+    /// (available parallelism clamped to 2..=16).
+    pub workers: usize,
+    /// Maximum in-flight requests per connection for clients that send
+    /// correlation ids; headerless connections are always capped at 1.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { read_timeout: Some(Duration::from_secs(30)), max_connections: 256 }
+        ServeOptions {
+            read_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+            workers: 0,
+            pipeline_depth: 32,
+        }
     }
+}
+
+fn resolve_workers(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 16)
 }
 
 /// A running TCP server, stoppable and joinable.
@@ -69,6 +108,8 @@ pub struct TcpServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    pool: Arc<Pool>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl TcpServerHandle {
@@ -101,6 +142,12 @@ impl TcpServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Drain the worker pool: already-queued requests finish, parked
+        // workers wake and join.
+        self.pool.stop();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
 }
 
@@ -129,6 +176,27 @@ pub fn serve_with(
     let stop2 = Arc::clone(&stop);
     let live = Arc::new(AtomicUsize::new(0));
 
+    let pool = Arc::new(Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        stopping: AtomicBool::new(false),
+    });
+    let workers = (0..resolve_workers(options.workers))
+        .map(|i| {
+            let pool = Arc::clone(&pool);
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name(format!("sspd-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = pool.pop() {
+                        run_job(&server, job);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let accept_pool = Arc::clone(&pool);
     let accept_thread = std::thread::Builder::new()
         .name("sspd-accept".into())
         .spawn(move || {
@@ -161,16 +229,108 @@ pub fn serve_with(
                     continue;
                 };
                 conn_metrics().accepted.inc();
-                let server = Arc::clone(&server);
+                let pool = Arc::clone(&accept_pool);
                 let read_timeout = options.read_timeout;
+                let depth = options.pipeline_depth.max(1);
                 let _ = std::thread::Builder::new()
                     .name("sspd-conn".into())
-                    .spawn(move || serve_connection(server, sock, read_timeout, slot));
+                    .spawn(move || read_connection(pool, sock, read_timeout, depth, slot));
             }
         })
         .expect("spawn accept thread");
 
-    Ok(TcpServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+    Ok(TcpServerHandle { addr: local, stop, accept_thread: Some(accept_thread), pool, workers })
+}
+
+/// One parsed request frame waiting for a worker.
+struct Job {
+    /// Correlation id to echo, when the client pipelines.
+    corr: Option<u64>,
+    /// Frame body after the correlation header (trace header + request).
+    body: Vec<u8>,
+    conn: Arc<ConnShared>,
+}
+
+/// The bounded worker pool: a FIFO queue drained by `workers` threads.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stopping: AtomicBool,
+}
+
+impl Pool {
+    fn push(&self, job: Job) {
+        if self.stopping.load(Ordering::SeqCst) {
+            job.conn.finish();
+            return;
+        }
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        conn_metrics().queued.inc();
+        self.available.notify_one();
+    }
+
+    /// Next job, blocking while the queue is empty. Returns `None` once the
+    /// pool is stopping *and* the queue has drained.
+    fn pop(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.stopping.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
+/// Per-connection state shared by its reader thread and the workers
+/// holding its queued jobs: the (mutex-serialized) write half, and the
+/// in-flight admission count that implements pipeline-depth gating. The
+/// budget slot rides along so it frees only when the reader *and* every
+/// outstanding job are done.
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    inflight: Mutex<usize>,
+    room: Condvar,
+    _slot: ConnSlot,
+}
+
+impl ConnShared {
+    /// Blocks until this connection is below `cap` in-flight requests,
+    /// then claims one admission.
+    fn admit(&self, cap: usize) {
+        let mut n = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        while *n >= cap {
+            n = self.room.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+        *n += 1;
+    }
+
+    /// Releases one admission (response written, or the job was dropped).
+    fn finish(&self) {
+        let mut n = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.room.notify_all();
+    }
+
+    /// Writes one response frame, echoing the correlation header when the
+    /// request carried one. Write errors are swallowed: the reader notices
+    /// the dead socket and winds the connection down.
+    fn write_response(&self, corr: Option<u64>, payload: &[u8]) {
+        let mut sock = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = match corr {
+            Some(id) => write_frame_vectored(&mut *sock, &[&corr_header(id), payload]),
+            None => write_frame(&mut *sock, payload),
+        };
+    }
 }
 
 /// A claimed slot in the connection budget; released on drop.
@@ -208,14 +368,28 @@ fn peer_label(sock: &TcpStream) -> String {
     sock.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into())
 }
 
-fn serve_connection(
-    server: Arc<SspServer>,
+/// Per-connection reader: parses frames and correlation ids, applies the
+/// in-flight admission cap, and feeds the worker pool. All request
+/// execution happens on the workers.
+fn read_connection(
+    pool: Arc<Pool>,
     mut sock: TcpStream,
     read_timeout: Option<Duration>,
-    _slot: ConnSlot,
+    pipeline_depth: usize,
+    slot: ConnSlot,
 ) {
     let _ = sock.set_nodelay(true);
     let _ = sock.set_read_timeout(read_timeout);
+    let writer = match sock.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(ConnShared {
+        writer: Mutex::new(writer),
+        inflight: Mutex::new(0),
+        room: Condvar::new(),
+        _slot: slot,
+    });
     loop {
         let frame = match read_frame(&mut sock) {
             Ok(f) => f,
@@ -234,25 +408,38 @@ fn serve_connection(
                     limit
                 );
                 let reply = Response::Error(format!("frame too large: {n} bytes"));
-                let _ = write_frame(&mut sock, &reply.to_wire());
+                conn.write_response(None, &reply.to_wire());
                 return;
             }
             Err(_) => return, // disconnect or idle timeout
         };
-        // Split off the optional trace header so the op's server-side spans
-        // adopt the caller's context and nest under its tree.
-        let (remote_ctx, body) = match sharoes_net::traceframe::split_header(&frame) {
+        // Split off the optional correlation header. Pipelining is opt-in
+        // per request: headerless (legacy FIFO) requests are admitted one
+        // at a time so their single expected response stays in order.
+        let (corr, body) = match split_corr(&frame) {
             Ok(split) => split,
             Err(e) => {
                 conn_metrics().bad_requests.inc();
                 let reply = Response::Error(format!("bad request: {e}"));
-                if write_frame(&mut sock, &reply.to_wire()).is_err() {
-                    return;
-                }
+                conn.write_response(None, &reply.to_wire());
                 continue;
             }
         };
-        let response = match Request::from_wire(body) {
+        if corr.is_some() {
+            conn_metrics().pipelined.inc();
+        }
+        let cap = if corr.is_some() { pipeline_depth } else { 1 };
+        conn.admit(cap);
+        pool.push(Job { corr, body: body.to_vec(), conn: Arc::clone(&conn) });
+    }
+}
+
+/// Executes one queued request on a worker thread and writes its response.
+fn run_job(server: &Arc<SspServer>, job: Job) {
+    // Split off the optional trace header so the op's server-side spans
+    // adopt the caller's context and nest under its tree.
+    let response = match sharoes_net::traceframe::split_header(&job.body) {
+        Ok((remote_ctx, body)) => match Request::from_wire(body) {
             Ok(req) => {
                 let _rpc = remote_ctx.map(|ctx| {
                     sharoes_obs::SpanGuard::enter_with("ssp.rpc", ctx, || {
@@ -265,11 +452,14 @@ fn serve_connection(
                 conn_metrics().bad_requests.inc();
                 Response::Error(format!("bad request: {e}"))
             }
-        };
-        if write_frame(&mut sock, &response.to_wire()).is_err() {
-            return;
+        },
+        Err(e) => {
+            conn_metrics().bad_requests.inc();
+            Response::Error(format!("bad request: {e}"))
         }
-    }
+    };
+    job.conn.write_response(job.corr, &response.to_wire());
+    job.conn.finish();
 }
 
 #[cfg(test)]
@@ -306,6 +496,65 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(server.store().object_count(), 80);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_client_multiplexes_one_connection() {
+        let server = SspServer::new().into_shared();
+        let handle = serve(Arc::clone(&server), "127.0.0.1:0").unwrap();
+        let client = sharoes_net::PipelinedClient::connect(&handle.addr().to_string()).unwrap();
+        // Many threads share ONE socket; every response must come back to
+        // the thread that asked (the value encodes the asker).
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let client = &client;
+                scope.spawn(move || {
+                    for i in 0..25u32 {
+                        let key = ObjectKey::data(t, [t as u8; 16], i);
+                        let put = Request::Put { key, value: vec![t as u8; 16] };
+                        assert_eq!(client.call(&put).unwrap(), Response::Ok);
+                        assert_eq!(
+                            client.call(&Request::Get { key }).unwrap(),
+                            Response::Object(Some(vec![t as u8; 16])),
+                            "response crossed between pipelined requests"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(server.store().object_count(), 200);
+        // A burst of pipelined gets over the same connection.
+        let reqs: Vec<Request> =
+            (0..25u32).map(|i| Request::Get { key: ObjectKey::data(3, [3u8; 16], i) }).collect();
+        for r in client.call_many(&reqs) {
+            assert_eq!(r.unwrap(), Response::Object(Some(vec![3u8; 16])));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn single_worker_pool_still_serves_all_clients() {
+        let server = SspServer::new().into_shared();
+        let options = ServeOptions { workers: 1, ..ServeOptions::default() };
+        let handle = serve_with(Arc::clone(&server), "127.0.0.1:0", options).unwrap();
+        let addr = handle.addr().to_string();
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut transport = TcpTransport::connect(&addr).unwrap();
+                    for i in 0..10u32 {
+                        let key = ObjectKey::data(t, [t as u8; 16], i);
+                        transport.call(&Request::Put { key, value: vec![1] }).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.store().object_count(), 40);
         handle.shutdown();
     }
 
